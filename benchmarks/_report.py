@@ -1,0 +1,54 @@
+"""Shared infrastructure for the benchmark/report suite.
+
+Each benchmark module regenerates one paper table or figure.  Since
+``pytest --benchmark-only`` captures stdout, reports are written both to
+the *real* stdout (``sys.__stdout__``, visible in the terminal and in
+tee'd logs) and to ``benchmarks/reports/<name>.txt`` so EXPERIMENTS.md
+can quote them.
+
+``REPRO_FULL=1`` in the environment switches every experiment to its
+full-size configuration (paper-scale precisions and sample counts);
+the defaults are sized to finish the whole suite in a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+REPORT_DIR = Path(__file__).resolve().parent / "reports"
+
+#: Full-size mode: paper-scale parameters (slower).
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+#: Reports generated during this pytest session, in creation order.
+#: The conftest terminal-summary hook replays them after the run
+#: (pytest's fd capture would otherwise swallow mid-test output).
+SESSION_REPORTS: list[str] = []
+
+
+def full_or(default, full_value):
+    """Pick the full-size value when REPRO_FULL=1."""
+    return full_value if FULL else default
+
+
+def report(name: str, text: str) -> None:
+    """Emit a report block: file + live stdout + end-of-run summary."""
+    banner = f"\n{'=' * 72}\n[{name}]\n{'=' * 72}\n"
+    sys.__stdout__.write(banner + text + "\n")
+    sys.__stdout__.flush()
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = REPORT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    if name not in SESSION_REPORTS:
+        SESSION_REPORTS.append(name)
+
+
+def once(benchmark, function):
+    """Run ``function`` exactly once under pytest-benchmark.
+
+    Report-style benchmarks regenerate artifacts; a single round keeps
+    them cheap while still registering a timing row.
+    """
+    return benchmark.pedantic(function, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+"""Ablation A3 — SIMD batch width.
+
+The paper's target machine fixes w = 64 lanes per batch; Python
+integers have no such limit, so the bitsliced kernel runs unchanged at
+any width.  This ablation sweeps w and reports per-sample throughput:
+the kernel's word-op count is width-independent, so wider batches
+amortize interpreter overhead until bignum limb costs take over —
+a software preview of the paper's AVX2/AVX-512 remark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import BitslicedSampler
+from repro.rng import ChaChaSource
+
+from _report import once, report
+
+WIDTHS = (8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+@pytest.mark.parametrize("width", [8, 64, 512])
+def test_batch_speed(benchmark, sigma2_circuit, width):
+    sampler = BitslicedSampler(sigma2_circuit, source=ChaChaSource(1),
+                               batch_width=width)
+    benchmark(sampler.sample_batch)
+
+
+def test_batch_width_report(benchmark, sigma2_circuit):
+    def build() -> str:
+        import time
+        rows = []
+        for width in WIDTHS:
+            sampler = BitslicedSampler(sigma2_circuit,
+                                       source=ChaChaSource(2),
+                                       batch_width=width)
+            sampler.sample_batch()  # warm-up
+            reps = max(2, 2048 // width)
+            started = time.perf_counter()
+            produced = 0
+            for _ in range(reps):
+                produced += len(sampler.sample_batch())
+            elapsed = time.perf_counter() - started
+            rows.append([width,
+                         sampler.word_ops_per_batch,
+                         f"{sampler.word_ops_per_batch / width:.1f}",
+                         f"{produced / elapsed:,.0f}"])
+        return format_table(
+            ["batch width w", "word ops/batch", "modeled cycles/sample",
+             "measured samples/s"],
+            rows,
+            title="Batch-width sweep, sigma = 2 "
+                  "(word-op count is width-independent; wider words "
+                  "amortize interpreter overhead)")
+
+    text = once(benchmark, build)
+    report("ablation_batch_width", text)

@@ -1,0 +1,58 @@
+"""Ablation A1 — recombination strategy (Eqn 2 variants).
+
+The paper combines sublist functions with nested constant-time if-else
+chains (Eqn 2).  Because the selectors c_k are one-hot, two cheaper
+equivalent circuits exist; this ablation quantifies the choice.  All
+three compute identical functions (asserted exhaustively in the test
+suite); only gate counts and depths differ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.boolfunc import COMBINER_MODES
+from repro.core import GaussianParams, compile_sampler_circuit
+
+from _report import full_or, once, report
+
+PRECISION = full_or(48, 128)
+
+
+@pytest.mark.parametrize("mode", COMBINER_MODES)
+def test_compile_speed(benchmark, mode):
+    params = GaussianParams.from_sigma(2, 32)
+    benchmark.pedantic(
+        lambda: compile_sampler_circuit(params, combiner=mode),
+        rounds=1, iterations=1)
+
+
+def test_combiner_ablation_report(benchmark):
+    def build() -> str:
+        rows = []
+        for sigma in (2, 6.15543):
+            params = GaussianParams.from_sigma(sigma, PRECISION)
+            for mode in COMBINER_MODES:
+                circuit = compile_sampler_circuit(params, combiner=mode)
+                counts = circuit.gate_count()
+                rows.append([sigma, mode, counts["total"],
+                             counts["and"], counts["or"],
+                             counts["not"], circuit.depth()])
+        note = ("\nnested = the paper's Eqn 2 with full selectors "
+                "c_k = b_0&..&~b_k;\nnested-implicit = Eqn 2 testing "
+                "only ~b_k (prior branches imply the prefix);\n"
+                "onehot = OR_k (c_k & f^k), sharing the selector "
+                "ladder across all output bits (library default).")
+        return format_table(
+            ["sigma", "combiner", "gates", "and", "or", "not", "depth"],
+            rows,
+            title=f"Combiner ablation at n = {PRECISION}") + note
+
+    text = once(benchmark, build)
+    report("ablation_combiner", text)
+    params = GaussianParams.from_sigma(2, 32)
+    costs = {mode: compile_sampler_circuit(
+        params, combiner=mode).gate_count()["total"]
+        for mode in COMBINER_MODES}
+    assert costs["onehot"] <= costs["nested"]

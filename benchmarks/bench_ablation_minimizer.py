@@ -1,0 +1,59 @@
+"""Ablation A4 — exact QMC vs heuristic espresso on the sublists.
+
+The paper insists on *exact* per-sublist minimization (Espresso
+``-Dso -S1``), arguing heuristics are unpredictable.  This ablation
+forces the espresso heuristic onto every sublist (by setting the QMC
+width limit to zero) and compares: how much quality does exactness buy
+on the small Delta_k-variable functions, and at what compile-time cost?
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import GaussianParams, compile_sampler_circuit
+
+from _report import full_or, once, report
+
+PRECISION = full_or(48, 96)
+
+
+@pytest.mark.parametrize("minimizer", ["qmc-exact", "espresso"])
+def test_compile_speed(benchmark, minimizer):
+    params = GaussianParams.from_sigma(2, 32)
+    limit = 14 if minimizer == "qmc-exact" else 0
+    benchmark.pedantic(
+        lambda: compile_sampler_circuit(params, qmc_width_limit=limit),
+        rounds=1, iterations=1)
+
+
+def test_minimizer_ablation_report(benchmark):
+    def build() -> str:
+        rows = []
+        for sigma in (2, 6.15543):
+            params = GaussianParams.from_sigma(sigma, PRECISION)
+            for label, limit in (("QMC exact (paper)", 14),
+                                 ("espresso heuristic", 0)):
+                circuit = compile_sampler_circuit(
+                    params, qmc_width_limit=limit)
+                exact = sum(1 for r in circuit.reports if r.exact)
+                rows.append([sigma, label,
+                             circuit.gate_count()["total"],
+                             f"{exact}/{len(circuit.reports)}",
+                             f"{circuit.compile_seconds:.2f}s"])
+        return format_table(
+            ["sigma", "sublist minimizer", "gates", "exact sublists",
+             "compile time"],
+            rows,
+            title=f"Sublist-minimizer ablation at n = {PRECISION}")
+
+    text = once(benchmark, build)
+    report("ablation_minimizer", text)
+    # Exactness can only help (or tie) on gate count.
+    params = GaussianParams.from_sigma(2, 48)
+    exact_gates = compile_sampler_circuit(
+        params, qmc_width_limit=14).gate_count()["total"]
+    heur_gates = compile_sampler_circuit(
+        params, qmc_width_limit=0).gate_count()["total"]
+    assert exact_gates <= heur_gates * 1.05

@@ -1,0 +1,84 @@
+"""Extension — the full sampler landscape the paper's intro surveys.
+
+Sec. 1 surveys the efficient-sampler landscape ([26, 16, 14, 9, 17,
+32]): CDT variants, Bernoulli/BLISS, and Knuth–Yao, almost all
+non-constant-time.  This bench lines up every backend in the library —
+the four Table 1 samplers plus Algorithm 1 and the BLISS-style
+Bernoulli sampler — under one cost/leakage table, sigma = 2, n = 64.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.baselines import (
+    BernoulliSampler,
+    ByteScanCdtSampler,
+    CdtBinarySearchSampler,
+    KnuthYaoIntegerSampler,
+    LinearScanCdtSampler,
+)
+from repro.core import BitslicedSampler, GaussianParams
+from repro.ct import PRNG_CYCLES_PER_BYTE, audit_batch_sampler, audit_sampler
+from repro.rng import ChaChaSource
+
+from _report import once, report
+
+PARAMS = GaussianParams.from_sigma(2, 64)
+
+BACKENDS = {
+    "knuth-yao (Alg. 1)": (KnuthYaoIntegerSampler, None),
+    "bernoulli (BLISS)": (BernoulliSampler, lambda v: v == 0),
+    "cdt-byte-scan": (ByteScanCdtSampler, None),
+    "cdt-binary": (CdtBinarySearchSampler, None),
+    "cdt-linear": (LinearScanCdtSampler, None),
+}
+
+
+@pytest.mark.parametrize("name", sorted(BACKENDS))
+def test_sampling_speed(benchmark, name):
+    backend, _ = BACKENDS[name]
+    sampler = backend(PARAMS, ChaChaSource(1))
+    benchmark(sampler.sample)
+
+
+def test_extended_baselines_report(benchmark, sigma2_circuit):
+    def build() -> str:
+        rows = []
+        draws = 4000
+        for name, (backend, classifier) in BACKENDS.items():
+            sampler = backend(PARAMS, ChaChaSource(2))
+            for _ in range(draws):
+                sampler.sample()
+            counts = sampler.counter.counts
+            cycles = counts.modeled_cycles("chacha20") / draws
+            rng_bytes = counts.rng_bytes / draws
+            audit = audit_sampler(
+                backend(PARAMS, ChaChaSource(3)), calls=6000,
+                classifier=classifier)
+            rows.append([name, f"{cycles:.1f}", f"{rng_bytes:.1f}",
+                         "yes" if backend.constant_time else "no",
+                         f"{audit.max_abs_t:.1f}",
+                         "LEAK" if audit.leaking else "pass"])
+        bitsliced = BitslicedSampler(sigma2_circuit,
+                                     source=ChaChaSource(4))
+        per_sample = (bitsliced.word_ops_per_batch
+                      + bitsliced.random_bytes_per_batch
+                      * PRNG_CYCLES_PER_BYTE["chacha20"]) \
+            / bitsliced.batch_width
+        rng_per = bitsliced.random_bytes_per_batch / bitsliced.batch_width
+        audit = audit_batch_sampler(bitsliced, batches=200)
+        rows.append(["bitsliced (this work)", f"{per_sample:.1f}",
+                     f"{rng_per:.1f}", "yes",
+                     f"{audit.max_abs_t:.1f}",
+                     "LEAK" if audit.leaking else "pass"])
+        return format_table(
+            ["backend", "modeled cycles/sample", "rng bytes/sample",
+             "CT by design", "dudect max |t|", "verdict"],
+            rows,
+            title="All sampler backends, sigma = 2, n = 64, ChaCha20 "
+                  "(modeled cycles include PRNG)")
+
+    text = once(benchmark, build)
+    report("extended_baselines", text)

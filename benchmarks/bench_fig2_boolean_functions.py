@@ -1,0 +1,81 @@
+"""Figure 2 — mapping random bits to sample bits as Boolean functions.
+
+Fig. 2 depicts the core idea of [21]: the many-to-one map from input
+random strings (b0 b1 ... b_{n-1}) to output sample bits (s0 ... s_m),
+realized as Boolean functions f^i_n.  This bench regenerates the map
+for a printable instance (sigma = 2, n = 8): the full truth table of
+terminating strings, then the compiled functions in C form.
+"""
+
+from __future__ import annotations
+
+from repro.boolfunc import gate_counts, to_c_source
+from repro.core import (
+    GaussianParams,
+    compile_sampler_circuit,
+    enumerate_terminating_strings,
+    probability_matrix,
+)
+
+from _report import once, report
+
+
+def test_fig2_report(benchmark):
+    def build() -> str:
+        params = GaussianParams.from_sigma(2, precision=8)
+        matrix = probability_matrix(params)
+        circuit = compile_sampler_circuit(params)
+        lines = ["Input random strings -> sample bits "
+                 "(x = don't care; string shown in the paper's "
+                 "reversed notation, first random bit rightmost):", ""]
+        lines.append("  random string    sample (s2 s1 s0)")
+        for entry in enumerate_terminating_strings(matrix):
+            bits = format(entry.value, "03b")
+            lines.append(f"  {entry.padded_string(8)}      "
+                         f"{bits[0]}  {bits[1]}  {bits[2]}"
+                         f"   (= {entry.value})")
+        lines.append(f"\n{len(enumerate_terminating_strings(matrix))} "
+                     f"terminating strings; {matrix.failure_count} of "
+                     f"256 inputs never terminate (valid = 0)")
+        counts = gate_counts(circuit.roots)
+        lines.append(f"\nCompiled Boolean functions f^i_8: "
+                     f"{counts['total']} gates for "
+                     f"{len(circuit.output_bits)} sample bits + valid")
+        lines.append("\nC export of f^0_8 (sample bit 0):")
+        lines.extend("  " + line for line in to_c_source(
+            [circuit.output_bits[0]],
+            function_name="f0").splitlines())
+        return "\n".join(lines)
+
+    text = once(benchmark, build)
+    report("fig2_boolean_functions", text)
+
+
+def test_fig2_functions_cover_all_inputs(benchmark):
+    """Every 8-bit input yields either a valid sample or valid=0."""
+    from repro.bitslice import BitslicedKernel, pack_lane_bits
+    from repro.core import knuth_yao_walk
+    from repro.rng import BitStream, ListBitSource
+
+    params = GaussianParams.from_sigma(2, precision=8)
+    matrix = probability_matrix(params)
+    circuit = compile_sampler_circuit(params)
+    kernel = BitslicedKernel(circuit.roots)
+
+    def check() -> int:
+        mismatches = 0
+        for word in range(256):
+            bits = [(word >> i) & 1 for i in range(8)]
+            walk = knuth_yao_walk(matrix,
+                                  BitStream(ListBitSource(bits)))
+            out = kernel(pack_lane_bits([bits], 8), 1)
+            valid = out[-1] & 1
+            value = sum((out[t] & 1) << t for t in range(len(out) - 1))
+            expected_valid = 0 if walk.failed else 1
+            if valid != expected_valid:
+                mismatches += 1
+            elif valid and value != walk.value:
+                mismatches += 1
+        return mismatches
+
+    assert once(benchmark, check) == 0

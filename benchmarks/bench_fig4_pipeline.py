@@ -1,0 +1,80 @@
+"""Figure 4 — the efficient-minimization pipeline, stage by stage.
+
+Fig. 4's flowchart:  (sigma, n) -> generate list L -> sort/divide into
+sublists -> minimize each f^{i,k}_Delta -> combine with constant-time
+if-else chains -> f^i_n.  This bench executes each stage separately,
+timing it and reporting its output size, for the paper's sigma = 2 at
+the default precision.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import format_table
+from repro.bitslice import BitslicedKernel
+from repro.boolfunc import gate_counts
+from repro.core import (
+    GaussianParams,
+    compile_sampler_circuit,
+    enumerate_terminating_strings,
+    partition_by_trailing_ones,
+    probability_matrix,
+)
+
+from _report import full_or, once, report
+
+
+def test_fig4_pipeline_report(benchmark):
+    def build() -> str:
+        precision = full_or(64, 128)
+        params = GaussianParams.from_sigma(2, precision)
+        rows = []
+
+        started = time.perf_counter()
+        matrix = probability_matrix(params)
+        rows.append(["probability matrix",
+                     f"{matrix.num_rows} x {matrix.precision} bits",
+                     f"{time.perf_counter() - started:.3f}s"])
+
+        started = time.perf_counter()
+        entries = enumerate_terminating_strings(matrix)
+        rows.append(["enumerate list L", f"{len(entries)} strings",
+                     f"{time.perf_counter() - started:.3f}s"])
+
+        started = time.perf_counter()
+        partition = partition_by_trailing_ones(matrix)
+        rows.append(["sort + divide into sublists",
+                     f"{len(partition.sublists)} sublists, "
+                     f"Delta = {partition.delta}",
+                     f"{time.perf_counter() - started:.3f}s"])
+
+        started = time.perf_counter()
+        circuit = compile_sampler_circuit(params)
+        compile_time = time.perf_counter() - started
+        exact = sum(1 for r in circuit.reports if r.exact)
+        rows.append(["minimize f^{i,k}_Delta (QMC exact)",
+                     f"{exact}/{len(circuit.reports)} sublists exact, "
+                     f"{sum(r.cube_count for r in circuit.reports)} "
+                     "cubes",
+                     f"{compile_time:.3f}s"])
+
+        counts = gate_counts(circuit.roots)
+        rows.append(["combine (one-hot selector chain)",
+                     f"{counts['total']} gates, depth "
+                     f"{circuit.depth()}", "included above"])
+
+        started = time.perf_counter()
+        kernel = BitslicedKernel(circuit.roots)
+        rows.append(["emit bitsliced kernel",
+                     f"{kernel.stats.word_ops} word ops, "
+                     f"{kernel.num_inputs} input words",
+                     f"{time.perf_counter() - started:.3f}s"])
+
+        return format_table(
+            ["stage", "output", "time"],
+            rows,
+            title=f"Fig. 4 pipeline for sigma=2, n={precision}")
+
+    text = once(benchmark, build)
+    report("fig4_pipeline", text)

@@ -1,0 +1,57 @@
+"""Figure 5 — histograms of the constant-time sampler's output.
+
+Fig. 5 plots histograms for sigma = 2 and sigma = 6.15543 over
+64 x 10^7 samples.  The default run scales the count down to 64 x 10^4
+(Python interpreter; REPRO_FULL=1 raises it to 64 x 10^5) and overlays
+the ideal discrete Gaussian; a chi-square goodness-of-fit p-value
+quantifies what the paper shows visually.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    chi_square_p_value,
+    chi_square_statistic,
+    histogram_counts,
+    ideal_signed_gaussian_pmf,
+    render_histogram,
+)
+from repro.core import compile_sampler
+from repro.rng import ChaChaSource
+
+from _report import full_or, once, report
+
+DRAWS = 64 * full_or(10_000, 100_000)
+
+
+def _histogram_block(sigma: float, seed: int, value_range) -> str:
+    sampler = compile_sampler(sigma, precision=32,
+                              source=ChaChaSource(seed))
+    values = sampler.sample_many(DRAWS)
+    counts = histogram_counts(values)
+    bound = sampler.circuit.matrix.max_value
+    ideal = ideal_signed_gaussian_pmf(float(sigma), bound)
+    chi2, dof = chi_square_statistic(
+        counts, ideal, DRAWS, min_expected=8)
+    p_value = chi_square_p_value(chi2, dof)
+    lines = [f"sigma = {sigma}, {DRAWS:,} samples "
+             f"(paper: 64 x 10^7)",
+             render_histogram(counts, ideal=ideal, width=52,
+                              value_range=value_range),
+             f"chi-square GoF vs ideal: chi2 = {chi2:.1f} "
+             f"(dof = {dof}), p = {p_value:.3f}"]
+    return "\n".join(lines), p_value
+
+
+def test_fig5_sigma2(benchmark):
+    text, p_value = once(
+        benchmark, lambda: _histogram_block(2, 11, (-8, 8)))
+    report("fig5_histogram_sigma2", text)
+    assert p_value > 1e-4
+
+
+def test_fig5_sigma_615543(benchmark):
+    text, p_value = once(
+        benchmark, lambda: _histogram_block(6.15543, 12, (-20, 20)))
+    report("fig5_histogram_sigma6", text)
+    assert p_value > 1e-4

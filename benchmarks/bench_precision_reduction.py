@@ -1,0 +1,97 @@
+"""Extension — precision vs. divergence (the conclusion's direction).
+
+The paper's conclusion: "a good research direction is to develop
+statistical measures like Rényi divergences or max-log distances to
+reduce the precision requirement of discrete Gaussian sampling and
+hence reducing the requirement of pseudorandom numbers."
+
+This bench carries that out for the sigma = 2 sampler: for a sweep of
+precisions n, it measures how far the n-bit truncated sampler is from
+the ideal distribution under three metrics, and translates each into
+the security level it supports.  Statistical distance demands roughly
+n >= lambda bits; Rényi-based analyses tolerate much larger divergence
+(distance ~2^(-lambda/2) for order-2 arguments), so they halve the
+PRNG bill — which, per the Sec. 7 measurement that the PRNG is 60-85%
+of sampling time, nearly halves total sampling cost.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.analysis import (
+    format_table,
+    max_log_distance,
+    renyi_divergence,
+    statistical_distance,
+)
+from repro.core import GaussianParams, probability_matrix, true_pmf
+
+from _report import once, report
+
+PRECISIONS = (8, 16, 24, 32, 48, 64, 96, 128)
+
+
+def test_precision_reduction_report(benchmark):
+    def build() -> str:
+        rows = []
+        for n in PRECISIONS:
+            params = GaussianParams.from_sigma(2, n)
+            matrix = probability_matrix(params)
+            sampled = [Fraction(row, matrix.mass) for row in matrix.rows]
+            ideal = true_pmf(params)
+            sd = statistical_distance(sampled, ideal)
+            sd_bits = float(-sd.numerator.bit_length()
+                            + sd.denominator.bit_length()) if sd else \
+                float("inf")
+            # Restrict divergence metrics to the sampled support
+            # (rows that truncated to zero carry ~2^-n ideal mass).
+            support = [v for v, p in enumerate(sampled) if p > 0]
+            p_vec = [float(sampled[v]) for v in support]
+            q_vec = [float(ideal[v]) for v in support]
+            scale = sum(q_vec)
+            q_vec = [q / scale for q in q_vec]
+            renyi2 = renyi_divergence(p_vec, q_vec, 2)
+            mld = max_log_distance(p_vec, q_vec)
+            rows.append([
+                n,
+                f"2^-{sd_bits:.0f}" if sd else "0",
+                f"{sd_bits:.0f}" if sd else "exact",
+                f"{renyi2:.3e}" if renyi2 > 1e-15 else "<1e-15",
+                f"{mld:.3e}",
+                f"{2 * sd_bits:.0f}" if sd else "any",
+            ])
+        table = format_table(
+            ["n", "stat. distance", "lambda (SD-based)",
+             "Renyi-2 div (nats)", "max-log dist",
+             "lambda (Renyi-based ~2x)"],
+            rows,
+            title="Precision reduction for sigma = 2: security bits "
+                  "supported per analysis style")
+        note = ("\nReading: an SD-based proof of lambda = 128 needs "
+                "n ~ 128 bits of precision (16 PRNG bytes/sample); a "
+                "Renyi-based proof reaches the same lambda near n ~ 64 "
+                "— halving the dominant PRNG cost of Sec. 7."
+                "\nNote the max-log column does NOT shrink with n: "
+                "matrix probabilities are *truncated* (required for "
+                "sum <= 1), so the worst tail row keeps O(1) relative "
+                "error — precisely why Micciancio-Walter's max-log "
+                "analysis demands relative-error rounding instead. "
+                "Measured here, not assumed.")
+        return table + note
+
+    text = once(benchmark, build)
+    report("precision_reduction", text)
+
+    # Monotone sanity: statistical distance shrinks ~2x per extra bit.
+    params_lo = GaussianParams.from_sigma(2, 16)
+    params_hi = GaussianParams.from_sigma(2, 32)
+    m_lo = probability_matrix(params_lo)
+    m_hi = probability_matrix(params_hi)
+    sd_lo = statistical_distance(
+        [Fraction(r, m_lo.mass) for r in m_lo.rows], true_pmf(params_lo))
+    sd_hi = statistical_distance(
+        [Fraction(r, m_hi.mass) for r in m_hi.rows], true_pmf(params_hi))
+    assert sd_hi < sd_lo / 1000
+    assert math.isfinite(float(sd_hi))

@@ -1,0 +1,103 @@
+"""Sec. 7's PRNG-overhead observation.
+
+The conclusion reports that 80-85% of total sampling time goes to
+pseudorandom number generation with Keccak, dropping to ~60% with
+ChaCha, and suggests AES-NI as a further improvement.  This bench
+reproduces the breakdown both ways:
+
+* **modeled**: sampler logic cycles (gate count) vs PRNG cycles
+  (bytes x backend cycles-per-byte) per 64-sample batch;
+* **measured**: wall-clock of kernel evaluation vs word generation
+  with the real from-scratch SHAKE256/ChaCha20 implementations.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import BitslicedSampler
+from repro.ct import PRNG_CYCLES_PER_BYTE
+from repro.rng import ChaChaSource, CounterSource, ShakeSource
+
+from _report import once, report
+
+PRNG_FACTORIES = {
+    "shake256": lambda: ShakeSource(1, variant=256),
+    "chacha20": lambda: ChaChaSource(1),
+    "chacha8": lambda: ChaChaSource(1, rounds=8),
+    "counter": lambda: CounterSource(1),
+}
+
+PAPER_CLAIM = {"shake256": (80, 85), "chacha20": (55, 70)}
+
+
+@pytest.mark.parametrize("prng", sorted(PRNG_FACTORIES))
+def test_prng_word_generation_speed(benchmark, sigma2_circuit, prng):
+    """Wall-clock of generating one batch worth of random words."""
+    source = PRNG_FACTORIES[prng]()
+    words = sigma2_circuit.num_input_bits + 1
+
+    def generate():
+        for _ in range(words):
+            source.read_word(64)
+
+    benchmark(generate)
+
+
+def test_prng_overhead_report(benchmark, sigma2_circuit):
+    def build() -> str:
+        sampler = BitslicedSampler(sigma2_circuit,
+                                   source=ChaChaSource(1))
+        logic_cycles = sampler.word_ops_per_batch
+        rng_bytes = sampler.random_bytes_per_batch
+        rows = []
+        for prng in ("shake256", "chacha20", "chacha8", "counter",
+                     "aesni"):
+            prng_cycles = rng_bytes * PRNG_CYCLES_PER_BYTE[prng]
+            share = 100 * prng_cycles / (prng_cycles + logic_cycles)
+            claim = PAPER_CLAIM.get(prng)
+            rows.append([prng, f"{prng_cycles:,.0f}",
+                         f"{logic_cycles:,}", f"{share:.0f}%",
+                         f"{claim[0]}-{claim[1]}%" if claim else "-"])
+        modeled = format_table(
+            ["PRNG", "prng cycles/batch", "logic cycles/batch",
+             "prng share", "paper"],
+            rows,
+            title=f"Modeled PRNG overhead per {sampler.batch_width}-"
+                  f"sample batch (sigma=2, "
+                  f"n={sigma2_circuit.num_input_bits}, "
+                  f"{rng_bytes} random bytes)")
+
+        # Measured: real implementations, wall clock.
+        measured_rows = []
+        words = sigma2_circuit.num_input_bits + 1
+        for name, factory in PRNG_FACTORIES.items():
+            source = factory()
+            reps = 40
+            started = time.perf_counter()
+            for _ in range(reps):
+                for _ in range(words):
+                    source.read_word(64)
+            rng_time = (time.perf_counter() - started) / reps
+            sampler = BitslicedSampler(sigma2_circuit, source=factory())
+            sampler.sample_batch()  # warm
+            started = time.perf_counter()
+            for _ in range(reps):
+                sampler.sample_batch()
+            total_time = (time.perf_counter() - started) / reps
+            share = 100 * min(rng_time / total_time, 1.0)
+            measured_rows.append(
+                [name, f"{rng_time * 1e6:.0f}",
+                 f"{total_time * 1e6:.0f}", f"{share:.0f}%"])
+        measured = format_table(
+            ["PRNG", "randomness us/batch", "total us/batch",
+             "prng share"],
+            measured_rows,
+            title="Measured (pure-Python primitives, wall clock)")
+        return modeled + "\n\n" + measured
+
+    text = once(benchmark, build)
+    report("prng_overhead", text)

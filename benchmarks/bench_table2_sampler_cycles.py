@@ -1,0 +1,83 @@
+"""Table 2 — sampler cost: efficient vs simple minimization.
+
+Paper Table 2 (cycles per 64-sample batch, PRNG excluded):
+
+    sigma       [21] simple   this work   improvement
+    2               3,787       2,293         37%
+    6.15543        11,136       9,880         11%
+
+Our machine-model analogue counts one cycle per bitwise word
+instruction of the compiled circuit (exactly the execution model of the
+paper's bitsliced C code).  Both minimization pipelines are run from
+scratch; wall-clock per-batch timings of the generated Python kernels
+are benchmarked alongside.
+
+The sigma = 6.15543 baseline in [21] was additionally hand-optimized
+(the paper says so when explaining the smaller 11% gap), which our
+automatic espresso baseline cannot reproduce — expect our improvement
+for that sigma to look closer to the sigma = 2 one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import BitslicedSampler
+from repro.rng import ChaChaSource
+
+from _report import once, report
+
+PAPER = {
+    2: {"simple": 3787, "efficient": 2293, "improvement": 37},
+    6.15543: {"simple": 11136, "efficient": 9880, "improvement": 11},
+}
+
+
+@pytest.mark.parametrize("sigma", [2, 6.15543])
+@pytest.mark.parametrize("method", ["efficient", "simple"])
+def test_batch_kernel_speed(benchmark, table2_circuits, sigma, method):
+    """Wall-clock of one 64-sample kernel batch per circuit."""
+    circuit = table2_circuits[sigma][method]
+    sampler = BitslicedSampler(circuit, source=ChaChaSource(1),
+                               batch_width=64)
+    benchmark(sampler.sample_batch)
+
+
+def test_table2_report(benchmark, table2_circuits):
+    def build() -> str:
+        rows = []
+        claims = []
+        for sigma, bundle in table2_circuits.items():
+            gates = {m: bundle[m].gate_count()["total"]
+                     for m in ("efficient", "simple")}
+            improvement = 100 * (gates["simple"] - gates["efficient"]) \
+                / gates["simple"]
+            paper = PAPER[sigma]
+            rows.append([sigma, bundle["n"],
+                         gates["simple"], gates["efficient"],
+                         f"{improvement:.0f}%",
+                         paper["simple"], paper["efficient"],
+                         f"{paper['improvement']}%"])
+            claims.append(
+                f"sigma={sigma}: efficient minimization saves "
+                f"{improvement:.0f}% of gates "
+                f"(paper: {paper['improvement']}%"
+                + ("; the paper's [21] baseline was hand-optimized"
+                   if sigma != 2 else "") + ")")
+        table = format_table(
+            ["sigma", "n", "simple gates", "efficient gates",
+             "improvement", "paper simple cyc", "paper eff cyc",
+             "paper improv"],
+            rows,
+            title="Table 2: cycles per 64-sample batch "
+                  "(ours = gate count of the compiled circuit; "
+                  "paper = measured cycles, PRNG excluded)")
+        return table + "\n\n" + "\n".join(claims)
+
+    text = once(benchmark, build)
+    report("table2_sampler_cycles", text)
+    # The headline direction must hold: efficient < simple, both sigmas.
+    for bundle in table2_circuits.values():
+        assert bundle["efficient"].gate_count()["total"] < \
+            bundle["simple"].gate_count()["total"]

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Inspect and export the compiled Boolean sampler.
+
+The paper's companion tool generates bitsliced C code from (sigma, n);
+this example shows the same artifacts from this library's compiler:
+
+* the sorted list L and its sublists (Fig. 3),
+* per-sublist exact minimization results,
+* the paper-vs-baseline gate-count comparison (Table 2's direction),
+* exported C and Python source of the final circuit.
+
+Run:  python examples/compile_and_export.py
+"""
+
+from repro.analysis import format_table
+from repro.boolfunc import to_c_source
+from repro.core import GaussianParams, compile_sampler_circuit
+
+SIGMA = 2
+PRECISION = 16  # small enough to print everything
+
+
+def main() -> None:
+    params = GaussianParams.from_sigma(SIGMA, PRECISION)
+
+    print(f"Compiling sigma={SIGMA}, n={PRECISION} "
+          "with both methods ...\n")
+    efficient = compile_sampler_circuit(params, method="efficient")
+    simple = compile_sampler_circuit(params, method="simple")
+
+    print("Sorted list L divided into sublists (Fig. 3):")
+    print(efficient.partition.render())
+
+    rows = []
+    for report in efficient.reports:
+        rows.append([f"l_{report.k}", report.width, report.num_entries,
+                     report.cube_count, report.literal_count,
+                     "exact" if report.exact else "heuristic"])
+    print("\n" + format_table(
+        ["sublist", "Delta_k", "entries", "cubes", "literals",
+         "minimizer"],
+        rows, title="Per-sublist minimization (QMC + Petrick, the "
+                    "Espresso -Dso -S1 role)"))
+
+    gates_e = efficient.gate_count()
+    gates_s = simple.gate_count()
+    print("\n" + format_table(
+        ["method", "gates", "and", "or", "not", "depth"],
+        [["efficient (this paper)", gates_e["total"], gates_e["and"],
+          gates_e["or"], gates_e["not"], efficient.depth()],
+         ["simple ([21] baseline)", gates_s["total"], gates_s["and"],
+          gates_s["or"], gates_s["not"], simple.depth()]],
+        title="Gate counts (bitwise instructions per 64-sample batch)"))
+    saved = 100 * (gates_s["total"] - gates_e["total"]) / gates_s["total"]
+    print(f"-> efficient minimization saves {saved:.0f}% "
+          "(paper Table 2 reports 37% for sigma = 2)")
+
+    print("\nGenerated C for the first output bit (excerpt):")
+    c_source = to_c_source([efficient.output_bits[0]],
+                           function_name="sample_bit0")
+    for line in c_source.splitlines()[:14]:
+        print("  " + line)
+    print("  ...")
+
+    with open("sampler_sigma2.c", "w", encoding="utf-8") as handle:
+        handle.write(to_c_source(efficient.roots, function_name="sampler"))
+    print("\nFull circuit exported to sampler_sigma2.c "
+          f"({len(to_c_source(efficient.roots).splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Falcon signatures with swappable Gaussian sampler backends.
+
+The paper's case study (Table 1): the Falcon signing algorithm draws
+2n discrete Gaussian samples per signature through a base sampler; this
+example generates a key pair, signs with each of the four backends, and
+reports timings and modeled sampling costs.
+
+Run:  python examples/falcon_signatures.py [n]
+"""
+
+import sys
+import time
+
+from repro.analysis import format_table
+from repro.falcon import BASE_SAMPLER_BACKENDS, SecretKey
+from repro.rng import ChaChaSource
+
+
+def main(n: int = 128) -> None:
+    print(f"Generating Falcon key pair for ring degree n = {n} ...")
+    started = time.perf_counter()
+    sk = SecretKey.generate(n=n, seed=2024)
+    print(f"  keygen took {time.perf_counter() - started:.2f}s; "
+          f"NTRU equation holds: {sk.keys.verify_ntru_equation()}")
+    low, high = sk.leaf_sigma_range()
+    print(f"  ffLDL leaf sigmas in [{low:.3f}, {high:.3f}] "
+          f"(must stay below the base sigma 2)\n")
+
+    message = b"repro: constant-time sampling inside Falcon"
+    rows = []
+    for backend in sorted(BASE_SAMPLER_BACKENDS):
+        sk.use_base_sampler(backend, source=ChaChaSource(7))
+        sk.sign(message)  # warm-up (compiles the bitsliced kernel once)
+        started = time.perf_counter()
+        repeats = 5
+        for _ in range(repeats):
+            signature = sk.sign(message)
+        elapsed = (time.perf_counter() - started) / repeats
+        ok = sk.public_key.verify(message, signature)
+        counts = sk.base_sampler.counter.counts
+        modeled = counts.modeled_cycles(prng="chacha20")
+        rows.append([backend, f"{elapsed * 1000:.1f} ms",
+                     "yes" if ok else "NO",
+                     f"{sk.sampler_z.acceptance_rate:.2f}",
+                     f"{modeled / max(1, sk.sampler_z.base_draws):,.0f}"])
+    print(format_table(
+        ["backend", "sign time", "verifies", "samplerZ accept",
+         "modeled cycles/base draw"],
+        rows,
+        title=f"Falcon-{n} signing across sampler backends "
+              "(wall clock is interpreter-bound; see benchmarks/ for "
+              "the modeled Table 1)"))
+
+    print(f"\nsignature size: {signature.size_bytes} bytes "
+          f"(salt {len(signature.salt)} + payload "
+          f"{len(signature.compressed)} + header)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 128)

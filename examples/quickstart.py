@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: compile and use a constant-time discrete Gaussian sampler.
+
+Walks the paper's whole story on one page:
+
+1. build the probability matrix (Fig. 1) for sigma = 2,
+2. compile the constant-time bitsliced sampler (Fig. 4 pipeline),
+3. draw samples and show the histogram against the ideal Gaussian,
+4. show why it is constant time (fixed instruction count per batch).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GaussianParams, compile_sampler, probability_matrix
+from repro.analysis import (
+    histogram_counts,
+    ideal_signed_gaussian_pmf,
+    render_histogram,
+)
+
+SIGMA = 2
+PRECISION = 32  # binary digits per probability ("n" in the paper)
+
+
+def main() -> None:
+    print("=" * 64)
+    print("1. The probability matrix (paper Fig. 1 uses sigma=2, n=6)")
+    print("=" * 64)
+    tiny = probability_matrix(GaussianParams.from_sigma(SIGMA, 6))
+    print(tiny.render()[: tiny.num_rows * 20])
+    print(f"column weights h_i = {tiny.column_weights}")
+    print(f"mass = {tiny.mass}/64 -> {tiny.failure_count} of 64 bit "
+          "strings never terminate (Theorem 1's all-ones family)\n")
+
+    print("=" * 64)
+    print(f"2. Compile the sampler: sigma={SIGMA}, n={PRECISION}")
+    print("=" * 64)
+    sampler = compile_sampler(sigma=SIGMA, precision=PRECISION)
+    circuit = sampler.circuit
+    gates = circuit.gate_count()
+    print(f"method: {circuit.method} (per-sublist exact minimization)")
+    print(f"sublists: {len(circuit.partition.sublists)}, "
+          f"global Delta = {circuit.partition.delta}")
+    print(f"circuit: {gates['total']} gates "
+          f"(and={gates['and']}, or={gates['or']}, not={gates['not']}), "
+          f"depth {circuit.depth()}")
+    print(f"modeled cost: {sampler.cycles_per_sample:.1f} cycles/sample "
+          f"at batch width {sampler.batch_width}\n")
+
+    print("=" * 64)
+    print("3. Sample and compare against the ideal discrete Gaussian")
+    print("=" * 64)
+    values = sampler.sample_many(64_000)
+    counts = histogram_counts(values)
+    ideal = ideal_signed_gaussian_pmf(float(SIGMA), 8)
+    print(render_histogram(counts, ideal=ideal, width=48,
+                           value_range=(-8, 8)))
+    print("('#' bars are observed frequency; '|' marks the ideal)\n")
+
+    print("=" * 64)
+    print("4. Why constant time?")
+    print("=" * 64)
+    print("Every batch executes the same straight-line kernel:")
+    print(f"  {sampler.word_ops_per_batch} bitwise word instructions, "
+          f"{sampler.random_bytes_per_batch} PRNG bytes,")
+    print("regardless of which samples come out. The first lines of the")
+    print("generated kernel:")
+    for line in sampler.kernel.source.splitlines()[:6]:
+        print("  " + line)
+    print("  ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare all sampler backends: distribution, cost model, leakage.
+
+Reproduces the paper's core comparison outside Falcon: the three CDT
+baselines, the column-scanning Knuth-Yao reference (Algorithm 1) and
+the bitsliced constant-time sampler all target the same distribution
+but differ wildly in timing behaviour.
+
+Run:  python examples/sampler_comparison.py
+"""
+
+from collections import Counter
+
+from repro.analysis import format_table, render_comparison
+from repro.baselines import (
+    ByteScanCdtSampler,
+    CdtBinarySearchSampler,
+    KnuthYaoIntegerSampler,
+    LinearScanCdtSampler,
+)
+from repro.core import GaussianParams, compile_sampler
+from repro.ct import audit_batch_sampler, audit_sampler
+from repro.rng import ChaChaSource
+
+SIGMA = 2
+PRECISION = 64
+DRAWS = 20_000
+
+
+def main() -> None:
+    params = GaussianParams.from_sigma(SIGMA, PRECISION)
+    backends = {
+        "cdt-byte-scan": ByteScanCdtSampler(params, ChaChaSource(1)),
+        "cdt-binary": CdtBinarySearchSampler(params, ChaChaSource(2)),
+        "cdt-linear": LinearScanCdtSampler(params, ChaChaSource(3)),
+        "knuth-yao": KnuthYaoIntegerSampler(params, ChaChaSource(4)),
+    }
+    bitsliced = compile_sampler(SIGMA, PRECISION, source=ChaChaSource(5))
+
+    print("Drawing", DRAWS, "samples per backend ...\n")
+    tallies = {}
+    rows = []
+    for name, sampler in backends.items():
+        values = sampler.sample_many(DRAWS)
+        tallies[name] = Counter(values)
+        cycles = sampler.counter.counts.modeled_cycles("chacha20") / DRAWS
+        report = audit_sampler(sampler, calls=3000)
+        rows.append([name, f"{cycles:.1f}",
+                     "yes" if sampler.constant_time else "no",
+                     f"{report.max_abs_t:.1f}",
+                     "LEAK" if report.leaking else "ok"])
+
+    values = bitsliced.sample_many(DRAWS)
+    tallies["bitsliced"] = Counter(values)
+    per_sample = (bitsliced.word_ops_per_batch
+                  + bitsliced.random_bytes_per_batch * 3.5) \
+        / bitsliced.batch_width
+    report = audit_batch_sampler(bitsliced, batches=200)
+    rows.append(["bitsliced (this paper)", f"{per_sample:.1f}", "yes",
+                 f"{report.max_abs_t:.1f}",
+                 "LEAK" if report.leaking else "ok"])
+
+    print(format_table(
+        ["backend", "modeled cycles/sample", "constant-time by design",
+         "dudect max |t|", "verdict"],
+        rows, title="Cost and leakage summary (op-count model, "
+                    "ChaCha20 randomness)"))
+
+    print("\nDistribution agreement (relative frequencies, sigma = 2):")
+    print(render_comparison(tallies, value_range=(-4, 4)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Statistics, histograms (Fig. 5) and report tables."""
+
+from .histogram import histogram_counts, render_comparison, render_histogram
+from .stats import (
+    chi_square_p_value,
+    chi_square_statistic,
+    empirical_pmf,
+    ideal_signed_gaussian_pmf,
+    kl_divergence,
+    max_log_distance,
+    renyi_divergence,
+    statistical_distance,
+)
+from .tables import format_table, ratio
+
+__all__ = [
+    "chi_square_p_value",
+    "chi_square_statistic",
+    "empirical_pmf",
+    "format_table",
+    "histogram_counts",
+    "ideal_signed_gaussian_pmf",
+    "kl_divergence",
+    "max_log_distance",
+    "ratio",
+    "render_comparison",
+    "render_histogram",
+    "renyi_divergence",
+    "statistical_distance",
+]

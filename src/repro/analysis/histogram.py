@@ -1,0 +1,78 @@
+"""ASCII histograms — the library's rendering of the paper's Fig. 5.
+
+Fig. 5 shows histogram plots of the constant-time sampler's output for
+sigma = 2 and sigma = 6.15543 over 64 x 10^7 samples.  A terminal
+library regenerates them as text: one row per value, bar length
+proportional to frequency, with the ideal discrete Gaussian drawn as a
+marker so agreement is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def histogram_counts(samples: Sequence[int]) -> dict[int, int]:
+    """Tally a sample list."""
+    counts: dict[int, int] = {}
+    for sample in samples:
+        counts[sample] = counts.get(sample, 0) + 1
+    return counts
+
+
+def render_histogram(counts: Mapping[int, int],
+                     ideal: Mapping[int, float] | None = None,
+                     width: int = 60,
+                     value_range: tuple[int, int] | None = None,
+                     ) -> str:
+    """Render counts as horizontal ASCII bars.
+
+    ``ideal`` (a pmf) adds a ``|`` marker at each value's expected bar
+    length; a well-behaved sampler's ``#`` bars end on the markers.
+    """
+    if not counts:
+        return "(no samples)"
+    total = sum(counts.values())
+    if value_range is None:
+        low, high = min(counts), max(counts)
+    else:
+        low, high = value_range
+    peak = max(counts.get(v, 0) / total for v in range(low, high + 1))
+    if ideal:
+        peak = max(peak, max(ideal.get(v, 0.0)
+                             for v in range(low, high + 1)))
+    if peak == 0:
+        return "(empty range)"
+
+    lines = []
+    for value in range(low, high + 1):
+        frequency = counts.get(value, 0) / total
+        bar_length = round(frequency / peak * width)
+        bar = "#" * bar_length
+        if ideal is not None:
+            marker = round(ideal.get(value, 0.0) / peak * width)
+            if marker >= len(bar):
+                bar = bar + " " * (marker - len(bar)) + "|"
+            else:
+                bar = bar[:marker] + "|" + bar[marker + 1:]
+        lines.append(f"{value:5d} {frequency:8.5f} {bar}")
+    return "\n".join(lines)
+
+
+def render_comparison(counts_by_name: Mapping[str, Mapping[int, int]],
+                      value_range: tuple[int, int],
+                      width: int = 40) -> str:
+    """Side-by-side frequency table for several samplers (tests/benches)."""
+    names = list(counts_by_name)
+    header = "value " + " ".join(f"{name:>14}" for name in names)
+    lines = [header]
+    totals = {name: sum(counts.values())
+              for name, counts in counts_by_name.items()}
+    low, high = value_range
+    for value in range(low, high + 1):
+        row = [f"{value:5d}"]
+        for name in names:
+            frequency = counts_by_name[name].get(value, 0) / totals[name]
+            row.append(f"{frequency:14.5f}")
+        lines.append(" ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Plain-text table rendering for the benchmark reports.
+
+Every benchmark regenerates a paper table/figure as text; this module
+keeps the formatting consistent (fixed-width columns, a rule under the
+header, right-aligned numbers) so EXPERIMENTS.md can embed the output
+verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None) -> str:
+    """Align ``rows`` under ``headers``; numbers right, text left."""
+    rendered_rows = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str], pads: Sequence[bool]) -> str:
+        parts = []
+        for cell, width, right in zip(cells, widths, pads):
+            parts.append(cell.rjust(width) if right else cell.ljust(width))
+        return "  ".join(parts).rstrip()
+
+    alignments = _column_alignments(rows, len(headers))
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers, [False] * len(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        out.append(line(row, alignments))
+    return "\n".join(out)
+
+
+def _render_cell(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def _column_alignments(rows: Sequence[Sequence], columns: int,
+                       ) -> list[bool]:
+    """Right-align any column that contains a number."""
+    right = [False] * columns
+    for row in rows:
+        for index, cell in enumerate(row):
+            if isinstance(cell, (int, float)):
+                right[index] = True
+    return right
+
+
+def ratio(new: float, old: float) -> str:
+    """Human-readable speedup/slowdown formatting."""
+    if old == 0:
+        return "n/a"
+    change = (old - new) / old * 100
+    direction = "faster" if change > 0 else "slower"
+    return f"{abs(change):.0f}% {direction}"

@@ -1,0 +1,32 @@
+"""Baseline samplers: CDT variants (Table 1) and convolution extension."""
+
+from .adapters import BitslicedIntegerSampler, KnuthYaoIntegerSampler
+from .api import IntegerSampler, LazyUniform
+from .bernoulli import SIGMA_BIN, BernoulliSampler
+from .byte_scan import ByteScanCdtSampler
+from .cdt import CdtBinarySearchSampler, CdtTable, make_cdt_table
+from .convolution import (
+    ConvolutionPlan,
+    ConvolutionSampler,
+    empirical_moments,
+    plan_convolution,
+)
+from .linear_scan import LinearScanCdtSampler
+
+__all__ = [
+    "BernoulliSampler",
+    "BitslicedIntegerSampler",
+    "ByteScanCdtSampler",
+    "CdtBinarySearchSampler",
+    "CdtTable",
+    "ConvolutionPlan",
+    "ConvolutionSampler",
+    "IntegerSampler",
+    "KnuthYaoIntegerSampler",
+    "LazyUniform",
+    "LinearScanCdtSampler",
+    "SIGMA_BIN",
+    "empirical_moments",
+    "make_cdt_table",
+    "plan_convolution",
+]

@@ -1,0 +1,171 @@
+"""Bernoulli-based discrete Gaussian sampler (BLISS, Ducas et al. [14]).
+
+The paper cites the bimodal-Gaussian/BLISS line as one of the efficient
+non-constant-time samplers that motivated constant-time work (the
+Flush+Gauss+Reload attack [19] targeted exactly this sampler).  It
+draws from the *binary* discrete Gaussian ``D_{sigma_bin}`` with
+``sigma_bin = sqrt(1 / (2 ln 2))`` — whose probabilities are the dyadic
+``2^(-x^2)`` — then stretches by an integer factor ``k`` and corrects
+with Bernoulli trials whose success probabilities ``exp(-2^i / 2
+sigma^2)`` are precomputed to ``n`` bits:
+
+1. ``x ~ D_bin``  (``P(x) proportional to 2^(-x^2)``, exact coin flips),
+2. ``y uniform in [0, k)``, candidate ``z = k x + y``,
+3. accept with probability ``exp(-y (y + 2 k x) / (2 sigma^2))``,
+   evaluated as a product of table Bernoullis over the set bits of the
+   exponent,
+4. uniform sign, rejecting ``-0`` half the time (BLISS's zero fix).
+
+Every step consumes a data-dependent number of random bits and
+branches — it is profoundly non-constant-time, which makes it a useful
+extra subject for the dudect experiment.
+
+The binary-Gaussian step uses the identity ``2^(-x^2) =
+2^(-x) * 2^(-x(x-1))``: draw ``x`` geometrically (probability
+``2^-(x+1)``), then accept with ``x(x-1)`` fair coins all zero.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from ..core.fixedpoint import exp_neg_fixed
+from ..core.gaussian import GaussianParams
+from ..rng.source import BitStream, RandomSource
+from .api import IntegerSampler
+
+#: sigma of the binary discrete Gaussian 2^(-x^2) = e^(-x^2/(2 s^2)).
+SIGMA_BIN = math.sqrt(1.0 / (2.0 * math.log(2.0)))
+
+
+@lru_cache(maxsize=None)
+def _bernoulli_table(sigma_key: str, precision: int,
+                     max_bits: int) -> tuple[int, ...]:
+    """Fixed-point constants ``exp(-2^i / (2 sigma^2))``."""
+    from fractions import Fraction
+
+    sigma = Fraction(sigma_key)
+    table = []
+    for i in range(max_bits):
+        exponent = Fraction(1 << i) / (2 * sigma * sigma)
+        table.append(exp_neg_fixed(exponent, precision))
+    return tuple(table)
+
+
+class BernoulliSampler(IntegerSampler):
+    """BLISS-style Bernoulli discrete Gaussian sampler.
+
+    ``sigma`` is realized as ``k * SIGMA_BIN`` with integer ``k``
+    (rounded; the exact achieved sigma is exposed as
+    :attr:`achieved_sigma`), matching the BLISS construction where the
+    target sigma is chosen as a multiple of the binary sigma.
+    """
+
+    name = "bernoulli"
+    constant_time = False
+
+    def __init__(self, params: GaussianParams,
+                 source: RandomSource | None = None) -> None:
+        super().__init__(source)
+        self.params = params
+        sigma = params.sigma
+        self.k = max(1, round(sigma / SIGMA_BIN))
+        self.achieved_sigma = self.k * SIGMA_BIN
+        self._bits = BitStream(self.source)
+        # Max exponent: y(y + 2kx) with y < k, x <= ~16: bound bits.
+        self._max_exp_bits = (self.k * (self.k + 2 * self.k * 40)
+                              ).bit_length() + 1
+        self._table = _bernoulli_table(
+            str(self.achieved_sigma), params.precision,
+            self._max_exp_bits)
+
+    # -- coin helpers ------------------------------------------------------
+
+    def _coin(self) -> int:
+        bit = self._bits.take_bit()
+        if self._bits.bits_consumed % 8 == 1:
+            # The stream just pulled a fresh byte from the source.
+            self.counter.rng(1)
+        return bit
+
+    def _uniform_below(self, bound: int) -> int:
+        if bound == 1:
+            return 0
+        bits = (bound - 1).bit_length()
+        while True:
+            value = 0
+            for _ in range(bits):
+                value = (value << 1) | self._coin()
+            self.counter.branch()
+            if value < bound:
+                return value
+
+    def _bernoulli_fixed(self, probability_fixed: int) -> bool:
+        """Bernoulli(p) by lazy bitwise comparison against p's digits.
+
+        Draws one random bit per examined digit of ``p`` (expected 2) —
+        the classic trick, and the classic leak.
+        """
+        precision = self.params.precision
+        for i in range(precision - 1, -1, -1):
+            random_bit = self._coin()
+            p_bit = (probability_fixed >> i) & 1
+            self.counter.compare()
+            self.counter.branch()
+            if random_bit != p_bit:
+                return random_bit < p_bit
+        return False
+
+    def _bernoulli_exp(self, exponent: int) -> bool:
+        """Bernoulli(exp(-exponent / 2 sigma^2)) via the bit table."""
+        i = 0
+        while exponent:
+            if exponent & 1:
+                self.counter.load()
+                if not self._bernoulli_fixed(self._table[i]):
+                    return False
+            exponent >>= 1
+            i += 1
+        return True
+
+    def _sample_binary_gaussian(self) -> int:
+        """``P(x) proportional to 2^(-x^2)`` over x >= 0, exactly."""
+        while True:
+            # Geometric part: P(x) = 2^-(x+1).
+            x = 0
+            while self._coin() == 1:
+                x += 1
+                self.counter.branch()
+                if x > 40:  # pragma: no cover - probability 2^-40
+                    break
+            # Correction: accept with probability 2^(-x(x-1)).
+            needed = x * (x - 1)
+            accepted = True
+            for _ in range(needed):
+                if self._coin() == 1:
+                    accepted = False
+                    break
+            self.counter.branch()
+            if accepted:
+                return x
+
+    # -- public API ---------------------------------------------------------
+
+    def sample_magnitude(self) -> int:
+        k = self.k
+        while True:
+            x = self._sample_binary_gaussian()
+            y = self._uniform_below(k)
+            z = k * x + y
+            exponent = y * (y + 2 * k * x)
+            self.counter.branch()
+            if not self._bernoulli_exp(exponent):
+                continue
+            if z == 0:
+                # Keep P(0) unhalved: reject half the zero draws so the
+                # folded distribution matches the matrix convention.
+                self.counter.branch()
+                if self._coin() == 1:
+                    continue
+            return z

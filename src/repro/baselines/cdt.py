@@ -1,0 +1,101 @@
+"""Cumulative distribution table (CDT) samplers — the Table 1 baselines.
+
+The CDT method (Peikert [26]) draws a uniform ``n``-bit value ``r`` and
+returns the smallest ``v`` with ``r < CDF[v]``.  The table is the running
+sum of the probability-matrix rows, so every CDT backend samples exactly
+the same truncated distribution as the Knuth–Yao samplers (restart when
+``r`` falls in the truncation gap beyond the last entry).
+
+This module provides the shared table plus the *binary search* variant:
+``ceil(log2 L)`` probes, each an early-exit bytewise comparison against a
+lazily-drawn ``r``.  Both the probe sequence and the bytes-consumed count
+depend on the secret sample — the timing leak exploited by attacks like
+Flush+Gauss+Reload [19] and the reason the paper builds a constant-time
+replacement.
+"""
+
+from __future__ import annotations
+
+from ..core.gaussian import GaussianParams, probability_matrix
+from ..rng.source import RandomSource
+from .api import IntegerSampler, LazyUniform
+
+
+class CdtTable:
+    """Shared cumulative table for all CDT backends.
+
+    ``entries[v]`` is ``sum_{u <= v} rows[u]`` as an ``n``-bit integer;
+    ``entry_bytes[v]`` is its big-endian byte string (for bytewise
+    compares); trailing rows with zero probability are dropped so scans
+    do not waste work on empty tail entries.
+    """
+
+    def __init__(self, params: GaussianParams) -> None:
+        self.params = params
+        matrix = probability_matrix(params)
+        self.matrix = matrix
+        cumulative = []
+        acc = 0
+        for row in matrix.rows[:matrix.max_value + 1]:
+            acc += row
+            cumulative.append(acc)
+        self.entries: tuple[int, ...] = tuple(cumulative)
+        self.num_bytes = (params.precision + 7) // 8
+        shift = 8 * self.num_bytes - params.precision
+        self.entry_bytes: tuple[bytes, ...] = tuple(
+            (value << shift).to_bytes(self.num_bytes, "big")
+            for value in cumulative)
+        self.precision = params.precision
+        self._shift = shift
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def table_bytes(self) -> int:
+        """Total table size in bytes (cache-residency argument)."""
+        return len(self.entries) * self.num_bytes
+
+    def failure_threshold(self) -> int:
+        """Values ``r >= entries[-1]`` fall in the truncation gap."""
+        return self.entries[-1]
+
+
+class CdtBinarySearchSampler(IntegerSampler):
+    """Non-constant-time CDT sampler with binary search ([26] / Falcon
+    reference "CDT" backend in Table 1)."""
+
+    name = "cdt-binary"
+    constant_time = False
+
+    def __init__(self, params: GaussianParams,
+                 source: RandomSource | None = None,
+                 table: CdtTable | None = None) -> None:
+        super().__init__(source)
+        self.table = table if table is not None else CdtTable(params)
+
+    def sample_magnitude(self) -> int:
+        table = self.table
+        while True:
+            r = LazyUniform(self.source, table.num_bytes, self.counter)
+            low = 0
+            high = len(table)  # exclusive; position len == failure
+            while low < high:
+                mid = (low + high) // 2
+                self.counter.branch()
+                if r.less_than_bytes(table.entry_bytes[mid]):
+                    high = mid
+                else:
+                    low = mid + 1
+            if low < len(table):
+                return low
+            # r beyond the last CDF entry: truncation gap, restart.
+            self.counter.branch()
+
+
+def make_cdt_table(sigma: float, precision: int,
+                   tail_cut: int = 13) -> CdtTable:
+    """Convenience constructor mirroring :func:`compile_sampler`."""
+    params = GaussianParams.from_sigma(sigma, precision,
+                                       tail_cut=tail_cut)
+    return CdtTable(params)

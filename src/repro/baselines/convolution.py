@@ -1,0 +1,121 @@
+"""Convolution of base samplers for large standard deviations.
+
+Sec. 3 of the paper assumes small-sigma base samplers that feed the
+convolution frameworks of Pöppelmann–Ducas [28] and Micciancio–Walter
+[25]: a target sigma far above the base is reached by combining
+
+    x = x_1 + k * x_2,    Var(x) = sigma'^2 * (1 + k^2)
+
+recursively until the required sigma' drops below the base sampler's.
+The combination is not exactly Gaussian, but for sigma' above the
+smoothing parameter the Rényi divergence from the ideal is negligible;
+:mod:`repro.analysis.stats` provides the divergence measurements and the
+tests bound the empirical moments.
+
+This module is the "base sampler in [25, 28]" role the paper claims for
+its construction, and powers the sigma = 215 experiments without a
+2796-row matrix.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..rng.source import RandomSource
+
+
+@dataclass(frozen=True)
+class ConvolutionPlan:
+    """The recursion ``sigma -> (sigma', k)`` flattened into stages.
+
+    ``stages[i]`` is the multiplier ``k_i`` applied at depth ``i``; the
+    innermost draws come from the base sampler at ``base_sigma``.
+    """
+
+    target_sigma: float
+    base_sigma: float
+    stages: tuple[int, ...]
+
+    @property
+    def base_draws_per_sample(self) -> int:
+        return 1 << len(self.stages)
+
+    @property
+    def achieved_sigma(self) -> float:
+        sigma = self.base_sigma
+        for k in reversed(self.stages):
+            sigma = sigma * math.sqrt(1 + k * k)
+        return sigma
+
+
+def plan_convolution(target_sigma: float,
+                     max_base_sigma: float) -> ConvolutionPlan:
+    """Choose per-stage multipliers ``k`` so the base sigma suffices.
+
+    Each stage picks the smallest ``k >= 1`` with
+    ``sigma / sqrt(1 + k^2) <= previous stage's requirement``, keeping
+    the achieved sigma within a factor ``sqrt(1 + 1/k^2)`` above the
+    target at every step (exact when ``sigma'`` lands on the base).
+    """
+    if target_sigma <= 0 or max_base_sigma <= 0:
+        raise ValueError("sigmas must be positive")
+    stages: list[int] = []
+    sigma = float(target_sigma)
+    while sigma > max_base_sigma:
+        ratio_sq = (sigma / max_base_sigma) ** 2
+        k = max(1, math.ceil(math.sqrt(max(ratio_sq - 1.0, 1.0))))
+        stages.append(k)
+        sigma = sigma / math.sqrt(1 + k * k)
+        if len(stages) > 64:  # pragma: no cover - defensive
+            raise RuntimeError("convolution plan failed to converge")
+    return ConvolutionPlan(target_sigma=float(target_sigma),
+                           base_sigma=sigma, stages=tuple(stages))
+
+
+class ConvolutionSampler:
+    """Large-sigma sampler built by convolving base draws.
+
+    Parameters
+    ----------
+    target_sigma:
+        The desired standard deviation.
+    base_factory:
+        Callable ``(sigma, source) -> sampler`` returning any object
+        with a signed ``sample()`` method (e.g. a compiled
+        :class:`~repro.core.sampler.BitslicedSampler`); called once with
+        the planned base sigma.
+    max_base_sigma:
+        Largest sigma the base sampler should be instantiated with.
+    """
+
+    def __init__(self, target_sigma: float,
+                 base_factory: Callable[[float, RandomSource | None],
+                                        object],
+                 max_base_sigma: float = 8.0,
+                 source: RandomSource | None = None) -> None:
+        self.plan = plan_convolution(target_sigma, max_base_sigma)
+        self.base = base_factory(self.plan.base_sigma, source)
+
+    def sample(self) -> int:
+        return self._sample_stage(0)
+
+    def _sample_stage(self, depth: int) -> int:
+        if depth == len(self.plan.stages):
+            return self.base.sample()
+        k = self.plan.stages[depth]
+        x1 = self._sample_stage(depth + 1)
+        x2 = self._sample_stage(depth + 1)
+        return x1 + k * x2
+
+    def sample_many(self, count: int) -> list[int]:
+        return [self.sample() for _ in range(count)]
+
+
+def empirical_moments(samples: Sequence[int]) -> tuple[float, float]:
+    """(mean, standard deviation) of a sample list."""
+    n = len(samples)
+    mean = sum(samples) / n
+    variance = sum((s - mean) ** 2 for s in samples) / n
+    return mean, math.sqrt(variance)

@@ -1,0 +1,53 @@
+"""Constant-time linear-scan CDT sampler (Bos et al. [7]).
+
+The pre-existing constant-time alternative the paper compares against:
+draw the full ``n``-bit uniform ``r`` up front, then scan the *entire*
+table accumulating ``r >= CDF[v]`` branchlessly.  Every attempt touches
+every entry with full-width word compares, so the operation trace is
+input-independent — but the work is proportional to the table length,
+which is what makes it the slowest backend in Table 1.
+"""
+
+from __future__ import annotations
+
+from ..core.gaussian import GaussianParams
+from ..rng.source import RandomSource
+from .api import IntegerSampler, LazyUniform
+from .cdt import CdtTable
+
+_WORD_BITS = 64
+
+
+class LinearScanCdtSampler(IntegerSampler):
+    """Constant-time CDT sampler with exhaustive linear scan."""
+
+    name = "cdt-linear"
+    constant_time = True
+
+    def __init__(self, params: GaussianParams,
+                 source: RandomSource | None = None,
+                 table: CdtTable | None = None) -> None:
+        super().__init__(source)
+        self.table = table if table is not None else CdtTable(params)
+        # Words per entry for the branchless multi-word comparison.
+        bits = 8 * self.table.num_bytes
+        self.words_per_entry = (bits + _WORD_BITS - 1) // _WORD_BITS
+
+    def sample_magnitude(self) -> int:
+        table = self.table
+        while True:
+            lazy = LazyUniform(self.source, table.num_bytes, self.counter)
+            r = lazy.materialize_all()  # full width, always
+            index = 0
+            for entry_bytes in table.entry_bytes:
+                entry = int.from_bytes(entry_bytes, "big")
+                # Branchless "r >= entry": on hardware this is a
+                # words_per_entry-long borrow chain; model its cost.
+                self.counter.load(self.words_per_entry)
+                self.counter.compare(self.words_per_entry)
+                self.counter.word_op(1)  # accumulate the predicate
+                index += 1 if r >= entry else 0
+            if index < len(table):
+                return index
+            # Truncation gap (public event, probability ~2^-n): redraw.
+            self.counter.branch()

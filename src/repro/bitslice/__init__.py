@@ -1,0 +1,12 @@
+"""Bitsliced evaluation: compiled kernels and lane packing."""
+
+from .engine import BitslicedKernel, KernelStats
+from .pack import lanes_where, pack_lane_bits, unpack_lanes
+
+__all__ = [
+    "BitslicedKernel",
+    "KernelStats",
+    "lanes_where",
+    "pack_lane_bits",
+    "unpack_lanes",
+]

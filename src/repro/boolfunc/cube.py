@@ -1,0 +1,216 @@
+"""Cube (implicant) algebra for two-level Boolean minimization.
+
+A *cube* over ``width`` variables is a product term: each variable is
+fixed to 0, fixed to 1, or free (don't care in the input sense).  We store
+cubes as two integers:
+
+* ``care``: bit ``i`` set iff variable ``i`` appears as a literal;
+* ``value``: the required value on care positions (0 on free positions).
+
+This packed form makes containment/intersection tests O(width / 64)
+machine-word operations — the same trick production minimizers use —
+which matters when espresso runs over thousands of 128-variable cubes.
+
+Variable index convention: variable ``i`` is random bit ``b_i`` in walk
+order (matching :mod:`repro.core.enumeration`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A product term over ``width`` Boolean variables."""
+
+    width: int
+    care: int
+    value: int
+
+    def __post_init__(self) -> None:
+        mask = (1 << self.width) - 1
+        if self.care & ~mask:
+            raise ValueError("care mask exceeds width")
+        if self.value & ~self.care:
+            raise ValueError("value bits outside care mask")
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def full(cls, width: int) -> "Cube":
+        """The universal cube (no literals, covers everything)."""
+        return cls(width=width, care=0, value=0)
+
+    @classmethod
+    def from_minterm(cls, width: int, minterm: int) -> "Cube":
+        mask = (1 << width) - 1
+        return cls(width=width, care=mask, value=minterm & mask)
+
+    @classmethod
+    def from_prefix(cls, width: int, bits: Iterable[int]) -> "Cube":
+        """Cube fixing variables ``0..len(bits)-1`` to ``bits``.
+
+        This is how a terminating string's significant bits become an
+        implicant: trailing unconsumed random bits are free.
+        """
+        care = 0
+        value = 0
+        for index, bit in enumerate(bits):
+            if bit not in (0, 1):
+                raise ValueError("bits must be 0 or 1")
+            care |= 1 << index
+            value |= bit << index
+        cube = cls(width=width, care=care, value=value)
+        return cube
+
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        """Parse ``"01-1"``-style cube text (index 0 leftmost)."""
+        care = 0
+        value = 0
+        for index, char in enumerate(text):
+            if char == "-":
+                continue
+            if char not in "01":
+                raise ValueError(f"invalid cube character {char!r}")
+            care |= 1 << index
+            value |= (char == "1") << index
+        return cls(width=len(text), care=care, value=value)
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def literal_count(self) -> int:
+        return self.care.bit_count()
+
+    @property
+    def free_count(self) -> int:
+        return self.width - self.literal_count
+
+    def minterm_count(self) -> int:
+        return 1 << self.free_count
+
+    def contains_minterm(self, minterm: int) -> bool:
+        return (minterm & self.care) == self.value
+
+    def minterms(self) -> Iterator[int]:
+        """Enumerate covered minterms (exponential in free variables)."""
+        free_positions = [i for i in range(self.width)
+                          if not (self.care >> i) & 1]
+        for spread in range(1 << len(free_positions)):
+            minterm = self.value
+            for j, position in enumerate(free_positions):
+                minterm |= ((spread >> j) & 1) << position
+            yield minterm
+
+    def literals(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(variable, polarity)`` pairs for each literal."""
+        remaining = self.care
+        while remaining:
+            low = remaining & -remaining
+            variable = low.bit_length() - 1
+            yield variable, (self.value >> variable) & 1
+            remaining ^= low
+
+    # -- algebra ---------------------------------------------------------
+
+    def covers(self, other: "Cube") -> bool:
+        """True iff every minterm of ``other`` is a minterm of ``self``."""
+        self._check_width(other)
+        return (other.care & self.care) == self.care and \
+            (other.value & self.care) == self.value
+
+    def intersects(self, other: "Cube") -> bool:
+        """True iff the cubes share at least one minterm."""
+        self._check_width(other)
+        both = self.care & other.care
+        return ((self.value ^ other.value) & both) == 0
+
+    def intersection(self, other: "Cube") -> "Cube | None":
+        if not self.intersects(other):
+            return None
+        return Cube(width=self.width, care=self.care | other.care,
+                    value=self.value | other.value)
+
+    def conflict_mask(self, other: "Cube") -> int:
+        """Variables on which the two cubes have opposite literals.
+
+        A non-zero conflict mask certifies disjointness; espresso's
+        EXPAND must keep at least one conflicting literal per OFF cube.
+        """
+        self._check_width(other)
+        return self.care & other.care & (self.value ^ other.value)
+
+    def supercube(self, other: "Cube") -> "Cube":
+        """Smallest cube containing both (literal-wise agreement)."""
+        self._check_width(other)
+        agree = self.care & other.care & ~(self.value ^ other.value)
+        return Cube(width=self.width, care=agree,
+                    value=self.value & agree)
+
+    def without_variable(self, variable: int) -> "Cube":
+        """Drop one literal (EXPAND's raising step)."""
+        bit = 1 << variable
+        if not self.care & bit:
+            return self
+        return Cube(width=self.width, care=self.care & ~bit,
+                    value=self.value & ~bit)
+
+    def cofactor(self, variable: int, polarity: int) -> "Cube | None":
+        """Shannon cofactor with respect to one literal.
+
+        Returns ``None`` when the cube vanishes under the assignment.
+        """
+        bit = 1 << variable
+        if self.care & bit:
+            if ((self.value >> variable) & 1) != polarity:
+                return None
+            return Cube(width=self.width, care=self.care & ~bit,
+                        value=self.value & ~bit)
+        return self
+
+    def merge_distance_one(self, other: "Cube") -> "Cube | None":
+        """Quine–McCluskey combining step.
+
+        Two cubes with identical care masks whose values differ in exactly
+        one position merge into a cube with that variable freed.
+        """
+        self._check_width(other)
+        if self.care != other.care:
+            return None
+        difference = self.value ^ other.value
+        if difference == 0 or difference & (difference - 1):
+            return None
+        return Cube(width=self.width, care=self.care & ~difference,
+                    value=self.value & ~difference)
+
+    # -- misc ------------------------------------------------------------
+
+    def to_string(self) -> str:
+        chars = []
+        for index in range(self.width):
+            if not (self.care >> index) & 1:
+                chars.append("-")
+            else:
+                chars.append("1" if (self.value >> index) & 1 else "0")
+        return "".join(chars)
+
+    def _check_width(self, other: "Cube") -> None:
+        if self.width != other.width:
+            raise ValueError("cube width mismatch")
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_string()
+
+
+def cover_contains_minterm(cubes: Iterable[Cube], minterm: int) -> bool:
+    """True iff any cube of the cover contains ``minterm``."""
+    return any(cube.contains_minterm(minterm) for cube in cubes)
+
+
+def cover_cost(cubes: Iterable[Cube]) -> tuple[int, int]:
+    """Espresso-style cost: ``(number of cubes, total literals)``."""
+    cubes = list(cubes)
+    return len(cubes), sum(cube.literal_count for cube in cubes)

@@ -1,0 +1,394 @@
+"""Espresso-style heuristic two-level minimization (EXPAND / IRREDUNDANT /
+REDUCE) over explicit cube covers.
+
+This plays the role of the *simple minimization* baseline of [21]
+(Karmakar et al., IEEE TC 2018), which ran the Espresso heuristic on the
+full ``n``-variable Boolean functions ``f^i_n`` mapping random bits to
+sample bits.  Those functions have thousands of ON cubes over up to 128
+variables, far beyond exact minimization, but their ON and OFF sets are
+both available as explicit cube lists (terminating strings with the output
+bit set / clear), which lets EXPAND use the classical blocking-matrix
+formulation:
+
+    an ON cube may drop a literal unless some OFF cube's conflict mask
+    would become empty — i.e. at least one conflicting literal must be
+    kept per OFF cube.
+
+The loop is the textbook one (Brayton et al., *Logic Minimization
+Algorithms for VLSI Synthesis*):
+
+    EXPAND -> IRREDUNDANT -> [ REDUCE -> EXPAND -> IRREDUNDANT ]*
+
+with cube-list tautology checking for IRREDUNDANT and the
+smallest-cube-containing-complement recursion for REDUCE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .cube import Cube, cover_cost
+
+#: REDUCE gives up (returns the cube unchanged) past this recursion size,
+#: keeping worst-case behaviour polynomial in practice.
+REDUCE_CUBE_LIMIT = 2000
+
+
+@dataclass
+class EspressoResult:
+    """Outcome of a heuristic minimization run."""
+
+    cubes: tuple[Cube, ...]
+    iterations: int
+    history: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def cost(self) -> tuple[int, int]:
+        return cover_cost(self.cubes)
+
+
+# ---------------------------------------------------------------------------
+# EXPAND
+# ---------------------------------------------------------------------------
+
+def expand_cube(cube: Cube, off_cubes: Sequence[Cube]) -> Cube:
+    """Maximally expand ``cube`` against the OFF set (greedy raising).
+
+    Literals blocking the fewest OFF cubes are raised first, a cheap
+    stand-in for espresso's weighted column selection.
+    """
+    masks: list[int] = []
+    by_bit: dict[int, list[int]] = {}
+    for index, off in enumerate(off_cubes):
+        mask = cube.conflict_mask(off)
+        if mask == 0:
+            raise ValueError("ON cube intersects the OFF set")
+        masks.append(mask)
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            by_bit.setdefault(low, []).append(index)
+            remaining ^= low
+
+    care = cube.care
+    candidates = []
+    remaining = care
+    while remaining:
+        low = remaining & -remaining
+        candidates.append(low)
+        remaining ^= low
+    candidates.sort(key=lambda bit: len(by_bit.get(bit, ())))
+
+    for bit in candidates:
+        hitting = by_bit.get(bit, ())
+        if any(masks[i] == bit for i in hitting):
+            continue  # dropping would free some OFF cube entirely
+        for i in hitting:
+            masks[i] &= ~bit
+        care &= ~bit
+    return Cube(width=cube.width, care=care, value=cube.value & care)
+
+
+def expand(cover: Sequence[Cube], off_cubes: Sequence[Cube]) -> list[Cube]:
+    """EXPAND pass: raise every cube, dropping newly-covered companions."""
+    # Biggest covers first: their expansions swallow the most companions.
+    ordered = sorted(cover, key=lambda c: c.literal_count)
+    expanded: list[Cube] = []
+    for cube in ordered:
+        if any(done.covers(cube) for done in expanded):
+            continue
+        expanded.append(expand_cube(cube, off_cubes))
+    return expanded
+
+
+# ---------------------------------------------------------------------------
+# Tautology and containment
+# ---------------------------------------------------------------------------
+
+def cover_is_tautology(cubes: Sequence[Cube], width: int) -> bool:
+    """True iff the union of ``cubes`` is the whole Boolean space.
+
+    Recursive Shannon expansion with unate shortcuts; cube lists are
+    pre-filtered by the cofactor operation.
+    """
+    if not cubes:
+        return False
+    union_care = 0
+    positive = 0
+    negative = 0
+    for cube in cubes:
+        if cube.care == 0:
+            return True
+        union_care |= cube.care
+        positive |= cube.value
+        negative |= cube.care & ~cube.value
+    # Unate reduction: a variable appearing with one polarity only cannot
+    # help cover the opposite half-space; the cover is a tautology iff the
+    # cofactor against that polarity's complement is.  Equivalently, we
+    # can simply drop all cubes containing the unate literal.
+    unate = union_care & (positive ^ negative)
+    if unate:
+        bit = unate & -unate
+        variable = bit.bit_length() - 1
+        polarity = 0 if (positive & bit) else 1
+        reduced = []
+        for cube in cubes:
+            cofactored = cube.cofactor(variable, polarity)
+            if cofactored is not None:
+                reduced.append(cofactored)
+        return cover_is_tautology(reduced, width)
+    # Binate split on the most frequently bound variable.
+    counts: dict[int, int] = {}
+    for cube in cubes:
+        remaining = cube.care
+        while remaining:
+            low = remaining & -remaining
+            counts[low] = counts.get(low, 0) + 1
+            remaining ^= low
+    bit = max(counts, key=counts.get)
+    variable = bit.bit_length() - 1
+    for polarity in (0, 1):
+        cofactored = []
+        for cube in cubes:
+            piece = cube.cofactor(variable, polarity)
+            if piece is not None:
+                cofactored.append(piece)
+        if not cover_is_tautology(cofactored, width):
+            return False
+    return True
+
+
+def cover_covers_cube(cover: Sequence[Cube], target: Cube) -> bool:
+    """True iff ``target``'s minterms are all inside the cover's union."""
+    cofactored: list[Cube] = []
+    for cube in cover:
+        piece: Cube | None = cube
+        for variable, polarity in target.literals():
+            piece = piece.cofactor(variable, polarity)
+            if piece is None:
+                break
+        if piece is not None:
+            cofactored.append(piece)
+    return cover_is_tautology(cofactored, target.width)
+
+
+def irredundant(cover: Sequence[Cube],
+                dc_cubes: Sequence[Cube] = ()) -> list[Cube]:
+    """Remove cubes covered by the rest of the cover plus don't-cares."""
+    kept = list(cover)
+    # Try dropping the biggest (fewest literals) last: small cubes are the
+    # likeliest to be redundant after expansion.
+    for cube in sorted(cover, key=lambda c: -c.literal_count):
+        if cube not in kept:
+            continue
+        rest = [c for c in kept if c is not cube]
+        if cover_covers_cube(list(rest) + list(dc_cubes), cube):
+            kept = rest
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# REDUCE
+# ---------------------------------------------------------------------------
+
+def smallest_cube_containing_complement(cubes: Sequence[Cube],
+                                        width: int) -> Cube | None:
+    """Smallest cube containing the *complement* of a cover (SCCC).
+
+    Returns ``None`` when the cover is a tautology (empty complement).
+    Classical recursion: split on a bound variable, attach the literal to
+    whichever half has a non-empty complement, supercube both halves.
+    """
+    if not cubes:
+        return Cube.full(width)
+    total = 0
+    for cube in cubes:
+        if cube.care == 0:
+            return None
+        total += 1
+    if total > REDUCE_CUBE_LIMIT:
+        return Cube.full(width)  # give up conservatively
+
+    counts: dict[int, int] = {}
+    for cube in cubes:
+        remaining = cube.care
+        while remaining:
+            low = remaining & -remaining
+            counts[low] = counts.get(low, 0) + 1
+            remaining ^= low
+    bit = max(counts, key=counts.get)
+    variable = bit.bit_length() - 1
+
+    halves: list[Cube | None] = []
+    for polarity in (0, 1):
+        cofactored = []
+        for cube in cubes:
+            piece = cube.cofactor(variable, polarity)
+            if piece is not None:
+                cofactored.append(piece)
+        halves.append(
+            smallest_cube_containing_complement(cofactored, width))
+
+    low_half, high_half = halves
+    if low_half is None and high_half is None:
+        return None
+    if low_half is None:
+        return _with_literal(high_half, variable, 1)
+    if high_half is None:
+        return _with_literal(low_half, variable, 0)
+    return _with_literal(low_half, variable, 0).supercube(
+        _with_literal(high_half, variable, 1))
+
+
+def _with_literal(cube: Cube, variable: int, polarity: int) -> Cube:
+    bit = 1 << variable
+    return Cube(width=cube.width, care=cube.care | bit,
+                value=(cube.value & ~bit) | (polarity << variable))
+
+
+def reduce_cube(cube: Cube, others: Sequence[Cube],
+                dc_cubes: Sequence[Cube] = ()) -> Cube:
+    """REDUCE step: shrink ``cube`` to the smallest cube still covering
+    the part of the function no companion covers."""
+    cofactored: list[Cube] = []
+    for other in list(others) + list(dc_cubes):
+        piece: Cube | None = other
+        for variable, polarity in cube.literals():
+            piece = piece.cofactor(variable, polarity)
+            if piece is None:
+                break
+        if piece is not None:
+            cofactored.append(piece)
+    sccc = smallest_cube_containing_complement(cofactored, cube.width)
+    if sccc is None:
+        return cube  # fully redundant; leave for IRREDUNDANT
+    reduced = cube.intersection(sccc)
+    return reduced if reduced is not None else cube
+
+
+def reduce_cover(cover: Sequence[Cube],
+                 dc_cubes: Sequence[Cube] = ()) -> list[Cube]:
+    """REDUCE pass over the whole cover (largest cubes first)."""
+    current = list(cover)
+    ordered = sorted(range(len(current)),
+                     key=lambda i: current[i].literal_count)
+    for index in ordered:
+        cube = current[index]
+        others = [c for j, c in enumerate(current) if j != index]
+        current[index] = reduce_cube(cube, others, dc_cubes)
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Complementation
+# ---------------------------------------------------------------------------
+
+def complement_cover(cubes: Sequence[Cube], width: int) -> list[Cube]:
+    """Cube cover of the complement of ``cubes`` (recursive Shannon).
+
+    Used to build explicit OFF sets when only the ON side is enumerated
+    (e.g. the per-sublist ``valid`` function, whose OFF set is "every
+    suffix that never terminates").  The result is a valid, possibly
+    non-minimal cover; feed it back through :func:`espresso` if needed.
+    """
+    if not cubes:
+        return [Cube.full(width)]
+    for cube in cubes:
+        if cube.care == 0:
+            return []
+    counts: dict[int, int] = {}
+    for cube in cubes:
+        remaining = cube.care
+        while remaining:
+            low = remaining & -remaining
+            counts[low] = counts.get(low, 0) + 1
+            remaining ^= low
+    bit = max(counts, key=counts.get)
+    variable = bit.bit_length() - 1
+
+    result: list[Cube] = []
+    for polarity in (0, 1):
+        cofactored = []
+        for cube in cubes:
+            piece = cube.cofactor(variable, polarity)
+            if piece is not None:
+                cofactored.append(piece)
+        for piece in complement_cover(cofactored, width):
+            result.append(_with_literal(piece, variable, polarity))
+    # Cheap merge: pairs identical except for the split literal lift it.
+    merged: list[Cube] = []
+    pending: dict[tuple[int, int], Cube] = {}
+    for cube in result:
+        if cube.care & bit:
+            key = (cube.care, cube.value & ~bit)
+            if key in pending:
+                del pending[key]
+                merged.append(Cube(width=width, care=cube.care & ~bit,
+                                   value=cube.value & ~bit))
+            else:
+                pending[key] = cube
+        else:
+            merged.append(cube)
+    merged.extend(pending.values())
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# The espresso loop
+# ---------------------------------------------------------------------------
+
+def espresso(on_cubes: Sequence[Cube], off_cubes: Sequence[Cube],
+             dc_cubes: Sequence[Cube] = (),
+             max_iterations: int = 4) -> EspressoResult:
+    """Heuristically minimize a cover given explicit ON/OFF/DC cube lists.
+
+    The result covers all of ``on_cubes``, intersects none of
+    ``off_cubes``, and may freely use ``dc_cubes`` territory.
+    """
+    if not on_cubes:
+        return EspressoResult(cubes=(), iterations=0)
+    history: list[tuple[int, int]] = []
+
+    cover = expand(on_cubes, off_cubes)
+    cover = irredundant(cover, dc_cubes)
+    best = list(cover)
+    best_cost = cover_cost(best)
+    history.append(best_cost)
+
+    iterations = 0
+    for _ in range(max_iterations):
+        iterations += 1
+        cover = reduce_cover(cover, dc_cubes)
+        cover = expand(cover, off_cubes)
+        cover = irredundant(cover, dc_cubes)
+        cost = cover_cost(cover)
+        history.append(cost)
+        if cost < best_cost:
+            best = list(cover)
+            best_cost = cost
+        else:
+            break
+    return EspressoResult(cubes=tuple(best), iterations=iterations,
+                          history=history)
+
+
+def verify_cover(result_cubes: Sequence[Cube], on_cubes: Sequence[Cube],
+                 off_cubes: Sequence[Cube],
+                 dc_cubes: Sequence[Cube] = ()) -> bool:
+    """Check the espresso output's two correctness invariants.
+
+    1. Every ON cube is covered by result ∪ DC.
+    2. No result cube intersects any OFF cube.
+    Raises ``AssertionError`` on violation; returns True otherwise.
+    """
+    extended = list(result_cubes) + list(dc_cubes)
+    for cube in on_cubes:
+        if not cover_covers_cube(extended, cube):
+            raise AssertionError(f"ON cube {cube} not covered")
+    for cube in result_cubes:
+        for off in off_cubes:
+            if cube.intersects(off):
+                raise AssertionError(
+                    f"result cube {cube} intersects OFF cube {off}")
+    return True

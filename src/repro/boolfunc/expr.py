@@ -1,0 +1,337 @@
+"""Hash-consed Boolean expression DAGs and code generation.
+
+The constant-time sampler ultimately *is* a Boolean circuit: Sec. 5.2
+combines the minimized per-sublist SOPs with branch-free multiplexer
+chains, and the bitsliced evaluation of that circuit over machine words
+gives the paper's cycle counts (one bitwise instruction per gate per
+64-sample batch).
+
+`ExprBuilder` interns structurally-identical nodes (hash consing), so
+shared subexpressions — the selector prefix chain, repeated literals,
+common SOP terms — are created once and counted once.  Light local
+simplifications (constant folding, idempotence, complementation,
+double negation) run at construction time; they are exactly the
+peephole rules a C compiler would apply to the generated code.
+
+Gate counts from :func:`gate_counts` are the library's machine-model
+"cycles": AND/OR/XOR/NOT each cost one word instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class Expr:
+    """One node of an interned Boolean DAG.  Create via ExprBuilder."""
+
+    __slots__ = ("id", "op", "args")
+
+    def __init__(self, node_id: int, op: str, args: tuple) -> None:
+        self.id = node_id
+        self.op = op
+        self.args = args
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.op in ("var", "const")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.op == "var":
+            return f"b{self.args[0]}"
+        if self.op == "const":
+            return str(self.args[0])
+        return f"({self.op} #{self.id})"
+
+
+class ExprBuilder:
+    """Factory with hash consing and local simplification."""
+
+    def __init__(self) -> None:
+        self._table: dict[tuple, Expr] = {}
+        self._nodes: list[Expr] = []
+        self.false = self._intern("const", (0,))
+        self.true = self._intern("const", (1,))
+
+    # -- interning -------------------------------------------------------
+
+    def _intern(self, op: str, args: tuple) -> Expr:
+        key = (op, args)
+        node = self._table.get(key)
+        if node is None:
+            node = Expr(len(self._nodes), op, args)
+            self._nodes.append(node)
+            self._table[key] = node
+        return node
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    # -- constructors with simplification --------------------------------
+
+    def var(self, index: int) -> Expr:
+        if index < 0:
+            raise ValueError("variable index must be non-negative")
+        return self._intern("var", (index,))
+
+    def const(self, value: int) -> Expr:
+        return self.true if value else self.false
+
+    def not_(self, a: Expr) -> Expr:
+        if a.op == "const":
+            return self.const(1 - a.args[0])
+        if a.op == "not":
+            return a.args[0]
+        return self._intern("not", (a,))
+
+    def and_(self, a: Expr, b: Expr) -> Expr:
+        if a is self.false or b is self.false:
+            return self.false
+        if a is self.true:
+            return b
+        if b is self.true:
+            return a
+        if a is b:
+            return a
+        if self._complementary(a, b):
+            return self.false
+        if b.id < a.id:
+            a, b = b, a
+        return self._intern("and", (a, b))
+
+    def or_(self, a: Expr, b: Expr) -> Expr:
+        if a is self.true or b is self.true:
+            return self.true
+        if a is self.false:
+            return b
+        if b is self.false:
+            return a
+        if a is b:
+            return a
+        if self._complementary(a, b):
+            return self.true
+        if b.id < a.id:
+            a, b = b, a
+        return self._intern("or", (a, b))
+
+    def xor(self, a: Expr, b: Expr) -> Expr:
+        if a is self.false:
+            return b
+        if b is self.false:
+            return a
+        if a is self.true:
+            return self.not_(b)
+        if b is self.true:
+            return self.not_(a)
+        if a is b:
+            return self.false
+        if self._complementary(a, b):
+            return self.true
+        if b.id < a.id:
+            a, b = b, a
+        return self._intern("xor", (a, b))
+
+    @staticmethod
+    def _complementary(a: Expr, b: Expr) -> bool:
+        return (a.op == "not" and a.args[0] is b) or \
+            (b.op == "not" and b.args[0] is a)
+
+    # -- n-ary helpers (balanced trees keep codegen lines short) ----------
+
+    def and_many(self, terms: Iterable[Expr]) -> Expr:
+        return self._reduce_balanced(list(terms), self.and_, self.true)
+
+    def or_many(self, terms: Iterable[Expr]) -> Expr:
+        return self._reduce_balanced(list(terms), self.or_, self.false)
+
+    def _reduce_balanced(self, items: list[Expr], op, identity: Expr,
+                         ) -> Expr:
+        if not items:
+            return identity
+        while len(items) > 1:
+            paired = []
+            for i in range(0, len(items) - 1, 2):
+                paired.append(op(items[i], items[i + 1]))
+            if len(items) % 2:
+                paired.append(items[-1])
+            items = paired
+        return items[0]
+
+    def literal(self, variable: int, polarity: int) -> Expr:
+        node = self.var(variable)
+        return node if polarity else self.not_(node)
+
+    def sop_from_cubes(self, cubes, variable_offset: int = 0) -> Expr:
+        """Sum-of-products node from a cube cover.
+
+        ``variable_offset`` maps local cube variables to global input
+        bits — per-sublist functions over suffix bits ``w_t`` become
+        functions of ``b_{k+1+t}``.
+        """
+        terms = []
+        for cube in cubes:
+            literals = [self.literal(variable + variable_offset, polarity)
+                        for variable, polarity in cube.literals()]
+            terms.append(self.and_many(literals))
+        return self.or_many(terms)
+
+
+# ---------------------------------------------------------------------------
+# DAG traversal, costing, evaluation, codegen
+# ---------------------------------------------------------------------------
+
+def topological_order(roots: Sequence[Expr]) -> list[Expr]:
+    """All nodes reachable from ``roots``, children before parents."""
+    order: list[Expr] = []
+    seen: set[int] = set()
+    stack: list[tuple[Expr, bool]] = [(root, False) for root in roots]
+    while stack:
+        node, expanded = stack.pop()
+        if node.id in seen:
+            continue
+        if expanded or node.is_leaf:
+            seen.add(node.id)
+            order.append(node)
+            continue
+        stack.append((node, True))
+        for child in node.args:
+            if child.id not in seen:
+                stack.append((child, False))
+    return order
+
+
+def gate_counts(roots: Sequence[Expr]) -> dict[str, int]:
+    """Count reachable gates by type (vars/consts excluded).
+
+    ``total`` is the library's modeled cycle count for evaluating the
+    circuit once over machine words (cf. paper Table 2).
+    """
+    counts = {"and": 0, "or": 0, "xor": 0, "not": 0}
+    for node in topological_order(roots):
+        if node.op in counts:
+            counts[node.op] += 1
+    counts["total"] = sum(counts.values())
+    return counts
+
+
+def circuit_depth(roots: Sequence[Expr]) -> int:
+    """Longest gate path from any input to any root."""
+    depth: dict[int, int] = {}
+    for node in topological_order(roots):
+        if node.is_leaf:
+            depth[node.id] = 0
+        else:
+            depth[node.id] = 1 + max(depth[child.id]
+                                     for child in node.args)
+    return max((depth[root.id] for root in roots), default=0)
+
+
+def evaluate(roots: Sequence[Expr], inputs: dict[int, int],
+             mask: int = 1) -> list[int]:
+    """Interpret the DAG over ``mask``-wide words (reference evaluator).
+
+    ``inputs`` maps variable index to a word; every variable reachable
+    from ``roots`` must be present.  The generated-kernel path in
+    :mod:`repro.bitslice.engine` must agree with this evaluator exactly
+    (tested property), but runs much faster.
+    """
+    values: dict[int, int] = {}
+    for node in topological_order(roots):
+        if node.op == "var":
+            values[node.id] = inputs[node.args[0]] & mask
+        elif node.op == "const":
+            values[node.id] = mask if node.args[0] else 0
+        elif node.op == "not":
+            values[node.id] = ~values[node.args[0].id] & mask
+        elif node.op == "and":
+            values[node.id] = values[node.args[0].id] & \
+                values[node.args[1].id]
+        elif node.op == "or":
+            values[node.id] = values[node.args[0].id] | \
+                values[node.args[1].id]
+        elif node.op == "xor":
+            values[node.id] = values[node.args[0].id] ^ \
+                values[node.args[1].id]
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown op {node.op}")
+    return [values[root.id] for root in roots]
+
+
+def input_variables(roots: Sequence[Expr]) -> list[int]:
+    """Sorted variable indices appearing in the DAG."""
+    return sorted({node.args[0] for node in topological_order(roots)
+                   if node.op == "var"})
+
+
+def to_python_source(roots: Sequence[Expr], function_name: str = "kernel",
+                     ) -> str:
+    """Generate a Python function evaluating the DAG over integer words.
+
+    Signature: ``kernel(inputs, mask)`` where ``inputs`` is a sequence
+    indexed by variable number and ``mask`` is the all-ones word of the
+    batch width.  One line per gate — the Python analogue of the
+    paper's generated bitsliced C code.
+    """
+    lines = [f"def {function_name}(inputs, mask):"]
+    names: dict[int, str] = {}
+    for node in topological_order(roots):
+        if node.op == "var":
+            names[node.id] = f"inputs[{node.args[0]}]"
+        elif node.op == "const":
+            names[node.id] = "mask" if node.args[0] else "0"
+        else:
+            name = f"t{node.id}"
+            if node.op == "not":
+                expression = f"~{names[node.args[0].id]} & mask"
+            elif node.op == "and":
+                expression = (f"{names[node.args[0].id]} & "
+                              f"{names[node.args[1].id]}")
+            elif node.op == "or":
+                expression = (f"{names[node.args[0].id]} | "
+                              f"{names[node.args[1].id]}")
+            else:  # xor
+                expression = (f"{names[node.args[0].id]} ^ "
+                              f"{names[node.args[1].id]}")
+            lines.append(f"    {name} = {expression}")
+            names[node.id] = name
+    result = ", ".join(names[root.id] for root in roots)
+    lines.append(f"    return ({result},)" if len(roots) == 1
+                 else f"    return ({result})")
+    return "\n".join(lines) + "\n"
+
+
+def to_c_source(roots: Sequence[Expr], function_name: str = "sampler",
+                word_type: str = "uint64_t") -> str:
+    """Generate C-like bitsliced source (export artifact, as the paper's
+    companion tool emits; not compiled by this library)."""
+    variables = input_variables(roots)
+    args = ", ".join(f"{word_type} b{v}" for v in variables)
+    lines = [f"static inline void {function_name}({args}, "
+             f"{word_type} *out) {{"]
+    names: dict[int, str] = {}
+    for node in topological_order(roots):
+        if node.op == "var":
+            names[node.id] = f"b{node.args[0]}"
+        elif node.op == "const":
+            names[node.id] = f"({word_type})0" if node.args[0] == 0 \
+                else f"~({word_type})0"
+        else:
+            name = f"t{node.id}"
+            if node.op == "not":
+                expression = f"~{names[node.args[0].id]}"
+            elif node.op == "and":
+                expression = (f"{names[node.args[0].id]} & "
+                              f"{names[node.args[1].id]}")
+            elif node.op == "or":
+                expression = (f"{names[node.args[0].id]} | "
+                              f"{names[node.args[1].id]}")
+            else:
+                expression = (f"{names[node.args[0].id]} ^ "
+                              f"{names[node.args[1].id]}")
+            lines.append(f"    {word_type} {name} = {expression};")
+            names[node.id] = name
+    for index, root in enumerate(roots):
+        lines.append(f"    out[{index}] = {names[root.id]};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,148 @@
+"""Constant-time recombination of per-sublist functions (Sec. 5.2, Eqn 2).
+
+Sec. 5.2 recombines the exactly-minimized sublist functions
+``f^{i,k}_Delta`` into the full sampler function ``f^i_n`` with
+branch-free if-else chains:
+
+    f = c_0 ? f^0 : (c_1 ? f^1 : ( ... : f^{n'} ))
+    with  nu = alpha ? beta0 : beta1  computed as
+          nu = (alpha & beta0) | (~alpha & beta1)
+
+where the selector ``c_k = b_0 & ... & b_{k-1} & ~b_k`` fires exactly for
+bit strings beginning ``1^k 0`` (Claim 1).  Because the selectors are
+*one-hot* (at most one fires; none fires only for the never-terminating
+all-ones prefix), two cheaper equivalent forms exist, which the ablation
+benchmark compares:
+
+* ``onehot``  — ``f = OR_k (c_k & f^k)``: flattens the chain; shares the
+  two-gate selector ladder across all output bits.  (default)
+* ``nested``  — the paper's Eqn 2, with full selectors.
+* ``nested-implicit`` — Eqn 2 with the observation that at depth ``k``
+  the preceding branches already imply ``b_0 = ... = b_{k-1} = 1``, so
+  testing ``~b_k`` alone suffices.
+
+All three produce identical Boolean functions (tested exhaustively); they
+differ only in gate count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .expr import Expr, ExprBuilder
+
+#: Recognized combiner strategies.
+COMBINER_MODES = ("onehot", "nested", "nested-implicit")
+
+
+@dataclass(frozen=True)
+class SublistCircuit:
+    """Minimized outputs of one sublist, on *global* variable indices."""
+
+    k: int
+    output_bits: tuple[Expr, ...]
+    valid: Expr
+
+
+def build_selectors(builder: ExprBuilder, ks: list[int]) -> dict[int, Expr]:
+    """Selectors ``c_k`` for each requested ``k``, sharing the prefix ANDs.
+
+    The running conjunction ``a_k = b_0 & ... & b_{k-1}`` is built
+    incrementally (one AND per level) so the whole ladder costs
+    ``O(max k)`` gates rather than ``O((max k)^2)``.
+    """
+    wanted = set(ks)
+    selectors: dict[int, Expr] = {}
+    prefix = builder.true
+    for k in range(max(wanted) + 1 if wanted else 0):
+        if k in wanted:
+            selectors[k] = builder.and_(
+                prefix, builder.not_(builder.var(k)))
+        prefix = builder.and_(prefix, builder.var(k))
+    return selectors
+
+
+def combine_onehot(builder: ExprBuilder,
+                   circuits: list[SublistCircuit],
+                   num_output_bits: int) -> tuple[list[Expr], Expr]:
+    """Flattened one-hot combination ``OR_k (c_k & f^k)``.
+
+    Bit strings matching no sublist (all-ones prefix, or a ``k`` with no
+    terminating suffix) yield valid = 0 automatically.
+    """
+    selectors = build_selectors(builder, [c.k for c in circuits])
+    outputs: list[Expr] = []
+    for bit in range(num_output_bits):
+        terms = [builder.and_(selectors[c.k], c.output_bits[bit])
+                 for c in circuits]
+        outputs.append(builder.or_many(terms))
+    valid = builder.or_many(
+        [builder.and_(selectors[c.k], c.valid) for c in circuits])
+    return outputs, valid
+
+
+def combine_nested(builder: ExprBuilder,
+                   circuits: list[SublistCircuit],
+                   num_output_bits: int,
+                   implicit_selectors: bool = False,
+                   ) -> tuple[list[Expr], Expr]:
+    """The paper's Eqn 2: right-folded constant-time if-else chain.
+
+    With ``implicit_selectors`` the depth-``k`` condition is just
+    ``~b_k`` (valid inside the chain because earlier branches imply the
+    leading ones); otherwise the full ``c_k`` is used, as written in the
+    paper.  The final else branch is the failure outcome (all outputs 0,
+    valid 0).
+    """
+    by_k = {c.k: c for c in circuits}
+    max_k = max(by_k) if by_k else -1
+    selectors = ({} if implicit_selectors
+                 else build_selectors(builder, list(by_k)))
+
+    accumulators = [builder.false] * num_output_bits
+    valid_accumulator = builder.false
+    for k in range(max_k, -1, -1):
+        if implicit_selectors:
+            condition = builder.not_(builder.var(k))
+        else:
+            circuit = by_k.get(k)
+            condition = selectors[k] if circuit is not None else None
+        circuit = by_k.get(k)
+        if circuit is None:
+            if implicit_selectors:
+                # A k with no terminating suffix: selecting it fails.
+                not_condition = builder.not_(condition)
+                accumulators = [builder.and_(not_condition, acc)
+                                for acc in accumulators]
+                valid_accumulator = builder.and_(not_condition,
+                                                 valid_accumulator)
+            # With explicit selectors c_k the accumulator simply passes
+            # through: (c_k & 0) | (~c_k & acc) == ~c_k & acc, and since
+            # c_k never fires alongside any later selector, acc already
+            # encodes the right value; skipping the level is exact.
+            continue
+        not_condition = builder.not_(condition)
+        accumulators = [
+            builder.or_(builder.and_(condition, circuit.output_bits[bit]),
+                        builder.and_(not_condition, accumulators[bit]))
+            for bit in range(num_output_bits)]
+        valid_accumulator = builder.or_(
+            builder.and_(condition, circuit.valid),
+            builder.and_(not_condition, valid_accumulator))
+    return accumulators, valid_accumulator
+
+
+def combine(builder: ExprBuilder, circuits: list[SublistCircuit],
+            num_output_bits: int, mode: str = "onehot",
+            ) -> tuple[list[Expr], Expr]:
+    """Dispatch over the three combiner strategies."""
+    if mode == "onehot":
+        return combine_onehot(builder, circuits, num_output_bits)
+    if mode == "nested":
+        return combine_nested(builder, circuits, num_output_bits,
+                              implicit_selectors=False)
+    if mode == "nested-implicit":
+        return combine_nested(builder, circuits, num_output_bits,
+                              implicit_selectors=True)
+    raise ValueError(f"unknown combiner mode {mode!r}; "
+                     f"expected one of {COMBINER_MODES}")

@@ -1,0 +1,131 @@
+"""Netlist export: Verilog and BLIF emission of sampler circuits.
+
+The Knuth–Yao/Boolean-function line of work ([17], [32], [21], this
+paper) straddles software and hardware: the same minimized functions
+that become bitsliced CPU code are also combinational netlists for an
+FPGA/ASIC sampler.  This module emits the compiled expression DAG as
+
+* a synthesizable **Verilog** module (`assign` netlist, one wire per
+  gate), and
+* a **BLIF** model (Berkeley Logic Interchange Format) consumable by
+  ABC/SIS-style logic-synthesis tools — the natural next stop after
+  the two-level minimization this library performs.
+
+Input variable ``i`` becomes port ``b<i>`` (the i-th random bit); root
+``t`` becomes ``out<t>``.  The emitted netlists are semantically
+equivalent to :func:`repro.boolfunc.expr.evaluate` (the test suite
+re-simulates both formats).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .expr import Expr, input_variables, topological_order
+
+
+def to_verilog(roots: Sequence[Expr], module_name: str = "sampler",
+               ) -> str:
+    """Emit the DAG as a flat Verilog assign-netlist."""
+    variables = input_variables(roots)
+    inputs = ", ".join(f"b{v}" for v in variables)
+    outputs = ", ".join(f"out{t}" for t in range(len(roots)))
+    header = f"module {module_name}({inputs}"
+    if variables and roots:
+        header += ", "
+    header += f"{outputs});"
+    lines = [header]
+    for v in variables:
+        lines.append(f"  input b{v};")
+    for t in range(len(roots)):
+        lines.append(f"  output out{t};")
+
+    names: dict[int, str] = {}
+    wires: list[str] = []
+    assigns: list[str] = []
+    for node in topological_order(roots):
+        if node.op == "var":
+            names[node.id] = f"b{node.args[0]}"
+        elif node.op == "const":
+            names[node.id] = "1'b1" if node.args[0] else "1'b0"
+        else:
+            name = f"w{node.id}"
+            wires.append(name)
+            if node.op == "not":
+                expression = f"~{names[node.args[0].id]}"
+            elif node.op == "and":
+                expression = (f"{names[node.args[0].id]} & "
+                              f"{names[node.args[1].id]}")
+            elif node.op == "or":
+                expression = (f"{names[node.args[0].id]} | "
+                              f"{names[node.args[1].id]}")
+            else:  # xor
+                expression = (f"{names[node.args[0].id]} ^ "
+                              f"{names[node.args[1].id]}")
+            assigns.append(f"  assign {name} = {expression};")
+            names[node.id] = name
+    for wire in wires:
+        lines.append(f"  wire {wire};")
+    lines.extend(assigns)
+    for t, root in enumerate(roots):
+        lines.append(f"  assign out{t} = {names[root.id]};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def to_blif(roots: Sequence[Expr], model_name: str = "sampler") -> str:
+    """Emit the DAG as a BLIF model (one ``.names`` table per gate)."""
+    variables = input_variables(roots)
+    lines = [f".model {model_name}"]
+    lines.append(".inputs " + " ".join(f"b{v}" for v in variables))
+    lines.append(".outputs " + " ".join(f"out{t}"
+                                        for t in range(len(roots))))
+
+    names: dict[int, str] = {}
+    for node in topological_order(roots):
+        if node.op == "var":
+            names[node.id] = f"b{node.args[0]}"
+        elif node.op == "const":
+            name = f"c{node.id}"
+            lines.append(f".names {name}")
+            if node.args[0]:
+                lines.append("1")
+            names[node.id] = name
+        else:
+            name = f"n{node.id}"
+            if node.op == "not":
+                lines.append(f".names {names[node.args[0].id]} {name}")
+                lines.append("0 1")
+            elif node.op == "and":
+                lines.append(f".names {names[node.args[0].id]} "
+                             f"{names[node.args[1].id]} {name}")
+                lines.append("11 1")
+            elif node.op == "or":
+                lines.append(f".names {names[node.args[0].id]} "
+                             f"{names[node.args[1].id]} {name}")
+                lines.append("1- 1")
+                lines.append("-1 1")
+            else:  # xor
+                lines.append(f".names {names[node.args[0].id]} "
+                             f"{names[node.args[1].id]} {name}")
+                lines.append("10 1")
+                lines.append("01 1")
+            names[node.id] = name
+    # Output aliases (identity tables).
+    for t, root in enumerate(roots):
+        lines.append(f".names {names[root.id]} out{t}")
+        lines.append("1 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def blif_statistics(blif_text: str) -> dict[str, int]:
+    """Crude netlist stats from BLIF text (tables, literals)."""
+    tables = 0
+    cubes = 0
+    for line in blif_text.splitlines():
+        if line.startswith(".names"):
+            tables += 1
+        elif line and line[0] in "01-" and " " in line:
+            cubes += 1
+    return {"tables": tables, "cubes": cubes}

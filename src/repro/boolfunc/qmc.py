@@ -1,0 +1,210 @@
+"""Exact two-level minimization: Quine–McCluskey + Petrick's method.
+
+The paper minimizes each per-sublist Boolean function *exactly* ("we used
+the open source tool Espresso with -Dso -S1 options for exact minimization
+of each expression", Sec. 5.1).  Espresso's exact mode is a prime-
+implicant/covering algorithm; we implement the classical equivalent from
+scratch:
+
+1. Quine–McCluskey prime-implicant generation over ON ∪ DC minterms.
+2. Essential-prime extraction on the ON-set covering chart.
+3. Petrick's method (product-of-sums expansion with absorption pruning)
+   for the cyclic core, minimizing cube count then literal count.
+
+For the cyclic cores met in this work (per-sublist functions over
+``Delta <= ~15`` variables) the exact path is entirely affordable; a
+greedy set-cover fallback guards against pathological charts and reports
+itself through :attr:`MinimizationResult.exact`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .cube import Cube, cover_cost
+
+#: Petrick expansion is abandoned (greedy fallback) beyond this many
+#: product terms; far above anything the sampler functions produce.
+PETRICK_TERM_LIMIT = 200_000
+
+
+@dataclass(frozen=True)
+class MinimizationResult:
+    """Outcome of a single-output minimization."""
+
+    cubes: tuple[Cube, ...]
+    primes: tuple[Cube, ...]
+    exact: bool
+
+    @property
+    def cost(self) -> tuple[int, int]:
+        return cover_cost(self.cubes)
+
+
+def generate_primes(width: int, on_minterms: Iterable[int],
+                    dc_minterms: Iterable[int] = ()) -> list[Cube]:
+    """All prime implicants of the (ON ∪ DC) set via QMC combining."""
+    current: set[tuple[int, int]] = set()
+    for minterm in on_minterms:
+        current.add(((1 << width) - 1, minterm))
+    for minterm in dc_minterms:
+        current.add(((1 << width) - 1, minterm))
+    if not current:
+        return []
+
+    primes: list[Cube] = []
+    while current:
+        # Group by (care mask, popcount(value)) so only neighbours pair.
+        groups: dict[tuple[int, int], list[int]] = {}
+        for care, value in current:
+            groups.setdefault((care, value.bit_count()), []).append(value)
+        merged: set[tuple[int, int]] = set()
+        used: set[tuple[int, int]] = set()
+        for (care, ones), values in groups.items():
+            partners = groups.get((care, ones + 1), ())
+            for value in values:
+                for partner in partners:
+                    difference = value ^ partner
+                    if difference & (difference - 1):
+                        continue
+                    merged.add((care & ~difference, value & ~difference))
+                    used.add((care, value))
+                    used.add((care, partner))
+        for care, value in current:
+            if (care, value) not in used:
+                primes.append(Cube(width=width, care=care, value=value))
+        current = merged
+    # Deduplicate (merging can reach the same cube along two paths).
+    unique = {(cube.care, cube.value): cube for cube in primes}
+    return list(unique.values())
+
+
+def _petrick(chart: dict[int, list[int]],
+             prime_costs: Sequence[int]) -> list[int] | None:
+    """Petrick's method: minimal prime subset covering every chart column.
+
+    ``chart`` maps each uncovered ON minterm to the indices of primes
+    covering it.  Returns prime indices, or ``None`` when the expansion
+    exceeds :data:`PETRICK_TERM_LIMIT` (caller falls back to greedy).
+
+    Product terms are frozensets of prime indices; after each
+    multiplication, absorbed supersets are pruned — the standard trick
+    that keeps Petrick tractable.
+    """
+    products: set[frozenset[int]] = {frozenset()}
+    for minterm, covering in chart.items():
+        expanded: set[frozenset[int]] = set()
+        for product in products:
+            if any(index in product for index in covering):
+                expanded.add(product)
+                continue
+            for index in covering:
+                expanded.add(product | {index})
+        # Absorption: drop supersets of other terms.
+        pruned: list[frozenset[int]] = []
+        for term in sorted(expanded, key=len):
+            if not any(kept <= term for kept in pruned):
+                pruned.append(term)
+        products = set(pruned)
+        if len(products) > PETRICK_TERM_LIMIT:
+            return None
+    if not products:
+        return []
+
+    def solution_cost(term: frozenset[int]) -> tuple[int, int]:
+        return len(term), sum(prime_costs[i] for i in term)
+
+    best = min(products, key=solution_cost)
+    return sorted(best)
+
+
+def _greedy_cover(chart: dict[int, list[int]],
+                  primes: Sequence[Cube]) -> list[int]:
+    """Largest-coverage-first set cover (fallback, not exact)."""
+    uncovered = set(chart)
+    chosen: list[int] = []
+    coverage: dict[int, set[int]] = {}
+    for minterm, covering in chart.items():
+        for index in covering:
+            coverage.setdefault(index, set()).add(minterm)
+    while uncovered:
+        index = max(coverage,
+                    key=lambda i: (len(coverage[i] & uncovered),
+                                   -primes[i].literal_count))
+        gained = coverage[index] & uncovered
+        if not gained:
+            raise AssertionError("chart column with no covering prime")
+        chosen.append(index)
+        uncovered -= gained
+    return chosen
+
+
+def minimize_exact(width: int, on_minterms: Iterable[int],
+                   dc_minterms: Iterable[int] = ()) -> MinimizationResult:
+    """Exact single-output SOP minimization with don't-cares.
+
+    Semantics match Espresso ``-Dso -S1``: the result covers every ON
+    minterm, avoids every OFF minterm (anything not ON or DC), and has
+    the minimal cube count (ties broken by literal count).
+    """
+    on = sorted(set(on_minterms))
+    dc = sorted(set(dc_minterms))
+    overlap = set(on) & set(dc)
+    if overlap:
+        raise ValueError(f"minterms both ON and DC: {sorted(overlap)}")
+    if not on:
+        return MinimizationResult(cubes=(), primes=(), exact=True)
+
+    primes = generate_primes(width, on, dc)
+    primes.sort(key=lambda c: (c.literal_count, c.care, c.value))
+
+    # Covering chart over ON minterms only (DC need not be covered).
+    chart: dict[int, list[int]] = {}
+    for minterm in on:
+        covering = [i for i, prime in enumerate(primes)
+                    if prime.contains_minterm(minterm)]
+        chart[minterm] = covering
+
+    # Essential primes: sole cover of some ON minterm.
+    essential: set[int] = set()
+    for minterm, covering in chart.items():
+        if len(covering) == 1:
+            essential.add(covering[0])
+    covered = {m for m, covering in chart.items()
+               if any(i in essential for i in covering)}
+    residual = {m: covering for m, covering in chart.items()
+                if m not in covered}
+
+    exact = True
+    chosen = set(essential)
+    if residual:
+        costs = [prime.literal_count for prime in primes]
+        solution = _petrick(residual, costs)
+        if solution is None:
+            solution = _greedy_cover(residual, primes)
+            exact = False
+        chosen.update(solution)
+
+    cubes = tuple(primes[i] for i in sorted(chosen))
+    return MinimizationResult(cubes=cubes, primes=tuple(primes),
+                              exact=exact)
+
+
+def minimize_cubes_exact(width: int, on_cubes: Sequence[Cube],
+                         dc_cubes: Sequence[Cube] = (),
+                         ) -> MinimizationResult:
+    """Exact minimization of a cover given as cubes (expands to minterms).
+
+    Convenience wrapper used for the per-sublist functions, whose ON sets
+    arrive as prefix cubes.  Exponential in free variables — intended for
+    the small ``Delta``-variable functions only.
+    """
+    on: set[int] = set()
+    for cube in on_cubes:
+        on.update(cube.minterms())
+    dc: set[int] = set()
+    for cube in dc_cubes:
+        dc.update(cube.minterms())
+    dc -= on
+    return minimize_exact(width, on, dc)

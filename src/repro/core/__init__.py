@@ -1,0 +1,75 @@
+"""Core Knuth-Yao machinery: probabilities, DDG trees, enumeration."""
+
+from .compiler import (
+    COMPILATION_METHODS,
+    SamplerCircuit,
+    SublistReport,
+    compile_sampler_circuit,
+)
+from .ddg import DDGTree, InternalNode, LeafNode, build_ddg_tree
+from .enumeration import (
+    TerminatingString,
+    check_theorem1,
+    enumerate_by_walk,
+    enumerate_failure_prefixes,
+    enumerate_terminating_strings,
+    max_free_suffix_length,
+)
+from .fixedpoint import exp_neg_fixed, floor_scaled_sqrt
+from .gaussian import (
+    DEFAULT_TAIL_CUT,
+    GaussianParams,
+    ProbabilityMatrix,
+    probability_matrix,
+    sigma_squared_from_float,
+    true_pmf,
+)
+from .knuth_yao import KnuthYaoSampler, WalkResult, knuth_yao_walk
+from .sampler import (
+    DEFAULT_BATCH_WIDTH,
+    BitslicedSampler,
+    compile_sampler,
+)
+from .sublists import (
+    Sublist,
+    SublistEntry,
+    SublistPartition,
+    partition_by_trailing_ones,
+    sorted_list_l,
+)
+
+__all__ = [
+    "BitslicedSampler",
+    "COMPILATION_METHODS",
+    "DEFAULT_BATCH_WIDTH",
+    "DDGTree",
+    "DEFAULT_TAIL_CUT",
+    "GaussianParams",
+    "InternalNode",
+    "KnuthYaoSampler",
+    "LeafNode",
+    "ProbabilityMatrix",
+    "Sublist",
+    "SublistEntry",
+    "SublistPartition",
+    "TerminatingString",
+    "WalkResult",
+    "build_ddg_tree",
+    "compile_sampler",
+    "compile_sampler_circuit",
+    "check_theorem1",
+    "enumerate_by_walk",
+    "enumerate_failure_prefixes",
+    "enumerate_terminating_strings",
+    "exp_neg_fixed",
+    "floor_scaled_sqrt",
+    "knuth_yao_walk",
+    "max_free_suffix_length",
+    "partition_by_trailing_ones",
+    "probability_matrix",
+    "sigma_squared_from_float",
+    "SamplerCircuit",
+    "SublistReport",
+    "sorted_list_l",
+    "true_pmf",
+]

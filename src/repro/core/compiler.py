@@ -1,0 +1,292 @@
+"""The sampler compiler — the full Fig. 4 pipeline.
+
+``sigma, n  ->  list L  ->  sublists  ->  minimized f^{i,k}_Delta  ->
+constant-time combination  ->  executable bitsliced circuit``
+
+Two compilation methods reproduce the paper's comparison (Table 2):
+
+* ``method="efficient"`` — this paper's contribution (Sec. 5):
+  partition by trailing ones, minimize each sublist function *exactly*
+  (Quine–McCluskey + Petrick, standing in for Espresso ``-Dso -S1``),
+  recombine with a constant-time selector chain (Eqn 2 / one-hot).
+* ``method="simple"`` — the baseline of [21]: heuristically minimize the
+  full ``n``-variable functions ``f^i_n`` in one piece with the espresso
+  loop, no sublist structure.
+
+Either way the result is a :class:`SamplerCircuit`: ``m`` magnitude-bit
+outputs plus a ``valid`` output (strings that cannot terminate within
+precision ``n`` — probability ``failure_count / 2^n`` — are flagged
+invalid and the batch sampler discards those lanes, mirroring the
+restart in Algorithm 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..boolfunc.cube import Cube
+from ..boolfunc.espresso import complement_cover, espresso
+from ..boolfunc.expr import Expr, ExprBuilder, circuit_depth, gate_counts
+from ..boolfunc.mux import COMBINER_MODES, SublistCircuit, combine
+from ..boolfunc.qmc import minimize_exact
+from .gaussian import GaussianParams, ProbabilityMatrix, probability_matrix
+from .sublists import Sublist, SublistPartition, partition_by_trailing_ones
+
+#: Above this sublist width, exact QMC gives way to the espresso
+#: heuristic (minterm tables grow as 2^width).
+DEFAULT_QMC_WIDTH_LIMIT = 14
+
+COMPILATION_METHODS = ("efficient", "simple")
+
+
+@dataclass(frozen=True)
+class SublistReport:
+    """Minimization record for one sublist (diagnostics/benchmarks)."""
+
+    k: int
+    width: int
+    num_entries: int
+    cube_count: int
+    literal_count: int
+    exact: bool
+
+
+@dataclass
+class SamplerCircuit:
+    """A compiled constant-time sampler as a Boolean circuit.
+
+    ``output_bits[t]`` computes magnitude bit ``t`` (LSB first) of the
+    sample; ``valid`` is 1 iff the input string terminates the walk.
+    All expressions live in ``builder`` and take the ``n`` random bits
+    ``b_0..b_{n-1}`` as variables.
+    """
+
+    params: GaussianParams
+    matrix: ProbabilityMatrix
+    method: str
+    combiner: str
+    builder: ExprBuilder
+    output_bits: list[Expr]
+    valid: Expr
+    partition: SublistPartition | None
+    reports: list[SublistReport] = field(default_factory=list)
+    compile_seconds: float = 0.0
+
+    @property
+    def num_magnitude_bits(self) -> int:
+        return len(self.output_bits)
+
+    @property
+    def num_input_bits(self) -> int:
+        """Random bits consumed per sample (the precision ``n``)."""
+        return self.params.precision
+
+    @property
+    def roots(self) -> list[Expr]:
+        return list(self.output_bits) + [self.valid]
+
+    def gate_count(self) -> dict[str, int]:
+        """Gates by type for the whole circuit — the Table 2 cycle model
+        (instructions per ``w``-sample batch)."""
+        return gate_counts(self.roots)
+
+    def depth(self) -> int:
+        return circuit_depth(self.roots)
+
+    @property
+    def validity_rate(self) -> float:
+        """Fraction of lanes expected valid: ``mass / 2^n``."""
+        return self.matrix.mass / (1 << self.params.precision)
+
+
+def _constant_sublist_circuit(builder: ExprBuilder, sublist: Sublist,
+                              num_bits: int) -> SublistCircuit:
+    """Circuit for an immediate sublist: ``1^k 0`` is itself a leaf."""
+    value = sublist.entries[0].value
+    outputs = tuple(builder.const((value >> t) & 1)
+                    for t in range(num_bits))
+    return SublistCircuit(k=sublist.k, output_bits=outputs,
+                          valid=builder.true)
+
+
+def _minimize_sublist_qmc(sublist: Sublist, width: int, num_bits: int,
+                          ) -> tuple[list[tuple[Cube, ...]],
+                                     tuple[Cube, ...], bool]:
+    """Exact per-output minimization over minterm tables."""
+    all_minterms: set[int] = set()
+    on_sets: list[set[int]] = [set() for _ in range(num_bits)]
+    for entry in sublist.entries:
+        cube = Cube.from_prefix(width, entry.suffix)
+        minterms = set(cube.minterms())
+        all_minterms |= minterms
+        for t in range(num_bits):
+            if (entry.value >> t) & 1:
+                on_sets[t] |= minterms
+    dc = set(range(1 << width)) - all_minterms
+    exact = True
+    covers: list[tuple[Cube, ...]] = []
+    for t in range(num_bits):
+        result = minimize_exact(width, on_sets[t], dc)
+        exact = exact and result.exact
+        covers.append(result.cubes)
+    valid_result = minimize_exact(width, all_minterms)
+    exact = exact and valid_result.exact
+    return covers, valid_result.cubes, exact
+
+
+def _minimize_sublist_espresso(sublist: Sublist, width: int,
+                               num_bits: int,
+                               ) -> tuple[list[tuple[Cube, ...]],
+                                          tuple[Cube, ...], bool]:
+    """Heuristic fallback for wide sublists (sigma = 215 territory)."""
+    entry_cubes = [Cube.from_prefix(width, entry.suffix)
+                   for entry in sublist.entries]
+    covers: list[tuple[Cube, ...]] = []
+    for t in range(num_bits):
+        on = [cube for cube, entry in zip(entry_cubes, sublist.entries)
+              if (entry.value >> t) & 1]
+        off = [cube for cube, entry in zip(entry_cubes, sublist.entries)
+               if not (entry.value >> t) & 1]
+        if not on:
+            covers.append(())
+            continue
+        covers.append(espresso(on, off).cubes)
+    valid_off = complement_cover(entry_cubes, width)
+    valid_cover = espresso(entry_cubes, valid_off).cubes \
+        if valid_off else (Cube.full(width),)
+    return covers, valid_cover, False
+
+
+def _compile_efficient(builder: ExprBuilder, matrix: ProbabilityMatrix,
+                       partition: SublistPartition, num_bits: int,
+                       combiner: str, use_global_delta: bool,
+                       qmc_width_limit: int,
+                       reports: list[SublistReport],
+                       ) -> tuple[list[Expr], Expr]:
+    circuits: list[SublistCircuit] = []
+    n = matrix.precision
+    global_delta = partition.delta
+    for sublist in partition.sublists:
+        if sublist.is_immediate:
+            circuits.append(
+                _constant_sublist_circuit(builder, sublist, num_bits))
+            reports.append(SublistReport(
+                k=sublist.k, width=0, num_entries=1, cube_count=0,
+                literal_count=0, exact=True))
+            continue
+        width = sublist.delta
+        if use_global_delta:
+            width = min(global_delta, n - sublist.k - 1)
+        if width <= qmc_width_limit:
+            covers, valid_cover, exact = _minimize_sublist_qmc(
+                sublist, width, num_bits)
+        else:
+            covers, valid_cover, exact = _minimize_sublist_espresso(
+                sublist, width, num_bits)
+        offset = sublist.k + 1
+        outputs = tuple(builder.sop_from_cubes(cover, offset)
+                        for cover in covers)
+        valid = builder.sop_from_cubes(valid_cover, offset)
+        circuits.append(SublistCircuit(k=sublist.k, output_bits=outputs,
+                                       valid=valid))
+        total_cubes = sum(len(c) for c in covers) + len(valid_cover)
+        total_literals = sum(cube.literal_count
+                             for cover in covers for cube in cover)
+        total_literals += sum(c.literal_count for c in valid_cover)
+        reports.append(SublistReport(
+            k=sublist.k, width=width, num_entries=len(sublist.entries),
+            cube_count=total_cubes, literal_count=total_literals,
+            exact=exact))
+    return combine(builder, circuits, num_bits, mode=combiner)
+
+
+def _compile_simple(builder: ExprBuilder, matrix: ProbabilityMatrix,
+                    num_bits: int, espresso_iterations: int,
+                    reports: list[SublistReport],
+                    ) -> tuple[list[Expr], Expr]:
+    """The [21] baseline: one espresso run per output over all n bits."""
+    from .enumeration import (
+        enumerate_failure_prefixes,
+        enumerate_terminating_strings,
+    )
+
+    n = matrix.precision
+    entries = enumerate_terminating_strings(matrix)
+    leaf_cubes = [Cube.from_prefix(n, entry.bits) for entry in entries]
+    fail_cubes = [Cube.from_prefix(n, bits)
+                  for bits in enumerate_failure_prefixes(matrix)]
+
+    outputs: list[Expr] = []
+    for t in range(num_bits):
+        on = [cube for cube, entry in zip(leaf_cubes, entries)
+              if (entry.value >> t) & 1]
+        off = [cube for cube, entry in zip(leaf_cubes, entries)
+               if not (entry.value >> t) & 1]
+        if not on:
+            outputs.append(builder.false)
+            reports.append(SublistReport(
+                k=-1, width=n, num_entries=0, cube_count=0,
+                literal_count=0, exact=False))
+            continue
+        result = espresso(on, off, fail_cubes,
+                          max_iterations=espresso_iterations)
+        outputs.append(builder.sop_from_cubes(result.cubes))
+        reports.append(SublistReport(
+            k=-1, width=n, num_entries=len(on),
+            cube_count=len(result.cubes),
+            literal_count=sum(c.literal_count for c in result.cubes),
+            exact=False))
+    valid_result = espresso(leaf_cubes, fail_cubes,
+                            max_iterations=espresso_iterations)
+    valid = builder.sop_from_cubes(valid_result.cubes)
+    return outputs, valid
+
+
+def compile_sampler_circuit(params: GaussianParams,
+                            method: str = "efficient",
+                            combiner: str = "onehot",
+                            use_global_delta: bool = False,
+                            qmc_width_limit: int = DEFAULT_QMC_WIDTH_LIMIT,
+                            espresso_iterations: int = 2,
+                            ) -> SamplerCircuit:
+    """Compile a constant-time sampler circuit for ``params``.
+
+    Parameters
+    ----------
+    method:
+        ``"efficient"`` (paper, Sec. 5) or ``"simple"`` ([21] baseline).
+    combiner:
+        Selector recombination strategy (``efficient`` only); see
+        :data:`repro.boolfunc.mux.COMBINER_MODES`.
+    use_global_delta:
+        Pad every sublist to the global ``Delta`` (the paper's framing)
+        instead of the per-sublist ``Delta_k``; the ablation benchmark
+        measures the cost difference.
+    """
+    if method not in COMPILATION_METHODS:
+        raise ValueError(f"unknown method {method!r}")
+    if combiner not in COMBINER_MODES:
+        raise ValueError(f"unknown combiner {combiner!r}")
+
+    started = time.perf_counter()
+    matrix = probability_matrix(params)
+    num_bits = max(1, matrix.max_value.bit_length())
+    builder = ExprBuilder()
+    reports: list[SublistReport] = []
+
+    partition: SublistPartition | None = None
+    if method == "efficient":
+        partition = partition_by_trailing_ones(matrix)
+        output_bits, valid = _compile_efficient(
+            builder, matrix, partition, num_bits, combiner,
+            use_global_delta, qmc_width_limit, reports)
+    else:
+        output_bits, valid = _compile_simple(
+            builder, matrix, num_bits, espresso_iterations, reports)
+
+    return SamplerCircuit(
+        params=params, matrix=matrix, method=method, combiner=combiner,
+        builder=builder, output_bits=list(output_bits), valid=valid,
+        partition=partition, reports=reports,
+        compile_seconds=time.perf_counter() - started)

@@ -1,0 +1,155 @@
+"""Discrete distribution generating (DDG) trees — Sec. 3.2 and Fig. 1.
+
+A DDG tree is a binary tree in which the number of leaves at level ``i``
+equals the Hamming weight ``h_i`` of probability-matrix column ``i``; a
+random walk from the root driven by fresh random bits terminates at a leaf
+labelled with the sample value.
+
+Levels follow the paper's convention: the children of the root live at
+level 0, so reaching a node at level ``i`` consumes ``i + 1`` random bits.
+
+Node ordering within a level follows Algorithm 1's scan: position ``u = 0``
+corresponds to the *bottom* of the tree as drawn in Fig. 1 — the first set
+bit encountered when scanning the column from MAXROW down to row 0.  With
+that convention the whole tree is determined by the deficit recurrence
+``D_i = 2 * D_{i-1} - h_i``: level ``i`` has ``2 * D_{i-1}`` nodes, of
+which the first ``h_i`` positions are leaves and the rest are internal.
+
+The explicit tree built here is used for rendering (Fig. 1), for directed
+tests, and as an independent cross-check of the closed-form enumeration in
+:mod:`repro.core.enumeration`; samplers never materialize it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rng.source import BitStream
+from .gaussian import ProbabilityMatrix
+
+
+@dataclass(frozen=True)
+class LeafNode:
+    """A terminal node holding a sample value."""
+
+    value: int
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class InternalNode:
+    """A non-terminal node; ``child_base`` indexes into the next level.
+
+    Children of the internal node at walk position ``d`` (after removing
+    leaves) occupy positions ``2*d`` (bit 0) and ``2*d + 1`` (bit 1) of
+    the next level.
+    """
+
+    child_base: int
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class DDGTree:
+    """An explicitly materialized DDG tree of ``matrix.precision`` levels."""
+
+    matrix: ProbabilityMatrix
+    levels: tuple[tuple[LeafNode | InternalNode, ...], ...]
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    def leaves_at_level(self, level: int) -> list[LeafNode]:
+        return [node for node in self.levels[level] if node.is_leaf]
+
+    def walk(self, bits: BitStream) -> tuple[int | None, int]:
+        """Walk the tree with ``bits``; return ``(value, bits_used)``.
+
+        ``value`` is ``None`` when the walk exhausts all levels without
+        hitting a leaf (the truncation failure, probability
+        ``matrix.failure_count / 2^n``).
+        """
+        child_base = 0  # the root's children sit at positions 0 and 1
+        for level in self.levels:
+            bit = bits.take_bit()
+            node = level[child_base + bit]
+            if node.is_leaf:
+                return node.value, bits.bits_consumed
+            child_base = node.child_base
+        return None, bits.bits_consumed
+
+    def render_ascii(self, max_levels: int | None = None) -> str:
+        """Human-readable per-level rendering used by the Fig. 1 bench."""
+        lines = []
+        limit = self.num_levels if max_levels is None else max_levels
+        for index, level in enumerate(self.levels[:limit]):
+            parts = []
+            for node in level:
+                if node.is_leaf:
+                    parts.append(str(node.value))
+                else:
+                    parts.append("I")
+            lines.append(f"level {index:2d}: " + " ".join(parts))
+        return "\n".join(lines)
+
+    def to_dot(self, max_levels: int | None = None) -> str:
+        """Graphviz rendering of the tree (Fig. 1 right-hand side)."""
+        limit = self.num_levels if max_levels is None else max_levels
+        lines = ["digraph ddg {", '  node [shape=circle];',
+                 '  root [label="R", color=red];']
+        # Node naming: n{level}_{position}.
+        for level_index, level in enumerate(self.levels[:limit]):
+            for position, node in enumerate(level):
+                name = f"n{level_index}_{position}"
+                if node.is_leaf:
+                    lines.append(
+                        f'  {name} [label="{node.value}", color=green];')
+                else:
+                    lines.append(f'  {name} [label="I", color=blue];')
+        # Edges from root.
+        if self.levels:
+            for position in range(min(len(self.levels[0]), 2)):
+                lines.append(f"  root -> n0_{position};")
+        for level_index, level in enumerate(self.levels[:limit - 1]):
+            for position, node in enumerate(level):
+                if node.is_leaf:
+                    continue
+                for bit in (0, 1):
+                    child = node.child_base + bit
+                    if child < len(self.levels[level_index + 1]):
+                        lines.append(
+                            f"  n{level_index}_{position} -> "
+                            f"n{level_index + 1}_{child};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_ddg_tree(matrix: ProbabilityMatrix) -> DDGTree:
+    """Materialize the DDG tree of ``matrix``.
+
+    Memory is ``O(sum_i 2 * D_{i-1})``; deficits stay small for Gaussian
+    matrices (they equal the count of still-live internal paths), so this
+    is perfectly affordable even at n = 128.
+    """
+    levels: list[tuple[LeafNode | InternalNode, ...]] = []
+    internal_before = 1  # the root, D_{-1} = 1
+    for column in range(matrix.precision):
+        h = matrix.column_weights[column]
+        width = 2 * internal_before
+        values = matrix.column_rows_descending(column)
+        nodes: list[LeafNode | InternalNode] = []
+        for position in range(width):
+            if position < h:
+                nodes.append(LeafNode(value=values[position]))
+            else:
+                nodes.append(InternalNode(child_base=2 * (position - h)))
+        levels.append(tuple(nodes))
+        internal_before = width - h
+    return DDGTree(matrix=matrix, levels=tuple(levels))

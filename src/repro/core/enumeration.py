@@ -1,0 +1,178 @@
+"""Closed-form enumeration of sample-generating bit strings (Sec. 5).
+
+The paper's Theorem 1 states that every random bit string that terminates
+the Knuth–Yao walk has the form ``x^i (0/1)^j 0 1^k`` — in walk order, the
+sampler first sees ``k`` ones, then a zero, then at most ``j`` further
+*significant* bits, with ``j`` experimentally bounded by a small ``Delta``
+(4 for sigma in {1, 2}, 6 for sigma = 6.15543, 15 for sigma = 215).
+
+This module enumerates all terminating strings *without building the DDG
+tree*, using the walk-state algebra derived in DESIGN.md Sec. 5:
+
+* After bits ``b_0..b_i`` the walk's Algorithm-1 counter is
+  ``d = B_i - H_i`` with ``B_i = sum b_t 2^(i-t)``; since ``B_i`` is a
+  bijection of the prefix, the internal nodes at level ``i`` are exactly
+  ``d in [0, D_i)`` where ``D_i = 2^(i+1) - H_i`` is the *deficit*.
+* A leaf at level ``i`` is a pair ``(d_prev, b)`` with
+  ``u = 2 d_prev + b < h_i``; its value is entry ``u`` of the column's
+  bottom-up scan order, and its prefix is the ``i``-bit binary expansion
+  of ``d_prev + H_{i-1}`` followed by ``b``.
+
+The enumeration is therefore ``O(sum_i h_i)`` — the size of the paper's
+list ``L`` — and doubles as a constructive proof of Theorem 1 that the
+test suite checks against brute force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .gaussian import ProbabilityMatrix
+
+
+@dataclass(frozen=True)
+class TerminatingString:
+    """One entry of the paper's list ``L``.
+
+    Attributes
+    ----------
+    bits:
+        The significant bits in walk order ``(b_0, ..., b_c)``; don't-care
+        padding up to precision ``n`` is implicit.
+    value:
+        The sample value at the leaf this string hits.
+    """
+
+    bits: tuple[int, ...]
+    value: int
+
+    @property
+    def level(self) -> int:
+        """DDG level of the leaf (``len(bits) - 1``)."""
+        return len(self.bits) - 1
+
+    @property
+    def leading_ones(self) -> int:
+        """Theorem 1's ``k``: ones consumed before the first zero."""
+        k = 0
+        for bit in self.bits:
+            if bit == 1:
+                k += 1
+            else:
+                return k
+        raise AssertionError(
+            "terminating string without a zero contradicts Theorem 1")
+
+    @property
+    def free_suffix_length(self) -> int:
+        """Theorem 1's ``j``: significant bits after the mandatory zero."""
+        return self.level - self.leading_ones
+
+    def padded_string(self, precision: int) -> str:
+        """Render in the paper's reversed notation ``x^i (0/1)^j 0 1^k``.
+
+        The first consumed bit is written rightmost (it is the LSB in the
+        paper's string convention), and unconsumed bits render as ``x``.
+        """
+        pad = precision - len(self.bits)
+        if pad < 0:
+            raise ValueError("precision smaller than string length")
+        return "x" * pad + "".join(str(b) for b in reversed(self.bits))
+
+
+def _prefix_bits(value: int, width: int) -> tuple[int, ...]:
+    """``width``-bit big-endian expansion (b_0 first, b_0 = MSB)."""
+    return tuple((value >> (width - 1 - t)) & 1 for t in range(width))
+
+
+def enumerate_terminating_strings(
+        matrix: ProbabilityMatrix) -> list[TerminatingString]:
+    """Enumerate the paper's list ``L`` for ``matrix``.
+
+    Entries come out sorted by level, then by walk position — the natural
+    Algorithm-1 ordering.  ``len(result) == sum(matrix.column_weights)``.
+    """
+    strings: list[TerminatingString] = []
+    internal_before = 1  # D_{-1}: the root
+    h_cumulative = 0     # H_{i-1}
+    for column in range(matrix.precision):
+        h = matrix.column_weights[column]
+        scan_order = matrix.column_rows_descending(column)
+        for u in range(min(h, 2 * internal_before)):
+            d_prev, last_bit = divmod(u, 2)
+            prefix_value = d_prev + h_cumulative
+            bits = _prefix_bits(prefix_value, column) + (last_bit,)
+            strings.append(TerminatingString(bits=bits,
+                                             value=scan_order[u]))
+        h_cumulative = 2 * h_cumulative + h
+        internal_before = 2 * internal_before - h
+        if internal_before <= 0:
+            break
+    return strings
+
+
+def enumerate_failure_prefixes(
+        matrix: ProbabilityMatrix) -> list[tuple[int, ...]]:
+    """All ``n``-bit strings that never terminate (the truncation gap).
+
+    These are the internal nodes surviving at the last level:
+    ``d in [0, D_{n-1})`` with prefix = digits of ``d + H_{n-1}``.
+    The all-ones string is always among them (Theorem 1's core).
+    """
+    n = matrix.precision
+    h_last = matrix.cumulative_weights[n - 1]
+    deficit = matrix.deficits[n - 1]
+    return [_prefix_bits(d + h_last, n) for d in range(deficit)]
+
+
+def check_theorem1(matrix: ProbabilityMatrix) -> bool:
+    """Verify Theorem 1 on ``matrix``: no terminating string is all ones.
+
+    Returns True; raises ``AssertionError`` with a counterexample
+    otherwise.  (``TerminatingString.leading_ones`` already asserts each
+    string contains a zero; this adds the complementary check that the
+    all-ones path is a live internal node at every level.)
+    """
+    for level, deficit in enumerate(matrix.deficits):
+        if deficit < 1:
+            raise AssertionError(
+                f"deficit {deficit} < 1 at level {level}: the DDG tree "
+                "is complete, which contradicts truncated probabilities")
+    for entry in enumerate_terminating_strings(matrix):
+        entry.leading_ones  # asserts a zero exists
+    return True
+
+
+def max_free_suffix_length(matrix: ProbabilityMatrix) -> int:
+    """The paper's ``Delta``: max ``j`` over all terminating strings."""
+    return max(entry.free_suffix_length
+               for entry in enumerate_terminating_strings(matrix))
+
+
+def enumerate_by_walk(matrix: ProbabilityMatrix,
+                      max_level: int | None = None,
+                      ) -> list[TerminatingString]:
+    """Brute-force enumeration by walking every prefix (tests only).
+
+    Exponential in the worst case but fine for the small precisions used
+    in tests; exists purely to cross-validate the closed form.
+    """
+    limit = matrix.precision if max_level is None else max_level
+    results: list[TerminatingString] = []
+
+    def explore(level: int, d: int, bits: tuple[int, ...]) -> None:
+        if level == limit:
+            return
+        for bit in (0, 1):
+            u = 2 * d + bit
+            h = matrix.column_weights[level]
+            if u < h:
+                value = matrix.column_rows_descending(level)[u]
+                results.append(
+                    TerminatingString(bits=bits + (bit,), value=value))
+            else:
+                explore(level + 1, u - h, bits + (bit,))
+
+    explore(0, 0, ())
+    results.sort(key=lambda s: (s.level, s.bits))
+    return results

@@ -1,0 +1,120 @@
+"""Arbitrary-precision fixed-point arithmetic for Gaussian probabilities.
+
+The probability matrix of Sec. 3.1/3.2 stores each probability to ``n``
+binary digits, with ``n`` as large as 128 in the Falcon experiments — far
+beyond IEEE-754 double precision.  This module evaluates ``exp(-x)`` for
+exact rational ``x >= 0`` to any requested number of binary digits using
+only integer arithmetic:
+
+1. *Argument reduction*: pick ``k`` with ``y = x / 2^k <= 1/2``.
+2. *Taylor series*: sum ``e^{-y} = sum (-y)^t / t!`` exactly over the
+   rationals until the first omitted term is below the target error.
+3. *Repeated squaring*: square a fixed-point approximation ``k`` times
+   (``e^{-x} = (e^{-y})^{2^k}``), carrying generous guard bits so the
+   accumulated rounding stays far below one output ulp.
+
+All values are scaled integers: ``represent(v, p) = round(v * 2^p)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+#: Guard bits carried beyond the requested precision during internal
+#: computation.  64 bits absorbs both Taylor truncation and the relative
+#: error amplification of up to ~20 squarings with a huge margin.
+GUARD_BITS = 64
+
+
+def fraction_to_fixed(value: Fraction, precision: int) -> int:
+    """Round a non-negative rational to a ``precision``-bit fixed point."""
+    if value < 0:
+        raise ValueError("fixed-point values must be non-negative")
+    scaled_num = value.numerator << (precision + 1)
+    quotient = scaled_num // value.denominator
+    # Round to nearest (ties away from zero, irrelevant at these scales).
+    return (quotient + 1) >> 1
+
+
+def fixed_to_fraction(fixed: int, precision: int) -> Fraction:
+    """Exact rational value of a fixed-point integer."""
+    return Fraction(fixed, 1 << precision)
+
+
+def exp_neg_fixed(x: Fraction, precision: int) -> int:
+    """Return ``e^(-x)`` as a ``precision``-bit fixed-point integer.
+
+    The result ``r`` satisfies ``|r / 2^precision - e^(-x)| < 2^-precision``
+    (one ulp).  ``x`` must be a non-negative rational.
+    """
+    if x < 0:
+        raise ValueError("exp_neg_fixed requires x >= 0")
+    if x == 0:
+        return 1 << precision
+
+    work_bits = precision + GUARD_BITS
+
+    # Crude underflow cut: e^-x < 2^-(precision+2) => result rounds to 0.
+    # x / ln2 > precision + 2 with ln2 > 0.693 = 693/1000.
+    if x * 1000 > (precision + 2) * 694:
+        if x > (precision + 2):  # x > (precision+2) ln 2 certainly
+            return 0
+
+    # Argument reduction: y = x / 2^k with y <= 1/2.
+    k = 0
+    y = x
+    while y > Fraction(1, 2):
+        y /= 2
+        k += 1
+
+    # Taylor sum of e^{-y}, exact over Q.  |omitted| <= first omitted term.
+    target = Fraction(1, 1 << (work_bits + k + 2))
+    term = Fraction(1)
+    total = Fraction(1)
+    t = 0
+    while True:
+        t += 1
+        term *= -y / t
+        total += term
+        if abs(term) < target:
+            break
+
+    value = fraction_to_fixed(total, work_bits)
+    one = 1 << work_bits
+    for _ in range(k):
+        value = (value * value + (one >> 1)) >> work_bits
+    # Drop guard bits with rounding.
+    return (value + (1 << (GUARD_BITS - 1))) >> GUARD_BITS
+
+
+def isqrt_floor(value: int) -> int:
+    """Integer floor square root (thin wrapper for naming symmetry)."""
+    if value < 0:
+        raise ValueError("isqrt_floor requires a non-negative argument")
+    return _isqrt(value)
+
+
+def _isqrt(value: int) -> int:
+    if value == 0:
+        return 0
+    candidate = 1 << ((value.bit_length() + 1) // 2)
+    while True:
+        better = (candidate + value // candidate) // 2
+        if better >= candidate:
+            return candidate
+        candidate = better
+
+
+def floor_scaled_sqrt(radicand: Fraction, multiplier: int = 1) -> int:
+    """Return ``floor(multiplier * sqrt(radicand))`` for rational radicand.
+
+    Used to compute the tail-cut support bound ``floor(tau * sigma)``
+    exactly when only ``sigma^2`` is rational (e.g. sigma = sqrt(5) for
+    the ternary-Falcon instance mentioned in Sec. 6).
+    """
+    if radicand < 0:
+        raise ValueError("radicand must be non-negative")
+    num = radicand.numerator
+    den = radicand.denominator
+    # floor(m * sqrt(num/den)) = floor(sqrt(m^2 * num * den) / den)
+    return isqrt_floor(multiplier * multiplier * num * den) // den

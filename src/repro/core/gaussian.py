@@ -1,0 +1,251 @@
+"""Discrete Gaussian distributions and Knuth–Yao probability matrices.
+
+Implements Sec. 3.1 of the paper: the zero-centered discrete Gaussian
+``D_sigma(z) = exp(-z^2 / 2 sigma^2) / S`` truncated to the interval
+``[0, tau*sigma]`` (tail-cut factor ``tau``) and to ``n`` binary digits of
+precision, arranged as the ``(tau*sigma + 1) x n`` probability matrix that
+drives DDG-tree construction and column-scanning sampling.
+
+Row convention (paper, Fig. 1): row ``v`` holds the ``n``-bit truncation of
+``D_sigma(0)`` for ``v = 0`` and of ``2 * D_sigma(v)`` for ``v >= 1`` (the
+factor 2 folds the symmetric negative side in; a separate uniform sign bit
+restores it).  Column ``i`` holds the bit of weight ``2^-(i+1)``.
+
+All probabilities are computed with exact integer arithmetic via
+:mod:`repro.core.fixedpoint`, so matrices are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from functools import lru_cache
+
+from .fixedpoint import exp_neg_fixed, floor_scaled_sqrt
+
+#: Extra bits used when evaluating rho(v) before normalization/truncation.
+_NORMALIZATION_GUARD = 32
+
+#: The paper's tail-cut factor for the Falcon experiments (Sec. 6).
+DEFAULT_TAIL_CUT = 13
+
+
+def sigma_squared_from_float(sigma: float) -> Fraction:
+    """Best-effort exact ``sigma^2`` from a decimal sigma such as 6.15543.
+
+    Decimal literals used in the literature (2, 6.15543, 215, ...) are
+    converted through their shortest decimal representation so that e.g.
+    ``sigma_squared_from_float(6.15543)`` is exactly ``(615543/100000)^2``.
+    """
+    as_fraction = Fraction(str(sigma))
+    return as_fraction * as_fraction
+
+
+@dataclass(frozen=True)
+class GaussianParams:
+    """Parameters of a truncated, fixed-precision discrete Gaussian.
+
+    Attributes
+    ----------
+    sigma_sq:
+        Exact ``sigma^2`` as a rational.  Using the square keeps
+        irrational sigmas like ``sqrt(5)`` exactly representable.
+    precision:
+        Number of binary digits ``n`` kept per probability.
+    tail_cut:
+        Tail-cut factor ``tau``; samples lie in ``[0, floor(tau*sigma)]``.
+    """
+
+    sigma_sq: Fraction
+    precision: int
+    tail_cut: int = DEFAULT_TAIL_CUT
+
+    def __post_init__(self) -> None:
+        if self.sigma_sq <= 0:
+            raise ValueError("sigma^2 must be positive")
+        if self.precision < 2:
+            raise ValueError("precision must be at least 2 bits")
+        if self.tail_cut < 1:
+            raise ValueError("tail-cut factor must be at least 1")
+
+    @classmethod
+    def from_sigma(cls, sigma: float | int | Fraction, precision: int,
+                   tail_cut: int = DEFAULT_TAIL_CUT) -> "GaussianParams":
+        """Construct from a decimal sigma (e.g. 2, 6.15543, 215)."""
+        if isinstance(sigma, Fraction):
+            sigma_sq = sigma * sigma
+        else:
+            sigma_sq = sigma_squared_from_float(float(sigma))
+        return cls(sigma_sq=sigma_sq, precision=precision,
+                   tail_cut=tail_cut)
+
+    @property
+    def sigma(self) -> float:
+        """Floating-point sigma, for display only."""
+        return float(self.sigma_sq) ** 0.5
+
+    @property
+    def support_bound(self) -> int:
+        """``floor(tau * sigma)``: the largest representable sample."""
+        return floor_scaled_sqrt(self.sigma_sq, self.tail_cut)
+
+    def rho_fixed(self, z: int, precision: int) -> int:
+        """``exp(-z^2 / (2 sigma^2))`` as a ``precision``-bit fixed point."""
+        exponent = Fraction(z * z, 1) / (2 * self.sigma_sq)
+        return exp_neg_fixed(exponent, precision)
+
+
+@dataclass(frozen=True)
+class ProbabilityMatrix:
+    """The Knuth–Yao probability matrix and its derived structure.
+
+    ``rows[v]`` is the ``n``-bit integer whose binary digits (MSB first)
+    are the matrix row for sample value ``v``; i.e. column ``i`` of row
+    ``v`` is ``(rows[v] >> (n - 1 - i)) & 1`` and carries probability
+    weight ``2^-(i+1)``.
+    """
+
+    params: GaussianParams
+    rows: tuple[int, ...]
+    _column_weights: tuple[int, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        n = self.params.precision
+        weights = []
+        for i in range(n):
+            shift = n - 1 - i
+            weights.append(sum((row >> shift) & 1 for row in self.rows))
+        object.__setattr__(self, "_column_weights", tuple(weights))
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def precision(self) -> int:
+        """Number of columns ``n``."""
+        return self.params.precision
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def max_value(self) -> int:
+        """Largest sample value with non-zero probability."""
+        for v in range(len(self.rows) - 1, -1, -1):
+            if self.rows[v]:
+                return v
+        return 0
+
+    def bit(self, value: int, column: int) -> int:
+        """Matrix entry ``P[value][column]``."""
+        n = self.params.precision
+        if not 0 <= column < n:
+            raise IndexError("column out of range")
+        return (self.rows[value] >> (n - 1 - column)) & 1
+
+    # -- derived Knuth–Yao structure -------------------------------------
+
+    @property
+    def column_weights(self) -> tuple[int, ...]:
+        """Hamming weights ``h_i`` of each column (leaves per DDG level)."""
+        return self._column_weights
+
+    @property
+    def cumulative_weights(self) -> tuple[int, ...]:
+        """``H_i = sum_{j<=i} h_j * 2^(i-j)`` (Eqn. 1's subtrahend)."""
+        values = []
+        acc = 0
+        for h in self._column_weights:
+            acc = 2 * acc + h
+            values.append(acc)
+        return tuple(values)
+
+    @property
+    def deficits(self) -> tuple[int, ...]:
+        """``D_i = 2^(i+1) - H_i``: internal-node counts per DDG level.
+
+        ``D_i >= 1`` for every truncated matrix (total mass < 1), which is
+        the engine behind Theorem 1: the all-ones bit string walks the
+        topmost internal node forever and never terminates.
+        """
+        return tuple((1 << (i + 1)) - h
+                     for i, h in enumerate(self.cumulative_weights))
+
+    @property
+    def mass(self) -> int:
+        """Total probability mass scaled by ``2^n`` (= number of n-bit
+        strings that terminate the Knuth–Yao walk)."""
+        return sum(self.rows)
+
+    @property
+    def failure_count(self) -> int:
+        """Number of ``n``-bit strings that never hit a leaf (= D_{n-1})."""
+        return (1 << self.params.precision) - self.mass
+
+    def pmf(self) -> tuple[Fraction, ...]:
+        """The exact sampled distribution: ``rows[v] / 2^n``."""
+        scale = 1 << self.params.precision
+        return tuple(Fraction(row, scale) for row in self.rows)
+
+    def column_rows_descending(self, column: int) -> tuple[int, ...]:
+        """Rows with a set bit in ``column``, scanned MAXROW down to 0.
+
+        This is Algorithm 1's inner-loop scan order; index ``u`` of this
+        tuple is the sample value reached by walk position ``u``.
+        """
+        return tuple(v for v in range(len(self.rows) - 1, -1, -1)
+                     if self.bit(v, column))
+
+    def render(self) -> str:
+        """Fig. 1-style textual rendering of the matrix."""
+        n = self.params.precision
+        lines = []
+        for v, row in enumerate(self.rows):
+            bits = format(row, f"0{n}b")
+            lines.append(f"P{v} " + " ".join(bits))
+        return "\n".join(lines)
+
+
+@lru_cache(maxsize=None)
+def _build_matrix_cached(sigma_sq: Fraction, precision: int,
+                         tail_cut: int) -> tuple[int, ...]:
+    params = GaussianParams(sigma_sq=sigma_sq, precision=precision,
+                            tail_cut=tail_cut)
+    bound = params.support_bound
+    work_bits = precision + _NORMALIZATION_GUARD
+
+    rho = [params.rho_fixed(v, work_bits) for v in range(bound + 1)]
+    normalizer = rho[0] + 2 * sum(rho[1:])
+
+    rows = []
+    for v in range(bound + 1):
+        weight = rho[v] if v == 0 else 2 * rho[v]
+        # Truncate (floor) to n bits, as required for sum(P) <= 1.
+        rows.append((weight << precision) // normalizer)
+    return tuple(rows)
+
+
+def probability_matrix(params: GaussianParams) -> ProbabilityMatrix:
+    """Build the probability matrix for ``params`` (cached, exact)."""
+    rows = _build_matrix_cached(params.sigma_sq, params.precision,
+                                params.tail_cut)
+    return ProbabilityMatrix(params=params, rows=rows)
+
+
+def true_pmf(params: GaussianParams, extra_bits: int = 64,
+             ) -> tuple[Fraction, ...]:
+    """High-precision *folded* reference pmf over ``[0, support_bound]``.
+
+    Returns the distribution of sample magnitudes in the matrix row
+    convention — ``P(0)`` at index 0 and ``2 P(v)`` for ``v >= 1`` — so it
+    sums to exactly 1.  Computed like the matrix but with ``extra_bits``
+    more precision and no truncation; the statistics module uses it to
+    measure the statistical distance introduced by n-bit truncation.
+    """
+    bound = params.support_bound
+    work_bits = params.precision + _NORMALIZATION_GUARD + extra_bits
+    rho = [params.rho_fixed(v, work_bits) for v in range(bound + 1)]
+    normalizer = rho[0] + 2 * sum(rho[1:])
+    return tuple(
+        Fraction(rho[v] if v == 0 else 2 * rho[v], normalizer)
+        for v in range(bound + 1))

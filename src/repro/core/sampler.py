@@ -1,0 +1,154 @@
+"""The batch-oriented constant-time discrete Gaussian sampler.
+
+Runtime counterpart of :mod:`repro.core.compiler`: wraps a compiled
+:class:`~repro.core.compiler.SamplerCircuit` in a
+:class:`~repro.bitslice.engine.BitslicedKernel` and feeds it machine
+words of PRNG output, ``w`` samples per invocation (Sec. 3.2 of the
+paper; ``w = 64`` on the paper's target, arbitrary here thanks to Python
+integers).
+
+Per batch the sampler consumes exactly ``n + 1`` random words — ``n``
+bits plus a sign bit per lane — regardless of the values produced, and
+executes exactly ``kernel.stats.word_ops`` bitwise instructions: the
+operation trace is input-independent by construction, which is the
+constant-time property the dudect experiment verifies.
+
+Lanes whose ``valid`` bit is clear (walk cannot terminate within the
+``n``-bit precision; probability ``failure_count / 2^n``) are discarded
+during unpacking, exactly as Algorithm 1 restarts.  Only the publicly
+known batch fill rate leaks.
+"""
+
+from __future__ import annotations
+
+from ..bitslice.engine import BitslicedKernel
+from ..bitslice.pack import unpack_lanes
+from ..rng.source import CountingSource, RandomSource, default_source
+from .compiler import SamplerCircuit, compile_sampler_circuit
+from .gaussian import GaussianParams
+
+#: The paper's batch width (64-bit target processor).
+DEFAULT_BATCH_WIDTH = 64
+
+
+class BitslicedSampler:
+    """Constant-time discrete Gaussian sampler over signed integers.
+
+    Examples
+    --------
+    >>> params = GaussianParams.from_sigma(2, precision=32)
+    >>> sampler = BitslicedSampler.compile(params)
+    >>> batch = sampler.sample_batch()
+    >>> len(batch) <= sampler.batch_width
+    True
+    """
+
+    def __init__(self, circuit: SamplerCircuit,
+                 source: RandomSource | None = None,
+                 batch_width: int = DEFAULT_BATCH_WIDTH) -> None:
+        if batch_width < 1:
+            raise ValueError("batch width must be positive")
+        self.circuit = circuit
+        self.kernel = BitslicedKernel(circuit.roots)
+        self.source = CountingSource(
+            source if source is not None else default_source())
+        self.batch_width = batch_width
+        self.batches_run = 0
+        self.samples_discarded = 0
+        self._buffer: list[int] = []
+
+    @classmethod
+    def compile(cls, params: GaussianParams,
+                source: RandomSource | None = None,
+                batch_width: int = DEFAULT_BATCH_WIDTH,
+                **compile_kwargs) -> "BitslicedSampler":
+        """One-call build: parameters -> circuit -> executable sampler."""
+        circuit = compile_sampler_circuit(params, **compile_kwargs)
+        return cls(circuit, source=source, batch_width=batch_width)
+
+    # -- cost model -------------------------------------------------------
+
+    @property
+    def word_ops_per_batch(self) -> int:
+        """Bitwise instructions per batch (the Table 2 cycle proxy)."""
+        return self.kernel.stats.word_ops
+
+    @property
+    def cycles_per_sample(self) -> float:
+        """Modeled sampling cycles per produced sample (PRNG excluded,
+        like Table 2), accounting for invalid-lane loss."""
+        produced = self.batch_width * self.circuit.validity_rate
+        return self.word_ops_per_batch / produced
+
+    @property
+    def random_bytes_per_batch(self) -> int:
+        words = self.circuit.num_input_bits + 1  # n bits + sign
+        return words * ((self.batch_width + 7) // 8)
+
+    # -- sampling ---------------------------------------------------------
+
+    def raw_batch(self) -> tuple[list[int], int, int]:
+        """Run one kernel batch; return (magnitudes, valid_mask, signs).
+
+        ``magnitudes[j]`` is lane ``j``'s magnitude (garbage when the
+        lane is invalid), ``valid_mask``/``signs`` are lane bitmasks.
+        """
+        width = self.batch_width
+        n = self.circuit.num_input_bits
+        needed = max(self.kernel.num_inputs, n)
+        inputs = [self.source.read_word(width) for _ in range(needed)]
+        sign_word = self.source.read_word(width)
+        mask = (1 << width) - 1
+        outputs = self.kernel(inputs, mask)
+        magnitude_words = outputs[:-1]
+        valid_mask = outputs[-1]
+        magnitudes = unpack_lanes(magnitude_words, width)
+        self.batches_run += 1
+        return magnitudes, valid_mask, sign_word
+
+    def sample_batch(self) -> list[int]:
+        """Signed samples from one batch, invalid lanes compacted away."""
+        magnitudes, valid_mask, sign_word = self.raw_batch()
+        samples = []
+        for lane in range(self.batch_width):
+            if not (valid_mask >> lane) & 1:
+                self.samples_discarded += 1
+                continue
+            value = magnitudes[lane]
+            if (sign_word >> lane) & 1:
+                value = -value
+            samples.append(value)
+        return samples
+
+    def sample(self) -> int:
+        """One signed sample (buffered batches underneath)."""
+        while not self._buffer:
+            self._buffer = self.sample_batch()
+        return self._buffer.pop()
+
+    def sample_many(self, count: int) -> list[int]:
+        """Exactly ``count`` signed samples."""
+        out: list[int] = []
+        while len(out) < count:
+            out.extend(self.sample_batch())
+        del out[count:]
+        return out
+
+
+def compile_sampler(sigma: float, precision: int,
+                    source: RandomSource | None = None,
+                    batch_width: int = DEFAULT_BATCH_WIDTH,
+                    tail_cut: int = 13,
+                    **compile_kwargs) -> BitslicedSampler:
+    """Top-level convenience: ``sigma, n -> ready-to-use sampler``.
+
+    This is the library's main entry point::
+
+        sampler = compile_sampler(sigma=2, precision=64)
+        values = sampler.sample_many(1000)
+    """
+    params = GaussianParams.from_sigma(sigma, precision,
+                                       tail_cut=tail_cut)
+    return BitslicedSampler.compile(params, source=source,
+                                    batch_width=batch_width,
+                                    **compile_kwargs)

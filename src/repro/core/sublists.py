@@ -1,0 +1,128 @@
+"""Sorting list L and dividing it into sublists — Sec. 5.1 and Fig. 3.
+
+The efficient minimization strategy sorts the terminating strings
+``x^i (0/1)^j 0 1^k`` by their trailing-ones count ``k`` and groups equal
+``k`` into sublists ``l_0 .. l_n'``.  Within sublist ``l_k`` the first
+``k + 1`` consumed bits are fixed (``1^k 0``), so the sample bits are a
+Boolean function of only the next ``j <= Delta_k`` bits — small enough
+for *exact* minimization.
+
+This module computes the partition and the per-sublist metadata the
+compiler needs:
+
+* ``entries``: the significant suffix bits ``w`` (in walk order, i.e.
+  ``w[0] = b_{k+1}``) with the leaf's sample value;
+* ``delta``: the sublist's maximal suffix length ``Delta_k``;
+* completeness bookkeeping: suffixes not covered by any entry can never
+  terminate within precision ``n`` and become don't-cares / valid=0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .enumeration import TerminatingString, enumerate_terminating_strings
+from .gaussian import ProbabilityMatrix
+
+
+@dataclass(frozen=True)
+class SublistEntry:
+    """A terminating string inside a sublist: suffix bits + sample value."""
+
+    suffix: tuple[int, ...]
+    value: int
+
+
+@dataclass(frozen=True)
+class Sublist:
+    """Sublist ``l_k``: all terminating strings starting ``1^k 0``."""
+
+    k: int
+    entries: tuple[SublistEntry, ...]
+
+    @property
+    def delta(self) -> int:
+        """``Delta_k``: longest significant suffix in this sublist."""
+        if not self.entries:
+            return 0
+        return max(len(entry.suffix) for entry in self.entries)
+
+    @property
+    def is_immediate(self) -> bool:
+        """True when the prefix ``1^k 0`` itself is a leaf (j = 0)."""
+        return len(self.entries) == 1 and not self.entries[0].suffix
+
+
+@dataclass(frozen=True)
+class SublistPartition:
+    """The sorted/partitioned list L for one probability matrix."""
+
+    matrix: ProbabilityMatrix
+    sublists: tuple[Sublist, ...]
+
+    @property
+    def max_k(self) -> int:
+        """The paper's ``n'``: the largest trailing-ones count."""
+        return max((s.k for s in self.sublists), default=0)
+
+    @property
+    def delta(self) -> int:
+        """Global ``Delta = max_k Delta_k`` (paper Sec. 5, examples)."""
+        return max((s.delta for s in self.sublists), default=0)
+
+    @property
+    def total_entries(self) -> int:
+        return sum(len(s.entries) for s in self.sublists)
+
+    def sublist_for(self, k: int) -> Sublist | None:
+        for sub in self.sublists:
+            if sub.k == k:
+                return sub
+        return None
+
+    def render(self, sample_bits: int | None = None) -> str:
+        """Fig. 3-style rendering: sorted strings beside sample values.
+
+        Strings are shown in the paper's reversed notation (first random
+        bit rightmost); samples as ``sample_bits``-wide binary.
+        """
+        n = self.matrix.precision
+        if sample_bits is None:
+            sample_bits = max(1, self.matrix.max_value.bit_length())
+        lines = []
+        for sub in self.sublists:
+            lines.append(f"-- sublist l_{sub.k} (Delta_k = {sub.delta}) --")
+            for entry in sub.entries:
+                bits = (1,) * sub.k + (0,) + entry.suffix
+                pad = n - len(bits)
+                text = "x" * pad + "".join(str(b) for b in reversed(bits))
+                sample = format(entry.value, f"0{sample_bits}b")
+                lines.append(f"{text}  ->  {sample} ({entry.value})")
+        return "\n".join(lines)
+
+
+def partition_by_trailing_ones(
+        matrix: ProbabilityMatrix) -> SublistPartition:
+    """Sort list L by ``k`` and split it into sublists (Fig. 4, step 2).
+
+    Sublists appear in ascending ``k``; only ``k`` values that actually
+    contain terminating strings are present (empty sublists cannot ever
+    produce a sample within precision ``n`` and fold into the combiner's
+    final else / valid=0 branch).
+    """
+    grouped: dict[int, list[SublistEntry]] = {}
+    for entry in enumerate_terminating_strings(matrix):
+        k = entry.leading_ones
+        suffix = entry.bits[k + 1:]
+        grouped.setdefault(k, []).append(
+            SublistEntry(suffix=suffix, value=entry.value))
+    sublists = tuple(
+        Sublist(k=k, entries=tuple(entries))
+        for k, entries in sorted(grouped.items()))
+    return SublistPartition(matrix=matrix, sublists=sublists)
+
+
+def sorted_list_l(matrix: ProbabilityMatrix) -> list[TerminatingString]:
+    """List L sorted in ascending order of ``k`` (paper Sec. 5.1)."""
+    entries = enumerate_terminating_strings(matrix)
+    return sorted(entries, key=lambda s: (s.leading_ones, s.level, s.bits))

@@ -1,0 +1,39 @@
+"""Constant-time analysis: operation counting and dudect leakage tests."""
+
+from .dudect import (
+    CROP_PERCENTILES,
+    T_THRESHOLD,
+    DudectReport,
+    TTestResult,
+    audit_batch_sampler,
+    audit_sampler,
+    collect_opcount_traces,
+    collect_walltime_traces,
+    crop_below_percentile,
+    two_class_report,
+    welch_t,
+)
+from .opcount import (
+    DEFAULT_CYCLE_WEIGHTS,
+    PRNG_CYCLES_PER_BYTE,
+    OpCounter,
+    OpCounts,
+)
+
+__all__ = [
+    "CROP_PERCENTILES",
+    "DudectReport",
+    "TTestResult",
+    "T_THRESHOLD",
+    "audit_batch_sampler",
+    "audit_sampler",
+    "collect_opcount_traces",
+    "collect_walltime_traces",
+    "crop_below_percentile",
+    "two_class_report",
+    "welch_t",
+    "DEFAULT_CYCLE_WEIGHTS",
+    "PRNG_CYCLES_PER_BYTE",
+    "OpCounter",
+    "OpCounts",
+]

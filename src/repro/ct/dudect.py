@@ -1,0 +1,224 @@
+"""dudect — "Dude, is my code constant time?" (Reparaz–Balasch–
+Verbauwhede, DATE 2017), reimplemented for this library.
+
+The paper affirms its sampler's constant running time with the dudect
+tool (Sec. 5.2).  dudect's method: collect timing measurements for two
+classes of inputs, compute Welch's t-statistic between the classes (also
+on percentile-cropped subsets, which sharpens slow tails), and declare
+leakage when ``|t| > 4.5``.
+
+Adaptation to samplers: a sampler has no user-chosen input — its
+"secret" is the random stream — so classes are formed by *conditioning
+on the produced sample* (e.g. small magnitude vs tail), the exact
+correlation a timing attacker exploits.  Measurements come from either
+
+* the **op-count model** (deterministic; a non-constant-time sampler
+  shows an unbounded t, a bitsliced batch shows exactly zero variance), or
+* **wall-clock** ``perf_counter_ns`` (noisy under an interpreter;
+  reported for completeness, asserted only loosely).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+#: dudect's leakage decision threshold on |t|.
+T_THRESHOLD = 4.5
+
+#: Crop quantiles used alongside the full data, as in dudect.
+CROP_PERCENTILES = (1.0, 0.75, 0.5)
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    """Welch's t between two measurement classes."""
+
+    t_statistic: float
+    n0: int
+    n1: int
+    mean0: float
+    mean1: float
+
+    @property
+    def leaking(self) -> bool:
+        return abs(self.t_statistic) > T_THRESHOLD
+
+
+def welch_t(class0: Sequence[float], class1: Sequence[float],
+            ) -> TTestResult:
+    """Welch's unequal-variance t-statistic.
+
+    Degenerate cases follow dudect's intent: two constant, equal classes
+    give t = 0 (perfectly constant time); constant but different classes
+    give t = +/-inf (a deterministic leak).
+    """
+    n0, n1 = len(class0), len(class1)
+    if n0 < 2 or n1 < 2:
+        raise ValueError("need at least 2 measurements per class")
+    mean0 = sum(class0) / n0
+    mean1 = sum(class1) / n1
+    var0 = sum((x - mean0) ** 2 for x in class0) / (n0 - 1)
+    var1 = sum((x - mean1) ** 2 for x in class1) / (n1 - 1)
+    denom_sq = var0 / n0 + var1 / n1
+    if denom_sq == 0:
+        t = 0.0 if mean0 == mean1 else math.inf * (1 if mean0 > mean1
+                                                   else -1)
+    else:
+        t = (mean0 - mean1) / math.sqrt(denom_sq)
+    return TTestResult(t_statistic=t, n0=n0, n1=n1,
+                       mean0=mean0, mean1=mean1)
+
+
+def crop_below_percentile(values: Sequence[float],
+                          fraction: float) -> list[float]:
+    """Keep the smallest ``fraction`` of the measurements (tail crop)."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    ordered = sorted(values)
+    keep = max(2, int(len(ordered) * fraction))
+    return ordered[:keep]
+
+
+@dataclass
+class DudectReport:
+    """Verdict over the full data and every crop."""
+
+    backend: str
+    measure: str
+    results: dict[float, TTestResult]
+
+    @property
+    def max_abs_t(self) -> float:
+        return max(abs(r.t_statistic) for r in self.results.values())
+
+    @property
+    def leaking(self) -> bool:
+        return any(r.leaking for r in self.results.values())
+
+    def render(self) -> str:
+        lines = [f"dudect[{self.measure}] {self.backend}: "
+                 f"{'LEAK' if self.leaking else 'ok'} "
+                 f"(max |t| = {self.max_abs_t:.2f})"]
+        for crop, result in sorted(self.results.items(), reverse=True):
+            lines.append(
+                f"  crop {crop:4.2f}: t = {result.t_statistic:+9.3f}  "
+                f"n = {result.n0}/{result.n1}  "
+                f"mean = {result.mean0:.2f}/{result.mean1:.2f}")
+        return "\n".join(lines)
+
+
+def two_class_report(backend: str, measure: str,
+                     class0: Sequence[float], class1: Sequence[float],
+                     ) -> DudectReport:
+    """Full dudect analysis (plain + cropped Welch tests)."""
+    results: dict[float, TTestResult] = {}
+    for fraction in CROP_PERCENTILES:
+        if fraction == 1.0:
+            results[fraction] = welch_t(class0, class1)
+        else:
+            results[fraction] = welch_t(
+                crop_below_percentile(class0, fraction),
+                crop_below_percentile(class1, fraction))
+    return DudectReport(backend=backend, measure=measure,
+                        results=results)
+
+
+def collect_opcount_traces(sampler, classifier: Callable[[int], bool],
+                           calls: int,
+                           prng: str = "chacha20",
+                           ) -> tuple[list[float], list[float]]:
+    """Per-call modeled-cycle traces split by an output classifier.
+
+    ``sampler`` must expose ``sample()`` and ``counter`` (the
+    :class:`~repro.baselines.api.IntegerSampler` surface).  The
+    classifier receives the signed sample and routes the measurement to
+    class 0 (True) or class 1 (False).
+    """
+    class0: list[float] = []
+    class1: list[float] = []
+    for _ in range(calls):
+        before = sampler.counter.snapshot()
+        value = sampler.sample()
+        delta = sampler.counter.delta(before)
+        cycles = delta.modeled_cycles(prng=prng)
+        (class0 if classifier(value) else class1).append(cycles)
+    return class0, class1
+
+
+def collect_walltime_traces(sampler, classifier: Callable[[int], bool],
+                            calls: int,
+                            ) -> tuple[list[float], list[float]]:
+    """Per-call wall-clock traces (nanoseconds) split by classifier."""
+    class0: list[float] = []
+    class1: list[float] = []
+    for _ in range(calls):
+        start = time.perf_counter_ns()
+        value = sampler.sample()
+        elapsed = time.perf_counter_ns() - start
+        (class0 if classifier(value) else class1).append(float(elapsed))
+    return class0, class1
+
+
+def audit_batch_sampler(batch_sampler, batches: int = 300,
+                        classifier: Callable[[list[int]], bool] | None
+                        = None,
+                        prng: str = "chacha20") -> DudectReport:
+    """dudect audit of a batch sampler at its natural granularity.
+
+    The bitsliced sampler does all work in whole-batch kernel runs, so
+    the meaningful trace is per batch: ``word_ops_per_batch`` gates plus
+    ``random_bytes_per_batch`` PRNG bytes, every time.  Classes are
+    formed from the batch *contents* (default: does the batch contain a
+    tail sample with magnitude >= 2 sigma?); a constant-time batch
+    sampler yields identical measurements in both classes, hence t = 0.
+
+    ``batch_sampler`` is a :class:`~repro.core.sampler.BitslicedSampler`.
+    """
+    if classifier is None:
+        sigma = batch_sampler.circuit.params.sigma
+
+        def classifier(batch: list[int]) -> bool:
+            return any(abs(v) >= 2 * sigma for v in batch)
+
+    from .opcount import PRNG_CYCLES_PER_BYTE
+
+    per_batch = (batch_sampler.word_ops_per_batch
+                 + batch_sampler.random_bytes_per_batch
+                 * PRNG_CYCLES_PER_BYTE[prng])
+    class0: list[float] = []
+    class1: list[float] = []
+    for _ in range(batches):
+        batch = batch_sampler.sample_batch()
+        # The kernel executed exactly the same instruction sequence.
+        (class0 if classifier(batch) else class1).append(per_batch)
+    if len(class0) < 2 or len(class1) < 2:
+        # Degenerate classifier split; constant traces are trivially ok.
+        class0 = [per_batch, per_batch]
+        class1 = [per_batch, per_batch]
+    return two_class_report("bitsliced", "opcount", class0, class1)
+
+
+def audit_sampler(sampler, calls: int = 4000,
+                  classifier: Callable[[int], bool] | None = None,
+                  measure: str = "opcount",
+                  prng: str = "chacha20") -> DudectReport:
+    """One-call dudect audit of a sampler backend.
+
+    Default classifier: magnitude <= 1 (the head of the Gaussian)
+    versus the rest — the correlation a cache/timing attacker targets.
+    """
+    if classifier is None:
+        classifier = lambda v: abs(v) <= 1  # noqa: E731
+    if measure == "opcount":
+        class0, class1 = collect_opcount_traces(sampler, classifier,
+                                                calls, prng=prng)
+    elif measure == "walltime":
+        class0, class1 = collect_walltime_traces(sampler, classifier,
+                                                 calls)
+    else:
+        raise ValueError("measure must be 'opcount' or 'walltime'")
+    name = getattr(sampler, "name", type(sampler).__name__)
+    return two_class_report(name, measure, class0, class1)

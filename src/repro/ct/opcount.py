@@ -1,0 +1,140 @@
+"""Abstract operation counting — the library's machine/cycle model.
+
+The paper's claims are cycle counts on an Intel i7-6600U; a Python
+interpreter cannot reproduce cycles, so every sampler in this library is
+instrumented to count *abstract operations*:
+
+========= =======================================================
+word_ops   bitwise ALU instructions on machine words (the gates of
+           the bitsliced sampler)
+compares   integer/byte comparisons
+loads      table memory reads (bytes or words from a CDT)
+branches   taken/evaluated conditional branches on secret data
+rng_bytes  pseudorandom bytes consumed
+========= =======================================================
+
+Modeled cycles = weighted sum.  The default weights are deliberately
+simple, loosely calibrated to a Skylake-class scalar core (L1-resident
+tables, as the paper notes its CDT competitors enjoy):
+
+* ALU op / compare: 1 cycle
+* load: 1 cycle (L1 hit, pipelined)
+* branch: 3 cycles (amortized misprediction on secret-dependent data)
+* PRNG byte: backend-specific cycles/byte — scalar ChaCha20 ~3.5 cpb,
+  Keccak/SHAKE ~8.8 cpb (one f[1600] permutation ~1200 cycles per 136-
+  byte rate), consistent with the paper's observation that 80-85% of
+  sampling time goes to Keccak randomness and ~60% with ChaCha.
+
+Absolute modeled numbers are *not* the reproduction target; the
+cross-sampler ordering and rough ratios are (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Cycle weights for abstract operations.
+DEFAULT_CYCLE_WEIGHTS: dict[str, float] = {
+    "word_ops": 1.0,
+    "compares": 1.0,
+    "loads": 1.0,
+    "branches": 3.0,
+}
+
+#: Modeled PRNG cost in cycles per byte, per backend (scalar code).
+PRNG_CYCLES_PER_BYTE: dict[str, float] = {
+    "chacha20": 3.5,
+    "chacha12": 2.4,
+    "chacha8": 1.8,
+    "shake128": 8.2,
+    "shake256": 8.8,
+    "counter": 0.25,   # SplitMix64-style, ~2 cycles per 8 bytes
+    "aesni": 0.8,      # the paper's suggested hardware-assisted option
+}
+
+
+@dataclass
+class OpCounts:
+    """A bag of abstract operation counts."""
+
+    word_ops: int = 0
+    compares: int = 0
+    loads: int = 0
+    branches: int = 0
+    rng_bytes: int = 0
+
+    def add(self, other: "OpCounts") -> None:
+        self.word_ops += other.word_ops
+        self.compares += other.compares
+        self.loads += other.loads
+        self.branches += other.branches
+        self.rng_bytes += other.rng_bytes
+
+    def copy(self) -> "OpCounts":
+        return OpCounts(self.word_ops, self.compares, self.loads,
+                        self.branches, self.rng_bytes)
+
+    def delta_from(self, earlier: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            word_ops=self.word_ops - earlier.word_ops,
+            compares=self.compares - earlier.compares,
+            loads=self.loads - earlier.loads,
+            branches=self.branches - earlier.branches,
+            rng_bytes=self.rng_bytes - earlier.rng_bytes)
+
+    def modeled_cycles(self, prng: str = "chacha20",
+                       weights: dict[str, float] | None = None,
+                       include_rng: bool = True) -> float:
+        """Weighted cycle estimate for these counts."""
+        w = DEFAULT_CYCLE_WEIGHTS if weights is None else weights
+        cycles = (self.word_ops * w["word_ops"]
+                  + self.compares * w["compares"]
+                  + self.loads * w["loads"]
+                  + self.branches * w["branches"])
+        if include_rng:
+            cycles += self.rng_bytes * PRNG_CYCLES_PER_BYTE[prng]
+        return cycles
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "word_ops": self.word_ops,
+            "compares": self.compares,
+            "loads": self.loads,
+            "branches": self.branches,
+            "rng_bytes": self.rng_bytes,
+        }
+
+
+@dataclass
+class OpCounter:
+    """Mutable counter samplers report into.
+
+    ``snapshot()``/``delta()`` bracket a region (e.g. one ``sample()``
+    call) so dudect can build per-call traces.
+    """
+
+    counts: OpCounts = field(default_factory=OpCounts)
+
+    def word_op(self, amount: int = 1) -> None:
+        self.counts.word_ops += amount
+
+    def compare(self, amount: int = 1) -> None:
+        self.counts.compares += amount
+
+    def load(self, amount: int = 1) -> None:
+        self.counts.loads += amount
+
+    def branch(self, amount: int = 1) -> None:
+        self.counts.branches += amount
+
+    def rng(self, num_bytes: int) -> None:
+        self.counts.rng_bytes += num_bytes
+
+    def snapshot(self) -> OpCounts:
+        return self.counts.copy()
+
+    def delta(self, earlier: OpCounts) -> OpCounts:
+        return self.counts.delta_from(earlier)
+
+    def reset(self) -> None:
+        self.counts = OpCounts()

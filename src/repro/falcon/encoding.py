@@ -1,0 +1,119 @@
+"""Falcon signature compression (the spec's Golomb–Rice-style coding).
+
+A signature's ``s2`` polynomial has Gaussian coefficients of standard
+deviation ~165, so ~8 low bits are incompressible noise and the high
+bits are geometrically distributed.  The spec encodes each coefficient
+as:
+
+* 1 sign bit,
+* the 7 low bits of the absolute value,
+* the remaining high part ``|s| >> 7`` in unary (that many ``0`` bits,
+  then a terminating ``1``).
+
+The bit budget is fixed per parameter set; unused space is zero-padded
+(and checked on decode), and encoders report failure when a freak
+signature exceeds the budget — the signer simply retries, as the
+reference implementation does.  Decoding enforces canonicity: padding
+must be all-zero and ``-0`` is rejected.
+"""
+
+from __future__ import annotations
+
+
+class CompressError(Exception):
+    """Signature does not fit the fixed bit budget (resample)."""
+
+
+class DecompressError(Exception):
+    """Malformed or non-canonical compressed signature."""
+
+
+class _BitWriter:
+    def __init__(self) -> None:
+        self.bits: list[int] = []
+
+    def write(self, bit: int) -> None:
+        self.bits.append(bit)
+
+    def write_int(self, value: int, width: int) -> None:
+        for position in range(width - 1, -1, -1):
+            self.bits.append((value >> position) & 1)
+
+    def to_bytes(self, total_bits: int) -> bytes:
+        if len(self.bits) > total_bits:
+            raise CompressError(
+                f"needs {len(self.bits)} bits > budget {total_bits}")
+        padded = self.bits + [0] * (total_bits - len(self.bits))
+        out = bytearray()
+        for start in range(0, len(padded), 8):
+            byte = 0
+            for bit in padded[start:start + 8]:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)
+
+
+class _BitReader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.position = 0
+
+    def read(self) -> int:
+        byte_index, bit_index = divmod(self.position, 8)
+        if byte_index >= len(self.data):
+            raise DecompressError("compressed signature truncated")
+        self.position += 1
+        return (self.data[byte_index] >> (7 - bit_index)) & 1
+
+    def read_int(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read()
+        return value
+
+    def remaining_all_zero(self) -> bool:
+        total = len(self.data) * 8
+        while self.position < total:
+            if self.read():
+                return False
+        return True
+
+
+def compress(coefficients: list[int], payload_bits: int) -> bytes:
+    """Compress ``s2`` into exactly ``ceil(payload_bits / 8)`` bytes."""
+    writer = _BitWriter()
+    for value in coefficients:
+        sign = 1 if value < 0 else 0
+        magnitude = -value if value < 0 else value
+        writer.write(sign)
+        writer.write_int(magnitude & 0x7F, 7)
+        high = magnitude >> 7
+        for _ in range(high):
+            writer.write(0)
+        writer.write(1)
+    total_bits = ((payload_bits + 7) // 8) * 8
+    return writer.to_bytes(total_bits)
+
+
+def decompress(data: bytes, n: int) -> list[int]:
+    """Inverse of :func:`compress`; raises on any non-canonical form."""
+    reader = _BitReader(data)
+    out = []
+    for _ in range(n):
+        sign = reader.read()
+        low = reader.read_int(7)
+        high = 0
+        while True:
+            bit = reader.read()
+            if bit:
+                break
+            high += 1
+            if high > (1 << 10):
+                raise DecompressError("unary run too long")
+        magnitude = (high << 7) | low
+        if sign and magnitude == 0:
+            raise DecompressError("negative zero is non-canonical")
+        out.append(-magnitude if sign else magnitude)
+    if not reader.remaining_all_zero():
+        raise DecompressError("non-zero padding")
+    return out

@@ -1,0 +1,135 @@
+"""Fast Fourier sampling over NTRU lattices (Falcon's ffSampling).
+
+Signing must produce a lattice point close to a target without leaking
+the secret basis' geometry.  Falcon uses the Ducas–Prest fast Fourier
+nearest-plane: an ``ffLDL*`` decomposition of the basis Gram matrix is
+precomputed as a binary tree (splitting the ring tower in half at each
+level), and sampling walks the tree, calling an integer Gaussian
+sampler ``D_{Z, sigma_leaf, c}`` at each of the ``2n`` leaves — the
+exact place the paper's constant-time base sampler gets exercised.
+
+Tree layout over ``R_n = R[x]/(x^n + 1)``:
+
+* inner node (n >= 2): the LDL factor ``L10`` (FFT vector, length n)
+  plus two child trees over ``R_{n/2}`` built from the split of the
+  diagonal blocks;
+* leaf (n == 1): the two per-slot standard deviations
+  ``sigma / sqrt(d_ii)`` after normalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .fft import (
+    add_fft,
+    adj_fft,
+    div_fft,
+    merge_fft,
+    mul_fft,
+    split_fft,
+    sub_fft,
+)
+
+#: Leaf sampler signature: (center, sigma) -> integer.
+SamplerZ = Callable[[float, float], int]
+
+
+@dataclass
+class LdlLeaf:
+    """Bottom of the tower: one complex slot, two sigmas."""
+
+    l10: complex
+    sigma0: float
+    sigma1: float
+
+
+@dataclass
+class LdlNode:
+    """Inner node: L-factor over R_n plus two half-size children."""
+
+    l10: list[complex]
+    child0: "LdlNode | LdlLeaf"
+    child1: "LdlNode | LdlLeaf"
+
+
+def _ldl_2x2(g00, g01, g11):
+    """LDL* of a Hermitian 2x2 over the FFT slots.
+
+    ``G = [[g00, g01], [g01*, g11]] = L D L*`` with
+    ``L = [[1, 0], [l10, 1]]``, ``D = diag(d00, d11)``:
+    ``l10 = g01* / g00``? — careful: Falcon uses ``l10 = g10 / g00``
+    with ``g10 = adj(g01)``; ``d11 = g11 - |l10|^2 g00``.
+    """
+    l10 = div_fft(adj_fft(g01), g00)
+    correction = mul_fft(mul_fft(l10, adj_fft(l10)), g00)
+    d11 = sub_fft(g11, correction)
+    return l10, g00, d11
+
+
+def build_ldl_tree(g00: list[complex], g01: list[complex],
+                   g11: list[complex]) -> LdlNode | LdlLeaf:
+    """Recursive ffLDL* of the Gram matrix (given in FFT form).
+
+    Diagonal entries of D are real-positive in every slot (Gram of a
+    full-rank basis); their imaginary parts are numerical noise.
+    """
+    n = len(g00)
+    l10, d00, d11 = _ldl_2x2(g00, g01, g11)
+    if n == 1:
+        return LdlLeaf(l10=l10[0], sigma0=d00[0].real,
+                       sigma1=d11[0].real)
+    d00_even, d00_odd = split_fft(d00)
+    d11_even, d11_odd = split_fft(d11)
+    child0 = build_ldl_tree(d00_even, d00_odd, d00_even)
+    child1 = build_ldl_tree(d11_even, d11_odd, d11_even)
+    return LdlNode(l10=l10, child0=child0, child1=child1)
+
+
+def normalize_tree(tree: LdlNode | LdlLeaf, sigma: float) -> None:
+    """Replace leaf variances ``d`` by sigmas ``sigma / sqrt(d)``.
+
+    After this, every leaf holds the standard deviation handed to
+    SamplerZ (all in ``[sigma_min, SIGMA_MAX]`` for valid keys).
+    """
+    if isinstance(tree, LdlLeaf):
+        tree.sigma0 = sigma / (tree.sigma0 ** 0.5)
+        tree.sigma1 = sigma / (tree.sigma1 ** 0.5)
+        return
+    normalize_tree(tree.child0, sigma)
+    normalize_tree(tree.child1, sigma)
+
+
+def tree_leaf_sigmas(tree: LdlNode | LdlLeaf) -> list[float]:
+    """All leaf sigmas (diagnostics; Table 1 reports their range)."""
+    if isinstance(tree, LdlLeaf):
+        return [tree.sigma0, tree.sigma1]
+    return tree_leaf_sigmas(tree.child0) + tree_leaf_sigmas(tree.child1)
+
+
+def ff_sampling(t0: list[complex], t1: list[complex],
+                tree: LdlNode | LdlLeaf,
+                sampler_z: SamplerZ) -> tuple[list[complex],
+                                              list[complex]]:
+    """Sample ``(z0, z1)`` integer-coefficient pair near ``(t0, t1)``.
+
+    The Ducas–Prest recursion: sample the second half first, adjust the
+    first half's target with the L-factor, recurse.  Returns FFT-domain
+    vectors whose inverse FFTs are (exactly) integer polynomials.
+    """
+    if isinstance(tree, LdlLeaf):
+        z1 = complex(sampler_z(t1[0].real, tree.sigma1))
+        adjusted = t0[0] + (t1[0] - z1) * tree.l10
+        z0 = complex(sampler_z(adjusted.real, tree.sigma0))
+        return [z0], [z1]
+
+    t1_even, t1_odd = split_fft(t1)
+    z1_even, z1_odd = ff_sampling(t1_even, t1_odd, tree.child1, sampler_z)
+    z1 = merge_fft(z1_even, z1_odd)
+
+    t0_adjusted = add_fft(t0, mul_fft(sub_fft(t1, z1), tree.l10))
+    t0_even, t0_odd = split_fft(t0_adjusted)
+    z0_even, z0_odd = ff_sampling(t0_even, t0_odd, tree.child0, sampler_z)
+    z0 = merge_fft(z0_even, z0_odd)
+    return z0, z1

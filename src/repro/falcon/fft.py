@@ -1,0 +1,160 @@
+"""Negacyclic complex FFT over R[x]/(x^n + 1) — Falcon's number field.
+
+Falcon does key generation and signing in the FFT representation of the
+cyclotomic ring: a polynomial is stored by its values at the ``n``
+primitive ``2n``-th roots of unity (the roots of ``x^n + 1``).
+
+Point ordering is defined recursively and is what makes ``split``/
+``merge`` trivial (they are the workhorses of ffSampling):
+
+* the point list of size 1 is ``[-1]`` (the root of ``x + 1``);
+* the point list of size ``n`` interleaves ``+sqrt(p), -sqrt(p)`` for
+  each point ``p`` of size ``n/2`` (principal square root).
+
+So slots ``2k`` and ``2k+1`` always hold a conjugate... more precisely a
+``±zeta`` pair with ``zeta^2 = points_half[k]``, giving
+
+    f(zeta)  = f_even(zeta^2) + zeta * f_odd(zeta^2)
+    f(-zeta) = f_even(zeta^2) - zeta * f_odd(zeta^2)
+
+Everything here is pure Python ``complex``; Falcon-1024 needs ~53-bit
+precision, which doubles provide (the reference implementation makes the
+same choice).
+"""
+
+from __future__ import annotations
+
+import cmath
+from functools import lru_cache
+from typing import Sequence
+
+
+@lru_cache(maxsize=None)
+def fft_points(n: int) -> tuple[complex, ...]:
+    """The ``n`` evaluation points (roots of ``x^n + 1``), slot order."""
+    if n < 1 or n & (n - 1):
+        raise ValueError("n must be a positive power of two")
+    if n == 1:
+        return (complex(-1),)
+    half = fft_points(n // 2)
+    points = []
+    for p in half:
+        z = cmath.sqrt(p)
+        points.extend((z, -z))
+    return tuple(points)
+
+
+@lru_cache(maxsize=None)
+def _merge_roots(n: int) -> tuple[complex, ...]:
+    """``zeta_k = sqrt(points(n/2)[k])`` used by merge/split at size n."""
+    return tuple(cmath.sqrt(p) for p in fft_points(n // 2))
+
+
+def fft(coefficients: Sequence[float | complex]) -> list[complex]:
+    """Forward negacyclic FFT of a coefficient vector."""
+    n = len(coefficients)
+    if n == 1:
+        return [complex(coefficients[0])]
+    if n & (n - 1):
+        raise ValueError("length must be a power of two")
+    even = fft(coefficients[0::2])
+    odd = fft(coefficients[1::2])
+    roots = _merge_roots(n)
+    out = [0j] * n
+    for k in range(n // 2):
+        twist = roots[k] * odd[k]
+        out[2 * k] = even[k] + twist
+        out[2 * k + 1] = even[k] - twist
+    return out
+
+
+def ifft(values: Sequence[complex]) -> list[float]:
+    """Inverse FFT returning real coefficients (imag parts dropped)."""
+    return [v.real for v in _ifft_complex(list(values))]
+
+
+def _ifft_complex(values: list[complex]) -> list[complex]:
+    n = len(values)
+    if n == 1:
+        return [values[0]]
+    if n & (n - 1):
+        raise ValueError("length must be a power of two")
+    even_vals, odd_vals = split_fft(values)
+    even = _ifft_complex(even_vals)
+    odd = _ifft_complex(odd_vals)
+    out = [0j] * n
+    out[0::2] = even
+    out[1::2] = odd
+    return out
+
+
+def split_fft(values: Sequence[complex]) -> tuple[list[complex],
+                                                  list[complex]]:
+    """FFT-domain split: ``fft(f) -> fft(f_even), fft(f_odd)``.
+
+    Used directly by ffSampling's tree descent (Falcon's
+    ``splitfft``); exactly inverts :func:`merge_fft`.
+    """
+    n = len(values)
+    roots = _merge_roots(n)
+    even = [0j] * (n // 2)
+    odd = [0j] * (n // 2)
+    for k in range(n // 2):
+        a, b = values[2 * k], values[2 * k + 1]
+        even[k] = (a + b) / 2
+        odd[k] = (a - b) / (2 * roots[k])
+    return even, odd
+
+
+def merge_fft(even: Sequence[complex], odd: Sequence[complex],
+              ) -> list[complex]:
+    """FFT-domain merge: ``fft(f_even), fft(f_odd) -> fft(f)``."""
+    n = 2 * len(even)
+    roots = _merge_roots(n)
+    out = [0j] * n
+    for k in range(n // 2):
+        twist = roots[k] * odd[k]
+        out[2 * k] = even[k] + twist
+        out[2 * k + 1] = even[k] - twist
+    return out
+
+
+# -- pointwise ring operations in the FFT domain ---------------------------
+
+def add_fft(a: Sequence[complex], b: Sequence[complex]) -> list[complex]:
+    return [x + y for x, y in zip(a, b, strict=True)]
+
+
+def sub_fft(a: Sequence[complex], b: Sequence[complex]) -> list[complex]:
+    return [x - y for x, y in zip(a, b, strict=True)]
+
+
+def mul_fft(a: Sequence[complex], b: Sequence[complex]) -> list[complex]:
+    return [x * y for x, y in zip(a, b, strict=True)]
+
+
+def div_fft(a: Sequence[complex], b: Sequence[complex]) -> list[complex]:
+    return [x / y for x, y in zip(a, b, strict=True)]
+
+
+def neg_fft(a: Sequence[complex]) -> list[complex]:
+    return [-x for x in a]
+
+
+def adj_fft(a: Sequence[complex]) -> list[complex]:
+    """Adjoint (Hermitian conjugate) of a *real* polynomial.
+
+    For real ``f`` and ``|zeta| = 1``, ``f*(zeta) = conj(f(zeta))``
+    slot-by-slot, so no reordering is required.
+    """
+    return [x.conjugate() for x in a]
+
+
+def fft_of_int_poly(coefficients: Sequence[int]) -> list[complex]:
+    """FFT of an integer polynomial (convenience with float cast)."""
+    return fft([float(c) for c in coefficients])
+
+
+def round_ifft(values: Sequence[complex]) -> list[int]:
+    """Inverse FFT followed by rounding to nearest integers."""
+    return [round(c) for c in ifft(values)]

@@ -1,0 +1,224 @@
+"""NTRU key generation: sampling (f, g) and solving the NTRU equation.
+
+Key generation finds short ``f, g`` and completes the basis with
+``F, G`` satisfying
+
+    f G - g F = q   (mod x^n + 1)
+
+via the recursive tower descent of Pornin–Prest: take field norms down
+to degree 1, solve with the extended Euclid there, lift the solution
+back up (``F' = lift(F_half) * conj(g)``), and size-reduce against
+``(f, g)`` with Babai rounding at every level.  All arithmetic on the
+way down/up is exact big-integer; the Babai quotient is computed in
+floating point through the FFT on block-scaled coefficients (the
+coefficients grow to thousands of bits; only their top 53 bits matter
+for the rounding).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..baselines.cdt import CdtBinarySearchSampler
+from ..core.gaussian import GaussianParams
+from ..rng.source import RandomSource, default_source
+from . import poly
+from .fft import adj_fft, div_fft, fft, mul_fft
+from .ntt import Q, div_ntt, is_invertible
+from .params import FalconParams, falcon_params
+
+#: Babai reduction abandons (and keygen retries) after this many rounds.
+_MAX_REDUCE_ROUNDS = 512
+
+
+class NtruSolveError(Exception):
+    """The NTRU equation has no solution for this (f, g) — resample."""
+
+
+def _xgcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: returns (gcd, u, v) with u*a + v*b = gcd."""
+    old_r, r = a, b
+    old_u, u = 1, 0
+    old_v, v = 0, 1
+    while r:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_u, u = u, old_u - quotient * u
+        old_v, v = v, old_v - quotient * v
+    return old_r, old_u, old_v
+
+
+def _block_scaled_floats(values: list[int], drop_bits: int) -> list[float]:
+    """``value / 2^drop_bits`` as floats, tolerating huge integers."""
+    if drop_bits <= 0:
+        return [float(v) for v in values]
+    return [float(v >> drop_bits) for v in values]
+
+
+def reduce_basis(f: list[int], g: list[int], F: list[int], G: list[int],
+                 ) -> tuple[list[int], list[int]]:
+    """Babai-reduce (F, G) against (f, g); returns the new (F, G).
+
+    Iterates ``k = round((F f* + G g*) / (f f* + g g*))``,
+    ``(F, G) -= k * (f, g)``, with the quotient computed on the top 53
+    bits of the coefficients (block scaling by powers of two), shifting
+    the integer update back up.  Terminates when ``k = 0`` at scale 0.
+    """
+    size = max(53, poly.max_bitsize([f, g]))
+    f_scaled = _block_scaled_floats(f, size - 53)
+    g_scaled = _block_scaled_floats(g, size - 53)
+    f_fft = fft(f_scaled)
+    g_fft = fft(g_scaled)
+    denominator = [
+        x + y for x, y in zip(mul_fft(f_fft, adj_fft(f_fft)),
+                              mul_fft(g_fft, adj_fft(g_fft)))]
+
+    for _ in range(_MAX_REDUCE_ROUNDS):
+        big_size = max(53, poly.max_bitsize([F, G]))
+        if big_size < size:
+            big_size = size
+        F_fft = fft(_block_scaled_floats(F, big_size - 53))
+        G_fft = fft(_block_scaled_floats(G, big_size - 53))
+        numerator = [
+            x + y for x, y in zip(mul_fft(F_fft, adj_fft(f_fft)),
+                                  mul_fft(G_fft, adj_fft(g_fft)))]
+        quotient = div_fft(numerator, denominator)
+        from .fft import ifft
+        k = [round(c) for c in ifft(quotient)]
+        if all(v == 0 for v in k):
+            if big_size == size:
+                return F, G
+            # Nothing to remove at this scale; zoom in on lower bits.
+            # (Rare; continuing with smaller windows would stall, so
+            # fall through by shrinking the recorded size.)
+            return F, G
+        shift = big_size - size
+        kf = poly.mul_negacyclic(k, f)
+        kg = poly.mul_negacyclic(k, g)
+        F = [a - (b << shift) for a, b in zip(F, kf)]
+        G = [a - (b << shift) for a, b in zip(G, kg)]
+    raise NtruSolveError("Babai reduction did not converge")
+
+
+def ntru_solve(f: list[int], g: list[int]) -> tuple[list[int], list[int]]:
+    """Solve ``f G - g F = q`` for short (F, G).
+
+    Raises :class:`NtruSolveError` when the resultants share a factor
+    with q's tower (caller resamples f, g).
+    """
+    n = len(f)
+    if n == 1:
+        gcd, u, v = _xgcd(f[0], g[0])
+        if gcd != 1:
+            raise NtruSolveError("gcd(Res(f), Res(g)) != 1")
+        # u f + v g = 1  =>  F = -v q, G = u q gives f G - g F = q.
+        return [-v * Q], [u * Q]
+
+    f_norm = poly.field_norm(f)
+    g_norm = poly.field_norm(g)
+    F_half, G_half = ntru_solve(f_norm, g_norm)
+    # F = lift(F_half) * conj(g), G = lift(G_half) * conj(f):
+    # N(f) = f * conj(f) at the lifted level, so
+    # f G - g F = lift(N(f) G_half - N(g) F_half) = lift(q) = q.
+    F = poly.mul_negacyclic(poly.lift(F_half), poly.galois_conjugate(g))
+    G = poly.mul_negacyclic(poly.lift(G_half), poly.galois_conjugate(f))
+    F, G = reduce_basis(f, g, F, G)
+    return F, G
+
+
+def gram_schmidt_norm_sq(f: list[int], g: list[int]) -> float:
+    """``max(||(g,-f)||^2, ||(q f*/(ff*+gg*), q g*/(ff*+gg*))||^2)``.
+
+    The keygen acceptance test: both Gram–Schmidt rows of the secret
+    basis must be short enough for the signing sigma.
+    """
+    first = float(poly.square_norm(f) + poly.square_norm(g))
+    f_fft = fft([float(c) for c in f])
+    g_fft = fft([float(c) for c in g])
+    denom = [x + y for x, y in zip(mul_fft(f_fft, adj_fft(f_fft)),
+                                   mul_fft(g_fft, adj_fft(g_fft)))]
+    ft = div_fft([Q * c for c in adj_fft(f_fft)], denom)
+    gt = div_fft([Q * c for c in adj_fft(g_fft)], denom)
+    # Norm via Parseval: sum |values|^2 / n.
+    n = len(f)
+    second = (sum(abs(c) ** 2 for c in ft)
+              + sum(abs(c) ** 2 for c in gt)) / n
+    return max(first, second)
+
+
+@dataclass
+class NtruKeys:
+    """A complete NTRU trapdoor: short basis and public polynomial."""
+
+    f: list[int]
+    g: list[int]
+    F: list[int]
+    G: list[int]
+    h: list[int]
+
+    def verify_ntru_equation(self) -> bool:
+        lhs = poly.sub(poly.mul_negacyclic(self.f, self.G),
+                       poly.mul_negacyclic(self.g, self.F))
+        want = [Q] + [0] * (len(self.f) - 1)
+        return lhs == want
+
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=None)
+def _keygen_table(sigma_rounded: float):
+    from ..baselines.cdt import CdtTable
+
+    gaussian = GaussianParams.from_sigma(sigma_rounded, precision=64)
+    return CdtTable(gaussian)
+
+
+def _sample_fg(params: FalconParams, source: RandomSource) -> list[int]:
+    """One secret polynomial with D_{sigma_fg} coefficients.
+
+    Uses the binary-search CDT backend (keygen is not the paper's
+    timing target; only signing is benchmarked).
+    """
+    sigma = round(params.keygen_sigma, 6)
+    table = _keygen_table(sigma)
+    sampler = CdtBinarySearchSampler(table.params, source=source,
+                                     table=table)
+    return [sampler.sample() for _ in range(params.n)]
+
+
+def generate_keys(n: int, source: RandomSource | None = None,
+                  max_attempts: int = 1024) -> NtruKeys:
+    """Falcon key generation for ring degree ``n``.
+
+    Resamples until (f, g) pass the invertibility and Gram–Schmidt
+    checks and NTRUSolve succeeds.  Per-attempt acceptance is ~5-10%
+    (the Gram–Schmidt bound dominates, as in the reference
+    implementation), hence the generous attempt budget.
+    """
+    params = falcon_params(n)
+    rng = source if source is not None else default_source()
+    bound = (1.17 ** 2) * Q
+    for _ in range(max_attempts):
+        f = _sample_fg(params, rng)
+        g = _sample_fg(params, rng)
+        # Parity pre-filter: if f(1) and g(1) are both even, the two
+        # resultants share the factor 2 and NTRUSolve must fail — skip
+        # the expensive work (the reference implementation's trick).
+        if sum(f) % 2 == 0 and sum(g) % 2 == 0:
+            continue
+        if not is_invertible(f):
+            continue
+        if gram_schmidt_norm_sq(f, g) > bound:
+            continue
+        try:
+            F, G = ntru_solve(list(f), list(g))
+        except NtruSolveError:
+            continue
+        h = div_ntt(g, f)
+        keys = NtruKeys(f=f, g=g, F=F, G=G, h=h)
+        if not keys.verify_ntru_equation():  # pragma: no cover
+            continue
+        return keys
+    raise RuntimeError(f"key generation failed after {max_attempts} tries")

@@ -1,0 +1,129 @@
+"""Number-theoretic transform modulo Falcon's q = 12289.
+
+Falcon's public-key arithmetic (computing ``h = g / f``, verification's
+``s0 = c - s1 h``) happens in ``Z_q[x]/(x^n + 1)`` with ``q = 12289 =
+3 * 2^12 + 1``, which supports negacyclic NTTs up to ``n = 2048``.
+
+Implementation: the standard in-place Cooley–Tukey forward / Gentleman–
+Sande inverse butterflies with ``psi``-power tables in bit-reversed
+order (Longa–Naehrig formulation).  The generator and the primitive
+``2n``-th roots are found at import time by search — no magic constants
+to mistype — and cached per ``n``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+Q = 12289
+
+
+def _is_primitive_root(candidate: int, modulus: int,
+                       factorization: list[int]) -> bool:
+    order = modulus - 1
+    return all(pow(candidate, order // p, modulus) != 1
+               for p in factorization)
+
+
+@lru_cache(maxsize=1)
+def _generator() -> int:
+    """Smallest primitive root modulo Q (Q - 1 = 2^12 * 3)."""
+    for candidate in range(2, Q):
+        if _is_primitive_root(candidate, Q, [2, 3]):
+            return candidate
+    raise AssertionError("no generator found")  # pragma: no cover
+
+
+def _bit_reverse(value: int, bits: int) -> int:
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+@lru_cache(maxsize=None)
+def _tables(n: int) -> tuple[tuple[int, ...], tuple[int, ...], int]:
+    """(psi powers bit-reversed, inverse psi powers bit-reversed, n^-1)."""
+    if n < 2 or n & (n - 1):
+        raise ValueError("n must be a power of two, at least 2")
+    if (Q - 1) % (2 * n):
+        raise ValueError(f"no 2n-th root of unity mod {Q} for n={n}")
+    psi = pow(_generator(), (Q - 1) // (2 * n), Q)
+    psi_inv = pow(psi, -1, Q)
+    bits = n.bit_length() - 1
+    forward = [pow(psi, _bit_reverse(i, bits), Q) for i in range(n)]
+    inverse = [pow(psi_inv, _bit_reverse(i, bits), Q) for i in range(n)]
+    return tuple(forward), tuple(inverse), pow(n, -1, Q)
+
+
+def ntt(coefficients: Sequence[int]) -> list[int]:
+    """Forward negacyclic NTT (psi-twisted, bit-reversed output order)."""
+    n = len(coefficients)
+    forward, _, _ = _tables(n)
+    a = [c % Q for c in coefficients]
+    t = n
+    m = 1
+    while m < n:
+        t //= 2
+        for i in range(m):
+            s = forward[m + i]
+            start = 2 * i * t
+            for j in range(start, start + t):
+                u = a[j]
+                v = a[j + t] * s % Q
+                a[j] = (u + v) % Q
+                a[j + t] = (u - v) % Q
+        m *= 2
+    return a
+
+
+def intt(values: Sequence[int]) -> list[int]:
+    """Inverse negacyclic NTT."""
+    n = len(values)
+    _, inverse, n_inv = _tables(n)
+    a = list(values)
+    t = 1
+    m = n
+    while m > 1:
+        half = m // 2
+        start = 0
+        for i in range(half):
+            s = inverse[half + i]
+            for j in range(start, start + t):
+                u = a[j]
+                v = a[j + t]
+                a[j] = (u + v) % Q
+                a[j + t] = (u - v) * s % Q
+            start += 2 * t
+        t *= 2
+        m = half
+    return [x * n_inv % Q for x in a]
+
+
+def mul_ntt(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Product in ``Z_q[x]/(x^n + 1)`` via NTT."""
+    fa = ntt(a)
+    fb = ntt(b)
+    return intt([x * y % Q for x, y in zip(fa, fb)])
+
+
+def div_ntt(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Quotient ``a / b``; raises ZeroDivisionError if b not invertible."""
+    fa = ntt(a)
+    fb = ntt(b)
+    if any(x == 0 for x in fb):
+        raise ZeroDivisionError("divisor not invertible mod q")
+    return intt([x * pow(y, -1, Q) % Q for x, y in zip(fa, fb)])
+
+
+def is_invertible(a: Sequence[int]) -> bool:
+    """True iff ``a`` is a unit in ``Z_q[x]/(x^n + 1)``."""
+    return all(x != 0 for x in ntt(a))
+
+
+def center_mod_q(value: int) -> int:
+    """Representative of ``value mod q`` in ``(-q/2, q/2]``."""
+    value %= Q
+    return value - Q if value > Q // 2 else value

@@ -1,0 +1,96 @@
+"""Falcon parameter sets.
+
+The paper's Table 1 instantiates Falcon at ``N in {256, 512, 1024}``
+(its "Level 1/2/3", matching the 2018 NIST submission's ladder).  For
+``N = 512`` and ``N = 1024`` the constants are the official ones from
+the Falcon specification; every other power-of-two degree (used by the
+paper's Level 1 at 256 and by fast unit tests at 8..128) is derived from
+the specification's own formula chain:
+
+* ``eps       = 1 / sqrt(lambda * 2^64)``   (query bound Q_s = 2^64)
+* ``smoothing = (1/pi) * sqrt(ln(4 N (1 + 1/eps)) / 2)``
+* ``sigma     = 1.17 * sqrt(q) * smoothing``
+* ``sigma_min = smoothing``  (the spec's eta-epsilon of Z, reused)
+* ``beta^2    = floor((1.1 * sigma * sqrt(2N))^2)``
+
+which reproduces the official 512/1024 constants to ~5 significant
+digits (lambda = 128 for N <= 512, 256 for N = 1024).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+#: Falcon's modulus, shared by all parameter sets.
+Q = 12289
+
+#: Upper bound on the ffSampling leaf standard deviations.
+SIGMA_MAX = 1.8205
+
+#: Salt length in bytes (the spec's 320-bit nonce).
+SALT_BYTES = 40
+
+
+@dataclass(frozen=True)
+class FalconParams:
+    """One Falcon instance."""
+
+    n: int
+    sigma: float
+    sigma_min: float
+    sig_bound: int           # beta^2: max squared norm of (s0, s1)
+    sig_payload_bits: int    # compressed-signature budget for s1
+
+    @property
+    def sigma_max(self) -> float:
+        return SIGMA_MAX
+
+    @property
+    def keygen_sigma(self) -> float:
+        """Standard deviation of f, g coefficients:
+        ``1.17 * sqrt(q / (2N))``."""
+        return 1.17 * math.sqrt(Q / (2 * self.n))
+
+    @property
+    def salt_bytes(self) -> int:
+        return SALT_BYTES
+
+
+def _security_lambda(n: int) -> int:
+    return 256 if n >= 1024 else 128
+
+
+@lru_cache(maxsize=None)
+def falcon_params(n: int) -> FalconParams:
+    """Parameter set for ring degree ``n`` (power of two, 4..1024)."""
+    if n < 4 or n & (n - 1):
+        raise ValueError("n must be a power of two, at least 4")
+    if n == 512:
+        sigma, sigma_min = 165.7366171829776, 1.2778336969128337
+        sig_bound = 34034726
+    elif n == 1024:
+        sigma, sigma_min = 168.38857144654395, 1.29828033442751
+        sig_bound = 70265242
+    else:
+        eps = 1.0 / math.sqrt(_security_lambda(n) * 2.0 ** 64)
+        smoothing = (1.0 / math.pi) * math.sqrt(
+            math.log(4 * n * (1 + 1 / eps)) / 2)
+        sigma = 1.17 * math.sqrt(Q) * smoothing
+        sigma_min = smoothing
+        sig_bound = math.floor((1.1 * sigma * math.sqrt(2 * n)) ** 2)
+    # ~10 bits/coefficient plus slack; resampling covers overflows
+    # (official byte lengths for 512/1024 correspond to ~9.8 bits).
+    payload_bits = 11 * n + 64
+    return FalconParams(n=n, sigma=sigma, sigma_min=sigma_min,
+                        sig_bound=sig_bound,
+                        sig_payload_bits=payload_bits)
+
+
+#: The paper's three security levels (Table 1).
+PAPER_LEVELS = {
+    "Level 1": 256,
+    "Level 2": 512,
+    "Level 3": 1024,
+}

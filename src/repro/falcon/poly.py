@@ -1,0 +1,146 @@
+"""Exact integer polynomial arithmetic in Z[x]/(x^n + 1).
+
+NTRUSolve (key generation) works over towers of cyclotomic subrings with
+*exact* big-integer coefficients that grow to thousands of bits; this
+module supplies the required primitives:
+
+* negacyclic multiplication (Karatsuba above a schoolbook threshold —
+  Python bigints make the coefficient growth free of overflow concerns);
+* the Galois conjugate ``f(-x)``;
+* the field norm ``N(f) = f_e^2 - x f_o^2`` mapping Z[x]/(x^n+1) down to
+  Z[x]/(x^{n/2}+1);
+* the lift ``f(x) -> f(x^2)`` going back up the tower.
+
+These are the Falcon/NTRUSolve identities of Pornin–Prest ("More
+efficient algorithms for the NTRU key generation"), also used by the
+reference Python implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Below this size, schoolbook multiplication beats Karatsuba's overhead.
+KARATSUBA_THRESHOLD = 32
+
+
+def add(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    return [x + y for x, y in zip(a, b, strict=True)]
+
+
+def sub(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    return [x - y for x, y in zip(a, b, strict=True)]
+
+
+def neg(a: Sequence[int]) -> list[int]:
+    return [-x for x in a]
+
+
+def scalar_mul(a: Sequence[int], k: int) -> list[int]:
+    return [x * k for x in a]
+
+
+def _schoolbook(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    out = [0] * (len(a) + len(b) - 1)
+    for i, x in enumerate(a):
+        if x == 0:
+            continue
+        for j, y in enumerate(b):
+            out[i + j] += x * y
+    return out
+
+
+def _karatsuba(a: list[int], b: list[int]) -> list[int]:
+    n = len(a)
+    if n <= KARATSUBA_THRESHOLD or n % 2:
+        return _schoolbook(a, b)
+    half = n // 2
+    a0, a1 = a[:half], a[half:]
+    b0, b1 = b[:half], b[half:]
+    low = _karatsuba(a0, b0)
+    high = _karatsuba(a1, b1)
+    mid = _karatsuba([x + y for x, y in zip(a0, a1)],
+                     [x + y for x, y in zip(b0, b1)])
+    cross = [m - lo - hi for m, lo, hi in zip(mid, low, high)]
+    out = [0] * (2 * n - 1)
+    for i, v in enumerate(low):
+        out[i] += v
+    for i, v in enumerate(cross):
+        out[half + i] += v
+    for i, v in enumerate(high):
+        out[2 * half + i] += v
+    return out
+
+
+def mul_raw(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Plain polynomial product (degree ``len(a)+len(b)-2``)."""
+    if not a or not b:
+        return []
+    return _karatsuba(list(a), list(b))
+
+
+def mul_negacyclic(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Product in Z[x]/(x^n + 1): wrap-around with sign flip."""
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("length mismatch")
+    raw = mul_raw(a, b)
+    out = raw[:n] + [0] * (n - min(n, len(raw)))
+    for i in range(n, len(raw)):
+        out[i - n] -= raw[i]
+    return out
+
+
+def galois_conjugate(a: Sequence[int]) -> list[int]:
+    """``f(x) -> f(-x)``: negate odd-index coefficients."""
+    return [(-c if i % 2 else c) for i, c in enumerate(a)]
+
+
+def field_norm(a: Sequence[int]) -> list[int]:
+    """Norm map down one tower level.
+
+    With ``f = f_e(x^2) + x f_o(x^2)``, the relative norm is
+    ``N(f)(y) = f_e(y)^2 - y * f_o(y)^2`` over ``Z[y]/(y^{n/2} + 1)``;
+    equivalently ``N(f)(x^2) = f(x) f(-x)``.
+    """
+    n = len(a)
+    if n == 1:
+        return [a[0]]
+    even = list(a[0::2])
+    odd = list(a[1::2])
+    even_sq = mul_negacyclic(even, even)
+    odd_sq = mul_negacyclic(odd, odd)
+    # Multiply odd_sq by y in Z[y]/(y^{n/2} + 1): rotate with sign flip.
+    half = n // 2
+    shifted = [0] * half
+    for i in range(half):
+        j = i + 1
+        if j < half:
+            shifted[j] += odd_sq[i]
+        else:
+            shifted[j - half] -= odd_sq[i]
+    return sub(even_sq, shifted)
+
+
+def lift(a: Sequence[int]) -> list[int]:
+    """``f(y) -> f(x^2)``: interleave with zeros (inverse tower step)."""
+    out = [0] * (2 * len(a))
+    out[0::2] = a
+    return out
+
+
+def infinity_norm(a: Sequence[int]) -> int:
+    return max((abs(c) for c in a), default=0)
+
+
+def square_norm(a: Sequence[int]) -> int:
+    return sum(c * c for c in a)
+
+
+def max_bitsize(polynomials: Sequence[Sequence[int]]) -> int:
+    """Largest coefficient bit length across several polynomials."""
+    worst = 0
+    for poly in polynomials:
+        for c in poly:
+            worst = max(worst, abs(c).bit_length())
+    return worst

@@ -1,0 +1,235 @@
+"""Byte-level serialization of Falcon keys and signatures.
+
+Follows the shape of the specification's encodings:
+
+* **public key**: one header byte ``0x00 | log2(n)`` followed by the
+  ``n`` coefficients of ``h`` packed 14 bits each (q = 12289 < 2^14),
+  big-endian within the bit stream;
+* **secret key**: header ``0x50 | log2(n)``, then ``f``, ``g`` and
+  ``F`` packed as fixed-width two's-complement signed values (widths
+  chosen per ring degree from the coefficient ranges; ``G`` is
+  recomputed from the NTRU equation on decode, as the reference
+  implementation does);
+* **signature**: header ``0x30 | log2(n)``, the 40-byte salt, then the
+  compressed ``s2`` (already fixed-length per parameter set).
+
+Encodings are canonical: every field is range-checked on decode and
+trailing padding must be zero.
+"""
+
+from __future__ import annotations
+
+from .encoding import DecompressError
+from .ntrugen import NtruKeys
+from .ntt import Q, div_ntt
+from .params import SALT_BYTES, falcon_params
+from .scheme import PublicKey, SecretKey, Signature
+
+
+class SerializeError(Exception):
+    """Malformed or non-canonical serialized object."""
+
+
+#: Signed two's-complement widths for (f, g) and F per ring degree.
+#: Key generation sigma shrinks with n (sigma_fg = 1.17 sqrt(q/2n)),
+#: so smaller rings need wider fields; these cover > 12 sigma.
+def _fg_width(n: int) -> int:
+    sigma = falcon_params(n).keygen_sigma
+    spread = int(sigma * 12) + 1
+    return max(4, spread.bit_length() + 1)
+
+
+#: Minimum width for reduced F coefficients (spec uses 8-bit fields at
+#: n = 512/1024; smaller toy rings can need more, so the actual width
+#: is stored in the stream — see encode_secret_key).
+_MIN_F_WIDTH = 9
+_MAX_F_WIDTH = 24
+
+
+class _BitPacker:
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def put(self, value: int, width: int) -> None:
+        if not 0 <= value < (1 << width):
+            raise SerializeError(
+                f"value {value} out of range for {width} bits")
+        for position in range(width - 1, -1, -1):
+            self._bits.append((value >> position) & 1)
+
+    def put_signed(self, value: int, width: int) -> None:
+        low = -(1 << (width - 1))
+        high = (1 << (width - 1)) - 1
+        if not low <= value <= high:
+            raise SerializeError(
+                f"signed value {value} out of range for {width} bits")
+        self.put(value & ((1 << width) - 1), width)
+
+    def to_bytes(self) -> bytes:
+        padded = self._bits + [0] * (-len(self._bits) % 8)
+        out = bytearray()
+        for start in range(0, len(padded), 8):
+            byte = 0
+            for bit in padded[start:start + 8]:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)
+
+
+class _BitUnpacker:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def take(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            byte_index, bit_index = divmod(self._pos, 8)
+            if byte_index >= len(self._data):
+                raise SerializeError("truncated stream")
+            value = (value << 1) | \
+                ((self._data[byte_index] >> (7 - bit_index)) & 1)
+            self._pos += 1
+        return value
+
+    def take_signed(self, width: int) -> int:
+        raw = self.take(width)
+        if raw >= 1 << (width - 1):
+            raw -= 1 << width
+        return raw
+
+    def expect_zero_padding(self) -> None:
+        total = len(self._data) * 8
+        while self._pos < total:
+            byte_index, bit_index = divmod(self._pos, 8)
+            if (self._data[byte_index] >> (7 - bit_index)) & 1:
+                raise SerializeError("non-zero padding")
+            self._pos += 1
+
+
+def _log2_checked(n: int) -> int:
+    log = n.bit_length() - 1
+    if 1 << log != n or not 2 <= log <= 10:
+        raise SerializeError(f"unsupported ring degree {n}")
+    return log
+
+
+# -- public key --------------------------------------------------------------
+
+def encode_public_key(public_key: PublicKey) -> bytes:
+    packer = _BitPacker()
+    packer.put(0x00 | _log2_checked(public_key.n), 8)
+    for coefficient in public_key.h:
+        if not 0 <= coefficient < Q:
+            raise SerializeError("public coefficient out of range")
+        packer.put(coefficient, 14)
+    return packer.to_bytes()
+
+
+def decode_public_key(data: bytes) -> PublicKey:
+    unpacker = _BitUnpacker(data)
+    header = unpacker.take(8)
+    if header & 0xF0:
+        raise SerializeError("bad public-key header")
+    n = 1 << (header & 0x0F)
+    _log2_checked(n)
+    h = []
+    for _ in range(n):
+        coefficient = unpacker.take(14)
+        if coefficient >= Q:
+            raise SerializeError("public coefficient >= q")
+        h.append(coefficient)
+    unpacker.expect_zero_padding()
+    return PublicKey(n, h)
+
+
+# -- secret key ---------------------------------------------------------------
+
+def encode_secret_key(secret_key: SecretKey) -> bytes:
+    n = secret_key.n
+    packer = _BitPacker()
+    packer.put(0x50 | _log2_checked(n), 8)
+    width = _fg_width(n)
+    largest = max((abs(c) for c in secret_key.keys.F), default=0)
+    f_width = max(_MIN_F_WIDTH, largest.bit_length() + 1)
+    if f_width > _MAX_F_WIDTH:
+        raise SerializeError("F coefficients unexpectedly large")
+    packer.put(f_width, 8)
+    for poly_coeffs in (secret_key.keys.f, secret_key.keys.g):
+        for coefficient in poly_coeffs:
+            packer.put_signed(coefficient, width)
+    for coefficient in secret_key.keys.F:
+        packer.put_signed(coefficient, f_width)
+    return packer.to_bytes()
+
+
+def decode_secret_key(data: bytes,
+                      base_backend: str = "bitsliced") -> SecretKey:
+    """Rebuild a signing key; ``G`` and ``h`` are recomputed.
+
+    ``G = (q + g F) / f`` over the rationals would need exact division;
+    instead we solve it mod q and lift, exactly as the reference
+    implementation's key-loading path: G is the unique integer solution
+    of ``f G - g F = q`` once (f, g, F) are fixed, and it equals the
+    NTT-domain quotient lifted to the centered range (its coefficients
+    are far below q/2 for valid keys).
+    """
+    unpacker = _BitUnpacker(data)
+    header = unpacker.take(8)
+    if header & 0xF0 != 0x50:
+        raise SerializeError("bad secret-key header")
+    n = 1 << (header & 0x0F)
+    _log2_checked(n)
+    f_width = unpacker.take(8)
+    if not _MIN_F_WIDTH <= f_width <= _MAX_F_WIDTH:
+        raise SerializeError(f"bad F field width {f_width}")
+    width = _fg_width(n)
+    f = [unpacker.take_signed(width) for _ in range(n)]
+    g = [unpacker.take_signed(width) for _ in range(n)]
+    big_f = [unpacker.take_signed(f_width) for _ in range(n)]
+    unpacker.expect_zero_padding()
+
+    from .ntt import center_mod_q, mul_ntt
+    from . import poly as poly_ops
+
+    gf_product = mul_ntt(g, big_f)
+    numerator = [(Q if index == 0 else 0) + value
+                 for index, value in enumerate(gf_product)]
+    big_g = [center_mod_q(c) for c in div_ntt(numerator, f)]
+    keys = NtruKeys(f=f, g=g, F=big_f, G=big_g, h=div_ntt(g, f))
+    if not keys.verify_ntru_equation():
+        raise SerializeError("decoded key fails the NTRU equation")
+    return SecretKey(keys, base_backend=base_backend)
+
+
+# -- signature ----------------------------------------------------------------
+
+def encode_signature(signature: Signature, n: int) -> bytes:
+    header = bytes([0x30 | _log2_checked(n)])
+    if len(signature.salt) != SALT_BYTES:
+        raise SerializeError("salt must be 40 bytes")
+    return header + signature.salt + signature.compressed
+
+
+def decode_signature(data: bytes) -> tuple[Signature, int]:
+    if len(data) < 1 + SALT_BYTES:
+        raise SerializeError("signature too short")
+    header = data[0]
+    if header & 0xF0 != 0x30:
+        raise SerializeError("bad signature header")
+    n = 1 << (header & 0x0F)
+    _log2_checked(n)
+    salt = data[1:1 + SALT_BYTES]
+    compressed = data[1 + SALT_BYTES:]
+    expected_len = (falcon_params(n).sig_payload_bits + 7) // 8
+    if len(compressed) != expected_len:
+        raise SerializeError(
+            f"bad signature length {len(compressed)}, "
+            f"expected {expected_len}")
+    try:
+        from .encoding import decompress
+        decompress(compressed, n)
+    except DecompressError as error:
+        raise SerializeError(f"bad signature payload: {error}") \
+            from error
+    return Signature(salt=salt, compressed=compressed), n

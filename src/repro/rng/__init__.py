@@ -1,0 +1,53 @@
+"""Pseudorandomness substrate: Keccak/SHAKE, ChaCha, and stream adapters."""
+
+from .chacha import ChaChaStream, chacha_block, quarter_round
+from .keccak import (
+    KeccakSponge,
+    Shake128,
+    Shake256,
+    keccak_f1600,
+    sha3_224,
+    sha3_256,
+    sha3_384,
+    sha3_512,
+    shake128,
+    shake256,
+)
+from .source import (
+    BitStream,
+    ChaChaSource,
+    CounterSource,
+    CountingSource,
+    FixedSource,
+    ListBitSource,
+    RandomSource,
+    ShakeSource,
+    SystemSource,
+    default_source,
+)
+
+__all__ = [
+    "BitStream",
+    "ChaChaSource",
+    "ChaChaStream",
+    "CounterSource",
+    "CountingSource",
+    "FixedSource",
+    "KeccakSponge",
+    "ListBitSource",
+    "RandomSource",
+    "Shake128",
+    "Shake256",
+    "ShakeSource",
+    "SystemSource",
+    "chacha_block",
+    "default_source",
+    "keccak_f1600",
+    "quarter_round",
+    "sha3_224",
+    "sha3_256",
+    "sha3_384",
+    "sha3_512",
+    "shake128",
+    "shake256",
+]

@@ -1,0 +1,236 @@
+"""Keccak-f[1600] sponge and the FIPS 202 family (SHA3, SHAKE) from scratch.
+
+The paper's sampler and the Falcon reference implementation both consume
+pseudorandomness from sponge-based PRNGs (Keccak/SHAKE) or ChaCha20.  This
+module provides a self-contained, dependency-free Keccak so that
+
+* `repro.falcon` can implement Falcon's SHAKE-256 `hash_to_point`, and
+* the PRNG-overhead experiment (paper Sec. 7) can compare Keccak-based and
+  ChaCha-based randomness generation under the same interface.
+
+The implementation follows FIPS 202: a 5x5 lane state of 64-bit words,
+24 rounds of theta/rho/pi/chi/iota, and multi-rate padding ``10*1`` with
+domain-separation suffixes (``0x06`` for SHA3, ``0x1F`` for SHAKE).
+
+Correctness is pinned down in two independent ways in the test suite:
+known-answer vectors and randomized cross-checks against ``hashlib``.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+# FIPS 202 round constants for Keccak-f[1600] (24 rounds).
+_ROUND_CONSTANTS = (
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+)
+
+# Rotation offsets r[x][y]; the state is indexed as A[x + 5*y].
+_ROTATION = (
+    (0, 36, 3, 41, 18),
+    (1, 44, 10, 45, 2),
+    (62, 6, 43, 15, 61),
+    (28, 55, 25, 21, 56),
+    (27, 20, 39, 8, 14),
+)
+
+
+def _rotl64(value: int, shift: int) -> int:
+    """Rotate a 64-bit word left by ``shift`` bits."""
+    shift %= 64
+    if shift == 0:
+        return value & _MASK64
+    return ((value << shift) | (value >> (64 - shift))) & _MASK64
+
+
+def keccak_f1600(state: list[int]) -> list[int]:
+    """Apply the Keccak-f[1600] permutation to a 25-lane state, in place.
+
+    ``state`` is a list of 25 integers, each a 64-bit lane, with lane
+    ``(x, y)`` stored at index ``x + 5*y``.  The mutated list is returned
+    for convenience.
+    """
+    if len(state) != 25:
+        raise ValueError("Keccak-f[1600] state must have exactly 25 lanes")
+    a = state
+    for rc in _ROUND_CONSTANTS:
+        # theta
+        c = [a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20]
+             for x in range(5)]
+        d = [c[(x - 1) % 5] ^ _rotl64(c[(x + 1) % 5], 1) for x in range(5)]
+        for x in range(5):
+            dx = d[x]
+            for y in range(0, 25, 5):
+                a[x + y] ^= dx
+        # rho and pi combined: B[y, 2x+3y] = rot(A[x, y], r[x][y])
+        b = [0] * 25
+        for x in range(5):
+            rot_x = _ROTATION[x]
+            for y in range(5):
+                b[y + 5 * ((2 * x + 3 * y) % 5)] = _rotl64(
+                    a[x + 5 * y], rot_x[y])
+        # chi
+        for y in range(0, 25, 5):
+            b0, b1, b2, b3, b4 = b[y:y + 5]
+            a[y] = b0 ^ ((~b1 & _MASK64) & b2)
+            a[y + 1] = b1 ^ ((~b2 & _MASK64) & b3)
+            a[y + 2] = b2 ^ ((~b3 & _MASK64) & b4)
+            a[y + 3] = b3 ^ ((~b4 & _MASK64) & b0)
+            a[y + 4] = b4 ^ ((~b0 & _MASK64) & b1)
+        # iota
+        a[0] ^= rc
+    return a
+
+
+class KeccakSponge:
+    """Incremental sponge over Keccak-f[1600].
+
+    Parameters
+    ----------
+    rate_bytes:
+        Sponge rate in bytes (capacity = 200 - rate).  SHAKE128 uses 168,
+        SHA3-256/SHAKE256 use 136, SHA3-512 uses 72.
+    domain_suffix:
+        Domain-separation bits appended before the pad: ``0x06`` (SHA3)
+        or ``0x1F`` (SHAKE / raw XOF).
+    """
+
+    def __init__(self, rate_bytes: int, domain_suffix: int) -> None:
+        if not 0 < rate_bytes < 200:
+            raise ValueError(f"rate must be in (0, 200), got {rate_bytes}")
+        self.rate_bytes = rate_bytes
+        self.domain_suffix = domain_suffix
+        self._state = [0] * 25
+        self._buffer = bytearray()
+        self._squeezing = False
+        self._squeeze_pos = 0
+
+    def absorb(self, data: bytes) -> "KeccakSponge":
+        """Absorb ``data`` into the sponge.  Must precede any squeeze."""
+        if self._squeezing:
+            raise RuntimeError("cannot absorb after squeezing has started")
+        self._buffer.extend(data)
+        rate = self.rate_bytes
+        while len(self._buffer) >= rate:
+            block = self._buffer[:rate]
+            del self._buffer[:rate]
+            self._absorb_block(bytes(block))
+        return self
+
+    def _absorb_block(self, block: bytes) -> None:
+        for lane_index in range(self.rate_bytes // 8):
+            lane = int.from_bytes(
+                block[8 * lane_index:8 * lane_index + 8], "little")
+            self._state[lane_index] ^= lane
+        # Rates used by FIPS 202 are multiples of 8 bytes; guard anyway.
+        remainder = self.rate_bytes % 8
+        if remainder:
+            tail = int.from_bytes(block[-remainder:], "little")
+            self._state[self.rate_bytes // 8] ^= tail
+        keccak_f1600(self._state)
+
+    def _pad_and_switch(self) -> None:
+        rate = self.rate_bytes
+        padded = bytearray(self._buffer)
+        self._buffer = bytearray()
+        pad_len = rate - (len(padded) % rate)
+        padding = bytearray(pad_len)
+        padding[0] = self.domain_suffix
+        padding[-1] ^= 0x80
+        padded.extend(padding)
+        for start in range(0, len(padded), rate):
+            self._absorb_block(bytes(padded[start:start + rate]))
+        self._squeezing = True
+        self._squeeze_pos = 0
+
+    def squeeze(self, length: int) -> bytes:
+        """Squeeze ``length`` output bytes (may be called repeatedly)."""
+        if not self._squeezing:
+            self._pad_and_switch()
+        out = bytearray()
+        rate = self.rate_bytes
+        while len(out) < length:
+            if self._squeeze_pos == rate:
+                keccak_f1600(self._state)
+                self._squeeze_pos = 0
+            lane_index, offset = divmod(self._squeeze_pos, 8)
+            lane_bytes = self._state[lane_index].to_bytes(8, "little")
+            take = min(8 - offset, rate - self._squeeze_pos,
+                       length - len(out))
+            out.extend(lane_bytes[offset:offset + take])
+            self._squeeze_pos += take
+        return bytes(out)
+
+    def copy(self) -> "KeccakSponge":
+        """Return an independent copy of the sponge state."""
+        clone = KeccakSponge(self.rate_bytes, self.domain_suffix)
+        clone._state = list(self._state)
+        clone._buffer = bytearray(self._buffer)
+        clone._squeezing = self._squeezing
+        clone._squeeze_pos = self._squeeze_pos
+        return clone
+
+
+def _fixed_output(data: bytes, rate_bytes: int, digest_size: int) -> bytes:
+    sponge = KeccakSponge(rate_bytes, domain_suffix=0x06)
+    sponge.absorb(data)
+    return sponge.squeeze(digest_size)
+
+
+def sha3_224(data: bytes) -> bytes:
+    """SHA3-224 digest of ``data``."""
+    return _fixed_output(data, rate_bytes=144, digest_size=28)
+
+
+def sha3_256(data: bytes) -> bytes:
+    """SHA3-256 digest of ``data``."""
+    return _fixed_output(data, rate_bytes=136, digest_size=32)
+
+
+def sha3_384(data: bytes) -> bytes:
+    """SHA3-384 digest of ``data``."""
+    return _fixed_output(data, rate_bytes=104, digest_size=48)
+
+
+def sha3_512(data: bytes) -> bytes:
+    """SHA3-512 digest of ``data``."""
+    return _fixed_output(data, rate_bytes=72, digest_size=64)
+
+
+def shake128(data: bytes, length: int) -> bytes:
+    """SHAKE128 XOF output of ``length`` bytes."""
+    return Shake128(data).squeeze(length)
+
+
+def shake256(data: bytes, length: int) -> bytes:
+    """SHAKE256 XOF output of ``length`` bytes."""
+    return Shake256(data).squeeze(length)
+
+
+class Shake128(KeccakSponge):
+    """Incremental SHAKE128 XOF."""
+
+    def __init__(self, data: bytes = b"") -> None:
+        super().__init__(rate_bytes=168, domain_suffix=0x1F)
+        if data:
+            self.absorb(data)
+
+
+class Shake256(KeccakSponge):
+    """Incremental SHAKE256 XOF.
+
+    Falcon uses SHAKE256 both for hashing messages to points and (in some
+    builds) as the signing PRNG; this class serves both roles.
+    """
+
+    def __init__(self, data: bytes = b"") -> None:
+        super().__init__(rate_bytes=136, domain_suffix=0x1F)
+        if data:
+            self.absorb(data)

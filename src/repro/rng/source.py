@@ -1,0 +1,212 @@
+"""Randomness interfaces shared by every sampler in the library.
+
+All samplers (Algorithm 1, the bitsliced constant-time sampler, and the
+three CDT baselines) consume randomness through :class:`RandomSource`, so
+that
+
+* experiments can swap PRNG backends (ChaCha20/12/8, SHAKE128/256, a test
+  counter) without touching sampler code — this powers the PRNG-overhead
+  experiment from the paper's conclusion, and
+* byte/bit consumption can be *counted*, which the cost model uses to
+  attribute PRNG cycles per sample.
+
+Bit order convention: bits are extracted from each byte least-significant
+bit first.  The convention is arbitrary but must be fixed so that feeding
+the same source to Algorithm 1 and to the compiled Boolean sampler yields
+bit-identical sample streams (the equivalence tests rely on this).
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+
+from .chacha import ChaChaStream
+from .keccak import Shake128, Shake256
+
+
+class RandomSource(ABC):
+    """Abstract byte-oriented randomness source."""
+
+    @abstractmethod
+    def read_bytes(self, length: int) -> bytes:
+        """Return ``length`` fresh random bytes."""
+
+    def read_word(self, bits: int) -> int:
+        """Return a uniform integer with ``bits`` random bits (LSB-first).
+
+        Reads ``ceil(bits / 8)`` bytes and masks the excess, so a 64-bit
+        word costs exactly 8 bytes — matching the paper's accounting of
+        one machine word of randomness per bitsliced input variable.
+        """
+        nbytes = (bits + 7) // 8
+        raw = int.from_bytes(self.read_bytes(nbytes), "little")
+        return raw & ((1 << bits) - 1)
+
+
+class ChaChaSource(RandomSource):
+    """Deterministic source backed by the ChaCha stream cipher."""
+
+    def __init__(self, seed: bytes | int = 0, rounds: int = 20) -> None:
+        key = _seed_to_key(seed)
+        self.stream = ChaChaStream(key, rounds=rounds)
+
+    def read_bytes(self, length: int) -> bytes:
+        return self.stream.read(length)
+
+
+class ShakeSource(RandomSource):
+    """Deterministic source backed by a SHAKE XOF (Keccak sponge)."""
+
+    def __init__(self, seed: bytes | int = 0, variant: int = 256) -> None:
+        key = _seed_to_key(seed)
+        if variant == 128:
+            self.sponge = Shake128(key)
+        elif variant == 256:
+            self.sponge = Shake256(key)
+        else:
+            raise ValueError("variant must be 128 or 256")
+
+    def read_bytes(self, length: int) -> bytes:
+        return self.sponge.squeeze(length)
+
+
+class SystemSource(RandomSource):
+    """Non-deterministic source backed by ``os.urandom`` (demos only)."""
+
+    def read_bytes(self, length: int) -> bytes:
+        return os.urandom(length)
+
+
+class CounterSource(RandomSource):
+    """A trivially cheap, *non-cryptographic* deterministic source.
+
+    Used by tests that need reproducible streams, and by the PRNG-overhead
+    experiment as the "free randomness" lower bound.  The generator is
+    SplitMix64, which passes basic statistical tests and costs a handful
+    of arithmetic operations per 8 bytes.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._state = seed & ((1 << 64) - 1)
+        self._buffer = bytearray()
+
+    def _next64(self) -> int:
+        self._state = (self._state + 0x9E3779B97F4A7C15) & ((1 << 64) - 1)
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & ((1 << 64) - 1)
+        return z ^ (z >> 31)
+
+    def read_bytes(self, length: int) -> bytes:
+        while len(self._buffer) < length:
+            self._buffer.extend(self._next64().to_bytes(8, "little"))
+        out = bytes(self._buffer[:length])
+        del self._buffer[:length]
+        return out
+
+
+class FixedSource(RandomSource):
+    """Replays a fixed byte string, then raises.  For directed tests."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def read_bytes(self, length: int) -> bytes:
+        if self._pos + length > len(self._data):
+            raise RuntimeError("FixedSource exhausted")
+        out = self._data[self._pos:self._pos + length]
+        self._pos += length
+        return out
+
+
+class CountingSource(RandomSource):
+    """Wrapper that counts bytes drawn from an inner source."""
+
+    def __init__(self, inner: RandomSource) -> None:
+        self.inner = inner
+        self.bytes_read = 0
+
+    def read_bytes(self, length: int) -> bytes:
+        self.bytes_read += length
+        return self.inner.read_bytes(length)
+
+    def reset_count(self) -> None:
+        self.bytes_read = 0
+
+
+class BitStream:
+    """Bit-granular adapter over a :class:`RandomSource`.
+
+    Bits come out of each byte LSB-first.  Tracks the number of bits
+    consumed, which Algorithm 1's non-constant running time is measured
+    from.
+    """
+
+    def __init__(self, source: RandomSource) -> None:
+        self.source = source
+        self._current = 0
+        self._bits_left = 0
+        self.bits_consumed = 0
+
+    def take_bit(self) -> int:
+        """Return the next random bit (0 or 1)."""
+        if self._bits_left == 0:
+            self._current = self.source.read_bytes(1)[0]
+            self._bits_left = 8
+        bit = self._current & 1
+        self._current >>= 1
+        self._bits_left -= 1
+        self.bits_consumed += 1
+        return bit
+
+    def take_bits(self, count: int) -> int:
+        """Return ``count`` bits packed LSB-first into an integer."""
+        value = 0
+        for position in range(count):
+            value |= self.take_bit() << position
+        return value
+
+
+class ListBitSource(RandomSource):
+    """Adapter that serves an explicit list of bits as a byte source.
+
+    Directed tests build exact input strings for the Knuth–Yao walk; this
+    adapter lets those strings flow through the same ``BitStream`` path as
+    real randomness (bit i of the list appears as bit i of the stream).
+    """
+
+    def __init__(self, bits: list[int] | tuple[int, ...]) -> None:
+        if any(bit not in (0, 1) for bit in bits):
+            raise ValueError("bits must be 0 or 1")
+        self._bits = list(bits)
+        self._pos = 0
+
+    def read_bytes(self, length: int) -> bytes:
+        out = bytearray()
+        for _ in range(length):
+            byte = 0
+            for position in range(8):
+                if self._pos < len(self._bits):
+                    byte |= self._bits[self._pos] << position
+                    self._pos += 1
+                # Exhausted bits read as zero: tests size their inputs.
+            out.append(byte)
+        return bytes(out)
+
+
+def _seed_to_key(seed: bytes | int) -> bytes:
+    """Normalize a user-supplied seed to 32 bytes."""
+    if isinstance(seed, int):
+        if seed < 0:
+            raise ValueError("integer seeds must be non-negative")
+        return seed.to_bytes(32, "little", signed=False)
+    if len(seed) > 32:
+        raise ValueError("byte seeds must be at most 32 bytes")
+    return seed.ljust(32, b"\x00")
+
+
+def default_source(seed: bytes | int = 0) -> RandomSource:
+    """The library-wide default PRNG: ChaCha20, as in the paper's Table 1."""
+    return ChaChaSource(seed)

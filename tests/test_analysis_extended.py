@@ -1,0 +1,97 @@
+"""Property-based tests for the statistics module."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    chi_square_p_value,
+    kl_divergence,
+    max_log_distance,
+    renyi_divergence,
+    statistical_distance,
+)
+
+
+def _pmf_pairs(size=4):
+    positive = st.floats(min_value=0.01, max_value=1.0)
+    return st.tuples(
+        st.lists(positive, min_size=size, max_size=size),
+        st.lists(positive, min_size=size, max_size=size),
+    ).map(lambda pair: (
+        [x / sum(pair[0]) for x in pair[0]],
+        [x / sum(pair[1]) for x in pair[1]],
+    ))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_pmf_pairs())
+def test_statistical_distance_bounds_and_symmetry(pair):
+    p, q = pair
+    sd = float(statistical_distance(p, q))
+    assert 0 <= sd <= 1
+    assert sd == pytest.approx(float(statistical_distance(q, p)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_pmf_pairs())
+def test_kl_nonnegative_and_zero_iff_equal(pair):
+    p, q = pair
+    assert kl_divergence(p, q) >= 0
+    assert kl_divergence(p, p) == pytest.approx(0, abs=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_pmf_pairs())
+def test_renyi_monotone_in_alpha(pair):
+    p, q = pair
+    values = [renyi_divergence(p, q, alpha)
+              for alpha in (1.5, 2.0, 4.0, 16.0)]
+    for earlier, later in zip(values, values[1:]):
+        assert later >= earlier - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(_pmf_pairs())
+def test_pinsker_like_relation(pair):
+    """Pinsker: SD <= sqrt(KL / 2)."""
+    p, q = pair
+    sd = float(statistical_distance(p, q))
+    kl = kl_divergence(p, q)
+    assert sd <= math.sqrt(kl / 2) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(_pmf_pairs())
+def test_max_log_dominates_kl(pair):
+    """KL(p||q) <= max-log distance (since KL is an expectation of
+    log-ratios bounded by the max)."""
+    p, q = pair
+    assert kl_divergence(p, q) <= max_log_distance(p, q) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(min_value=0.0, max_value=500.0),
+       st.integers(min_value=1, max_value=100))
+def test_p_value_in_unit_interval(chi2, dof):
+    p = chi_square_p_value(chi2, dof)
+    assert 0.0 <= p <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=60))
+def test_p_value_decreasing_in_statistic(dof):
+    values = [chi_square_p_value(x, dof)
+              for x in (0.0, 1.0, 5.0, 20.0, 100.0)]
+    for earlier, later in zip(values, values[1:]):
+        assert later <= earlier + 1e-12
+    assert values[0] == 1.0
+
+
+def test_p_value_invalid_arguments():
+    with pytest.raises(ValueError):
+        chi_square_p_value(-1.0, 3)
+    with pytest.raises(ValueError):
+        chi_square_p_value(1.0, 0)

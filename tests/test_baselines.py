@@ -1,0 +1,196 @@
+"""Tests for the CDT baseline samplers and adapters.
+
+The central property: *every backend samples the same distribution* —
+the truncated n-bit matrix rows — so exhaustive/statistical agreement
+with the Knuth–Yao reference is required, not just plausibility.
+"""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.baselines import (
+    BitslicedIntegerSampler,
+    ByteScanCdtSampler,
+    CdtBinarySearchSampler,
+    CdtTable,
+    KnuthYaoIntegerSampler,
+    LazyUniform,
+    LinearScanCdtSampler,
+)
+from repro.core import GaussianParams, probability_matrix
+from repro.ct import OpCounter
+from repro.rng import ChaChaSource, FixedSource
+
+PARAMS = GaussianParams.from_sigma(2, precision=16)
+PARAMS_LOW = GaussianParams.from_sigma(2, precision=8)
+
+ALL_BACKENDS = [
+    CdtBinarySearchSampler,
+    ByteScanCdtSampler,
+    LinearScanCdtSampler,
+    KnuthYaoIntegerSampler,
+]
+
+
+def test_cdt_table_is_running_sum_of_matrix_rows():
+    table = CdtTable(PARAMS)
+    matrix = probability_matrix(PARAMS)
+    acc = 0
+    for v, entry in enumerate(table.entries):
+        acc += matrix.rows[v]
+        assert entry == acc
+    assert table.entries[-1] == matrix.mass
+    assert len(table) == matrix.max_value + 1
+
+
+def test_cdt_table_bytes_are_shifted_big_endian():
+    params = GaussianParams.from_sigma(2, precision=12)  # not a multiple
+    table = CdtTable(params)
+    assert table.num_bytes == 2
+    for value, raw in zip(table.entries, table.entry_bytes):
+        assert int.from_bytes(raw, "big") == value << 4
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_magnitudes_within_support(backend):
+    sampler = backend(PARAMS, source=ChaChaSource(1))
+    for _ in range(300):
+        value = sampler.sample_magnitude()
+        assert 0 <= value <= probability_matrix(PARAMS).max_value
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_signed_sampling_symmetric(backend):
+    sampler = backend(PARAMS, source=ChaChaSource(2))
+    values = sampler.sample_many(4000)
+    nonzero = [v for v in values if v != 0]
+    positives = sum(1 for v in nonzero if v > 0)
+    assert 0.44 < positives / len(nonzero) < 0.56
+
+
+def _exact_probabilities(params):
+    matrix = probability_matrix(params)
+    mass = matrix.mass
+    return {v: matrix.rows[v] / mass for v in range(matrix.max_value + 1)}
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_distribution_matches_matrix_exactly(backend):
+    """Chi-square of magnitudes against the conditioned matrix rows."""
+    sampler = backend(PARAMS, source=ChaChaSource(3))
+    draws = 12_000
+    counts = Counter(sampler.sample_magnitude() for _ in range(draws))
+    probabilities = _exact_probabilities(PARAMS)
+    chi2 = 0.0
+    dof = 0
+    for v, p in probabilities.items():
+        expected = p * draws
+        if expected < 5:
+            continue
+        chi2 += (counts.get(v, 0) - expected) ** 2 / expected
+        dof += 1
+    dof -= 1
+    assert chi2 < dof + 5 * math.sqrt(2 * dof), (chi2, dof)
+
+
+def test_all_backends_agree_pairwise_on_frequencies():
+    draws = 8000
+    tallies = {}
+    for backend in ALL_BACKENDS:
+        sampler = backend(PARAMS_LOW, source=ChaChaSource(4))
+        tallies[backend.__name__] = Counter(
+            sampler.sample_magnitude() for _ in range(draws))
+    names = list(tallies)
+    for a in names:
+        for b in names:
+            for v in range(6):
+                fa = tallies[a][v] / draws
+                fb = tallies[b][v] / draws
+                assert abs(fa - fb) < 0.03, (a, b, v)
+
+
+def test_byte_scan_cheaper_than_binary_cheaper_than_linear():
+    """The Table 1 cost ordering under the op model (per magnitude)."""
+    costs = {}
+    for backend in (ByteScanCdtSampler, CdtBinarySearchSampler,
+                    LinearScanCdtSampler):
+        sampler = backend(PARAMS, source=ChaChaSource(5))
+        for _ in range(2000):
+            sampler.sample_magnitude()
+        costs[backend.name] = sampler.counter.counts.modeled_cycles(
+            prng="chacha20") / 2000
+    assert costs["cdt-byte-scan"] < costs["cdt-binary"]
+    assert costs["cdt-binary"] < costs["cdt-linear"]
+
+
+def test_linear_scan_op_trace_is_constant():
+    sampler = LinearScanCdtSampler(PARAMS, source=ChaChaSource(6))
+    deltas = set()
+    for _ in range(200):
+        before = sampler.counter.snapshot()
+        sampler.sample_magnitude()
+        delta = sampler.counter.delta(before)
+        deltas.add((delta.word_ops, delta.compares, delta.loads,
+                    delta.rng_bytes))
+    assert len(deltas) == 1  # constant-time: identical trace every call
+
+
+def test_byte_scan_op_trace_varies():
+    sampler = ByteScanCdtSampler(PARAMS, source=ChaChaSource(7))
+    deltas = set()
+    for _ in range(200):
+        before = sampler.counter.snapshot()
+        sampler.sample_magnitude()
+        delta = sampler.counter.delta(before)
+        deltas.add((delta.compares, delta.loads, delta.rng_bytes))
+    assert len(deltas) > 3  # leaks: trace depends on the sample
+
+
+def test_lazy_uniform_draws_on_demand():
+    counter = OpCounter()
+    lazy = LazyUniform(FixedSource(bytes([0xAB, 0xCD, 0xEF])), 3, counter)
+    assert lazy.bytes_drawn == 0
+    assert lazy.byte(0) == 0xAB
+    assert lazy.bytes_drawn == 1
+    assert lazy.byte(2) == 0xEF
+    assert lazy.bytes_drawn == 3
+    assert lazy.materialize_all() == 0xABCDEF
+    with pytest.raises(IndexError):
+        lazy.byte(3)
+
+
+def test_lazy_uniform_comparison_semantics():
+    counter = OpCounter()
+    lazy = LazyUniform(FixedSource(bytes([0x80, 0x00])), 2, counter)
+    assert lazy.less_than_bytes(bytes([0x80, 0x01]))   # equal then less
+    assert not lazy.less_than_bytes(bytes([0x80, 0x00]))  # equality
+    assert not lazy.less_than_bytes(bytes([0x7F, 0xFF]))  # greater
+
+
+def test_bitsliced_adapter_matches_distribution():
+    sampler = BitslicedIntegerSampler(PARAMS_LOW, source=ChaChaSource(8))
+    draws = 8000
+    counts = Counter(abs(sampler.sample()) for _ in range(draws))
+    probabilities = _exact_probabilities(PARAMS_LOW)
+    for v in range(4):
+        assert abs(counts[v] / draws - probabilities[v]) < 0.02
+
+
+def test_bitsliced_adapter_books_batch_costs():
+    sampler = BitslicedIntegerSampler(PARAMS_LOW, source=ChaChaSource(9))
+    sampler.sample()
+    counts = sampler.counter.counts
+    assert counts.word_ops == sampler.inner.word_ops_per_batch
+    assert counts.rng_bytes == sampler.inner.random_bytes_per_batch
+
+
+def test_restart_on_truncation_gap():
+    """At n=6 the gap is 3/64; restarts must occur and stay correct."""
+    for backend in (CdtBinarySearchSampler, ByteScanCdtSampler,
+                    LinearScanCdtSampler):
+        sampler = backend(GaussianParams.from_sigma(2, precision=6),
+                          source=ChaChaSource(10))
+        values = [sampler.sample_magnitude() for _ in range(3000)]
+        assert all(0 <= v <= 5 for v in values)

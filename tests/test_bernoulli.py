@@ -1,0 +1,99 @@
+"""Tests for the BLISS-style Bernoulli sampler."""
+
+import math
+from collections import Counter
+
+from repro.baselines.bernoulli import SIGMA_BIN, BernoulliSampler
+from repro.core import GaussianParams
+from repro.ct import audit_sampler
+from repro.rng import ChaChaSource
+
+
+def _ideal_folded_pmf(sigma, bound):
+    rho = {v: math.exp(-v * v / (2 * sigma * sigma))
+           for v in range(bound + 1)}
+    total = rho[0] + 2 * sum(rho[v] for v in range(1, bound + 1))
+    pmf = {0: rho[0] / total}
+    for v in range(1, bound + 1):
+        pmf[v] = 2 * rho[v] / total
+    return pmf
+
+
+def test_sigma_bin_value():
+    # 2^(-x^2) = exp(-x^2 / (2 sigma_bin^2)) requires
+    # exp(-1 / (2 sigma_bin^2)) = 1/2.
+    assert abs(math.exp(-1 / (2 * SIGMA_BIN ** 2)) - 0.5) < 1e-12
+
+
+def test_k_selection():
+    sampler = BernoulliSampler(GaussianParams.from_sigma(2, 32),
+                               source=ChaChaSource(1))
+    assert sampler.k == round(2 / SIGMA_BIN)
+    assert abs(sampler.achieved_sigma - sampler.k * SIGMA_BIN) < 1e-12
+
+
+def test_binary_gaussian_distribution():
+    sampler = BernoulliSampler(GaussianParams.from_sigma(2, 32),
+                               source=ChaChaSource(2))
+    draws = 20_000
+    counts = Counter(sampler._sample_binary_gaussian()
+                     for _ in range(draws))
+    total_weight = sum(2.0 ** -(x * x) for x in range(10))
+    for x in range(4):
+        expected = draws * 2.0 ** -(x * x) / total_weight
+        spread = 5 * math.sqrt(expected)
+        assert abs(counts.get(x, 0) - expected) < spread, (x, counts)
+
+
+def test_magnitude_distribution_chi_square():
+    params = GaussianParams.from_sigma(2, 64)
+    sampler = BernoulliSampler(params, source=ChaChaSource(3))
+    draws = 15_000
+    counts = Counter(sampler.sample_magnitude() for _ in range(draws))
+    sigma = sampler.achieved_sigma  # k * SIGMA_BIN, not exactly 2
+    pmf = _ideal_folded_pmf(sigma, 20)
+    chi2 = 0.0
+    dof = 0
+    for v, p in pmf.items():
+        expected = p * draws
+        if expected < 8:
+            continue
+        chi2 += (counts.get(v, 0) - expected) ** 2 / expected
+        dof += 1
+    dof -= 1
+    assert chi2 < dof + 5 * math.sqrt(2 * dof), (chi2, dof)
+
+
+def test_signed_moments():
+    params = GaussianParams.from_sigma(6.15543, 64)
+    sampler = BernoulliSampler(params, source=ChaChaSource(4))
+    draws = 8000
+    values = sampler.sample_many(draws)
+    sigma = sampler.achieved_sigma
+    mean = sum(values) / draws
+    std = math.sqrt(sum(v * v for v in values) / draws)
+    assert abs(mean) < 4 * sigma / math.sqrt(draws)
+    assert abs(std - sigma) / sigma < 0.05
+
+
+def test_bernoulli_sampler_leaks():
+    """The point of including it: dudect must flag this sampler.
+
+    Sensitivity depends on the class split (as with the real tool):
+    the zero-vs-rest classifier exposes the cheap z = 0 fast path
+    (empty Bernoulli-exp product) that the |v| <= 1 split averages
+    away.
+    """
+    sampler = BernoulliSampler(GaussianParams.from_sigma(2, 64),
+                               source=ChaChaSource(7))
+    report = audit_sampler(sampler, calls=8000,
+                           classifier=lambda v: v == 0)
+    assert report.leaking, report.render()
+
+
+def test_achieved_sigma_close_to_target():
+    for target in (1.5, 2, 4, 6.15543, 10):
+        sampler = BernoulliSampler(
+            GaussianParams.from_sigma(target, 32),
+            source=ChaChaSource(6))
+        assert abs(sampler.achieved_sigma - target) <= SIGMA_BIN / 2

@@ -1,0 +1,94 @@
+"""Tests for the bitsliced kernel engine and lane packing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitslice import (
+    BitslicedKernel,
+    lanes_where,
+    pack_lane_bits,
+    unpack_lanes,
+)
+from repro.boolfunc import ExprBuilder, evaluate
+
+
+def _example_roots():
+    builder = ExprBuilder()
+    f = builder.or_(builder.and_(builder.var(0), builder.var(2)),
+                    builder.not_(builder.var(1)))
+    g = builder.xor(f, builder.var(3))
+    return builder, [f, g]
+
+
+def test_kernel_matches_reference_evaluator():
+    _, roots = _example_roots()
+    kernel = BitslicedKernel(roots)
+    mask = (1 << 32) - 1
+    inputs = [0xDEADBEEF, 0x0F0F0F0F, 0x12345678, 0xFFFF0000]
+    got = kernel(inputs, mask)
+    want = evaluate(roots, dict(enumerate(inputs)), mask=mask)
+    assert list(got) == want
+
+
+def test_kernel_stats():
+    _, roots = _example_roots()
+    kernel = BitslicedKernel(roots)
+    assert kernel.stats.num_outputs == 2
+    assert kernel.stats.num_inputs == 4
+    assert kernel.stats.word_ops == kernel.stats.gates["total"] > 0
+    assert kernel.stats.depth >= 2
+
+
+def test_kernel_input_length_checked():
+    _, roots = _example_roots()
+    kernel = BitslicedKernel(roots)
+    with pytest.raises(ValueError):
+        kernel([1, 2], 1)
+
+
+def test_kernel_source_is_straight_line():
+    """No branches or loops in generated code — the constant-time
+    property is structural."""
+    _, roots = _example_roots()
+    kernel = BitslicedKernel(roots)
+    body = kernel.source.splitlines()[1:]
+    for line in body:
+        stripped = line.strip()
+        assert not stripped.startswith(("if", "for", "while"))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.lists(st.integers(min_value=0, max_value=1),
+                         min_size=5, max_size=5),
+                min_size=1, max_size=12))
+def test_pack_unpack_round_trip(samples_bits):
+    words = pack_lane_bits(samples_bits, num_words=5)
+    lanes = unpack_lanes(words, width=len(samples_bits))
+    for lane, bits in enumerate(samples_bits):
+        value = sum(bit << i for i, bit in enumerate(bits))
+        assert lanes[lane] == value
+
+
+def test_unpack_ignores_bits_beyond_width():
+    words = [0b1111]
+    assert unpack_lanes(words, width=2) == [1, 1]
+
+
+def test_lanes_where():
+    assert lanes_where(0b101001, 6) == [0, 3, 5]
+    assert lanes_where(0, 6) == []
+    assert lanes_where(0b1000000, 6) == []  # beyond width
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=200))
+def test_kernel_arbitrary_word_width(width):
+    builder = ExprBuilder()
+    root = builder.not_(builder.and_(builder.var(0), builder.var(1)))
+    kernel = BitslicedKernel([root])
+    mask = (1 << width) - 1
+    a = (0x5A5A5A5A5A5A5A5A * ((width // 64) + 1)) & mask
+    b = (0x3C3C3C3C3C3C3C3C * ((width // 64) + 1)) & mask
+    got = kernel([a, b], mask)[0]
+    assert got == (~(a & b)) & mask

@@ -1,0 +1,102 @@
+"""Minimizer tests on *structured* inputs — the covers the sampler
+actually generates (prefix cubes from terminating strings), as opposed
+to the random functions in test_espresso.py."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc import (
+    Cube,
+    complement_cover,
+    cover_is_tautology,
+    espresso,
+    minimize_cubes_exact,
+    verify_cover,
+)
+from repro.core import (
+    GaussianParams,
+    enumerate_terminating_strings,
+    probability_matrix,
+)
+
+
+def _sampler_cover(sigma, precision, bit):
+    """ON/OFF prefix-cube covers for one output bit of f^bit_n."""
+    params = GaussianParams.from_sigma(sigma, precision)
+    matrix = probability_matrix(params)
+    entries = enumerate_terminating_strings(matrix)
+    on, off = [], []
+    for entry in entries:
+        cube = Cube.from_prefix(precision, entry.bits)
+        (on if (entry.value >> bit) & 1 else off).append(cube)
+    return on, off
+
+
+@pytest.mark.parametrize("sigma,bit", [(2, 0), (2, 1), (2, 2), (3.5, 0)])
+def test_espresso_on_real_sampler_functions(sigma, bit):
+    on, off = _sampler_cover(sigma, 20, bit)
+    if not on:
+        pytest.skip("output bit constant for these parameters")
+    result = espresso(on, off)
+    assert verify_cover(result.cubes, on, off)
+    # Minimization must actually merge: prefix cubes share structure.
+    assert len(result.cubes) < len(on)
+
+
+def test_prefix_cubes_are_pairwise_disjoint():
+    """Terminating strings are prefix-free, so their cubes partition."""
+    on, off = _sampler_cover(2, 14, 0)
+    cubes = on + off
+    for i, a in enumerate(cubes):
+        for b in cubes[i + 1:]:
+            assert not a.intersects(b)
+
+
+def test_cover_plus_complement_is_tautology():
+    on, off = _sampler_cover(2, 12, 1)
+    cubes = on + off
+    complement = complement_cover(cubes, 12)
+    assert cover_is_tautology(list(cubes) + complement, 12)
+    for cube in cubes:
+        for comp in complement:
+            assert not cube.intersects(comp)
+
+
+def test_exact_cover_never_larger_than_input():
+    on, off = _sampler_cover(2, 10, 0)
+    # Project onto the first 6 variables for an exact-minimizable size.
+    narrowed_on = [c for c in on if c.care < (1 << 6)]
+    if not narrowed_on:
+        pytest.skip("no narrow cubes at this precision")
+    result = minimize_cubes_exact(6, narrowed_on)
+    assert len(result.cubes) <= len(narrowed_on)
+    assert result.exact
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=20),
+       st.integers(min_value=8, max_value=12),
+       st.integers(min_value=0, max_value=2))
+def test_espresso_structured_random_params(sigma_sq, precision, bit):
+    params = GaussianParams(sigma_sq=Fraction(sigma_sq),
+                            precision=precision, tail_cut=8)
+    matrix = probability_matrix(params)
+    entries = enumerate_terminating_strings(matrix)
+    on, off = [], []
+    for entry in entries:
+        cube = Cube.from_prefix(precision, entry.bits)
+        (on if (entry.value >> bit) & 1 else off).append(cube)
+    if not on:
+        return
+    result = espresso(on, off)
+    assert verify_cover(result.cubes, on, off)
+
+
+def test_espresso_cost_history_non_increasing_overall():
+    on, off = _sampler_cover(6.15543, 16, 2)
+    result = espresso(on, off, max_iterations=3)
+    # The kept cover is the best seen; history's minimum equals it.
+    assert min(result.history) == result.cost

@@ -1,0 +1,98 @@
+"""RFC 8439 known-answer tests and stream-behaviour tests for ChaCha."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import ChaChaSource, ChaChaStream, chacha_block, quarter_round
+
+
+def test_quarter_round_rfc8439_vector():
+    # RFC 8439 section 2.1.1.
+    state = [0] * 16
+    state[0] = 0x11111111
+    state[1] = 0x01020304
+    state[2] = 0x9B8D6F43
+    state[3] = 0x01234567
+    quarter_round(state, 0, 1, 2, 3)
+    assert state[0] == 0xEA2A92F4
+    assert state[1] == 0xCB1CF8CE
+    assert state[2] == 0x4581472E
+    assert state[3] == 0x5881C4BB
+
+
+def test_block_function_rfc8439_vector():
+    # RFC 8439 section 2.3.2.
+    key = bytes(range(32))
+    nonce = bytes.fromhex("000000090000004a00000000")
+    block = chacha_block(key, counter=1, nonce=nonce)
+    expected = bytes.fromhex(
+        "10f1e7e4d13b5915500fdd1fa32071c4"
+        "c7d1f4c733c068030422aa9ac3d46c4e"
+        "d2826446079faa0914c2d705d98b02a2"
+        "b5129cd1de164eb9cbd083e8a2503c4e")
+    assert block == expected
+
+
+def test_keystream_rfc8439_encryption_vector():
+    # RFC 8439 section 2.4.2: "Ladies and Gentlemen..." ciphertext.
+    key = bytes(range(32))
+    nonce = bytes.fromhex("000000000000004a00000000")
+    plaintext = (b"Ladies and Gentlemen of the class of '99: If I could "
+                 b"offer you only one tip for the future, sunscreen would "
+                 b"be it.")
+    keystream = b"".join(
+        chacha_block(key, counter, nonce) for counter in (1, 2))
+    ciphertext = bytes(p ^ k for p, k in zip(plaintext, keystream))
+    expected_start = bytes.fromhex(
+        "6e2e359a2568f98041ba0728dd0d6981"
+        "e97e7aec1d4360c20a27afccfd9fae0b")
+    assert ciphertext[:32] == expected_start
+    expected_end = bytes.fromhex("87 4d".replace(" ", ""))
+    assert ciphertext[-2:] == expected_end
+
+
+def test_stream_read_is_contiguous():
+    stream_a = ChaChaStream(bytes(32))
+    stream_b = ChaChaStream(bytes(32))
+    whole = stream_a.read(200)
+    parts = b"".join(stream_b.read(n) for n in (1, 2, 3, 60, 64, 70))
+    assert whole == parts
+
+
+def test_stream_counter_wrap_changes_nonce():
+    stream = ChaChaStream(bytes(32))
+    stream._block_index = (1 << 32) - 1
+    before_wrap = stream.read(64)
+    after_wrap = stream.read(64)
+    assert before_wrap != after_wrap
+    assert stream.blocks_generated == (1 << 32) + 1
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        chacha_block(b"short", 0, bytes(12))
+    with pytest.raises(ValueError):
+        chacha_block(bytes(32), 0, bytes(8))
+    with pytest.raises(ValueError):
+        chacha_block(bytes(32), 0, bytes(12), rounds=7)
+    with pytest.raises(ValueError):
+        ChaChaStream(bytes(16))
+
+
+def test_round_variants_differ():
+    key = bytes(range(32))
+    nonce = bytes(12)
+    outputs = {chacha_block(key, 0, nonce, rounds=r) for r in (8, 12, 20)}
+    assert len(outputs) == 3
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**64 - 1),
+       st.lists(st.integers(min_value=1, max_value=97),
+                min_size=1, max_size=10))
+def test_source_reads_are_deterministic(seed, sizes):
+    source_a = ChaChaSource(seed)
+    source_b = ChaChaSource(seed)
+    for size in sizes:
+        assert source_a.read_bytes(size) == source_b.read_bytes(size)

@@ -1,0 +1,80 @@
+"""Tests for the command-line tool."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_compile_command(capsys):
+    assert main(["compile", "--sigma", "2", "--precision", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "gates" in out
+    assert "efficient" in out
+
+
+def test_compile_emit_c(capsys):
+    assert main(["compile", "--sigma", "2", "--precision", "10",
+                 "--emit", "c"]) == 0
+    out = capsys.readouterr().out
+    assert "uint64_t" in out
+    assert "static inline void sampler" in out
+
+
+def test_compile_emit_python(capsys):
+    assert main(["compile", "--sigma", "2", "--precision", "10",
+                 "--emit", "python"]) == 0
+    assert "def sampler(inputs, mask):" in capsys.readouterr().out
+
+
+def test_compile_simple_method(capsys):
+    assert main(["compile", "--sigma", "2", "--precision", "10",
+                 "--method", "simple"]) == 0
+    assert "simple" in capsys.readouterr().out
+
+
+def test_sample_command(capsys):
+    assert main(["sample", "--count", "25", "--seed", "3",
+                 "--precision", "16"]) == 0
+    values = capsys.readouterr().out.split()
+    assert len(values) == 25
+    assert all(abs(int(v)) <= 26 for v in values)
+
+
+def test_sample_deterministic(capsys):
+    main(["sample", "--count", "10", "--seed", "5", "--precision", "16"])
+    first = capsys.readouterr().out
+    main(["sample", "--count", "10", "--seed", "5", "--precision", "16"])
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_audit_leaky_backend_exits_nonzero(capsys):
+    code = main(["audit", "--backend", "cdt-byte-scan",
+                 "--calls", "1500", "--precision", "16"])
+    assert code == 1
+    assert "LEAK" in capsys.readouterr().out
+
+
+def test_audit_bitsliced_passes(capsys):
+    code = main(["audit", "--backend", "bitsliced",
+                 "--calls", "6400", "--precision", "16"])
+    assert code == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_falcon_command(capsys):
+    code = main(["falcon", "--n", "32", "--seed", "4",
+                 "--message", "cli test", "--backend", "cdt-binary"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "verified   : True" in out
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_choice():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["compile", "--method", "magic"])

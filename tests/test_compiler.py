@@ -1,0 +1,117 @@
+"""Tests for the Fig. 4 sampler compiler: both methods, all combiners."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitslice import BitslicedKernel, pack_lane_bits
+from repro.boolfunc import COMBINER_MODES
+from repro.core import (
+    GaussianParams,
+    compile_sampler_circuit,
+    knuth_yao_walk,
+    probability_matrix,
+)
+from repro.rng import BitStream, ListBitSource
+
+
+def _exhaustive_equivalence(circuit, matrix):
+    """Every n-bit string: circuit output == Algorithm 1 outcome."""
+    n = matrix.precision
+    kernel = BitslicedKernel(circuit.roots)
+    for word in range(1 << n):
+        bits = [(word >> i) & 1 for i in range(n)]
+        walk = knuth_yao_walk(matrix, BitStream(ListBitSource(bits)))
+        outputs = kernel(pack_lane_bits([bits], n), 1)
+        valid = outputs[-1] & 1
+        magnitude = sum((outputs[t] & 1) << t
+                        for t in range(len(outputs) - 1))
+        if walk.failed:
+            assert valid == 0, bits
+        else:
+            assert valid == 1, bits
+            assert magnitude == walk.value, bits
+
+
+@pytest.mark.parametrize("combiner", COMBINER_MODES)
+def test_efficient_equivalence_all_combiners(combiner):
+    params = GaussianParams.from_sigma(2, precision=9)
+    circuit = compile_sampler_circuit(params, combiner=combiner)
+    _exhaustive_equivalence(circuit, probability_matrix(params))
+
+
+def test_simple_method_equivalence():
+    params = GaussianParams.from_sigma(2, precision=9)
+    circuit = compile_sampler_circuit(params, method="simple")
+    _exhaustive_equivalence(circuit, probability_matrix(params))
+
+
+def test_global_delta_equivalence():
+    params = GaussianParams.from_sigma(2, precision=9)
+    circuit = compile_sampler_circuit(params, use_global_delta=True)
+    _exhaustive_equivalence(circuit, probability_matrix(params))
+
+
+def test_espresso_sublist_path_equivalence():
+    """Force the wide-sublist espresso fallback with a tiny QMC limit."""
+    params = GaussianParams.from_sigma(2, precision=9)
+    circuit = compile_sampler_circuit(params, qmc_width_limit=1)
+    _exhaustive_equivalence(circuit, probability_matrix(params))
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.sampled_from([1, 1.5, 2, 3, 6.15543]),
+       st.integers(min_value=6, max_value=11))
+def test_equivalence_random_parameters(sigma, precision):
+    params = GaussianParams.from_sigma(sigma, precision=precision)
+    circuit = compile_sampler_circuit(params)
+    _exhaustive_equivalence(circuit, probability_matrix(params))
+
+
+def test_efficient_beats_simple_on_gate_count():
+    """The headline Table 2 direction: efficient < simple, sigma = 2."""
+    params = GaussianParams.from_sigma(2, precision=16)
+    efficient = compile_sampler_circuit(params, method="efficient")
+    simple = compile_sampler_circuit(params, method="simple")
+    assert efficient.gate_count()["total"] < simple.gate_count()["total"]
+
+
+def test_reports_populated():
+    params = GaussianParams.from_sigma(2, precision=12)
+    circuit = compile_sampler_circuit(params)
+    assert circuit.reports
+    assert all(report.exact for report in circuit.reports)
+    ks = [report.k for report in circuit.reports]
+    assert ks == sorted(ks)
+
+
+def test_validity_rate_matches_matrix():
+    params = GaussianParams.from_sigma(2, precision=6)
+    circuit = compile_sampler_circuit(params)
+    assert circuit.validity_rate == 61 / 64
+
+
+def test_invalid_arguments_rejected():
+    params = GaussianParams.from_sigma(2, precision=8)
+    with pytest.raises(ValueError):
+        compile_sampler_circuit(params, method="bogus")
+    with pytest.raises(ValueError):
+        compile_sampler_circuit(params, combiner="bogus")
+
+
+def test_compile_metadata():
+    params = GaussianParams.from_sigma(2, precision=12)
+    circuit = compile_sampler_circuit(params)
+    assert circuit.compile_seconds > 0
+    assert circuit.num_input_bits == 12
+    assert circuit.num_magnitude_bits >= 3
+    assert circuit.depth() > 0
+
+
+def test_onehot_vs_nested_gate_costs_recorded():
+    params = GaussianParams.from_sigma(2, precision=14)
+    costs = {}
+    for mode in COMBINER_MODES:
+        circuit = compile_sampler_circuit(params, combiner=mode)
+        costs[mode] = circuit.gate_count()["total"]
+    assert costs["onehot"] <= costs["nested"]

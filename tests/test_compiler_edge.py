@@ -1,0 +1,126 @@
+"""Edge-case and failure-injection tests for the sampler compiler."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bitslice import BitslicedKernel, pack_lane_bits
+from repro.core import (
+    BitslicedSampler,
+    GaussianParams,
+    compile_sampler_circuit,
+    knuth_yao_walk,
+    probability_matrix,
+)
+from repro.rng import BitStream, ChaChaSource, FixedSource, ListBitSource
+
+
+def _exhaustive_ok(params):
+    matrix = probability_matrix(params)
+    circuit = compile_sampler_circuit(params)
+    kernel = BitslicedKernel(circuit.roots)
+    n = params.precision
+    for word in range(1 << n):
+        bits = [(word >> i) & 1 for i in range(n)]
+        walk = knuth_yao_walk(matrix, BitStream(ListBitSource(bits)))
+        out = kernel(pack_lane_bits([bits], n), 1)
+        valid = out[-1] & 1
+        if walk.failed:
+            assert valid == 0
+        else:
+            assert valid == 1
+            value = sum((out[t] & 1) << t for t in range(len(out) - 1))
+            assert value == walk.value
+    return circuit
+
+
+def test_minimum_precision():
+    """n = 2 is the smallest legal precision; the pipeline holds."""
+    _exhaustive_ok(GaussianParams.from_sigma(2, precision=2))
+
+
+def test_tiny_tail_cut():
+    """tau = 1 truncates at one sigma; heavy truncation still exact."""
+    params = GaussianParams(sigma_sq=Fraction(4), precision=8,
+                            tail_cut=1)
+    assert params.support_bound == 2
+    circuit = _exhaustive_ok(params)
+    assert circuit.num_magnitude_bits == 2
+
+
+def test_very_peaked_distribution():
+    """sigma = 0.3: nearly all mass at 0, single-leaf-ish tree."""
+    params = GaussianParams.from_sigma(0.3, precision=10)
+    _exhaustive_ok(params)
+
+
+def test_wide_flat_distribution():
+    """sigma = 12 at low precision: many rows truncate to zero."""
+    params = GaussianParams.from_sigma(12, precision=9)
+    circuit = _exhaustive_ok(params)
+    assert circuit.matrix.max_value < circuit.matrix.num_rows - 1
+
+
+def test_immediate_sublist_constant_circuit():
+    """Sublists where 1^k 0 itself is a leaf compile to constants."""
+    params = GaussianParams.from_sigma(2, precision=12)
+    circuit = compile_sampler_circuit(params)
+    immediate = [r for r in circuit.reports if r.width == 0]
+    if immediate:
+        for report in immediate:
+            assert report.cube_count == 0
+            assert report.exact
+
+
+def test_qmc_width_limit_boundary():
+    params = GaussianParams.from_sigma(2, precision=10)
+    delta = compile_sampler_circuit(params).partition.delta
+    # Limit exactly at Delta: still fully exact.
+    at_limit = compile_sampler_circuit(params, qmc_width_limit=delta)
+    assert all(r.exact for r in at_limit.reports)
+    # Limit below Delta: wide sublists fall back to espresso.
+    below = compile_sampler_circuit(params, qmc_width_limit=delta - 1)
+    assert any(not r.exact for r in below.reports)
+
+
+def test_sampler_exhausted_source_raises():
+    params = GaussianParams.from_sigma(2, precision=16)
+    circuit = compile_sampler_circuit(params)
+    # Source with bytes for less than one batch.
+    sampler = BitslicedSampler(circuit, source=FixedSource(b"\xAB" * 32),
+                               batch_width=64)
+    with pytest.raises(RuntimeError):
+        sampler.sample_batch()
+
+
+def test_compile_is_deterministic():
+    params = GaussianParams.from_sigma(2, precision=20)
+    a = compile_sampler_circuit(params)
+    b = compile_sampler_circuit(params)
+    assert a.gate_count() == b.gate_count()
+    ka = BitslicedKernel(a.roots)
+    kb = BitslicedKernel(b.roots)
+    assert ka.source == kb.source
+
+
+def test_batch_width_one():
+    sampler = BitslicedSampler(
+        compile_sampler_circuit(GaussianParams.from_sigma(2, 16)),
+        source=ChaChaSource(3), batch_width=1)
+    values = sampler.sample_many(50)
+    assert len(values) == 50
+    assert all(abs(v) <= 26 for v in values)
+
+
+def test_sampler_uses_exactly_n_plus_one_words():
+    """Randomness accounting: n input words + 1 sign word per batch,
+    independent of how many kernel inputs are actually referenced."""
+    params = GaussianParams.from_sigma(2, precision=24)
+    circuit = compile_sampler_circuit(params)
+    kernel_inputs = BitslicedKernel(circuit.roots).num_inputs
+    assert kernel_inputs <= params.precision
+    sampler = BitslicedSampler(circuit, source=ChaChaSource(4),
+                               batch_width=8)
+    sampler.source.reset_count()
+    sampler.raw_batch()
+    assert sampler.source.bytes_read == (params.precision + 1) * 1

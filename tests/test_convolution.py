@@ -1,0 +1,68 @@
+"""Tests for the convolution (large-sigma) extension."""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    ConvolutionSampler,
+    empirical_moments,
+    plan_convolution,
+)
+from repro.core import compile_sampler
+from repro.rng import ChaChaSource
+
+
+def test_plan_trivial_when_target_below_base():
+    plan = plan_convolution(3.0, max_base_sigma=8.0)
+    assert plan.stages == ()
+    assert plan.base_sigma == 3.0
+    assert plan.base_draws_per_sample == 1
+
+
+def test_plan_reaches_small_base():
+    plan = plan_convolution(215.0, max_base_sigma=8.0)
+    assert plan.base_sigma <= 8.0
+    assert plan.stages
+    # Achieved sigma must reproduce the target through the stages.
+    assert plan.achieved_sigma == pytest.approx(215.0, rel=1e-9)
+
+
+def test_plan_rejects_bad_input():
+    with pytest.raises(ValueError):
+        plan_convolution(0, 8)
+    with pytest.raises(ValueError):
+        plan_convolution(10, -1)
+
+
+def _base_factory(sigma, source):
+    return compile_sampler(round(sigma, 5), precision=24, source=source)
+
+
+def test_sampler_moments_sigma_215():
+    """The paper's largest instance: sigma = 215 via convolution."""
+    sampler = ConvolutionSampler(215.0, _base_factory,
+                                 max_base_sigma=8.0,
+                                 source=ChaChaSource(1))
+    draws = 3000
+    samples = sampler.sample_many(draws)
+    mean, std = empirical_moments(samples)
+    # Standard error of the mean is sigma/sqrt(n) ~ 3.9.
+    assert abs(mean) < 4 * 215 / math.sqrt(draws)
+    # Base sigma is rounded to 5 decimals; tolerance covers it.
+    assert abs(std - 215.0) / 215.0 < 0.06
+
+
+def test_sampler_moments_sigma_20():
+    sampler = ConvolutionSampler(20.0, _base_factory,
+                                 max_base_sigma=6.0,
+                                 source=ChaChaSource(2))
+    samples = sampler.sample_many(4000)
+    mean, std = empirical_moments(samples)
+    assert abs(mean) < 4 * 20 / math.sqrt(4000)
+    assert abs(std - 20.0) / 20.0 < 0.06
+
+
+def test_base_draw_count():
+    plan = plan_convolution(215.0, max_base_sigma=8.0)
+    assert plan.base_draws_per_sample == 2 ** len(plan.stages)

@@ -1,0 +1,119 @@
+"""Tests for cube algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc import Cube, cover_cost
+
+
+def cube_strategy(width=6):
+    return st.builds(
+        lambda care, value: Cube(width=width, care=care,
+                                 value=value & care),
+        st.integers(min_value=0, max_value=(1 << width) - 1),
+        st.integers(min_value=0, max_value=(1 << width) - 1))
+
+
+def test_construction_validation():
+    with pytest.raises(ValueError):
+        Cube(width=2, care=0b100, value=0)
+    with pytest.raises(ValueError):
+        Cube(width=3, care=0b001, value=0b010)
+
+
+def test_from_string_round_trip():
+    cube = Cube.from_string("01--1")
+    assert cube.width == 5
+    assert cube.to_string() == "01--1"
+    assert cube.literal_count == 3
+    assert cube.minterm_count() == 4
+
+
+def test_from_prefix_matches_semantics():
+    cube = Cube.from_prefix(5, [1, 0, 1])
+    assert cube.to_string() == "101--"
+    assert cube.contains_minterm(0b00101)
+    assert cube.contains_minterm(0b11101)
+    assert not cube.contains_minterm(0b00111)
+
+
+def test_minterm_enumeration():
+    cube = Cube.from_string("1-0")
+    assert sorted(cube.minterms()) == [0b001, 0b011]
+
+
+def test_literals_enumeration():
+    cube = Cube.from_string("0-1")
+    assert sorted(cube.literals()) == [(0, 0), (2, 1)]
+
+
+def test_full_cube_covers_everything():
+    full = Cube.full(4)
+    for minterm in range(16):
+        assert full.contains_minterm(minterm)
+    assert full.minterm_count() == 16
+
+
+def test_merge_distance_one():
+    a = Cube.from_string("101")
+    b = Cube.from_string("100")
+    merged = a.merge_distance_one(b)
+    assert merged.to_string() == "10-"
+    assert a.merge_distance_one(Cube.from_string("010")) is None
+    assert a.merge_distance_one(Cube.from_string("1-1")) is None
+
+
+def test_cofactor():
+    cube = Cube.from_string("1-0")
+    assert cube.cofactor(0, 1).to_string() == "--0"
+    assert cube.cofactor(0, 0) is None
+    assert cube.cofactor(1, 0).to_string() == "1-0"
+
+
+def test_without_variable():
+    cube = Cube.from_string("10")
+    assert cube.without_variable(0).to_string() == "-0"
+    assert cube.without_variable(5).to_string() == "10"
+
+
+@settings(max_examples=100, deadline=None)
+@given(cube_strategy(), cube_strategy())
+def test_covers_iff_minterm_subset(a, b):
+    assert a.covers(b) == set(b.minterms()).issubset(set(a.minterms()))
+
+
+@settings(max_examples=100, deadline=None)
+@given(cube_strategy(), cube_strategy())
+def test_intersects_iff_shared_minterm(a, b):
+    shared = set(a.minterms()) & set(b.minterms())
+    assert a.intersects(b) == bool(shared)
+    inter = a.intersection(b)
+    if shared:
+        assert set(inter.minterms()) == shared
+    else:
+        assert inter is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(cube_strategy(), cube_strategy())
+def test_supercube_contains_both(a, b):
+    sup = a.supercube(b)
+    assert sup.covers(a)
+    assert sup.covers(b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(cube_strategy(), cube_strategy())
+def test_conflict_mask_certifies_disjointness(a, b):
+    assert (a.conflict_mask(b) != 0) == (not a.intersects(b))
+
+
+def test_width_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Cube.full(3).covers(Cube.full(4))
+
+
+def test_cover_cost():
+    cubes = [Cube.from_string("1-0"), Cube.from_string("---")]
+    assert cover_cost(cubes) == (2, 2)

@@ -1,0 +1,77 @@
+"""Structural property tests for DDG trees."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GaussianParams,
+    build_ddg_tree,
+    probability_matrix,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=40),
+       st.integers(min_value=4, max_value=14))
+def test_level_widths_follow_deficit_recurrence(sigma_sq, precision):
+    params = GaussianParams(sigma_sq=Fraction(sigma_sq) + Fraction(1, 3),
+                            precision=precision, tail_cut=9)
+    matrix = probability_matrix(params)
+    tree = build_ddg_tree(matrix)
+    internal_before = 1
+    for level, nodes in zip(range(matrix.precision), tree.levels):
+        assert len(nodes) == 2 * internal_before
+        leaves = sum(1 for node in nodes if node.is_leaf)
+        assert leaves == matrix.column_weights[level]
+        internal_before = len(nodes) - leaves
+        assert internal_before >= 1  # Theorem 1's live internal path
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=30),
+       st.integers(min_value=4, max_value=12))
+def test_leaf_values_match_column_scan_order(sigma_sq, precision):
+    params = GaussianParams(sigma_sq=Fraction(sigma_sq) + 1,
+                            precision=precision, tail_cut=9)
+    matrix = probability_matrix(params)
+    tree = build_ddg_tree(matrix)
+    for level in range(matrix.precision):
+        values = [node.value for node in tree.levels[level]
+                  if node.is_leaf]
+        expected = list(matrix.column_rows_descending(level))[:len(values)]
+        assert values == expected
+
+
+def test_internal_child_bases_are_consistent():
+    matrix = probability_matrix(GaussianParams.from_sigma(2, 10))
+    tree = build_ddg_tree(matrix)
+    for level_index in range(len(tree.levels) - 1):
+        next_width = len(tree.levels[level_index + 1])
+        internals = [node for node in tree.levels[level_index]
+                     if not node.is_leaf]
+        # Children tile the next level exactly: bases 0, 2, 4, ...
+        bases = [node.child_base for node in internals]
+        assert bases == list(range(0, 2 * len(internals), 2))
+        assert 2 * len(internals) == next_width
+
+
+def test_dot_output_mentions_every_leaf_value():
+    matrix = probability_matrix(GaussianParams.from_sigma(2, 6))
+    tree = build_ddg_tree(matrix)
+    dot = tree.to_dot()
+    for value in range(6):
+        assert f'label="{value}"' in dot
+
+
+def test_walk_total_probability_via_tree():
+    """Summing 2^-(level+1) over leaves equals the matrix mass / 2^n."""
+    matrix = probability_matrix(GaussianParams.from_sigma(2, 12))
+    tree = build_ddg_tree(matrix)
+    n = matrix.precision
+    total = 0
+    for level, nodes in enumerate(tree.levels):
+        leaves = sum(1 for node in nodes if node.is_leaf)
+        total += leaves << (n - level - 1)
+    assert total == matrix.mass

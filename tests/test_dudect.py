@@ -1,0 +1,132 @@
+"""Tests for the dudect reimplementation and the leakage verdicts.
+
+The reproduction's constant-time claims live here: the op-count traces
+of the non-constant-time backends must be *flagged*, and the bitsliced
+and linear-scan backends must pass.
+"""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    ByteScanCdtSampler,
+    CdtBinarySearchSampler,
+    KnuthYaoIntegerSampler,
+    LinearScanCdtSampler,
+)
+from repro.core import GaussianParams, compile_sampler
+from repro.ct import (
+    T_THRESHOLD,
+    audit_batch_sampler,
+    audit_sampler,
+    crop_below_percentile,
+    two_class_report,
+    welch_t,
+)
+from repro.rng import ChaChaSource
+
+PARAMS = GaussianParams.from_sigma(2, precision=16)
+
+
+def test_welch_t_zero_for_identical_distributions():
+    result = welch_t([1.0, 2.0, 3.0, 4.0] * 20, [1.0, 2.0, 3.0, 4.0] * 20)
+    assert abs(result.t_statistic) < 1e-9
+
+
+def test_welch_t_large_for_separated_classes():
+    result = welch_t([10.0 + 0.1 * i for i in range(50)],
+                     [20.0 + 0.1 * i for i in range(50)])
+    assert result.t_statistic < -T_THRESHOLD
+    assert result.leaking
+
+
+def test_welch_t_degenerate_cases():
+    equal = welch_t([5.0] * 10, [5.0] * 10)
+    assert equal.t_statistic == 0.0
+    assert not equal.leaking
+    different = welch_t([5.0] * 10, [6.0] * 10)
+    assert math.isinf(different.t_statistic)
+    assert different.leaking
+    with pytest.raises(ValueError):
+        welch_t([1.0], [2.0, 3.0])
+
+
+def test_crop_below_percentile():
+    values = list(range(100))
+    cropped = crop_below_percentile(values, 0.5)
+    assert cropped == list(range(50))
+    with pytest.raises(ValueError):
+        crop_below_percentile(values, 0)
+
+
+def test_report_rendering():
+    report = two_class_report("demo", "opcount",
+                              [1.0, 2.0, 3.0] * 10, [1.0, 2.0, 3.0] * 10)
+    text = report.render()
+    assert "demo" in text and "ok" in text
+    assert report.max_abs_t < T_THRESHOLD
+
+
+@pytest.mark.parametrize("backend", [
+    ByteScanCdtSampler,
+    CdtBinarySearchSampler,
+    KnuthYaoIntegerSampler,
+])
+def test_non_constant_time_backends_flagged(backend):
+    sampler = backend(PARAMS, source=ChaChaSource(1))
+    report = audit_sampler(sampler, calls=3000)
+    assert report.leaking, report.render()
+    assert report.max_abs_t > T_THRESHOLD
+
+
+def test_linear_scan_passes():
+    sampler = LinearScanCdtSampler(PARAMS, source=ChaChaSource(2))
+    report = audit_sampler(sampler, calls=3000)
+    # Not leaking: the only trace variation is the sign-byte refill
+    # every 8th call, which is public and uncorrelated with the class.
+    assert not report.leaking, report.render()
+    assert report.max_abs_t < T_THRESHOLD
+
+
+def test_linear_scan_trace_constant_per_attempt():
+    """Every linear-scan *attempt* executes the identical op sequence.
+
+    Truncation-gap restarts (a public event, probability 2^-n-ish,
+    shared by every truncated sampler including Algorithm 1) simply run
+    another identical attempt; conditioning on the attempt count, the
+    trace variance is exactly zero.
+    """
+    sampler = LinearScanCdtSampler(PARAMS, source=ChaChaSource(12))
+    traces_by_attempts: dict[int, set] = {}
+    for _ in range(1500):
+        before = sampler.counter.snapshot()
+        sampler.sample_magnitude()
+        delta = sampler.counter.delta(before)
+        attempts = delta.branches + 1  # one branch booked per restart
+        key = (delta.word_ops, delta.compares, delta.loads,
+               delta.rng_bytes)
+        traces_by_attempts.setdefault(attempts, set()).add(key)
+    for attempts, traces in traces_by_attempts.items():
+        assert len(traces) == 1, (attempts, traces)
+
+
+def test_bitsliced_batch_audit_passes():
+    sampler = compile_sampler(2, 16, source=ChaChaSource(3))
+    report = audit_batch_sampler(sampler, batches=200)
+    assert not report.leaking, report.render()
+    assert report.max_abs_t == 0.0
+
+
+def test_walltime_measure_runs():
+    """Wall-clock mode is informational; assert only that it works."""
+    sampler = LinearScanCdtSampler(PARAMS, source=ChaChaSource(4))
+    report = audit_sampler(sampler, calls=400, measure="walltime")
+    assert report.measure == "walltime"
+    assert report.results
+
+
+def test_unknown_measure_rejected():
+    sampler = LinearScanCdtSampler(PARAMS, source=ChaChaSource(5))
+    with pytest.raises(ValueError):
+        audit_sampler(sampler, calls=10, measure="bogus")

@@ -1,0 +1,73 @@
+"""Tests for Falcon signature compression."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.falcon import CompressError, DecompressError, compress, decompress
+
+
+def test_round_trip_simple():
+    coeffs = [0, 1, -1, 127, -128, 300, -300, 12345]
+    data = compress(coeffs, payload_bits=len(coeffs) * 40)
+    assert decompress(data, len(coeffs)) == coeffs
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=-2000, max_value=2000),
+                min_size=1, max_size=64))
+def test_round_trip_random(coeffs):
+    budget = 16 * len(coeffs) + 256
+    data = compress(coeffs, payload_bits=budget)
+    assert decompress(data, len(coeffs)) == coeffs
+
+
+def test_output_length_is_fixed():
+    small = compress([0, 0], payload_bits=100)
+    large = compress([500, -500], payload_bits=100)
+    assert len(small) == len(large) == 13  # ceil(100 / 8)
+
+
+def test_budget_overflow_raises():
+    with pytest.raises(CompressError):
+        compress([10**5] * 8, payload_bits=64)
+
+
+def test_gaussian_coefficients_fit_spec_budget():
+    """sigma ~ 165 coefficients fit the ~11 bits/coeff budget."""
+    import random
+    rng = random.Random(1)
+    n = 512
+    coeffs = [round(rng.gauss(0, 165.7)) for _ in range(n)]
+    data = compress(coeffs, payload_bits=11 * n + 64)
+    assert decompress(data, n) == coeffs
+
+
+def test_negative_zero_rejected():
+    # sign=1, low bits 0000000, unary terminator 1 -> -0.
+    data = bytes([0b10000000, 0b10000000])  # second coeff: +0
+    with pytest.raises(DecompressError):
+        decompress(data, 2)
+
+
+def test_nonzero_padding_rejected():
+    coeffs = [1, 2, 3]
+    data = bytearray(compress(coeffs, payload_bits=200))
+    data[-1] |= 1
+    with pytest.raises(DecompressError):
+        decompress(bytes(data), 3)
+
+
+def test_truncated_stream_rejected():
+    coeffs = [1000] * 4
+    data = compress(coeffs, payload_bits=100)
+    with pytest.raises(DecompressError):
+        decompress(data[:2], 4)
+
+
+def test_overlong_unary_rejected():
+    # 1 sign + 7 low bits, then > 1024 zeros with no terminator in
+    # range: triggers the unary-run guard.
+    data = bytes(200)
+    with pytest.raises(DecompressError):
+        decompress(data, 1)

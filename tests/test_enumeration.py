@@ -1,0 +1,118 @@
+"""Tests for terminating-string enumeration and Theorem 1 (Sec. 5)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GaussianParams,
+    check_theorem1,
+    enumerate_by_walk,
+    enumerate_failure_prefixes,
+    enumerate_terminating_strings,
+    knuth_yao_walk,
+    max_free_suffix_length,
+    probability_matrix,
+)
+from repro.rng import BitStream, ListBitSource
+
+SIGMA2_N6 = GaussianParams.from_sigma(2, precision=6)
+
+
+def test_closed_form_matches_brute_force_sigma2():
+    matrix = probability_matrix(SIGMA2_N6)
+    closed = enumerate_terminating_strings(matrix)
+    brute = enumerate_by_walk(matrix)
+    assert [(s.bits, s.value) for s in closed] == \
+        [(s.bits, s.value) for s in brute]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=30),
+       st.integers(min_value=4, max_value=12))
+def test_closed_form_matches_brute_force_random(sigma_sq, precision):
+    params = GaussianParams(sigma_sq=Fraction(sigma_sq),
+                            precision=precision, tail_cut=9)
+    matrix = probability_matrix(params)
+    closed = sorted((s.bits, s.value)
+                    for s in enumerate_terminating_strings(matrix))
+    brute = sorted((s.bits, s.value) for s in enumerate_by_walk(matrix))
+    assert closed == brute
+
+
+def test_list_size_equals_total_column_weight():
+    matrix = probability_matrix(GaussianParams.from_sigma(2, precision=20))
+    entries = enumerate_terminating_strings(matrix)
+    assert len(entries) == sum(matrix.column_weights)
+
+
+def test_every_string_replays_to_its_value():
+    matrix = probability_matrix(GaussianParams.from_sigma(2, precision=12))
+    for entry in enumerate_terminating_strings(matrix):
+        stream = BitStream(ListBitSource(list(entry.bits)))
+        result = knuth_yao_walk(matrix, stream)
+        assert result.value == entry.value
+        assert result.bits_used == len(entry.bits)
+
+
+def test_failure_prefixes_never_terminate_and_cover_gap():
+    matrix = probability_matrix(SIGMA2_N6)
+    failures = enumerate_failure_prefixes(matrix)
+    assert len(failures) == matrix.failure_count == 3
+    assert (1, 1, 1, 1, 1, 1) in failures
+    for prefix in failures:
+        stream = BitStream(ListBitSource(list(prefix)))
+        assert knuth_yao_walk(matrix, stream).failed
+
+
+def test_theorem1_holds():
+    for sigma in (1, 2, 6.15543):
+        params = GaussianParams.from_sigma(sigma, precision=16)
+        assert check_theorem1(probability_matrix(params))
+
+
+def test_theorem1_string_form_rendering():
+    matrix = probability_matrix(SIGMA2_N6)
+    entries = enumerate_terminating_strings(matrix)
+    first = next(e for e in entries if e.level == 1)
+    # Level-1 leaf is reached by 0,0: reversed notation "00" + x-padding.
+    assert first.padded_string(6) == "xxxx00"
+    assert first.leading_ones == 0
+    assert first.free_suffix_length == 1
+
+
+def test_delta_observation_paper_values():
+    """Sec. 5: Delta = 4, 4, 6 for sigma = 1, 2, 6.15543 (tau = 13)."""
+    observed = {}
+    for sigma in (1, 2, 6.15543):
+        params = GaussianParams.from_sigma(sigma, precision=64)
+        observed[sigma] = max_free_suffix_length(
+            probability_matrix(params))
+    assert observed[1] <= 4
+    assert observed[2] <= 4
+    assert observed[6.15543] <= 6
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=40),
+       st.integers(min_value=6, max_value=20))
+def test_no_terminating_string_is_all_ones(sigma_sq, precision):
+    params = GaussianParams(sigma_sq=Fraction(sigma_sq),
+                            precision=precision, tail_cut=10)
+    matrix = probability_matrix(params)
+    for entry in enumerate_terminating_strings(matrix):
+        assert 0 in entry.bits
+        # leading_ones + zero + suffix reconstructs the string
+        k = entry.leading_ones
+        assert entry.bits[:k] == (1,) * k
+        assert entry.bits[k] == 0
+
+
+def test_string_weights_account_for_all_inputs():
+    """Sum over leaves of 2^(n - level - 1) plus failures equals 2^n."""
+    matrix = probability_matrix(GaussianParams.from_sigma(2, precision=10))
+    n = matrix.precision
+    total = sum(1 << (n - entry.level - 1)
+                for entry in enumerate_terminating_strings(matrix))
+    assert total + matrix.failure_count == 1 << n

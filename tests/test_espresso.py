@@ -1,0 +1,182 @@
+"""Tests for the espresso-style heuristic minimizer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc import (
+    Cube,
+    complement_cover,
+    cover_covers_cube,
+    cover_is_tautology,
+    espresso,
+    expand_cube,
+    irredundant,
+    minimize_exact,
+    smallest_cube_containing_complement,
+    verify_cover,
+)
+
+
+def _minterms(cubes, width):
+    out = set()
+    for cube in cubes:
+        out.update(cube.minterms())
+    return out
+
+
+def _random_function(width, seed_minterms):
+    """Split minterms into ON/OFF/DC deterministically."""
+    on, off, dc = [], [], []
+    for m in range(1 << width):
+        bucket = seed_minterms.get(m, 0)
+        if bucket == 1:
+            on.append(Cube.from_minterm(width, m))
+        elif bucket == 0:
+            off.append(Cube.from_minterm(width, m))
+        else:
+            dc.append(Cube.from_minterm(width, m))
+    return on, off, dc
+
+
+def test_tautology_basic():
+    assert cover_is_tautology([Cube.full(3)], 3)
+    assert cover_is_tautology(
+        [Cube.from_string("1--"), Cube.from_string("0--")], 3)
+    assert not cover_is_tautology([Cube.from_string("1--")], 3)
+    assert not cover_is_tautology([], 3)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=1, max_value=4).flatmap(
+    lambda w: st.tuples(
+        st.just(w),
+        st.sets(st.integers(min_value=0, max_value=(1 << w) - 1)))))
+def test_tautology_matches_brute_force(args):
+    width, minterms = args
+    cubes = [Cube.from_minterm(width, m) for m in minterms]
+    expected = len(minterms) == 1 << width
+    assert cover_is_tautology(cubes, width) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=31)),
+       st.integers(min_value=0, max_value=31),
+       st.integers(min_value=0, max_value=31))
+def test_cover_covers_cube_matches_minterms(minterms, care, value):
+    width = 5
+    cover = [Cube.from_minterm(width, m) for m in minterms]
+    target = Cube(width=width, care=care, value=value & care)
+    expected = set(target.minterms()) <= minterms
+    assert cover_covers_cube(cover, target) == expected
+
+
+def test_expand_cube_raises_maximally():
+    width = 4
+    # OFF set = everything with bit0 == 1; ON cube 0000 expands to -0--?
+    off = [Cube.from_string("1---")]
+    cube = Cube.from_string("0000")
+    expanded = expand_cube(cube, off)
+    assert expanded.to_string() == "0---"
+    assert not expanded.intersects(off[0])
+
+
+def test_expand_respects_multiple_off_cubes():
+    off = [Cube.from_string("11--"), Cube.from_string("--11")]
+    cube = Cube.from_string("0000")
+    expanded = expand_cube(cube, off)
+    for blocker in off:
+        assert not expanded.intersects(blocker)
+    # At least two literals must survive (one per OFF cube), and the
+    # expansion must be maximal: raising any literal hits the OFF set.
+    for variable, _ in expanded.literals():
+        raised = expanded.without_variable(variable)
+        assert any(raised.intersects(blocker) for blocker in off)
+
+
+def test_irredundant_removes_contained_cube():
+    cover = [Cube.from_string("1---"), Cube.from_string("0---"),
+             Cube.from_string("10--")]
+    slim = irredundant(cover)
+    assert len(slim) == 2
+    assert cover_is_tautology(slim, 4)
+
+
+def test_sccc_simple():
+    # Cover = {x0=1}: complement is x0=0, smallest cube containing it
+    # is exactly that cube.
+    cover = [Cube.from_string("1--")]
+    sccc = smallest_cube_containing_complement(cover, 3)
+    assert sccc.to_string() == "0--"
+    # Tautology has empty complement.
+    assert smallest_cube_containing_complement([Cube.full(3)], 3) is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=15)))
+def test_sccc_contains_complement(minterms):
+    width = 4
+    cover = [Cube.from_minterm(width, m) for m in minterms]
+    sccc = smallest_cube_containing_complement(cover, width)
+    complement = set(range(16)) - minterms
+    if not complement:
+        assert sccc is None
+    else:
+        for m in complement:
+            assert sccc.contains_minterm(m)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.dictionaries(st.integers(min_value=0, max_value=31),
+                       st.integers(min_value=0, max_value=2)))
+def test_espresso_invariants_random_functions(assignment):
+    width = 5
+    on, off, dc = _random_function(width, assignment)
+    if not on:
+        return
+    result = espresso(on, off, dc)
+    assert verify_cover(result.cubes, on, off, dc)
+    # Result is never worse than the unit-minterm cover.
+    assert result.cost <= (len(on), width * len(on))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.dictionaries(st.integers(min_value=0, max_value=15),
+                       st.integers(min_value=0, max_value=2)))
+def test_espresso_close_to_exact_small(assignment):
+    width = 4
+    on, off, dc = _random_function(width, assignment)
+    if not on:
+        return
+    heuristic = espresso(on, off, dc)
+    exact = minimize_exact(width,
+                           [c.value for c in on],
+                           [c.value for c in dc])
+    # Heuristic may be worse, but never by more than 2x in cube count
+    # on these tiny functions — a regression canary for EXPAND quality.
+    assert len(heuristic.cubes) <= max(2 * len(exact.cubes), 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=63),
+              st.integers(min_value=0, max_value=63)),
+    max_size=8))
+def test_complement_cover_partitions_space(cube_specs):
+    width = 6
+    cubes = []
+    for care, value in cube_specs:
+        cubes.append(Cube(width=width, care=care, value=value & care))
+    complement = complement_cover(cubes, width)
+    covered = _minterms(cubes, width)
+    complement_minterms = _minterms(complement, width)
+    assert covered | complement_minterms == set(range(1 << width))
+    assert covered & complement_minterms == set()
+
+
+def test_espresso_merges_adjacent_minterms():
+    width = 3
+    on = [Cube.from_minterm(width, m) for m in (0, 1, 2, 3)]
+    off = [Cube.from_minterm(width, m) for m in (4, 5, 6, 7)]
+    result = espresso(on, off)
+    assert len(result.cubes) == 1
+    assert result.cubes[0].to_string() == "--0"

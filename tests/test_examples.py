@@ -1,0 +1,65 @@
+"""Smoke tests keeping the example scripts runnable.
+
+Each example is executed as a subprocess (the way a user runs it);
+slower examples are exercised only under REPRO_FULL=1.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST = ["compile_and_export.py", "hardware_export.py"]
+SLOW = ["quickstart.py", "constant_time_audit.py",
+        "sampler_comparison.py", "large_sigma_convolution.py"]
+
+slow = pytest.mark.skipif(
+    os.environ.get("REPRO_FULL", "") in ("", "0"),
+    reason="slower example; set REPRO_FULL=1")
+
+
+def _run(name: str, tmp_path, timeout=420) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+        cwd=tmp_path)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_examples_run(name, tmp_path):
+    output = _run(name, tmp_path)
+    assert output.strip()
+
+
+def test_compile_and_export_claims_improvement(tmp_path):
+    output = _run("compile_and_export.py", tmp_path)
+    assert "efficient minimization saves" in output
+    assert (tmp_path / "sampler_sigma2.c").exists()
+
+
+def test_hardware_export_writes_netlists(tmp_path):
+    _run("hardware_export.py", tmp_path)
+    assert (tmp_path / "gauss_sampler.v").exists()
+    assert (tmp_path / "gauss_sampler.blif").exists()
+
+
+@slow
+@pytest.mark.parametrize("name", SLOW)
+def test_slow_examples_run(name, tmp_path):
+    output = _run(name, tmp_path)
+    assert output.strip()
+
+
+@slow
+def test_falcon_example_runs(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "falcon_signatures.py"), "64"],
+        capture_output=True, text=True, timeout=420, cwd=tmp_path)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "yes" in result.stdout

@@ -1,0 +1,161 @@
+"""End-to-end tests of the Falcon signature scheme."""
+
+import math
+
+import pytest
+
+from repro.falcon import (
+    BASE_SAMPLER_BACKENDS,
+    PAPER_LEVELS,
+    Q,
+    SecretKey,
+    Signature,
+    falcon_params,
+    hash_to_point,
+)
+from repro.rng import ChaChaSource
+
+# Session-scope small key: keygen is the slow part of these tests.
+_KEYS: dict[int, SecretKey] = {}
+
+
+def _secret_key(n=64, seed=1) -> SecretKey:
+    if (n, seed) not in _KEYS:
+        _KEYS[(n, seed)] = SecretKey.generate(n=n, seed=seed)
+    return _KEYS[(n, seed)]
+
+
+def test_sign_verify_round_trip():
+    sk = _secret_key()
+    message = b"attack at dawn"
+    signature = sk.sign(message)
+    assert sk.public_key.verify(message, signature)
+
+
+def test_tampered_message_rejected():
+    sk = _secret_key()
+    signature = sk.sign(b"attack at dawn")
+    assert not sk.public_key.verify(b"attack at dusk", signature)
+
+
+def test_tampered_signature_rejected():
+    sk = _secret_key()
+    signature = sk.sign(b"message")
+    flipped = bytearray(signature.compressed)
+    flipped[0] ^= 0x40
+    tampered = Signature(salt=signature.salt,
+                         compressed=bytes(flipped))
+    assert not sk.public_key.verify(b"message", tampered)
+
+
+def test_wrong_key_rejected():
+    sk = _secret_key()
+    other = _secret_key(seed=2)
+    signature = sk.sign(b"message")
+    assert not other.public_key.verify(b"message", signature)
+
+
+def test_signatures_are_randomized():
+    sk = _secret_key()
+    a = sk.sign(b"same message")
+    b = sk.sign(b"same message")
+    assert a.salt != b.salt
+    assert a.compressed != b.compressed
+    assert sk.public_key.verify(b"same message", a)
+    assert sk.public_key.verify(b"same message", b)
+
+
+@pytest.mark.parametrize("backend", sorted(BASE_SAMPLER_BACKENDS))
+def test_all_base_samplers_produce_valid_signatures(backend):
+    """The Table 1 experiment's core invariant: every backend works."""
+    sk = _secret_key()
+    sk.use_base_sampler(backend, source=ChaChaSource(33))
+    message = f"backend {backend}".encode()
+    signature = sk.sign(message)
+    assert sk.public_key.verify(message, signature)
+
+
+def test_signature_norm_within_bound():
+    sk = _secret_key()
+    params = falcon_params(sk.n)
+    from repro.falcon import center_mod_q, decompress, mul_ntt
+    message = b"norm check"
+    signature = sk.sign(message)
+    s2 = decompress(signature.compressed, sk.n)
+    hashed = hash_to_point(message, signature.salt, sk.n)
+    s1 = [center_mod_q(c - x)
+          for c, x in zip(hashed, mul_ntt(s2, sk.keys.h))]
+    norm_sq = sum(c * c for c in s1) + sum(c * c for c in s2)
+    assert 0 < norm_sq <= params.sig_bound
+    # And the norm is in the expected Gaussian regime, not trivially 0.
+    assert norm_sq > 0.2 * params.sigma ** 2 * 2 * sk.n
+
+
+def test_hash_to_point_deterministic_and_uniform():
+    digest_a = hash_to_point(b"m", b"\x01" * 40, 256)
+    digest_b = hash_to_point(b"m", b"\x01" * 40, 256)
+    assert digest_a == digest_b
+    assert all(0 <= c < Q for c in digest_a)
+    different_salt = hash_to_point(b"m", b"\x02" * 40, 256)
+    assert digest_a != different_salt
+    # Coarse uniformity: mean of Z_q uniform is ~q/2.
+    big = hash_to_point(b"uniformity", b"\x00" * 40, 1024)
+    mean = sum(big) / len(big)
+    assert abs(mean - Q / 2) < 4 * Q / math.sqrt(12 * 1024)
+
+
+def test_salt_length_matches_spec():
+    sk = _secret_key()
+    signature = sk.sign(b"x")
+    assert len(signature.salt) == 40
+
+
+def test_samples_per_signature():
+    sk = _secret_key()
+    assert sk.samples_per_signature() == 2 * sk.n
+
+
+def test_base_sampler_call_volume():
+    """ffSampling calls SamplerZ 2n times per attempt."""
+    sk = _secret_key()
+    sk.use_base_sampler("cdt-binary", source=ChaChaSource(44))
+    before = sk.sampler_z.accepted
+    attempts_before = sk.signing_attempts
+    sk.sign(b"count calls")
+    accepted = sk.sampler_z.accepted - before
+    attempts = sk.signing_attempts - attempts_before
+    assert accepted == attempts * 2 * sk.n
+
+
+def test_paper_levels_table():
+    assert PAPER_LEVELS == {"Level 1": 256, "Level 2": 512,
+                            "Level 3": 1024}
+
+
+def test_params_official_constants():
+    p512 = falcon_params(512)
+    assert p512.sig_bound == 34034726
+    assert p512.sigma == pytest.approx(165.736617183, abs=1e-6)
+    p1024 = falcon_params(1024)
+    assert p1024.sig_bound == 70265242
+    assert p1024.sigma == pytest.approx(168.388571447, abs=1e-6)
+    with pytest.raises(ValueError):
+        falcon_params(100)
+
+
+def test_params_formula_close_to_official():
+    """The derived formula reproduces the official 512 constants."""
+    import repro.falcon.params as params_module
+    eps = 1.0 / math.sqrt(128 * 2.0 ** 64)
+    smoothing = (1.0 / math.pi) * math.sqrt(
+        math.log(4 * 512 * (1 + 1 / eps)) / 2)
+    sigma = 1.17 * math.sqrt(params_module.Q) * smoothing
+    assert sigma == pytest.approx(falcon_params(512).sigma, rel=2e-4)
+
+
+def test_verify_rejects_garbage_compressed():
+    sk = _secret_key()
+    signature = sk.sign(b"m")
+    garbage = Signature(salt=signature.salt,
+                        compressed=b"\xff" * len(signature.compressed))
+    assert not sk.public_key.verify(b"m", garbage)

@@ -1,0 +1,130 @@
+"""Tests for ffLDL trees and fast Fourier sampling."""
+
+import math
+import random
+
+from repro.falcon import (
+    SIGMA_MAX,
+    build_ldl_tree,
+    falcon_params,
+    ff_sampling,
+    ifft,
+    normalize_tree,
+    tree_leaf_sigmas,
+)
+from repro.falcon.ffsampling import LdlLeaf, LdlNode
+from repro.falcon.fft import add_fft, adj_fft, fft, mul_fft, neg_fft
+from repro.falcon.ntrugen import generate_keys
+from repro.rng import ChaChaSource
+
+
+def _gram_from_keys(keys):
+    b00 = fft([float(c) for c in keys.g])
+    b01 = neg_fft(fft([float(c) for c in keys.f]))
+    b10 = fft([float(c) for c in keys.G])
+    b11 = neg_fft(fft([float(c) for c in keys.F]))
+    g00 = add_fft(mul_fft(b00, adj_fft(b00)), mul_fft(b01, adj_fft(b01)))
+    g01 = add_fft(mul_fft(b00, adj_fft(b10)), mul_fft(b01, adj_fft(b11)))
+    g11 = add_fft(mul_fft(b10, adj_fft(b10)), mul_fft(b11, adj_fft(b11)))
+    return g00, g01, g11
+
+
+def test_tree_shape_and_leaf_count():
+    keys = generate_keys(32, source=ChaChaSource(1))
+    tree = build_ldl_tree(*_gram_from_keys(keys))
+
+    def depth_and_leaves(node):
+        if isinstance(node, LdlLeaf):
+            return 1, 2
+        d0, l0 = depth_and_leaves(node.child0)
+        d1, l1 = depth_and_leaves(node.child1)
+        assert d0 == d1
+        return d0 + 1, l0 + l1
+
+    depth, leaves = depth_and_leaves(tree)
+    assert depth == 6  # log2(32) + 1
+    assert leaves == 2 * 32  # one SamplerZ call per leaf sigma
+
+
+def test_leaf_variances_positive():
+    keys = generate_keys(32, source=ChaChaSource(2))
+    tree = build_ldl_tree(*_gram_from_keys(keys))
+    for variance in tree_leaf_sigmas(tree):
+        assert variance > 0
+
+
+def test_normalized_leaf_sigmas_in_falcon_range():
+    n = 64
+    keys = generate_keys(n, source=ChaChaSource(3))
+    params = falcon_params(n)
+    tree = build_ldl_tree(*_gram_from_keys(keys))
+    normalize_tree(tree, params.sigma)
+    sigmas = tree_leaf_sigmas(tree)
+    assert all(0.8 * params.sigma_min < s <= SIGMA_MAX * 1.01
+               for s in sigmas), (min(sigmas), max(sigmas))
+
+
+def test_ffsampling_outputs_integer_vectors():
+    n = 32
+    keys = generate_keys(n, source=ChaChaSource(4))
+    params = falcon_params(n)
+    tree = build_ldl_tree(*_gram_from_keys(keys))
+    normalize_tree(tree, params.sigma)
+
+    rng = random.Random(5)
+    t0 = fft([rng.uniform(-50, 50) for _ in range(n)])
+    t1 = fft([rng.uniform(-50, 50) for _ in range(n)])
+
+    calls = []
+
+    def sampler_z(center, sigma):
+        calls.append((center, sigma))
+        return round(center)  # deterministic Babai rounding
+
+    z0, z1 = ff_sampling(t0, t1, tree, sampler_z)
+    assert len(calls) == 2 * n
+    for vector in (z0, z1):
+        coeffs = ifft(vector)
+        for c in coeffs:
+            assert abs(c - round(c)) < 1e-6
+
+
+def test_ffsampling_result_is_close_to_target():
+    """With a Gaussian leaf sampler, (t - z) B must be short: its norm
+    concentrates around sigma * sqrt(2n)."""
+    n = 64
+    keys = generate_keys(n, source=ChaChaSource(6))
+    params = falcon_params(n)
+    g00, g01, g11 = _gram_from_keys(keys)
+    tree = build_ldl_tree(g00, g01, g11)
+    normalize_tree(tree, params.sigma)
+
+    from repro.falcon import RejectionSamplerZ
+    from repro.falcon.scheme import make_base_sampler
+    base = make_base_sampler("cdt-binary", source=ChaChaSource(7),
+                             precision=64)
+    samp = RejectionSamplerZ(base, uniform_source=ChaChaSource(8))
+
+    rng = random.Random(9)
+    t0 = fft([rng.uniform(-100, 100) for _ in range(n)])
+    t1 = fft([rng.uniform(-100, 100) for _ in range(n)])
+    z0, z1 = ff_sampling(t0, t1, tree, samp.sample)
+
+    b00 = fft([float(c) for c in keys.g])
+    b01 = neg_fft(fft([float(c) for c in keys.f]))
+    b10 = fft([float(c) for c in keys.G])
+    b11 = neg_fft(fft([float(c) for c in keys.F]))
+    d0 = [a - b for a, b in zip(t0, z0)]
+    d1 = [a - b for a, b in zip(t1, z1)]
+    s0 = ifft(add_fft(mul_fft(d0, b00), mul_fft(d1, b10)))
+    s1 = ifft(add_fft(mul_fft(d0, b01), mul_fft(d1, b11)))
+    norm = math.sqrt(sum(c * c for c in s0) + sum(c * c for c in s1))
+    expected = params.sigma * math.sqrt(2 * n)
+    assert norm < 1.5 * expected, (norm, expected)
+
+
+def test_tree_nodes_have_expected_types():
+    keys = generate_keys(16, source=ChaChaSource(10))
+    tree = build_ldl_tree(*_gram_from_keys(keys))
+    assert isinstance(tree, LdlNode)
+    assert len(tree.l10) == 16

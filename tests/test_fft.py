@@ -1,0 +1,142 @@
+"""Tests for the negacyclic complex FFT."""
+
+import cmath
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.falcon import (
+    add_fft,
+    adj_fft,
+    div_fft,
+    fft,
+    fft_points,
+    ifft,
+    merge_fft,
+    mul_fft,
+    round_ifft,
+    split_fft,
+    sub_fft,
+)
+
+
+def _naive_negacyclic(a, b):
+    n = len(a)
+    out = [0] * n
+    for i in range(n):
+        for j in range(n):
+            k = i + j
+            if k < n:
+                out[k] += a[i] * b[j]
+            else:
+                out[k - n] -= a[i] * b[j]
+    return out
+
+
+def test_points_are_roots_of_x_n_plus_1():
+    for n in (1, 2, 4, 8, 32):
+        for point in fft_points(n):
+            assert abs(point ** n + 1) < 1e-9
+            assert abs(abs(point) - 1) < 1e-12
+
+
+def test_points_distinct():
+    points = fft_points(64)
+    for i, a in enumerate(points):
+        for b in points[i + 1:]:
+            assert abs(a - b) > 1e-9
+
+
+def test_points_power_of_two_only():
+    with pytest.raises(ValueError):
+        fft_points(12)
+    with pytest.raises(ValueError):
+        fft_points(0)
+
+
+def test_fft_evaluates_at_points():
+    random.seed(1)
+    n = 16
+    coeffs = [random.uniform(-5, 5) for _ in range(n)]
+    values = fft(coeffs)
+    for point, value in zip(fft_points(n), values):
+        direct = sum(c * point ** i for i, c in enumerate(coeffs))
+        assert abs(direct - value) < 1e-8
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=-100, max_value=100),
+                min_size=2, max_size=64).filter(
+                    lambda v: len(v) & (len(v) - 1) == 0))
+def test_fft_round_trip(coeffs):
+    assert round_ifft(fft([float(c) for c in coeffs])) == coeffs
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32))
+def test_mul_fft_matches_naive(seed):
+    rng = random.Random(seed)
+    n = 16
+    a = [rng.randint(-30, 30) for _ in range(n)]
+    b = [rng.randint(-30, 30) for _ in range(n)]
+    via_fft = round_ifft(mul_fft(fft([float(x) for x in a]),
+                                 fft([float(x) for x in b])))
+    assert via_fft == _naive_negacyclic(a, b)
+
+
+def test_split_merge_inverse():
+    random.seed(3)
+    values = fft([random.uniform(-2, 2) for _ in range(32)])
+    even, odd = split_fft(values)
+    rebuilt = merge_fft(even, odd)
+    assert all(abs(x - y) < 1e-10 for x, y in zip(values, rebuilt))
+
+
+def test_split_matches_coefficient_split():
+    random.seed(4)
+    coeffs = [random.uniform(-2, 2) for _ in range(32)]
+    even_vals, odd_vals = split_fft(fft(coeffs))
+    assert all(abs(a - b) < 1e-9 for a, b in
+               zip(even_vals, fft(coeffs[0::2])))
+    assert all(abs(a - b) < 1e-9 for a, b in
+               zip(odd_vals, fft(coeffs[1::2])))
+
+
+def test_adjoint_is_conjugate_of_real_poly():
+    random.seed(5)
+    coeffs = [random.uniform(-3, 3) for _ in range(16)]
+    values = fft(coeffs)
+    adj_vals = adj_fft(values)
+    # adj(f) has coefficients [f0, -f_{n-1}, ..., -f_1].
+    adj_coeffs = [coeffs[0]] + [-c for c in coeffs[:0:-1]]
+    direct = fft(adj_coeffs)
+    assert all(abs(a - b) < 1e-8 for a, b in zip(adj_vals, direct))
+
+
+def test_pointwise_helpers():
+    a = fft([1.0, 2.0])
+    b = fft([3.0, -1.0])
+    total = ifft(add_fft(a, b))
+    assert total == pytest.approx([4.0, 1.0])
+    diff = ifft(sub_fft(a, b))
+    assert diff == pytest.approx([-2.0, 3.0])
+    quotient = ifft(mul_fft(div_fft(a, b), b))
+    assert quotient == pytest.approx([1.0, 2.0])
+
+
+def test_fft_rejects_bad_length():
+    with pytest.raises(ValueError):
+        fft([1.0, 2.0, 3.0])
+    with pytest.raises(ValueError):
+        ifft([1 + 0j] * 5)
+
+
+def test_parseval():
+    random.seed(6)
+    coeffs = [random.uniform(-1, 1) for _ in range(64)]
+    values = fft(coeffs)
+    energy_time = sum(c * c for c in coeffs)
+    energy_freq = sum(abs(v) ** 2 for v in values) / 64
+    assert energy_freq == pytest.approx(energy_time, rel=1e-9)

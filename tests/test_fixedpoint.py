@@ -1,0 +1,104 @@
+"""Tests for arbitrary-precision fixed-point exp."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fixedpoint import (
+    exp_neg_fixed,
+    fixed_to_fraction,
+    floor_scaled_sqrt,
+    fraction_to_fixed,
+    isqrt_floor,
+)
+
+
+def test_exp_zero_is_one():
+    assert exp_neg_fixed(Fraction(0), 64) == 1 << 64
+
+
+def test_exp_matches_math_exp_double_precision():
+    for numerator, denominator in [(1, 1), (1, 2), (3, 4), (7, 2), (25, 3),
+                                   (84, 1), (169, 2)]:
+        x = Fraction(numerator, denominator)
+        got = fixed_to_fraction(exp_neg_fixed(x, 80), 80)
+        want = math.exp(-float(x))
+        assert abs(float(got) - want) < max(1e-15, want * 1e-12)
+
+
+def test_exp_high_precision_self_consistency():
+    # e^-a * e^-b == e^-(a+b) to within a few ulps at 160 bits.
+    a, b = Fraction(5, 3), Fraction(7, 11)
+    precision = 160
+    fa = exp_neg_fixed(a, precision)
+    fb = exp_neg_fixed(b, precision)
+    fab = exp_neg_fixed(a + b, precision)
+    product = (fa * fb) >> precision
+    assert abs(product - fab) <= 4
+
+
+def test_exp_monotonic_in_x():
+    precision = 96
+    values = [exp_neg_fixed(Fraction(k, 7), precision) for k in range(40)]
+    assert values == sorted(values, reverse=True)
+    assert all(earlier > later for earlier, later
+               in zip(values, values[1:]))
+
+
+def test_exp_underflow_returns_zero():
+    assert exp_neg_fixed(Fraction(10_000), 64) == 0
+
+
+def test_exp_rejects_negative():
+    with pytest.raises(ValueError):
+        exp_neg_fixed(Fraction(-1), 64)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=2000),
+       st.integers(min_value=1, max_value=50))
+def test_exp_error_bound_against_float(num, den):
+    x = Fraction(num, den)
+    if x > 80:
+        return  # float reference underflows around e^-745 anyway
+    got = float(fixed_to_fraction(exp_neg_fixed(x, 72), 72))
+    want = math.exp(-float(x))
+    assert got == pytest.approx(want, rel=1e-10, abs=2.0 ** -70)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=10**24))
+def test_isqrt_floor_definition(value):
+    root = isqrt_floor(value)
+    assert root * root <= value < (root + 1) * (root + 1)
+
+
+def test_floor_scaled_sqrt_examples():
+    assert floor_scaled_sqrt(Fraction(4), 13) == 26       # sigma = 2
+    assert floor_scaled_sqrt(Fraction(5), 13) == 29       # sigma = sqrt 5
+    assert floor_scaled_sqrt(Fraction(2), 1) == 1
+    assert floor_scaled_sqrt(Fraction(615543, 100000) ** 2, 13) == 80
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.fractions(min_value=0, max_value=10**6),
+       st.integers(min_value=1, max_value=100))
+def test_floor_scaled_sqrt_definition(radicand, multiplier):
+    got = floor_scaled_sqrt(radicand, multiplier)
+    assert Fraction(got, multiplier) ** 2 <= radicand
+    assert Fraction(got + 1, multiplier) ** 2 > radicand
+
+
+def test_fraction_fixed_round_trip():
+    x = Fraction(355, 113)
+    fixed = fraction_to_fixed(x, 64)
+    back = fixed_to_fraction(fixed, 64)
+    assert abs(back - x) <= Fraction(1, 1 << 64)
+
+
+def test_fraction_to_fixed_rejects_negative():
+    with pytest.raises(ValueError):
+        fraction_to_fixed(Fraction(-1, 2), 16)

@@ -1,0 +1,126 @@
+"""Tests for the probability-matrix construction (Sec. 3.1, Fig. 1)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GaussianParams,
+    probability_matrix,
+    sigma_squared_from_float,
+    true_pmf,
+)
+
+SIGMA2_N6 = GaussianParams.from_sigma(2, precision=6)
+
+
+def test_fig1_matrix_reproduced_exactly():
+    """The paper's Fig. 1 example: sigma = 2, n = 6."""
+    matrix = probability_matrix(SIGMA2_N6)
+    assert matrix.rows[0] == 0b001100
+    assert matrix.rows[1] == 0b010110
+    assert matrix.rows[2] == 0b001111
+    assert matrix.rows[3] == 0b001000
+    assert matrix.rows[4] == 0b000011
+    assert matrix.rows[5] == 0b000001
+    # Remaining rows (6..26 with tau = 13) are below 2^-6 and vanish.
+    assert all(row == 0 for row in matrix.rows[6:])
+
+
+def test_fig1_column_weights_and_deficits():
+    matrix = probability_matrix(SIGMA2_N6)
+    assert matrix.column_weights == (0, 1, 3, 3, 3, 3)
+    assert matrix.cumulative_weights == (0, 1, 5, 13, 29, 61)
+    assert matrix.deficits == (2, 3, 3, 3, 3, 3)
+    assert matrix.mass == 61
+    assert matrix.failure_count == 3
+
+
+def test_support_bound_examples():
+    assert GaussianParams.from_sigma(2, 32).support_bound == 26
+    assert GaussianParams.from_sigma(1, 32).support_bound == 13
+    assert GaussianParams.from_sigma(6.15543, 32).support_bound == 80
+    assert GaussianParams.from_sigma(215, 16).support_bound == 2795
+    sqrt5 = GaussianParams(sigma_sq=Fraction(5), precision=32)
+    assert sqrt5.support_bound == 29
+
+
+def test_sigma_squared_from_float_is_exact_decimal():
+    assert sigma_squared_from_float(6.15543) == \
+        Fraction(615543, 100000) ** 2
+    assert sigma_squared_from_float(2.0) == 4
+
+
+def test_matrix_rows_truncate_folded_pmf():
+    """Rows are the n-bit truncation of the folded pmf: P(0) for row 0,
+    2*P(v) for the rest (Sec. 3.2)."""
+    params = GaussianParams.from_sigma(2, precision=40)
+    matrix = probability_matrix(params)
+    reference = true_pmf(params)  # already folded to magnitudes
+    scale = 1 << params.precision
+    for v, probability in enumerate(reference):
+        truncated = Fraction(matrix.rows[v], scale)
+        assert truncated <= probability
+        assert probability - truncated < Fraction(2, scale)
+    assert sum(reference) == 1
+
+
+def test_bit_accessor_matches_render():
+    matrix = probability_matrix(SIGMA2_N6)
+    rendered = matrix.render().splitlines()
+    for v in range(matrix.num_rows):
+        bits = rendered[v].split(" ", 1)[1].replace(" ", "")
+        for i in range(matrix.precision):
+            assert matrix.bit(v, i) == int(bits[i])
+
+
+def test_bit_accessor_bounds():
+    matrix = probability_matrix(SIGMA2_N6)
+    with pytest.raises(IndexError):
+        matrix.bit(0, 6)
+    with pytest.raises(IndexError):
+        matrix.bit(0, -1)
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        GaussianParams(sigma_sq=Fraction(0), precision=8)
+    with pytest.raises(ValueError):
+        GaussianParams(sigma_sq=Fraction(4), precision=1)
+    with pytest.raises(ValueError):
+        GaussianParams(sigma_sq=Fraction(4), precision=8, tail_cut=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=12),
+       st.integers(min_value=1, max_value=8),
+       st.integers(min_value=4, max_value=24))
+def test_matrix_invariants_random_params(num, den, precision):
+    params = GaussianParams(sigma_sq=Fraction(num, den) + 1,
+                            precision=precision, tail_cut=10)
+    matrix = probability_matrix(params)
+    # Mass is at most 1 (truncation) and positive.
+    assert 0 < matrix.mass <= 1 << precision
+    # Deficit recurrence D_i = 2 D_{i-1} - h_i with D_{-1} = 1.
+    deficit = 1
+    for h, expected in zip(matrix.column_weights, matrix.deficits):
+        deficit = 2 * deficit - h
+        assert deficit == expected
+        assert deficit >= 1  # Theorem 1's engine
+    # Rows are decreasing from row 1 on (Gaussian tail).
+    doubled = matrix.rows[1:]
+    assert all(a >= b for a, b in zip(doubled, doubled[1:]))
+
+
+def test_max_value_tracks_precision():
+    low = probability_matrix(GaussianParams.from_sigma(2, precision=6))
+    high = probability_matrix(GaussianParams.from_sigma(2, precision=40))
+    assert low.max_value == 5
+    assert high.max_value > low.max_value
+
+
+def test_pmf_sums_to_mass():
+    matrix = probability_matrix(SIGMA2_N6)
+    assert sum(matrix.pmf()) == Fraction(matrix.mass, 64)

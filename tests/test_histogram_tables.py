@@ -1,0 +1,68 @@
+"""Tests for ASCII histograms and table formatting."""
+
+from repro.analysis import (
+    format_table,
+    histogram_counts,
+    ideal_signed_gaussian_pmf,
+    ratio,
+    render_comparison,
+    render_histogram,
+)
+
+
+def test_histogram_counts():
+    assert histogram_counts([1, 1, -2, 0]) == {1: 2, -2: 1, 0: 1}
+
+
+def test_render_histogram_basic():
+    counts = {0: 50, 1: 30, -1: 30, 2: 10, -2: 10}
+    text = render_histogram(counts, width=20)
+    lines = text.splitlines()
+    assert len(lines) == 5  # -2..2
+    zero_line = next(line for line in lines if line.startswith("    0"))
+    assert zero_line.count("#") == 20  # peak bar is full width
+
+
+def test_render_histogram_with_ideal_markers():
+    counts = {0: 500, 1: 300, -1: 300}
+    ideal = ideal_signed_gaussian_pmf(1.0, 3)
+    text = render_histogram(counts, ideal=ideal, width=30,
+                            value_range=(-3, 3))
+    assert "|" in text
+    assert len(text.splitlines()) == 7
+
+
+def test_render_histogram_empty():
+    assert render_histogram({}) == "(no samples)"
+
+
+def test_render_comparison_columns():
+    a = {0: 10, 1: 5}
+    b = {0: 12, 1: 3}
+    text = render_comparison({"alpha": a, "beta": b}, value_range=(0, 1))
+    lines = text.splitlines()
+    assert "alpha" in lines[0] and "beta" in lines[0]
+    assert len(lines) == 3
+
+
+def test_format_table_alignment():
+    table = format_table(
+        ["name", "count", "share"],
+        [["first", 12345, 0.517], ["second", 7, 12.0]],
+        title="demo")
+    lines = table.splitlines()
+    assert lines[0] == "demo"
+    assert "12,345" in table
+    assert "0.517" in table
+    assert set(lines[2]) <= {"-", " "}
+
+
+def test_format_table_large_floats_group_thousands():
+    table = format_table(["x"], [[12345.6]])
+    assert "12,346" in table
+
+
+def test_ratio_formatting():
+    assert ratio(50, 100) == "50% faster"
+    assert ratio(150, 100) == "50% slower"
+    assert ratio(100, 0) == "n/a"

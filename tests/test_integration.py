@@ -1,0 +1,169 @@
+"""Cross-module integration tests: the paper's full story end to end."""
+
+import math
+from collections import Counter
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    ByteScanCdtSampler,
+    CdtBinarySearchSampler,
+    KnuthYaoIntegerSampler,
+    LinearScanCdtSampler,
+)
+from repro.bitslice import BitslicedKernel, pack_lane_bits
+from repro.core import (
+    BitslicedSampler,
+    GaussianParams,
+    KnuthYaoSampler,
+    compile_sampler,
+    compile_sampler_circuit,
+    knuth_yao_walk,
+    probability_matrix,
+)
+from repro.rng import BitStream, ChaChaSource, ListBitSource
+
+
+def test_same_bits_same_samples_bitsliced_vs_algorithm1():
+    """Feeding identical bit strings to Algorithm 1 and the compiled
+    kernel yields identical samples lane by lane — the strongest
+    equivalence the paper's construction promises."""
+    params = GaussianParams.from_sigma(2, precision=12)
+    matrix = probability_matrix(params)
+    circuit = compile_sampler_circuit(params)
+    kernel = BitslicedKernel(circuit.roots)
+
+    rng = ChaChaSource(42)
+    lanes = 32
+    strings = []
+    for _ in range(lanes):
+        stream = BitStream(rng)
+        strings.append([stream.take_bit() for _ in range(12)])
+
+    words = pack_lane_bits(strings, 12)
+    outputs = kernel(words, (1 << lanes) - 1)
+    valid_mask = outputs[-1]
+    for lane, bits in enumerate(strings):
+        walk = knuth_yao_walk(matrix, BitStream(ListBitSource(bits)))
+        lane_valid = (valid_mask >> lane) & 1
+        assert lane_valid == (0 if walk.failed else 1)
+        if lane_valid:
+            magnitude = sum(((outputs[t] >> lane) & 1) << t
+                            for t in range(len(outputs) - 1))
+            assert magnitude == walk.value
+
+
+@pytest.mark.parametrize("sigma", [1, 2, 3.5])
+def test_five_backends_agree_statistically(sigma):
+    params = GaussianParams.from_sigma(sigma, precision=24)
+    draws = 5000
+    frequencies = {}
+    samplers = {
+        "byte": ByteScanCdtSampler(params, ChaChaSource(1)),
+        "binary": CdtBinarySearchSampler(params, ChaChaSource(2)),
+        "linear": LinearScanCdtSampler(params, ChaChaSource(3)),
+        "ky": KnuthYaoIntegerSampler(params, ChaChaSource(4)),
+    }
+    for name, sampler in samplers.items():
+        values = [sampler.sample_magnitude() for _ in range(draws)]
+        frequencies[name] = Counter(values)
+    bit = compile_sampler(sigma, 24, source=ChaChaSource(5))
+    frequencies["bitsliced"] = Counter(
+        abs(v) for v in bit.sample_many(draws))
+
+    reference = frequencies["ky"]
+    bound = int(2 * sigma) + 1
+    for name, counter in frequencies.items():
+        for v in range(bound):
+            diff = abs(counter[v] - reference[v]) / draws
+            assert diff < 0.035, (name, v, diff)
+
+
+def test_knuth_yao_and_bitsliced_share_variance():
+    params = GaussianParams.from_sigma(2, precision=32)
+    ky = KnuthYaoSampler(params, source=ChaChaSource(6))
+    bit = compile_sampler(2, 32, source=ChaChaSource(7))
+    n = 10_000
+    var_ky = sum(v * v for v in ky.sample_many(n)) / n
+    var_bit = sum(v * v for v in bit.sample_many(n)) / n
+    assert abs(var_ky - var_bit) < 0.3
+    assert abs(var_ky - 4.0) < 0.3
+
+
+def test_simple_and_efficient_methods_identical_function():
+    """Both compilation methods express the same Boolean function."""
+    params = GaussianParams.from_sigma(2, precision=10)
+    efficient = compile_sampler_circuit(params, method="efficient")
+    simple = compile_sampler_circuit(params, method="simple")
+    k_eff = BitslicedKernel(efficient.roots)
+    k_sim = BitslicedKernel(simple.roots)
+    for word in range(1 << 10):
+        bits = [(word >> i) & 1 for i in range(10)]
+        packed = pack_lane_bits([bits], 10)
+        out_e = [w & 1 for w in k_eff(packed, 1)]
+        out_s = [w & 1 for w in k_sim(packed, 1)]
+        assert out_e[-1] == out_s[-1]  # valid agrees
+        if out_e[-1]:
+            assert out_e[:-1] == out_s[:-1]
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.sampled_from([Fraction(2), Fraction(9, 2), Fraction(5)]),
+       st.integers(min_value=7, max_value=10))
+def test_compiled_distribution_is_exact_over_all_inputs(sigma_sq, n):
+    """Summing the kernel over all 2^n inputs reproduces the matrix
+    rows exactly — the Knuth–Yao exactness property survives
+    compilation."""
+    params = GaussianParams(sigma_sq=sigma_sq, precision=n)
+    matrix = probability_matrix(params)
+    circuit = compile_sampler_circuit(params)
+    kernel = BitslicedKernel(circuit.roots)
+    counts: Counter = Counter()
+    failures = 0
+    for word in range(1 << n):
+        bits = [(word >> i) & 1 for i in range(n)]
+        out = kernel(pack_lane_bits([bits], n), 1)
+        if out[-1] & 1:
+            counts[sum(((out[t] & 1) << t)
+                       for t in range(len(out) - 1))] += 1
+        else:
+            failures += 1
+    for v, row in enumerate(matrix.rows):
+        assert counts.get(v, 0) == row
+    assert failures == matrix.failure_count
+
+
+def test_batch_sampler_and_kernel_agree():
+    """BitslicedSampler's unpacking must match direct kernel reads."""
+    params = GaussianParams.from_sigma(2, precision=16)
+    circuit = compile_sampler_circuit(params)
+    sampler = BitslicedSampler(circuit, source=ChaChaSource(8),
+                               batch_width=16)
+    magnitudes, valid_mask, signs = sampler.raw_batch()
+    assert len(magnitudes) == 16
+    for lane in range(16):
+        if (valid_mask >> lane) & 1:
+            assert 0 <= magnitudes[lane] <= circuit.matrix.max_value
+
+
+def test_tail_cut_consistency_between_sampler_and_stats():
+    params = GaussianParams.from_sigma(2, precision=32, tail_cut=6)
+    assert params.support_bound == 12
+    sampler = BitslicedSampler(compile_sampler_circuit(params),
+                               source=ChaChaSource(9))
+    values = sampler.sample_many(4000)
+    assert max(abs(v) for v in values) <= 12
+
+
+def test_low_sigma_pipeline():
+    """sigma = 0.8 (below 1) still compiles and samples correctly."""
+    params = GaussianParams.from_sigma(0.8, precision=24)
+    sampler = BitslicedSampler(compile_sampler_circuit(params),
+                               source=ChaChaSource(10))
+    values = sampler.sample_many(6000)
+    std = math.sqrt(sum(v * v for v in values) / len(values))
+    assert abs(std - 0.8) < 0.08
+    assert max(abs(v) for v in values) <= params.support_bound

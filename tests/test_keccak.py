@@ -1,0 +1,107 @@
+"""Known-answer and cross-validation tests for the from-scratch Keccak."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import keccak
+
+
+def test_sha3_256_empty_vector():
+    expected = bytes.fromhex(
+        "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a")
+    assert keccak.sha3_256(b"") == expected
+
+
+def test_sha3_256_abc_vector():
+    expected = bytes.fromhex(
+        "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532")
+    assert keccak.sha3_256(b"abc") == expected
+
+
+def test_shake256_empty_vector_prefix():
+    expected = bytes.fromhex(
+        "46b9dd2b0ba88d13233b3feb743eeb24"
+        "3fcd52ea62b81b82b50c27646ed5762f")
+    assert keccak.shake256(b"", 32) == expected
+
+
+def test_matches_hashlib_fixed_inputs():
+    for message in [b"", b"a", b"abc", b"repro" * 100, bytes(range(256))]:
+        assert keccak.sha3_224(message) == hashlib.sha3_224(message).digest()
+        assert keccak.sha3_256(message) == hashlib.sha3_256(message).digest()
+        assert keccak.sha3_384(message) == hashlib.sha3_384(message).digest()
+        assert keccak.sha3_512(message) == hashlib.sha3_512(message).digest()
+        assert keccak.shake128(message, 64) == hashlib.shake_128(
+            message).digest(64)
+        assert keccak.shake256(message, 64) == hashlib.shake_256(
+            message).digest(64)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(min_size=0, max_size=600))
+def test_matches_hashlib_random_inputs(message):
+    assert keccak.sha3_256(message) == hashlib.sha3_256(message).digest()
+    assert keccak.shake256(message, 48) == hashlib.shake_256(
+        message).digest(48)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(min_size=0, max_size=300),
+       st.integers(min_value=1, max_value=500))
+def test_shake_incremental_squeeze_matches_one_shot(message, length):
+    sponge = keccak.Shake256(message)
+    pieces = []
+    squeezed = 0
+    step = 7
+    while squeezed < length:
+        take = min(step, length - squeezed)
+        pieces.append(sponge.squeeze(take))
+        squeezed += take
+        step = step * 2 + 1
+    assert b"".join(pieces) == keccak.shake256(message, length)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(min_size=0, max_size=300))
+def test_incremental_absorb_matches_one_shot(message):
+    sponge = keccak.Shake128()
+    for start in range(0, len(message), 13):
+        sponge.absorb(message[start:start + 13])
+    assert sponge.squeeze(40) == keccak.shake128(message, 40)
+
+
+def test_absorb_after_squeeze_rejected():
+    sponge = keccak.Shake256(b"x")
+    sponge.squeeze(1)
+    with pytest.raises(RuntimeError):
+        sponge.absorb(b"y")
+
+
+def test_sponge_copy_is_independent():
+    sponge = keccak.Shake256(b"seed")
+    clone = sponge.copy()
+    a = sponge.squeeze(16)
+    b = clone.squeeze(16)
+    assert a == b
+    assert sponge.squeeze(16) == clone.squeeze(16)
+
+
+def test_invalid_state_size_rejected():
+    with pytest.raises(ValueError):
+        keccak.keccak_f1600([0] * 24)
+
+
+def test_invalid_rate_rejected():
+    with pytest.raises(ValueError):
+        keccak.KeccakSponge(rate_bytes=0, domain_suffix=0x1F)
+    with pytest.raises(ValueError):
+        keccak.KeccakSponge(rate_bytes=200, domain_suffix=0x1F)
+
+
+def test_permutation_changes_zero_state():
+    state = keccak.keccak_f1600([0] * 25)
+    assert any(lane != 0 for lane in state)
+    assert all(0 <= lane < (1 << 64) for lane in state)

@@ -1,0 +1,135 @@
+"""Tests for Algorithm 1 and the explicit DDG tree (Sec. 3.2/3.3)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GaussianParams,
+    KnuthYaoSampler,
+    build_ddg_tree,
+    knuth_yao_walk,
+    probability_matrix,
+)
+from repro.rng import BitStream, ChaChaSource, ListBitSource
+
+SIGMA2_N6 = GaussianParams.from_sigma(2, precision=6)
+
+
+def _walk_string(matrix, bits):
+    stream = BitStream(ListBitSource(list(bits)))
+    return knuth_yao_walk(matrix, stream)
+
+
+def test_exhaustive_distribution_matches_matrix():
+    """Over all 2^6 equiprobable strings, sample counts equal the matrix
+    rows exactly — Knuth–Yao's defining property."""
+    matrix = probability_matrix(SIGMA2_N6)
+    counts = {}
+    failures = 0
+    for word in range(64):
+        bits = [(word >> (5 - i)) & 1 for i in range(6)]
+        result = _walk_string(matrix, bits)
+        if result.failed:
+            failures += 1
+        else:
+            counts[result.value] = counts.get(result.value, 0) + 1
+    for value, row in enumerate(matrix.rows):
+        assert counts.get(value, 0) == row
+    assert failures == matrix.failure_count == 3
+
+
+def test_ddg_tree_agrees_with_algorithm1_exhaustively():
+    matrix = probability_matrix(SIGMA2_N6)
+    tree = build_ddg_tree(matrix)
+    for word in range(64):
+        bits = [(word >> (5 - i)) & 1 for i in range(6)]
+        walk = _walk_string(matrix, bits)
+        tree_value, _ = tree.walk(BitStream(ListBitSource(bits)))
+        assert walk.value == tree_value
+
+
+def test_ddg_tree_leaf_counts_match_column_weights():
+    matrix = probability_matrix(SIGMA2_N6)
+    tree = build_ddg_tree(matrix)
+    for level, h in enumerate(matrix.column_weights):
+        assert len(tree.leaves_at_level(level)) == h
+
+
+def test_ddg_tree_fig1_level_one_leaf_is_one():
+    """In Fig. 1 the first leaf (level 1, bottom) carries sample 1."""
+    matrix = probability_matrix(SIGMA2_N6)
+    tree = build_ddg_tree(matrix)
+    level1 = tree.leaves_at_level(1)
+    assert [leaf.value for leaf in level1] == [1]
+    level2 = tree.leaves_at_level(2)
+    assert [leaf.value for leaf in level2] == [3, 2, 0]
+
+
+def test_walk_bits_used_counts_levels():
+    matrix = probability_matrix(SIGMA2_N6)
+    result = _walk_string(matrix, [0, 0, 0, 0, 0, 0])
+    assert result.value == 1
+    assert result.bits_used == 2  # leaf at level 1
+
+
+def test_all_ones_string_fails():
+    matrix = probability_matrix(SIGMA2_N6)
+    result = _walk_string(matrix, [1] * 6)
+    assert result.failed
+
+
+def test_sampler_restarts_on_failure_and_stays_in_support():
+    sampler = KnuthYaoSampler(SIGMA2_N6, source=ChaChaSource(1))
+    values = [sampler.sample() for _ in range(2000)]
+    assert all(0 <= v <= 5 for v in values)
+    # With failure probability 3/64, restarts must have happened.
+    assert sampler.restarts > 0
+
+
+def test_signed_sampler_produces_both_signs():
+    params = GaussianParams.from_sigma(2, precision=32)
+    sampler = KnuthYaoSampler(params, source=ChaChaSource(2))
+    values = sampler.sample_many(500)
+    assert any(v > 0 for v in values)
+    assert any(v < 0 for v in values)
+    assert all(abs(v) <= params.support_bound for v in values)
+
+
+def test_sampler_distribution_close_to_pmf():
+    """Coarse chi-square-free check: frequency of 0 and 1 within 3 sigma."""
+    params = GaussianParams.from_sigma(2, precision=24)
+    sampler = KnuthYaoSampler(params, source=ChaChaSource(3))
+    draws = 4000
+    values = [sampler.sample() for _ in range(draws)]
+    pmf = probability_matrix(params).pmf()
+    for target in (0, 1, 2):
+        expected = float(pmf[target]) * draws
+        spread = 3 * (expected * (1 - float(pmf[target]))) ** 0.5
+        assert abs(values.count(target) - expected) <= spread + 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=10),
+       st.integers(min_value=4, max_value=10))
+def test_tree_and_walk_agree_random_params(sigma, precision):
+    params = GaussianParams(sigma_sq=Fraction(sigma), precision=precision,
+                            tail_cut=8)
+    matrix = probability_matrix(params)
+    tree = build_ddg_tree(matrix)
+    for word in range(1 << precision):
+        bits = [(word >> (precision - 1 - i)) & 1
+                for i in range(precision)]
+        walk = _walk_string(matrix, bits)
+        tree_value, _ = tree.walk(BitStream(ListBitSource(bits)))
+        assert walk.value == tree_value
+
+
+def test_render_ascii_and_dot_do_not_crash():
+    matrix = probability_matrix(SIGMA2_N6)
+    tree = build_ddg_tree(matrix)
+    text = tree.render_ascii()
+    assert "level  0" in text or "level 0" in text.replace("  ", " ")
+    dot = tree.to_dot()
+    assert dot.startswith("digraph") and dot.endswith("}")

@@ -1,0 +1,156 @@
+"""Tests for the constant-time combiners (Eqn 2 and variants)."""
+
+import pytest
+
+from repro.boolfunc import (
+    COMBINER_MODES,
+    Cube,
+    ExprBuilder,
+    SublistCircuit,
+    build_selectors,
+    combine,
+    evaluate,
+    gate_counts,
+)
+
+
+def _selector_truth(bits, k):
+    """Reference semantics of c_k = b_0 & ... & b_{k-1} & ~b_k."""
+    if any(bits[i] == 0 for i in range(k)):
+        return 0
+    return 1 - bits[k]
+
+
+def test_selectors_fire_exactly_on_their_prefix():
+    builder = ExprBuilder()
+    ks = [0, 1, 3, 5]
+    selectors = build_selectors(builder, ks)
+    n = 6
+    for word in range(1 << n):
+        bits = [(word >> i) & 1 for i in range(n)]
+        inputs = dict(enumerate(bits))
+        for k in ks:
+            got = evaluate([selectors[k]], inputs)[0]
+            assert got == _selector_truth(bits, k), (bits, k)
+
+
+def test_selectors_are_one_hot():
+    builder = ExprBuilder()
+    ks = list(range(6))
+    selectors = build_selectors(builder, ks)
+    for word in range(1 << 6):
+        bits = [(word >> i) & 1 for i in range(6)]
+        inputs = dict(enumerate(bits))
+        fired = sum(evaluate([selectors[k]], inputs)[0] for k in ks)
+        # Exactly one fires unless the string is all ones.
+        assert fired == (0 if all(bits) else 1)
+
+
+def _toy_circuits(builder):
+    """Two sublists with tiny suffix functions on global variables.
+
+    Sublist k=0: suffix variable b_1; output bit0 = b_1, valid = 1.
+    Sublist k=2: suffix variable b_3; output bit0 = ~b_3, bit1 = b_3,
+                 valid = b_3 (pretend suffix 0 fails).
+    """
+    c0 = SublistCircuit(
+        k=0,
+        output_bits=(builder.var(1), builder.false),
+        valid=builder.true)
+    c2 = SublistCircuit(
+        k=2,
+        output_bits=(builder.not_(builder.var(3)), builder.var(3)),
+        valid=builder.var(3))
+    return [c0, c2]
+
+
+def _reference_output(bits):
+    """Hand semantics of the toy circuits over 4+ bits."""
+    if bits[0] == 0:  # sublist 0
+        return (bits[1], 0), 1
+    if bits[0] == 1 and bits[1] == 1 and bits[2] == 0:  # sublist 2
+        return (1 - bits[3], bits[3]), bits[3]
+    return (None, None), 0  # no sublist: invalid
+
+
+@pytest.mark.parametrize("mode", COMBINER_MODES)
+def test_combiner_matches_reference(mode):
+    builder = ExprBuilder()
+    circuits = _toy_circuits(builder)
+    outputs, valid = combine(builder, circuits, num_output_bits=2,
+                             mode=mode)
+    n = 5
+    for word in range(1 << n):
+        bits = [(word >> i) & 1 for i in range(n)]
+        inputs = dict(enumerate(bits))
+        got_bits = [evaluate([o], inputs)[0] for o in outputs]
+        got_valid = evaluate([valid], inputs)[0]
+        (want0, want1), want_valid = _reference_output(bits)
+        assert got_valid == want_valid, (bits, mode)
+        if want_valid:
+            assert got_bits == [want0, want1], (bits, mode)
+
+
+def test_all_modes_agree_pairwise():
+    results = {}
+    for mode in COMBINER_MODES:
+        builder = ExprBuilder()
+        circuits = _toy_circuits(builder)
+        outputs, valid = combine(builder, circuits, num_output_bits=2,
+                                 mode=mode)
+        table = []
+        for word in range(32):
+            bits = [(word >> i) & 1 for i in range(5)]
+            inputs = dict(enumerate(bits))
+            got_valid = evaluate([valid], inputs)[0]
+            got_bits = [evaluate([o], inputs)[0] for o in outputs]
+            table.append((got_valid,
+                          tuple(got_bits) if got_valid else None))
+        results[mode] = table
+    assert results["onehot"] == results["nested"]
+    assert results["onehot"] == results["nested-implicit"]
+
+
+def test_onehot_cheaper_than_nested_for_multi_output():
+    """The flattened one-hot form shares selector work across outputs."""
+    costs = {}
+    for mode in COMBINER_MODES:
+        builder = ExprBuilder()
+        circuits = [
+            SublistCircuit(
+                k=k,
+                output_bits=tuple(
+                    builder.sop_from_cubes(
+                        [Cube.from_prefix(3, [b, 1 - b])],
+                        variable_offset=k + 1)
+                    for b in (0, 1, 0, 1)),
+                valid=builder.true)
+            for k in range(10)]
+        outputs, valid = combine(builder, circuits, num_output_bits=4,
+                                 mode=mode)
+        costs[mode] = gate_counts(list(outputs) + [valid])["total"]
+    assert costs["onehot"] < costs["nested"]
+
+
+def test_unknown_mode_rejected():
+    builder = ExprBuilder()
+    with pytest.raises(ValueError):
+        combine(builder, [], 1, mode="bogus")
+
+
+def test_missing_sublist_window_is_invalid():
+    """A k between two present sublists must map to valid = 0."""
+    builder = ExprBuilder()
+    circuits = [
+        SublistCircuit(k=0, output_bits=(builder.true,),
+                       valid=builder.true),
+        SublistCircuit(k=2, output_bits=(builder.true,),
+                       valid=builder.true)]
+    for mode in COMBINER_MODES:
+        outputs, valid = combine(builder, circuits, 1, mode=mode)
+        # String 1 0 ... belongs to the missing sublist k=1.
+        inputs = {0: 1, 1: 0, 2: 0, 3: 0}
+        assert evaluate([valid], inputs)[0] == 0, mode
+        # Strings 0... and 1 1 0... select the present sublists.
+        assert evaluate([valid], {0: 0, 1: 0, 2: 0, 3: 0})[0] == 1
+        assert evaluate([valid], {0: 1, 1: 1, 2: 0, 3: 0})[0] == 1

@@ -1,0 +1,86 @@
+"""Numerical-precision guarantees for the Falcon float substrate.
+
+Falcon-1024 is the largest instance; double-precision FFT error must
+stay far below the 0.5 rounding threshold used when converting sampled
+lattice points back to integers, or signatures would silently corrupt.
+"""
+
+import random
+
+from repro.falcon import fft, ifft, mul_fft, ntt
+from repro.falcon.fft import fft_points
+from repro.falcon.ntt import Q, _generator, _tables
+
+
+def test_fft_round_trip_error_at_n_1024():
+    rng = random.Random(1)
+    coeffs = [float(rng.randint(-6000, 6000)) for _ in range(1024)]
+    back = ifft(fft(coeffs))
+    worst = max(abs(a - b) for a, b in zip(coeffs, back))
+    assert worst < 1e-6  # 0.5 is the corruption threshold
+
+
+def test_fft_multiply_error_at_n_1024():
+    """Coefficients the size of signing intermediates (~q * sigma)."""
+    rng = random.Random(2)
+    a = [float(rng.randint(-200, 200)) for _ in range(1024)]
+    b = [float(rng.randint(-200, 200)) for _ in range(1024)]
+    product = ifft(mul_fft(fft(a), fft(b)))
+    # Spot-check a few coefficients against exact integer convolution.
+    from repro.falcon import poly
+    exact = poly.mul_negacyclic([int(x) for x in a],
+                                [int(x) for x in b])
+    for index in (0, 1, 511, 512, 1023):
+        assert abs(product[index] - exact[index]) < 0.4
+
+
+def test_fft_points_conjugate_pairing():
+    """Slots 2k/2k+1 hold a +/- pair; the full set is conjugate-closed,
+    which is what makes pointwise conjugation the adjoint."""
+    points = fft_points(64)
+    as_set = {complex(round(p.real, 9), round(p.imag, 9))
+              for p in points}
+    for p in points:
+        conj = complex(round(p.real, 9), round(-p.imag, 9))
+        assert conj in as_set
+    for k in range(32):
+        assert abs(points[2 * k] + points[2 * k + 1]) < 1e-12
+
+
+def test_ntt_generator_is_primitive():
+    g = _generator()
+    assert pow(g, Q - 1, Q) == 1
+    assert pow(g, (Q - 1) // 2, Q) != 1
+    assert pow(g, (Q - 1) // 3, Q) != 1
+
+
+def test_ntt_psi_tables_consistent():
+    forward, inverse, n_inv = _tables(64)
+    # Table entry 1 holds psi^brv(1): at index 1 the bit-reverse of 1
+    # over 6 bits is 32, so forward[1] = psi^32 = omega^16...; instead
+    # of replaying bit-reversal, check the defining pairwise property:
+    # forward[i] * inverse[i] == 1 mod q for all i (same brv exponent).
+    for f, i in zip(forward, inverse):
+        assert f * i % Q == 1
+    assert 64 * n_inv % Q == 1
+
+
+def test_ntt_negacyclic_root_property():
+    """The psi underlying the tables satisfies psi^(2n) = 1 and
+    psi^n = -1 (a true negacyclic root)."""
+    n = 128
+    psi = pow(_generator(), (Q - 1) // (2 * n), Q)
+    assert pow(psi, 2 * n, Q) == 1
+    assert pow(psi, n, Q) == Q - 1
+
+
+def test_large_coefficient_fft_scaling():
+    """reduce_basis scales 4000-bit coefficients into float windows;
+    verify the block-scaled floats keep 53-bit leading accuracy."""
+    from repro.falcon.ntrugen import _block_scaled_floats
+
+    big = (1 << 4000) + (1 << 3980) + 12345
+    scaled = _block_scaled_floats([big, -big], 4000 - 52)
+    assert scaled[0] > 0 > scaled[1]
+    expected = float(big >> (4000 - 52))
+    assert abs(scaled[0] - expected) <= 1.0

@@ -1,0 +1,76 @@
+"""Paper-scale tests (slow; run with REPRO_FULL=1).
+
+The regular suite keeps parameters small for speed; these tests pin
+behaviour at the sizes the paper actually used — n = 128 precision for
+the sampler, Falcon at the Table 1 ring degrees.
+"""
+
+import os
+
+import pytest
+
+slow = pytest.mark.skipif(
+    os.environ.get("REPRO_FULL", "") in ("", "0"),
+    reason="paper-scale test; set REPRO_FULL=1")
+
+
+@slow
+def test_sigma2_n128_compiles_and_matches_paper_shape():
+    from repro.core import GaussianParams, compile_sampler_circuit
+
+    params = GaussianParams.from_sigma(2, precision=128)
+    circuit = compile_sampler_circuit(params)
+    assert all(report.exact for report in circuit.reports)
+    assert circuit.partition.delta <= 6
+    gates = circuit.gate_count()["total"]
+    # Same order of magnitude as the paper's 2,293 cycles / batch.
+    assert 1000 < gates < 12000
+
+
+@slow
+def test_sigma2_n128_sampler_distribution():
+    import math
+
+    from repro.core import compile_sampler
+    from repro.rng import ChaChaSource
+
+    sampler = compile_sampler(2, 128, source=ChaChaSource(1))
+    values = sampler.sample_many(20_000)
+    std = math.sqrt(sum(v * v for v in values) / len(values))
+    assert abs(std - 2.0) < 0.06
+    assert sampler.samples_discarded == 0  # fail rate ~2^-121
+
+
+@slow
+def test_falcon_512_roundtrip_all_backends():
+    from repro.falcon import BASE_SAMPLER_BACKENDS, SecretKey
+    from repro.rng import ChaChaSource
+
+    sk = SecretKey.generate(n=512, seed=7)
+    for backend in sorted(BASE_SAMPLER_BACKENDS):
+        sk.use_base_sampler(backend, source=ChaChaSource(8))
+        message = f"paper scale {backend}".encode()
+        assert sk.public_key.verify(message, sk.sign(message))
+
+
+@slow
+def test_falcon_1024_roundtrip():
+    from repro.falcon import SecretKey
+
+    sk = SecretKey.generate(n=1024, seed=7)
+    message = b"level 3"
+    assert sk.public_key.verify(message, sk.sign(message))
+
+
+@slow
+def test_sigma_215_direct_matrix_delta():
+    from repro.core import (
+        GaussianParams,
+        partition_by_trailing_ones,
+        probability_matrix,
+    )
+
+    params = GaussianParams.from_sigma(215, precision=48)
+    partition = partition_by_trailing_ones(probability_matrix(params))
+    # Paper: Delta = 15 (at its precision); small relative to n.
+    assert 8 <= partition.delta <= 17

@@ -1,0 +1,100 @@
+"""Tests for exact integer polynomial arithmetic (NTRUSolve substrate)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.falcon import poly
+
+
+def _naive_negacyclic(a, b):
+    n = len(a)
+    out = [0] * n
+    for i in range(n):
+        for j in range(n):
+            k = i + j
+            if k < n:
+                out[k] += a[i] * b[j]
+            else:
+                out[k - n] -= a[i] * b[j]
+    return out
+
+
+def _poly_lists(n, bound=50):
+    return st.lists(st.integers(min_value=-bound, max_value=bound),
+                    min_size=n, max_size=n)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_poly_lists(8), _poly_lists(8))
+def test_negacyclic_mul_matches_naive(a, b):
+    assert poly.mul_negacyclic(a, b) == _naive_negacyclic(a, b)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32))
+def test_karatsuba_matches_schoolbook_large(seed):
+    rng = random.Random(seed)
+    n = 128  # above the Karatsuba threshold
+    a = [rng.randint(-10**6, 10**6) for _ in range(n)]
+    b = [rng.randint(-10**6, 10**6) for _ in range(n)]
+    assert poly.mul_raw(a, b) == poly._schoolbook(a, b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(_poly_lists(16))
+def test_field_norm_identity(f):
+    """N(f)(x^2) == f(x) * f(-x): the tower-descent identity."""
+    norm = poly.field_norm(f)
+    lifted = poly.lift(norm)
+    product = poly.mul_negacyclic(f, poly.galois_conjugate(f))
+    assert lifted == product
+
+
+@settings(max_examples=20, deadline=None)
+@given(_poly_lists(8), _poly_lists(8))
+def test_galois_conjugate_is_involution(f, g):
+    assert poly.galois_conjugate(poly.galois_conjugate(f)) == f
+    # Multiplicativity: conj(f g) = conj(f) conj(g).
+    left = poly.galois_conjugate(poly.mul_negacyclic(f, g))
+    right = poly.mul_negacyclic(poly.galois_conjugate(f),
+                                poly.galois_conjugate(g))
+    assert left == right
+
+
+@settings(max_examples=20, deadline=None)
+@given(_poly_lists(8), _poly_lists(8))
+def test_field_norm_multiplicative(f, g):
+    product_norm = poly.field_norm(poly.mul_negacyclic(f, g))
+    norm_product = poly.mul_negacyclic(poly.field_norm(f),
+                                       poly.field_norm(g))
+    assert product_norm == norm_product
+
+
+def test_lift_structure():
+    assert poly.lift([1, 2, 3]) == [1, 0, 2, 0, 3, 0]
+
+
+def test_norms_and_helpers():
+    assert poly.infinity_norm([3, -7, 2]) == 7
+    assert poly.infinity_norm([]) == 0
+    assert poly.square_norm([1, -2, 3]) == 14
+    assert poly.max_bitsize([[7, -9], [128]]) == 8
+    assert poly.add([1, 2], [3, 4]) == [4, 6]
+    assert poly.sub([1, 2], [3, 4]) == [-2, -2]
+    assert poly.neg([1, -2]) == [-1, 2]
+    assert poly.scalar_mul([1, -2], 3) == [3, -6]
+
+
+def test_mul_raw_empty():
+    assert poly.mul_raw([], [1, 2]) == []
+
+
+def test_big_coefficients_exact():
+    """Bigint coefficients (the NTRUSolve regime) stay exact."""
+    big = 1 << 500
+    a = [big, -big]
+    b = [big, big]
+    out = poly.mul_negacyclic(a, b)
+    assert out == [big * big + big * big, big * big - big * big]

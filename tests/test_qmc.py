@@ -1,0 +1,124 @@
+"""Tests for exact Quine-McCluskey + Petrick minimization."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc import (
+    Cube,
+    generate_primes,
+    minimize_cubes_exact,
+    minimize_exact,
+)
+
+
+def _function_bits(cubes, width):
+    return {m for cube in cubes for m in cube.minterms()}
+
+
+def _is_implicant(cube, on, dc):
+    return all(m in on or m in dc for m in cube.minterms())
+
+
+def _brute_force_min_cubes(width, on, dc):
+    """Smallest number of implicants covering ON (reference, tiny widths)."""
+    primes = generate_primes(width, on, dc)
+    for size in range(0, len(primes) + 1):
+        for subset in combinations(range(len(primes)), size):
+            covered = set()
+            for i in subset:
+                covered.update(primes[i].minterms())
+            if set(on) <= covered:
+                return size
+    raise AssertionError("no cover found")
+
+
+def test_textbook_example():
+    # f(a,b,c,d) on minterms {4,8,10,11,12,15}, dc {9,14} — classic QMC.
+    result = minimize_exact(4, [4, 8, 10, 11, 12, 15], [9, 14])
+    covered = _function_bits(result.cubes, 4)
+    assert {4, 8, 10, 11, 12, 15} <= covered
+    assert covered <= {4, 8, 10, 11, 12, 15, 9, 14}
+    assert result.exact
+    assert len(result.cubes) <= 3
+
+
+def test_empty_on_set():
+    result = minimize_exact(4, [])
+    assert result.cubes == ()
+
+
+def test_single_minterm():
+    result = minimize_exact(3, [5])
+    assert len(result.cubes) == 1
+    assert result.cubes[0].contains_minterm(5)
+
+
+def test_tautology_collapses_to_full_cube():
+    result = minimize_exact(3, list(range(8)))
+    assert len(result.cubes) == 1
+    assert result.cubes[0].care == 0
+
+
+def test_dc_enables_larger_cubes():
+    without_dc = minimize_exact(3, [0, 1, 2])
+    with_dc = minimize_exact(3, [0, 1, 2], [3])
+    assert with_dc.cost <= without_dc.cost
+    assert len(with_dc.cubes) == 1
+
+
+def test_on_dc_overlap_rejected():
+    with pytest.raises(ValueError):
+        minimize_exact(3, [1, 2], [2, 3])
+
+
+def test_primes_are_maximal_implicants():
+    on = [0, 1, 2, 5, 6, 7]
+    primes = generate_primes(3, on)
+    on_set = set(on)
+    for prime in primes:
+        assert _is_implicant(prime, on_set, set())
+        # Raising any literal breaks implicant-ness (maximality).
+        for variable, _ in prime.literals():
+            raised = prime.without_variable(variable)
+            assert not _is_implicant(raised, on_set, set())
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=2, max_value=4).flatmap(
+    lambda w: st.tuples(
+        st.just(w),
+        st.sets(st.integers(min_value=0, max_value=(1 << w) - 1)),
+        st.sets(st.integers(min_value=0, max_value=(1 << w) - 1)))))
+def test_exact_minimality_against_brute_force(args):
+    width, on, dc = args
+    dc = dc - on
+    result = minimize_exact(width, on, dc)
+    covered = _function_bits(result.cubes, width)
+    # Correctness: covers ON, avoids OFF.
+    assert on <= covered
+    assert covered <= on | dc
+    # Optimality in cube count.
+    if on:
+        assert result.exact
+        assert len(result.cubes) == _brute_force_min_cubes(width, on, dc)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=63), max_size=40))
+def test_six_variable_correctness(on):
+    result = minimize_exact(6, on)
+    covered = _function_bits(result.cubes, 6)
+    assert covered == set(on)
+
+
+def test_minimize_cubes_exact_wrapper():
+    on_cubes = [Cube.from_string("10--"), Cube.from_string("111-")]
+    dc_cubes = [Cube.from_string("1101")]
+    result = minimize_cubes_exact(4, on_cubes, dc_cubes)
+    covered = _function_bits(result.cubes, 4)
+    want_on = _function_bits(on_cubes, 4)
+    assert want_on <= covered
+    assert covered <= want_on | _function_bits(dc_cubes, 4)

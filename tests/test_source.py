@@ -1,0 +1,104 @@
+"""Tests for the randomness-source abstractions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import (
+    BitStream,
+    ChaChaSource,
+    CounterSource,
+    CountingSource,
+    FixedSource,
+    ListBitSource,
+    ShakeSource,
+    default_source,
+)
+
+
+def test_bitstream_lsb_first_order():
+    stream = BitStream(FixedSource(bytes([0b10110010])))
+    bits = [stream.take_bit() for _ in range(8)]
+    assert bits == [0, 1, 0, 0, 1, 1, 0, 1]
+    assert stream.bits_consumed == 8
+
+
+def test_bitstream_take_bits_packs_lsb_first():
+    stream = BitStream(FixedSource(bytes([0b10110010, 0xFF])))
+    assert stream.take_bits(4) == 0b0010
+    assert stream.take_bits(4) == 0b1011
+    assert stream.take_bits(3) == 0b111
+
+
+def test_read_word_bit_count():
+    source = CountingSource(ChaChaSource(7))
+    value = source.read_word(13)
+    assert 0 <= value < (1 << 13)
+    assert source.bytes_read == 2
+
+
+def test_counting_source_tracks_and_resets():
+    source = CountingSource(CounterSource(3))
+    source.read_bytes(10)
+    source.read_bytes(5)
+    assert source.bytes_read == 15
+    source.reset_count()
+    assert source.bytes_read == 0
+
+
+def test_fixed_source_exhaustion():
+    source = FixedSource(b"ab")
+    assert source.read_bytes(2) == b"ab"
+    with pytest.raises(RuntimeError):
+        source.read_bytes(1)
+
+
+def test_list_bit_source_round_trip():
+    bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1]
+    stream = BitStream(ListBitSource(bits))
+    assert [stream.take_bit() for _ in range(10)] == bits
+
+
+def test_list_bit_source_rejects_non_bits():
+    with pytest.raises(ValueError):
+        ListBitSource([0, 1, 2])
+
+
+def test_shake_source_variants():
+    s128 = ShakeSource(5, variant=128)
+    s256 = ShakeSource(5, variant=256)
+    assert s128.read_bytes(16) != s256.read_bytes(16)
+    with pytest.raises(ValueError):
+        ShakeSource(5, variant=512)
+
+
+def test_seed_normalization():
+    assert ChaChaSource(b"abc").read_bytes(8) == \
+        ChaChaSource(b"abc\x00").read_bytes(8)
+    with pytest.raises(ValueError):
+        ChaChaSource(b"x" * 33)
+    with pytest.raises(ValueError):
+        ChaChaSource(-1)
+
+
+def test_default_source_is_chacha():
+    assert default_source(9).read_bytes(16) == \
+        ChaChaSource(9).read_bytes(16)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32),
+       st.integers(min_value=1, max_value=64))
+def test_counter_source_deterministic(seed, length):
+    assert CounterSource(seed).read_bytes(length) == \
+        CounterSource(seed).read_bytes(length)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1),
+                min_size=0, max_size=40))
+def test_bitstream_matches_manual_unpack(bits):
+    padded = bits + [0] * ((8 - len(bits) % 8) % 8)
+    stream = BitStream(ListBitSource(bits))
+    for expected in padded:
+        assert stream.take_bit() == expected

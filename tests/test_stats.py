@@ -1,0 +1,102 @@
+"""Tests for distribution statistics and the chi-square machinery."""
+
+import math
+from fractions import Fraction
+
+import pytest
+import scipy.stats
+
+from repro.analysis import (
+    chi_square_p_value,
+    chi_square_statistic,
+    empirical_pmf,
+    ideal_signed_gaussian_pmf,
+    kl_divergence,
+    max_log_distance,
+    renyi_divergence,
+    statistical_distance,
+)
+from repro.core import GaussianParams, probability_matrix, true_pmf
+
+
+def test_statistical_distance_exact():
+    p = [Fraction(1, 2), Fraction(1, 2)]
+    q = [Fraction(1, 4), Fraction(3, 4)]
+    assert statistical_distance(p, q) == Fraction(1, 4)
+    assert statistical_distance(p, p) == 0
+
+
+def test_statistical_distance_pads_support():
+    p = [Fraction(1)]
+    q = [Fraction(1, 2), Fraction(1, 2)]
+    assert statistical_distance(p, q) == Fraction(1, 2)
+
+
+def test_truncation_distance_shrinks_with_precision():
+    """The paper's criterion: higher n => smaller statistical distance."""
+    distances = []
+    for n in (8, 16, 32, 64):
+        params = GaussianParams.from_sigma(2, precision=n)
+        matrix = probability_matrix(params)
+        # Conditioned (restart) distribution of the sampler.
+        pmf = [Fraction(row, matrix.mass) for row in matrix.rows]
+        distances.append(statistical_distance(pmf, true_pmf(params)))
+    assert distances[0] > distances[1] > distances[2] > distances[3]
+    assert distances[3] < Fraction(1, 2 ** 55)
+
+
+def test_kl_divergence_basics():
+    p = [0.5, 0.5]
+    q = [0.25, 0.75]
+    expected = 0.5 * math.log(2) + 0.5 * math.log(0.5 / 0.75)
+    assert kl_divergence(p, q) == pytest.approx(expected)
+    assert kl_divergence(p, p) == 0
+    with pytest.raises(ValueError):
+        kl_divergence([1.0], [0.0, 1.0])
+
+
+def test_renyi_divergence_limits():
+    p = [0.5, 0.5]
+    q = [0.4, 0.6]
+    r2 = renyi_divergence(p, q, 2)
+    r10 = renyi_divergence(p, q, 10)
+    assert 0 < r2 < r10  # Rényi is nondecreasing in alpha
+    assert renyi_divergence(p, p, 2) == pytest.approx(0, abs=1e-12)
+    with pytest.raises(ValueError):
+        renyi_divergence(p, q, 1)
+
+
+def test_max_log_distance():
+    p = [0.5, 0.5]
+    q = [0.25, 0.75]
+    assert max_log_distance(p, q) == pytest.approx(math.log(2))
+    assert max_log_distance(p, p) == 0
+    assert max_log_distance([1.0, 0.0], [0.5, 0.5]) == math.inf
+
+
+def test_chi_square_statistic_pools_small_cells():
+    observed = {0: 50, 1: 30, 2: 15, 3: 3, 4: 2}
+    expected = {0: 0.5, 1: 0.3, 2: 0.15, 3: 0.03, 4: 0.02}
+    chi2, dof = chi_square_statistic(observed, expected, draws=100)
+    assert dof == 3  # cells 0,1,2 plus pooled tail
+    assert chi2 >= 0
+
+
+def test_chi_square_p_value_matches_scipy():
+    for chi2, dof in [(1.0, 1), (5.0, 3), (10.0, 10), (30.0, 12),
+                      (0.5, 7), (100.0, 80)]:
+        ours = chi_square_p_value(chi2, dof)
+        scipys = scipy.stats.chi2.sf(chi2, dof)
+        assert ours == pytest.approx(scipys, abs=1e-10)
+
+
+def test_empirical_pmf():
+    pmf = empirical_pmf([1, 1, 2, 3])
+    assert pmf == {1: 0.5, 2: 0.25, 3: 0.25}
+
+
+def test_ideal_signed_pmf_properties():
+    pmf = ideal_signed_gaussian_pmf(2.0, 26)
+    assert sum(pmf.values()) == pytest.approx(1.0)
+    assert pmf[3] == pmf[-3]
+    assert pmf[0] > pmf[1] > pmf[2]

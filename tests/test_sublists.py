@@ -1,0 +1,92 @@
+"""Tests for the sublist partition (Sec. 5.1, Fig. 3)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GaussianParams,
+    enumerate_terminating_strings,
+    max_free_suffix_length,
+    partition_by_trailing_ones,
+    probability_matrix,
+    sorted_list_l,
+)
+
+
+def test_partition_covers_all_entries():
+    matrix = probability_matrix(GaussianParams.from_sigma(2, precision=16))
+    partition = partition_by_trailing_ones(matrix)
+    assert partition.total_entries == \
+        len(enumerate_terminating_strings(matrix))
+
+
+def test_partition_entries_belong_to_their_sublist():
+    matrix = probability_matrix(GaussianParams.from_sigma(2, precision=16))
+    partition = partition_by_trailing_ones(matrix)
+    for sub in partition.sublists:
+        for entry in sub.entries:
+            # Reconstruct the full string: 1^k 0 suffix.
+            bits = (1,) * sub.k + (0,) + entry.suffix
+            assert bits[:sub.k] == (1,) * sub.k
+            assert bits[sub.k] == 0
+            assert len(bits) <= matrix.precision
+
+
+def test_global_delta_is_max_of_sublist_deltas():
+    matrix = probability_matrix(
+        GaussianParams.from_sigma(6.15543, precision=32))
+    partition = partition_by_trailing_ones(matrix)
+    assert partition.delta == max(s.delta for s in partition.sublists)
+    assert partition.delta == max_free_suffix_length(matrix)
+
+
+def test_sorted_list_is_ascending_in_k():
+    matrix = probability_matrix(GaussianParams.from_sigma(2, precision=16))
+    ordered = sorted_list_l(matrix)
+    ks = [entry.leading_ones for entry in ordered]
+    assert ks == sorted(ks)
+
+
+def test_fig3_sigma2_n16_structure():
+    """Fig. 3 renders sigma = 2, n = 16: sublists for every k present."""
+    matrix = probability_matrix(GaussianParams.from_sigma(2, precision=16))
+    partition = partition_by_trailing_ones(matrix)
+    ks = [s.k for s in partition.sublists]
+    assert ks[0] == 0
+    assert partition.max_k <= 15
+    rendered = partition.render()
+    assert "sublist l_0" in rendered
+    assert "->" in rendered
+
+
+def test_render_uses_reversed_notation():
+    matrix = probability_matrix(GaussianParams.from_sigma(2, precision=6))
+    partition = partition_by_trailing_ones(matrix)
+    rendered = partition.render()
+    # The level-1 leaf (bits 0,0) renders as xxxx00.
+    assert "xxxx00" in rendered
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=30),
+       st.integers(min_value=6, max_value=14))
+def test_sublist_deltas_bounded_by_available_bits(sigma_sq, precision):
+    params = GaussianParams(sigma_sq=Fraction(sigma_sq),
+                            precision=precision, tail_cut=9)
+    partition = partition_by_trailing_ones(probability_matrix(params))
+    for sub in partition.sublists:
+        assert 0 <= sub.delta <= precision - sub.k - 1
+        for entry in sub.entries:
+            assert len(entry.suffix) <= sub.delta
+
+
+def test_immediate_sublist_detection():
+    """A sublist whose prefix 1^k 0 is itself a leaf has delta == 0."""
+    matrix = probability_matrix(GaussianParams.from_sigma(2, precision=16))
+    partition = partition_by_trailing_ones(matrix)
+    for sub in partition.sublists:
+        if sub.is_immediate:
+            assert sub.delta == 0
+            assert len(sub.entries) == 1

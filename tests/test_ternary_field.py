@@ -1,0 +1,80 @@
+"""Tests for the sigma = sqrt(5) ("ternary field") base instance.
+
+Sec. 6: "Depending on the number field used this sigma can be either 2
+or sqrt(5). In our work, we only used ... sigma = 2, the other
+instance can be realized using the same methods."  This module
+realizes it: sqrt(5) is irrational but sigma^2 = 5 is exact, so the
+whole pipeline — matrix, Theorem 1, compilation, Falcon plug-in —
+runs unchanged.
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    BitslicedSampler,
+    GaussianParams,
+    check_theorem1,
+    compile_sampler_circuit,
+    probability_matrix,
+)
+from repro.falcon import BASE_SIGMA_VARIANTS, SecretKey, make_base_sampler
+from repro.rng import ChaChaSource
+
+SQRT5 = GaussianParams(sigma_sq=Fraction(5), precision=32)
+
+
+def test_variant_table():
+    assert BASE_SIGMA_VARIANTS["binary"] == 4
+    assert BASE_SIGMA_VARIANTS["ternary"] == 5
+
+
+def test_sqrt5_support_bound():
+    # floor(13 * sqrt(5)) = floor(29.068) = 29.
+    assert SQRT5.support_bound == 29
+
+
+def test_sqrt5_matrix_and_theorem1():
+    matrix = probability_matrix(SQRT5)
+    assert check_theorem1(matrix)
+    assert matrix.rows[0] > matrix.rows[3] > matrix.rows[9]
+
+
+def test_sqrt5_circuit_compiles_and_samples():
+    circuit = compile_sampler_circuit(SQRT5)
+    sampler = BitslicedSampler(circuit, source=ChaChaSource(1))
+    values = sampler.sample_many(8000)
+    mean = sum(values) / len(values)
+    std = math.sqrt(sum(v * v for v in values) / len(values))
+    assert abs(mean) < 4 * math.sqrt(5) / math.sqrt(8000)
+    assert abs(std - math.sqrt(5)) < 0.1
+
+
+def test_make_base_sampler_ternary():
+    sampler = make_base_sampler("cdt-binary", source=ChaChaSource(2),
+                                precision=32, field="ternary")
+    values = [sampler.sample() for _ in range(4000)]
+    std = math.sqrt(sum(v * v for v in values) / len(values))
+    assert abs(std - math.sqrt(5)) < 0.12
+    with pytest.raises(ValueError):
+        make_base_sampler("cdt-binary", field="quaternary")
+
+
+def test_falcon_signs_with_ternary_base():
+    sk = SecretKey.generate(n=32, seed=9)
+    sk.use_base_sampler("cdt-binary", source=ChaChaSource(3),
+                        field="ternary")
+    message = b"ternary instance"
+    signature = sk.sign(message)
+    assert sk.public_key.verify(message, signature)
+    # Wider base => lower acceptance than the sigma = 2 instance.
+    assert 0.1 < sk.sampler_z.acceptance_rate < 0.9
+
+
+def test_sqrt5_delta_small():
+    from repro.core import max_free_suffix_length
+    params = GaussianParams(sigma_sq=Fraction(5), precision=48)
+    delta = max_free_suffix_length(probability_matrix(params))
+    assert delta <= 6  # between the sigma=2 and sigma=6.15 regimes
