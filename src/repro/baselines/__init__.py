@@ -1,7 +1,14 @@
 """Baseline samplers: CDT variants (Table 1) and convolution extension."""
 
 from .adapters import BitslicedIntegerSampler, KnuthYaoIntegerSampler
-from .api import IntegerSampler, LazyUniform
+from .api import (
+    SAMPLER_BACKENDS,
+    IntegerSampler,
+    LazyUniform,
+    available_backends,
+    make_sampler,
+    register_backend,
+)
 from .bernoulli import SIGMA_BIN, BernoulliSampler
 from .byte_scan import ByteScanCdtSampler
 from .cdt import CdtBinarySearchSampler, CdtTable, make_cdt_table
@@ -25,7 +32,11 @@ __all__ = [
     "KnuthYaoIntegerSampler",
     "LazyUniform",
     "LinearScanCdtSampler",
+    "SAMPLER_BACKENDS",
     "SIGMA_BIN",
+    "available_backends",
+    "make_sampler",
+    "register_backend",
     "empirical_moments",
     "make_cdt_table",
     "plan_convolution",

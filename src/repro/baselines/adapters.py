@@ -9,13 +9,15 @@ dudect leakage experiment and the benchmark tables.
 
 from __future__ import annotations
 
+from ..bitslice.wordengine import WordEngine
 from ..core.gaussian import GaussianParams
 from ..core.knuth_yao import knuth_yao_walk
 from ..core.sampler import BitslicedSampler
 from ..rng.source import BitStream, RandomSource
-from .api import IntegerSampler
+from .api import IntegerSampler, register_backend
 
 
+@register_backend
 class KnuthYaoIntegerSampler(IntegerSampler):
     """Algorithm 1 behind the common interface, with op accounting.
 
@@ -52,6 +54,7 @@ class KnuthYaoIntegerSampler(IntegerSampler):
             self.counter.branch()
 
 
+@register_backend
 class BitslicedIntegerSampler(IntegerSampler):
     """The compiled constant-time sampler behind the common interface.
 
@@ -61,6 +64,16 @@ class BitslicedIntegerSampler(IntegerSampler):
     produced.  Costs are booked when a batch runs; per-sample
     amortization is left to the consumer (the traces are constant per
     batch, which is the point).
+
+    ``engine`` selects the word backend (``"bigint"``, ``"numpy"``,
+    ``"chunked"``, ``"auto"``): engines are interchangeable without
+    changing the sample stream.  ``prefetch_batches`` sets how many
+    batches each pool refill fuses into one kernel pass; fusing carves
+    the PRNG stream into wider words, so *changing it changes which
+    samples a given seed yields* (equally distributed, just a different
+    lane mapping) — pin it when reproducing exact outputs.  This is the
+    prefetched pool Falcon's ``RejectionSamplerZ`` draws from when
+    signing.
     """
 
     name = "bitsliced"
@@ -69,12 +82,22 @@ class BitslicedIntegerSampler(IntegerSampler):
     def __init__(self, params: GaussianParams,
                  source: RandomSource | None = None,
                  batch_width: int = 64,
+                 engine: str | WordEngine = "bigint",
+                 prefetch_batches: int = 1,
                  **compile_kwargs) -> None:
         super().__init__(source)
         self.inner = BitslicedSampler.compile(
             params, source=self.source, batch_width=batch_width,
+            engine=engine, prefetch_batches=prefetch_batches,
             **compile_kwargs)
         self._buffer: list[int] = []
+
+    def _refill(self, num_batches: int) -> list[int]:
+        samples = self.inner._sample_block(num_batches) \
+            if num_batches > 1 else self.inner.sample_batch()
+        self.counter.word_op(num_batches * self.inner.word_ops_per_batch)
+        self.counter.rng(num_batches * self.inner.random_bytes_per_batch)
+        return samples
 
     def sample_magnitude(self) -> int:
         # The inner sampler handles signs itself; expose magnitudes by
@@ -83,14 +106,22 @@ class BitslicedIntegerSampler(IntegerSampler):
 
     def sample(self) -> int:
         while not self._buffer:
-            self._buffer = self.inner.sample_batch()
-            self.counter.word_op(self.inner.word_ops_per_batch)
-            self.counter.rng(self.inner.random_bytes_per_batch)
+            self._buffer = self._refill(self.inner.prefetch_batches)
         return self._buffer.pop()
 
     def prefill(self, count: int) -> None:
-        """Run enough batches to serve ``count`` samples from buffer."""
+        """Run enough batches to serve ``count`` samples from buffer.
+
+        The whole top-up is fused into super-batches (one kernel pass
+        over many batches at a time), so prefilling a signing pool gets
+        the same throughput benefit as ``sample_many``.
+        """
+        from ..core.sampler import MAX_FUSED_LANES
+
+        width = self.inner.batch_width
+        cap = max(1, min(self.inner.max_fused_batches,
+                         MAX_FUSED_LANES // width))
         while len(self._buffer) < count:
-            self._buffer.extend(self.inner.sample_batch())
-            self.counter.word_op(self.inner.word_ops_per_batch)
-            self.counter.rng(self.inner.random_bytes_per_batch)
+            need = count - len(self._buffer)
+            batches = min(cap, max(1, -(-need // width)))
+            self._buffer.extend(self._refill(batches))

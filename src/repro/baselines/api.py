@@ -25,6 +25,42 @@ from abc import ABC, abstractmethod
 from ..ct.opcount import OpCounter
 from ..rng.source import RandomSource, default_source
 
+#: Registry of concrete backends by ``name``.  Populated by the
+#: :func:`register_backend` decorator as backend modules are imported
+#: (importing :mod:`repro.baselines` pulls them all in); the CLI, the
+#: Falcon harness and the benchmark sweeps instantiate through
+#: :func:`make_sampler` so a new backend is a one-decorator addition.
+SAMPLER_BACKENDS: dict[str, type["IntegerSampler"]] = {}
+
+
+def register_backend(cls: type["IntegerSampler"]) -> type["IntegerSampler"]:
+    """Class decorator: register an :class:`IntegerSampler` by its name."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError("backend classes must set a concrete name")
+    SAMPLER_BACKENDS[cls.name] = cls
+    return cls
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted (CLI choices, sweep axes)."""
+    return sorted(SAMPLER_BACKENDS)
+
+
+def make_sampler(name: str, params, source: RandomSource | None = None,
+                 **kwargs) -> "IntegerSampler":
+    """Instantiate a registered backend.
+
+    ``kwargs`` are forwarded to the backend constructor — e.g.
+    ``make_sampler("bitsliced", params, engine="numpy")`` selects the
+    vectorized word engine.
+    """
+    try:
+        cls = SAMPLER_BACKENDS[name]
+    except KeyError:
+        raise ValueError(f"unknown sampler backend {name!r}; "
+                         f"choose from {available_backends()}") from None
+    return cls(params, source=source, **kwargs)
+
 
 class IntegerSampler(ABC):
     """Abstract signed integer sampler with operation accounting."""

@@ -13,10 +13,11 @@ from __future__ import annotations
 
 from ..core.gaussian import GaussianParams
 from ..rng.source import RandomSource
-from .api import IntegerSampler, LazyUniform
+from .api import IntegerSampler, LazyUniform, register_backend
 from .cdt import CdtTable
 
 
+@register_backend
 class ByteScanCdtSampler(IntegerSampler):
     """Non-constant-time byte-scanning CDT sampler."""
 

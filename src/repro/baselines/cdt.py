@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from ..core.gaussian import GaussianParams, probability_matrix
 from ..rng.source import RandomSource
-from .api import IntegerSampler, LazyUniform
+from .api import IntegerSampler, LazyUniform, register_backend
 
 
 class CdtTable:
@@ -61,6 +61,7 @@ class CdtTable:
         return self.entries[-1]
 
 
+@register_backend
 class CdtBinarySearchSampler(IntegerSampler):
     """Non-constant-time CDT sampler with binary search ([26] / Falcon
     reference "CDT" backend in Table 1)."""

@@ -12,12 +12,13 @@ from __future__ import annotations
 
 from ..core.gaussian import GaussianParams
 from ..rng.source import RandomSource
-from .api import IntegerSampler, LazyUniform
+from .api import IntegerSampler, LazyUniform, register_backend
 from .cdt import CdtTable
 
 _WORD_BITS = 64
 
 
+@register_backend
 class LinearScanCdtSampler(IntegerSampler):
     """Constant-time CDT sampler with exhaustive linear scan."""
 

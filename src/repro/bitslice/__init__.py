@@ -1,12 +1,38 @@
-"""Bitsliced evaluation: compiled kernels and lane packing."""
+"""Bitsliced evaluation: compiled kernels, lane packing, word engines."""
 
 from .engine import BitslicedKernel, KernelStats
-from .pack import lanes_where, pack_lane_bits, unpack_lanes
+from .pack import (
+    lane_bit_matrix,
+    lanes_where,
+    pack_lane_bits,
+    unpack_lanes,
+    unpack_lanes_array,
+)
+from .wordengine import (
+    AUTO_ENGINE,
+    HAVE_NUMPY,
+    BigIntEngine,
+    ChunkedEngine,
+    NumpyEngine,
+    WordEngine,
+    available_engines,
+    get_engine,
+)
 
 __all__ = [
+    "AUTO_ENGINE",
+    "BigIntEngine",
     "BitslicedKernel",
+    "ChunkedEngine",
+    "HAVE_NUMPY",
     "KernelStats",
+    "NumpyEngine",
+    "WordEngine",
+    "available_engines",
+    "get_engine",
+    "lane_bit_matrix",
     "lanes_where",
     "pack_lane_bits",
     "unpack_lanes",
+    "unpack_lanes_array",
 ]

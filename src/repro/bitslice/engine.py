@@ -71,12 +71,18 @@ class BitslicedKernel:
         """Highest input variable index + 1 (length ``inputs`` needs)."""
         return self._num_inputs
 
-    def __call__(self, inputs: Sequence[int], mask: int) -> tuple[int, ...]:
+    def __call__(self, inputs: Sequence, mask) -> tuple:
         """Evaluate all outputs over ``mask``-wide words.
 
         ``inputs[i]`` must carry variable ``b_i``; every lane of every
         output is computed unconditionally — there is no early exit by
         construction.
+
+        The generated source uses only ``& | ^ ~``, so any word type
+        with those operators works: Python bigints with a bigint mask
+        (the classic backend) or NumPy ``uint64`` arrays with a
+        ``uint64`` all-ones mask (the vectorized backend).  The word
+        engines in :mod:`repro.bitslice.wordengine` pick the pairing.
         """
         if len(inputs) < self._num_inputs:
             raise ValueError(

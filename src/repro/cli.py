@@ -25,23 +25,24 @@ import argparse
 import sys
 
 from .analysis import format_table
-from .baselines import (
-    ByteScanCdtSampler,
-    CdtBinarySearchSampler,
-    KnuthYaoIntegerSampler,
-    LinearScanCdtSampler,
-)
+from .baselines import available_backends, make_sampler
+from .bitslice import available_engines
 from .boolfunc import to_c_source, to_python_source
 from .core import GaussianParams, compile_sampler, compile_sampler_circuit
 from .ct import audit_batch_sampler, audit_sampler
 from .rng import ChaChaSource
 
-_AUDIT_BACKENDS = {
-    "knuth-yao": KnuthYaoIntegerSampler,
-    "cdt-byte-scan": ByteScanCdtSampler,
-    "cdt-binary": CdtBinarySearchSampler,
-    "cdt-linear": LinearScanCdtSampler,
-}
+#: Word-engine choices shared by every subcommand that samples.
+_ENGINE_CHOICES = ["auto"] + available_engines()
+
+
+def _add_engine_option(parser: argparse.ArgumentParser,
+                       default: str = "auto") -> None:
+    parser.add_argument(
+        "--engine", default=default, choices=_ENGINE_CHOICES,
+        help="word backend for the bitsliced sampler (auto = numpy "
+             "when available, else bigint; all choices produce the "
+             "same samples)")
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
@@ -77,7 +78,9 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 def _cmd_sample(args: argparse.Namespace) -> int:
     sampler = compile_sampler(args.sigma, args.precision,
-                              source=ChaChaSource(args.seed))
+                              source=ChaChaSource(args.seed),
+                              batch_width=args.batch_width,
+                              engine=args.engine)
     values = sampler.sample_many(args.count)
     print(" ".join(str(v) for v in values))
     return 0
@@ -87,11 +90,12 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     params = GaussianParams.from_sigma(args.sigma, args.precision)
     if args.backend == "bitsliced":
         sampler = compile_sampler(args.sigma, args.precision,
-                                  source=ChaChaSource(args.seed))
+                                  source=ChaChaSource(args.seed),
+                                  engine=args.engine)
         report = audit_batch_sampler(sampler, batches=args.calls // 64)
     else:
-        backend = _AUDIT_BACKENDS[args.backend]
-        sampler = backend(params, source=ChaChaSource(args.seed))
+        sampler = make_sampler(args.backend, params,
+                               source=ChaChaSource(args.seed))
         report = audit_sampler(sampler, calls=args.calls)
     print(report.render())
     return 1 if report.leaking else 0
@@ -103,7 +107,9 @@ def _cmd_falcon(args: argparse.Namespace) -> int:
 
     print(f"generating Falcon-{args.n} keys (seed {args.seed}) ...")
     sk = SecretKey.generate(n=args.n, seed=args.seed)
-    sk.use_base_sampler(args.backend)
+    backend_kwargs = ({"engine": args.engine}
+                      if args.backend == "bitsliced" else {})
+    sk.use_base_sampler(args.backend, **backend_kwargs)
     message = args.message.encode()
     signature = sk.sign(message)
     ok = sk.public_key.verify(message, signature)
@@ -138,15 +144,18 @@ def build_parser() -> argparse.ArgumentParser:
     sample_p.add_argument("--precision", type=int, default=32)
     sample_p.add_argument("--count", type=int, default=16)
     sample_p.add_argument("--seed", type=int, default=0)
+    sample_p.add_argument("--batch-width", type=int, default=64)
+    _add_engine_option(sample_p)
     sample_p.set_defaults(func=_cmd_sample)
 
     audit_p = sub.add_parser("audit", help="dudect leakage audit")
     audit_p.add_argument("--backend", default="bitsliced",
-                         choices=sorted(_AUDIT_BACKENDS) + ["bitsliced"])
+                         choices=available_backends())
     audit_p.add_argument("--sigma", type=float, default=2.0)
     audit_p.add_argument("--precision", type=int, default=64)
     audit_p.add_argument("--calls", type=int, default=4000)
     audit_p.add_argument("--seed", type=int, default=0)
+    _add_engine_option(audit_p)
     audit_p.set_defaults(func=_cmd_audit)
 
     falcon_p = sub.add_parser("falcon", help="sign/verify round trip")
@@ -156,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["bitsliced", "cdt-byte-scan",
                                    "cdt-binary", "cdt-linear"])
     falcon_p.add_argument("--message", default="repro")
+    _add_engine_option(falcon_p)
     falcon_p.set_defaults(func=_cmd_falcon)
     return parser
 

@@ -83,11 +83,15 @@ BASE_SIGMA_VARIANTS = {
 
 def make_base_sampler(backend: str, source: RandomSource | None = None,
                       precision: int = BASE_PRECISION,
-                      field: str = "binary"):
+                      field: str = "binary", **backend_kwargs):
     """Instantiate a Table 1 base sampler backend.
 
     ``field`` selects the paper's sigma = 2 (``"binary"``) or
-    sigma = sqrt(5) (``"ternary"``) base instance.
+    sigma = sqrt(5) (``"ternary"``) base instance.  ``backend_kwargs``
+    flow to the backend constructor — for ``"bitsliced"`` that includes
+    ``engine`` (word backend) and ``prefetch_batches`` (pool refill
+    size), e.g. ``make_base_sampler("bitsliced", engine="numpy",
+    prefetch_batches=16)`` for a vectorized, super-batched signer.
     """
     if backend not in BASE_SAMPLER_BACKENDS:
         raise ValueError(
@@ -99,7 +103,8 @@ def make_base_sampler(backend: str, source: RandomSource | None = None,
     params = GaussianParams(sigma_sq=BASE_SIGMA_VARIANTS[field],
                             precision=precision,
                             tail_cut=BASE_TAIL_CUT)
-    return BASE_SAMPLER_BACKENDS[backend](params, source=source)
+    return BASE_SAMPLER_BACKENDS[backend](params, source=source,
+                                          **backend_kwargs)
 
 
 def hash_to_point(message: bytes, salt: bytes, n: int) -> list[int]:
@@ -199,19 +204,24 @@ class SecretKey:
 
     def use_base_sampler(self, backend: str,
                          source: RandomSource | None = None,
-                         field: str = "binary") -> None:
+                         field: str = "binary",
+                         **backend_kwargs) -> None:
         """Swap the integer Gaussian backend (the Table 1 experiment).
 
         ``field="ternary"`` exercises the paper's other instance
         (sigma = sqrt(5)); the rejection wrapper is exact for any base
         sigma above the leaf sigmas, so signatures stay valid.
+        ``backend_kwargs`` reach the backend constructor — e.g.
+        ``sk.use_base_sampler("bitsliced", engine="numpy",
+        prefetch_batches=16)`` services signing from a vectorized,
+        super-batched sample pool.
         """
         import math
 
         self.base_backend = backend
         self.base_sampler = make_base_sampler(
             backend, source=source if source is not None else self.source,
-            field=field)
+            field=field, **backend_kwargs)
         base_sigma = math.sqrt(float(BASE_SIGMA_VARIANTS[field]))
         self.sampler_z = RejectionSamplerZ(self.base_sampler,
                                            uniform_source=self.source,

@@ -43,6 +43,31 @@ class RandomSource(ABC):
         raw = int.from_bytes(self.read_bytes(nbytes), "little")
         return raw & ((1 << bits) - 1)
 
+    def read_word_block(self, bits: int, count: int) -> bytes:
+        """Raw backing bytes for ``count`` consecutive ``bits``-bit words.
+
+        One bulk draw of ``count * ceil(bits / 8)`` bytes.  Word ``i``
+        occupies bytes ``[i * ceil(bits / 8), (i + 1) * ceil(bits / 8))``
+        little-endian, so slicing the block reproduces ``count``
+        sequential :meth:`read_word` calls byte-for-byte — the word
+        engines rely on this to stay bit-identical while amortizing the
+        per-call PRNG overhead across a whole batch.
+        """
+        return self.read_bytes(count * ((bits + 7) // 8))
+
+    def read_words(self, bits: int, count: int) -> list[int]:
+        """``count`` uniform ``bits``-bit integers from one bulk draw.
+
+        Equivalent to ``[self.read_word(bits) for _ in range(count)]``
+        but with a single ``read_bytes`` call underneath.
+        """
+        nbytes = (bits + 7) // 8
+        raw = self.read_word_block(bits, count)
+        mask = (1 << bits) - 1
+        return [int.from_bytes(raw[i * nbytes:(i + 1) * nbytes],
+                               "little") & mask
+                for i in range(count)]
+
 
 class ChaChaSource(RandomSource):
     """Deterministic source backed by the ChaCha stream cipher."""

@@ -11,7 +11,17 @@ from pathlib import Path
 
 import pytest
 
-EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO_ROOT / "examples"
+
+#: Example subprocesses must import ``repro`` from the source tree no
+#: matter where pytest was launched from, so the repo-rooted ``src``
+#: directory is prepended to any PYTHONPATH the caller already set.
+_ENV = {**os.environ,
+        "PYTHONPATH": os.pathsep.join(
+            [str(REPO_ROOT / "src")]
+            + ([os.environ["PYTHONPATH"]]
+               if os.environ.get("PYTHONPATH") else []))}
 
 FAST = ["compile_and_export.py", "hardware_export.py"]
 SLOW = ["quickstart.py", "constant_time_audit.py",
@@ -26,7 +36,7 @@ def _run(name: str, tmp_path, timeout=420) -> str:
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
         capture_output=True, text=True, timeout=timeout,
-        cwd=tmp_path)
+        cwd=tmp_path, env=_ENV)
     assert result.returncode == 0, result.stderr[-2000:]
     return result.stdout
 
@@ -60,6 +70,7 @@ def test_slow_examples_run(name, tmp_path):
 def test_falcon_example_runs(tmp_path):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / "falcon_signatures.py"), "64"],
-        capture_output=True, text=True, timeout=420, cwd=tmp_path)
+        capture_output=True, text=True, timeout=420, cwd=tmp_path,
+        env=_ENV)
     assert result.returncode == 0, result.stderr[-2000:]
     assert "yes" in result.stdout

@@ -99,3 +99,51 @@ def test_as_dict():
     assert counts.as_dict() == {
         "word_ops": 1, "compares": 2, "loads": 3, "branches": 4,
         "rng_bytes": 5}
+
+
+# -- cross-engine trace parity through the IntegerSampler interface ------
+
+def _bitsliced_trace(engine, draws):
+    from repro.baselines import BitslicedIntegerSampler
+    from repro.core.gaussian import GaussianParams
+    from repro.rng import ChaChaSource
+
+    sampler = BitslicedIntegerSampler(
+        GaussianParams.from_sigma(2, 16), source=ChaChaSource(12),
+        engine=engine)
+    values = sampler.sample_many(draws)
+    return values, sampler.counter.counts.as_dict()
+
+
+def test_bitsliced_adapter_trace_identical_across_engines():
+    """The booked operation trace (word ops + PRNG bytes) of the
+    bitsliced backend is a function of the workload only — identical
+    for every word engine, as the constant-time argument requires."""
+    reference_values, reference_trace = _bitsliced_trace("bigint", 300)
+    for engine in ("chunked", "numpy"):
+        values, trace = _bitsliced_trace(engine, 300)
+        assert values == reference_values
+        assert trace == reference_trace
+    assert reference_trace["word_ops"] > 0
+    assert reference_trace["rng_bytes"] > 0
+    assert reference_trace["compares"] == 0
+    assert reference_trace["branches"] == 0
+
+
+def test_bitsliced_adapter_trace_is_per_batch_constant():
+    """Booked costs advance in whole-batch quanta: after any number of
+    draws the trace equals batches_run times the per-batch constants."""
+    from repro.baselines import BitslicedIntegerSampler
+    from repro.core.gaussian import GaussianParams
+    from repro.rng import ChaChaSource
+
+    sampler = BitslicedIntegerSampler(
+        GaussianParams.from_sigma(2, 16), source=ChaChaSource(4),
+        engine="bigint")
+    for _ in range(130):
+        sampler.sample()
+    counts = sampler.counter.counts
+    batches = sampler.inner.batches_run
+    assert counts.word_ops == batches * sampler.inner.word_ops_per_batch
+    assert counts.rng_bytes == \
+        batches * sampler.inner.random_bytes_per_batch

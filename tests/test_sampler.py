@@ -115,3 +115,74 @@ def test_counter_source_works_too():
     sampler = compile_sampler(2, 24, source=CounterSource(11))
     values = sampler.sample_many(200)
     assert all(abs(v) <= 26 for v in values)
+
+
+def test_invalid_prefetch_and_fusion_rejected():
+    circuit = compile_sampler_circuit(GaussianParams.from_sigma(2, 12))
+    with pytest.raises(ValueError):
+        BitslicedSampler(circuit, prefetch_batches=0)
+    with pytest.raises(ValueError):
+        BitslicedSampler(circuit, max_fused_batches=0)
+    with pytest.raises(ValueError):
+        next(BitslicedSampler(circuit).stream(block_samples=0))
+
+
+# -- constant-time regression: engines must share one operation trace ----
+
+ENGINES = ("bigint", "chunked", "numpy")
+
+
+def test_word_ops_identical_across_engines():
+    """The instruction count is a property of the circuit, never of the
+    word representation: every engine reports the same word_ops."""
+    circuit = compile_sampler_circuit(GaussianParams.from_sigma(2, 16))
+    counts = {engine: BitslicedSampler(circuit, source=ChaChaSource(1),
+                                       engine=engine)
+              for engine in ENGINES}
+    reference = counts["bigint"]
+    for sampler in counts.values():
+        assert sampler.word_ops_per_batch == reference.word_ops_per_batch
+        assert sampler.kernel.stats.word_ops == \
+            reference.kernel.stats.word_ops
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_prng_trace_is_value_independent(engine):
+    """Each batch consumes exactly random_bytes_per_batch bytes, no
+    matter which values (or how many discards) it produces."""
+    sampler = compile_sampler(2, 16, source=ChaChaSource(5),
+                              batch_width=64, engine=engine)
+    per_batch = sampler.random_bytes_per_batch
+    for _ in range(20):
+        before = sampler.source.bytes_read
+        sampler.sample_batch()
+        assert sampler.source.bytes_read - before == per_batch
+
+
+def test_prng_trace_identical_across_engines():
+    """Total randomness drawn for the same workload is equal across
+    engines, for batch, bulk and streaming paths alike."""
+    workloads = {}
+    for engine in ENGINES:
+        sampler = compile_sampler(2, 16, source=ChaChaSource(2),
+                                  batch_width=64, engine=engine)
+        for _ in range(5):
+            sampler.sample_batch()
+        sampler.sample_many(1000)
+        for _ in range(10):
+            sampler.sample()
+        workloads[engine] = (sampler.source.bytes_read,
+                             sampler.batches_run)
+    assert len(set(workloads.values())) == 1, workloads
+
+
+def test_super_batch_randomness_scales_linearly():
+    """A fused f-batch pass draws exactly f times the per-batch bytes
+    (width 64 is byte-aligned), preserving the constant-time account."""
+    sampler = compile_sampler(2, 16, source=ChaChaSource(3),
+                              batch_width=64, engine="bigint")
+    per_batch = sampler.random_bytes_per_batch
+    for fused in (1, 2, 7, 16):
+        before = sampler.source.bytes_read
+        sampler._sample_block(fused)
+        assert sampler.source.bytes_read - before == fused * per_batch
