@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 import sys
+import time
 from pathlib import Path
 
 REPORT_DIR = Path(__file__).resolve().parent / "reports"
@@ -31,6 +32,29 @@ SESSION_REPORTS: list[str] = []
 def full_or(default, full_value):
     """Pick the full-size value when REPRO_FULL=1."""
     return full_value if FULL else default
+
+
+def drain_buffer(source) -> None:
+    """Consume any keystream a warm-up left pre-generated in a buffered
+    source, so a subsequent timed window pays for every byte it uses."""
+    buffered = getattr(source, "buffered_bytes", 0)
+    if buffered:
+        source.read_bytes(buffered)
+
+
+def prng_share_percent(source_factory, bytes_consumed: int,
+                       elapsed: float) -> float:
+    """Share of ``elapsed`` attributable to randomness generation.
+
+    Regenerates ``bytes_consumed`` on a fresh source from
+    ``source_factory`` and compares wall time, capped at 100%.  The
+    shared protocol behind every "prng share" column in the reports.
+    """
+    source = source_factory()
+    started = time.perf_counter()
+    source.read_bytes(bytes_consumed)
+    rng_time = time.perf_counter() - started
+    return 100 * min(rng_time / elapsed, 1.0)
 
 
 def report(name: str, text: str) -> None:

@@ -37,12 +37,13 @@ from repro.core import GaussianParams, compile_sampler_circuit
 from repro.core.sampler import BitslicedSampler
 from repro.rng import ChaChaSource, CounterSource
 
-from _report import REPORT_DIR, full_or, report
+from _report import REPORT_DIR, drain_buffer, full_or, \
+    prng_share_percent, report
 
 JSON_NAME = "BENCH_backend_scaling.json"
 
 DEFAULT_SAMPLES = 65_536
-DEFAULT_WIDTHS = (64, 256, 1024)
+DEFAULT_WIDTHS = (64, 256, 1024, "auto")
 SIGMA = 2
 
 #: The PRNG axis: ChaCha20 is the paper's production choice but costs
@@ -53,11 +54,12 @@ SIGMA = 2
 PRNGS = {"chacha20": ChaChaSource, "counter": CounterSource}
 
 
-def _throughput_batch_loop(circuit, engine: str, prng, width: int,
+def _throughput_batch_loop(circuit, engine: str, prng, width,
                            samples: int) -> float:
     sampler = BitslicedSampler(circuit, source=prng(31),
                                batch_width=width, engine=engine)
     sampler.sample_batch()  # warm-up (compiled kernel caches, PRNG)
+    drain_buffer(sampler.source.inner)
     produced = 0
     started = time.perf_counter()
     while produced < samples:
@@ -66,15 +68,20 @@ def _throughput_batch_loop(circuit, engine: str, prng, width: int,
     return produced / elapsed
 
 
-def _throughput_sample_many(circuit, engine: str, prng, width: int,
-                            samples: int) -> float:
+def _throughput_sample_many(circuit, engine: str, prng, width,
+                            samples: int) -> tuple[float, int, float]:
+    """Returns (samples/s, resolved width, PRNG share of wall time)."""
     sampler = BitslicedSampler(circuit, source=prng(31),
                                batch_width=width, engine=engine)
-    sampler.sample_many(width)  # warm-up
+    sampler.sample_many(sampler.batch_width)  # warm-up
+    drain_buffer(sampler.source.inner)  # measure steady-state PRNG cost
+    sampler.source.reset_count()
     started = time.perf_counter()
     sampler.sample_many(samples)
     elapsed = time.perf_counter() - started
-    return samples / elapsed
+    share = prng_share_percent(lambda: prng(31),
+                               sampler.source.bytes_read, elapsed)
+    return samples / elapsed, sampler.batch_width, share
 
 
 def run_sweep(samples: int = DEFAULT_SAMPLES,
@@ -91,17 +98,19 @@ def run_sweep(samples: int = DEFAULT_SAMPLES,
             for width in widths:
                 batch_sps = _throughput_batch_loop(
                     circuit, engine, prng, width, samples)
-                many_sps = _throughput_sample_many(
+                many_sps, resolved, prng_share = _throughput_sample_many(
                     circuit, engine, prng, width, samples)
                 results.append({
                     "prng": prng_name,
                     "engine": engine,
-                    "batch_width": width,
+                    "batch_width": resolved,
+                    "auto_width": width == "auto",
                     "samples": samples,
                     "sample_batch_sps": round(batch_sps, 1),
                     "sample_many_sps": round(many_sps, 1),
                     "sample_many_speedup": round(many_sps / batch_sps,
                                                  3),
+                    "prng_share_percent": round(prng_share, 1),
                 })
     return {
         "benchmark": "backend_scaling",
@@ -118,13 +127,16 @@ def run_sweep(samples: int = DEFAULT_SAMPLES,
 def render_report(payload: dict) -> str:
     rows = []
     for row in payload["results"]:
-        rows.append([row["prng"], row["engine"], row["batch_width"],
+        width = (f"auto({row['batch_width']})" if row["auto_width"]
+                 else row["batch_width"])
+        rows.append([row["prng"], row["engine"], width,
                      f"{row['sample_batch_sps']:,.0f}",
                      f"{row['sample_many_sps']:,.0f}",
-                     f"{row['sample_many_speedup']:.2f}x"])
+                     f"{row['sample_many_speedup']:.2f}x",
+                     f"{row['prng_share_percent']:.0f}%"])
     return format_table(
         ["prng", "engine", "batch width w", "sample_batch loop (s/s)",
-         "sample_many (s/s)", "bulk speedup"],
+         "sample_many (s/s)", "bulk speedup", "prng share"],
         rows,
         title=f"Backend scaling, sigma = {payload['sigma']}, "
               f"n = {payload['precision']}, "
@@ -154,10 +166,14 @@ def test_backend_scaling_report(benchmark):
                          for row in at_64)
 
 
+def _width_arg(text: str):
+    return text if text == "auto" else int(text)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--samples", type=int, default=DEFAULT_SAMPLES)
-    parser.add_argument("--widths", type=int, nargs="+",
+    parser.add_argument("--widths", type=_width_arg, nargs="+",
                         default=list(DEFAULT_WIDTHS))
     parser.add_argument("--precision", type=int, default=None)
     parser.add_argument("--no-json", action="store_true",

@@ -285,10 +285,17 @@ class NumpyEngine(WordEngine):
         nbytes = (bits + 7) // 8
         k = self._num_chunks(bits)
         raw = self.raw_block(source, bits, count)
-        buffer = _np.zeros((count, k * 8), dtype=_np.uint8)
-        buffer[:, :nbytes] = _np.frombuffer(raw, dtype=_np.uint8) \
-            .reshape(count, nbytes)
-        words = buffer.view("<u8")
+        if nbytes == k * 8:
+            # Chunk-aligned width: reinterpret the keystream slab as
+            # uint64 lanes directly (one copy into a writable buffer,
+            # no per-byte shuffling).
+            words = _np.frombuffer(bytearray(raw), dtype="<u8") \
+                .reshape(count, k)
+        else:
+            buffer = _np.zeros((count, k * 8), dtype=_np.uint8)
+            buffer[:, :nbytes] = _np.frombuffer(raw, dtype=_np.uint8) \
+                .reshape(count, nbytes)
+            words = buffer.view("<u8")
         tail = bits % CHUNK_BITS
         if tail:
             words[:, -1] &= _np.uint64((1 << tail) - 1)

@@ -30,7 +30,7 @@ from .bitslice import available_engines
 from .boolfunc import to_c_source, to_python_source
 from .core import GaussianParams, compile_sampler, compile_sampler_circuit
 from .ct import audit_batch_sampler, audit_sampler
-from .rng import ChaChaSource
+from .rng import available_sources, make_source
 
 #: Word-engine choices shared by every subcommand that samples.
 _ENGINE_CHOICES = ["auto"] + available_engines()
@@ -43,6 +43,21 @@ def _add_engine_option(parser: argparse.ArgumentParser,
         help="word backend for the bitsliced sampler (auto = numpy "
              "when available, else bigint; all choices produce the "
              "same samples)")
+
+
+def _add_prng_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--prng", default="chacha20", choices=available_sources(),
+        help="deterministic randomness backend (chacha20 is the "
+             "paper's production choice, vectorized over block "
+             "counters when NumPy is available)")
+
+
+def _batch_width(text: str) -> int | str:
+    """--batch-width parser: a positive int or 'auto' (calibrated)."""
+    if text == "auto":
+        return text
+    return int(text)
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
@@ -78,7 +93,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 def _cmd_sample(args: argparse.Namespace) -> int:
     sampler = compile_sampler(args.sigma, args.precision,
-                              source=ChaChaSource(args.seed),
+                              source=make_source(args.prng, args.seed),
                               batch_width=args.batch_width,
                               engine=args.engine)
     values = sampler.sample_many(args.count)
@@ -90,12 +105,13 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     params = GaussianParams.from_sigma(args.sigma, args.precision)
     if args.backend == "bitsliced":
         sampler = compile_sampler(args.sigma, args.precision,
-                                  source=ChaChaSource(args.seed),
+                                  source=make_source(args.prng,
+                                                     args.seed),
                                   engine=args.engine)
         report = audit_batch_sampler(sampler, batches=args.calls // 64)
     else:
         sampler = make_sampler(args.backend, params,
-                               source=ChaChaSource(args.seed))
+                               source=make_source(args.prng, args.seed))
         report = audit_sampler(sampler, calls=args.calls)
     print(report.render())
     return 1 if report.leaking else 0
@@ -106,7 +122,7 @@ def _cmd_falcon(args: argparse.Namespace) -> int:
     from .falcon.serialize import encode_public_key, encode_signature
 
     print(f"generating Falcon-{args.n} keys (seed {args.seed}) ...")
-    sk = SecretKey.generate(n=args.n, seed=args.seed)
+    sk = SecretKey.generate(n=args.n, seed=args.seed, prng=args.prng)
     backend_kwargs = ({"engine": args.engine}
                       if args.backend == "bitsliced" else {})
     sk.use_base_sampler(args.backend, **backend_kwargs)
@@ -144,7 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
     sample_p.add_argument("--precision", type=int, default=32)
     sample_p.add_argument("--count", type=int, default=16)
     sample_p.add_argument("--seed", type=int, default=0)
-    sample_p.add_argument("--batch-width", type=int, default=64)
+    sample_p.add_argument(
+        "--batch-width", type=_batch_width, default=64,
+        help="lanes per kernel batch; 'auto' picks the calibrated "
+             "width for the chosen engine")
+    _add_prng_option(sample_p)
     _add_engine_option(sample_p)
     sample_p.set_defaults(func=_cmd_sample)
 
@@ -155,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit_p.add_argument("--precision", type=int, default=64)
     audit_p.add_argument("--calls", type=int, default=4000)
     audit_p.add_argument("--seed", type=int, default=0)
+    _add_prng_option(audit_p)
     _add_engine_option(audit_p)
     audit_p.set_defaults(func=_cmd_audit)
 
@@ -165,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["bitsliced", "cdt-byte-scan",
                                    "cdt-binary", "cdt-linear"])
     falcon_p.add_argument("--message", default="repro")
+    _add_prng_option(falcon_p)
     _add_engine_option(falcon_p)
     falcon_p.set_defaults(func=_cmd_falcon)
     return parser

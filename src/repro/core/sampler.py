@@ -63,6 +63,26 @@ DEFAULT_MAX_FUSED_BATCHES = 64
 #: user-chosen widths don't fuse into multi-hundred-kilobit words.
 MAX_FUSED_LANES = 8192
 
+#: Measured sweet-spot batch width per word engine, used by
+#: ``batch_width="auto"``.  Calibrated from
+#: ``benchmarks/reports/BENCH_backend_scaling.json``: the NumPy engine
+#: peaks at moderate widths (wide enough to amortize array-op overhead,
+#: narrow enough that ``sample_many``'s fused passes stay cache-friendly
+#: — PR 1 showed w=1024 *regressing* to 0.90x there), while the
+#: Python-int engines keep gaining from wider words.
+BATCH_WIDTH_CALIBRATION = {"bigint": 512, "chunked": 512, "numpy": 256}
+
+
+def auto_batch_width(engine: str | WordEngine) -> int:
+    """The calibrated batch width for ``engine`` (see table above).
+
+    ``engine`` is resolved through :func:`get_engine`, so selector
+    strings (``"auto"``, ``None``) work and typos raise instead of
+    silently falling back to the default width.
+    """
+    return BATCH_WIDTH_CALIBRATION.get(get_engine(engine).name,
+                                       DEFAULT_BATCH_WIDTH)
+
 
 class BitslicedSampler:
     """Constant-time discrete Gaussian sampler over signed integers.
@@ -78,13 +98,21 @@ class BitslicedSampler:
 
     def __init__(self, circuit: SamplerCircuit,
                  source: RandomSource | None = None,
-                 batch_width: int = DEFAULT_BATCH_WIDTH,
+                 batch_width: int | str = DEFAULT_BATCH_WIDTH,
                  engine: str | WordEngine = "bigint",
                  prefetch_batches: int = 1,
                  max_fused_batches: int = DEFAULT_MAX_FUSED_BATCHES,
                  ) -> None:
-        if batch_width < 1:
-            raise ValueError("batch width must be positive")
+        self.engine = get_engine(engine)
+        if batch_width == "auto":
+            # Engine-calibrated width.  Note the lane mapping (hence the
+            # exact sample stream for a given seed) depends on the
+            # width, so "auto" trades cross-engine stream identity for
+            # throughput; pin an explicit width to reproduce streams.
+            batch_width = auto_batch_width(self.engine)
+        if not isinstance(batch_width, int) or batch_width < 1:
+            raise ValueError("batch width must be a positive int "
+                             "or 'auto'")
         if prefetch_batches < 1:
             raise ValueError("prefetch_batches must be positive")
         if max_fused_batches < 1:
@@ -94,7 +122,6 @@ class BitslicedSampler:
         self.source = CountingSource(
             source if source is not None else default_source())
         self.batch_width = batch_width
-        self.engine = get_engine(engine)
         self.prefetch_batches = prefetch_batches
         self.max_fused_batches = max_fused_batches
         self.batches_run = 0
@@ -104,7 +131,7 @@ class BitslicedSampler:
     @classmethod
     def compile(cls, params: GaussianParams,
                 source: RandomSource | None = None,
-                batch_width: int = DEFAULT_BATCH_WIDTH,
+                batch_width: int | str = DEFAULT_BATCH_WIDTH,
                 engine: str | WordEngine = "bigint",
                 prefetch_batches: int = 1,
                 max_fused_batches: int = DEFAULT_MAX_FUSED_BATCHES,
@@ -250,7 +277,7 @@ class BitslicedSampler:
 
 def compile_sampler(sigma: float, precision: int,
                     source: RandomSource | None = None,
-                    batch_width: int = DEFAULT_BATCH_WIDTH,
+                    batch_width: int | str = DEFAULT_BATCH_WIDTH,
                     tail_cut: int = 13,
                     engine: str | WordEngine = "bigint",
                     prefetch_batches: int = 1,

@@ -30,6 +30,11 @@ import math
 from ..rng.source import RandomSource, default_source
 from .params import SIGMA_MAX
 
+try:  # Optional: vectorizes the block parse of acceptance uniforms.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI job
+    _np = None
+
 #: The paper's base sampler width ("this sigma can be either 2 or
 #: sqrt(5)"; we use the binary-field instance, sigma = 2).
 BASE_SIGMA = 2.0
@@ -46,26 +51,56 @@ class RejectionSamplerZ:
         accounting).
     uniform_source:
         Source for the acceptance uniforms (53-bit doubles).
+    uniform_block:
+        How many 7-byte acceptance uniforms each refill pre-draws from
+        ``uniform_source`` in one bulk read (parsed vectorized when
+        NumPy is available).  Uniforms are consumed in stream order, so
+        for a *dedicated* uniform source any block size yields the same
+        acceptance decisions; when the source is shared with the base
+        sampler, pre-drawing reorders the shared stream's split between
+        the two consumers (outputs stay correctly distributed — set
+        ``uniform_block=1`` to reproduce historical per-call streams).
     """
 
     def __init__(self, base_sampler,
                  uniform_source: RandomSource | None = None,
-                 base_sigma: float = BASE_SIGMA) -> None:
+                 base_sigma: float = BASE_SIGMA,
+                 uniform_block: int = 64) -> None:
+        if uniform_block < 1:
+            raise ValueError("uniform_block must be positive")
         self.base = base_sampler
         self.uniforms = (uniform_source if uniform_source is not None
                          else default_source())
         self.base_sigma = base_sigma
+        self.uniform_block = uniform_block
         self.base_draws = 0
         self.accepted = 0
+        #: Pre-drawn uniforms, reversed so pop() yields stream order.
+        self._uniform_queue: list[float] = []
+
+    def _refill_uniforms(self) -> None:
+        # One bulk draw of `block` 56-bit words (7 bytes each, exactly
+        # the historical per-call consumption, in stream order).
+        block = self.uniform_block
+        if _np is not None and block > 1:
+            words = self.uniforms.read_words_array(56, block)
+            values = ((words >> _np.uint64(3))
+                      * (2.0 ** -53)).tolist()
+        else:
+            values = [(word >> 3) * (2.0 ** -53)
+                      for word in self.uniforms.read_words(56, block)]
+        values.reverse()
+        self._uniform_queue = values
 
     def _uniform01(self) -> float:
-        raw = int.from_bytes(self.uniforms.read_bytes(7), "little")
+        if not self._uniform_queue:
+            self._refill_uniforms()
         counter = getattr(self.base, "counter", None)
         if counter is not None:
             # Book the acceptance-test randomness with the base draw so
             # the cost model sees the full per-candidate PRNG bill.
             counter.rng(7)
-        return (raw >> 3) * (2.0 ** -53)
+        return self._uniform_queue.pop()
 
     def sample(self, center: float, sigma: float) -> int:
         """One draw from ``D_{Z, sigma, center}``."""

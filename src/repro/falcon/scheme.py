@@ -30,7 +30,7 @@ from ..baselines.cdt import CdtBinarySearchSampler
 from ..baselines.linear_scan import LinearScanCdtSampler
 from ..core.gaussian import GaussianParams
 from ..rng.keccak import Shake256
-from ..rng.source import RandomSource, default_source
+from ..rng.source import RandomSource, default_source, make_source
 from .encoding import CompressError, DecompressError, compress, decompress
 from .ffsampling import (
     LdlLeaf,
@@ -192,9 +192,16 @@ class SecretKey:
 
     @classmethod
     def generate(cls, n: int, seed: int | bytes = 0,
-                 base_backend: str = "bitsliced") -> "SecretKey":
-        """Generate a fresh key pair for ring degree ``n``."""
-        source = default_source(seed)
+                 base_backend: str = "bitsliced",
+                 prng: str = "chacha20") -> "SecretKey":
+        """Generate a fresh key pair for ring degree ``n``.
+
+        ``prng`` names the deterministic randomness backend feeding key
+        generation *and* signing (``chacha20`` — the paper's Table 1
+        configuration, vectorized when NumPy is present — ``chacha12``,
+        ``chacha8``, ``shake128``, ``shake256``, ``counter``).
+        """
+        source = make_source(prng, seed)
         keys = generate_keys(n, source=source)
         return cls(keys, source=source, base_backend=base_backend)
 

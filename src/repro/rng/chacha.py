@@ -1,4 +1,4 @@
-"""ChaCha stream cipher (RFC 8439) from scratch.
+"""ChaCha stream cipher (RFC 8439) from scratch, scalar and vectorized.
 
 The paper's Falcon measurements use ChaCha20 as the pseudorandom number
 generator ("with ChaCha as the pseudo random number generator", Table 1),
@@ -10,12 +10,36 @@ overhead ablation) and a convenient keystream interface.
 Layout follows RFC 8439 section 2.3: a 4x4 state of 32-bit words holding
 the constant ``expand 32-byte k``, the 256-bit key, a 32-bit block counter
 and a 96-bit nonce, serialized little-endian.
+
+Two evaluation strategies produce byte-identical keystream:
+
+* the **scalar** path computes one 64-byte block at a time with Python
+  integers (the RFC reference rendition, always available); and
+* the **vectorized** path (:func:`chacha_blocks` with NumPy present)
+  evaluates the block function over a ``uint32`` lane per block counter,
+  so every quarter-round operation is one NumPy instruction across the
+  whole slab — the software stand-in for the SIMD ChaCha kernels real
+  Falcon builds link against, and the fix for the 15x PRNG gap the
+  PR 1 measurements exposed.
 """
 
 from __future__ import annotations
 
+try:  # NumPy is optional: the scalar path fills in when it's absent.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI job
+    _np = None
+
+HAVE_VECTOR_CHACHA = _np is not None
+
 _MASK32 = (1 << 32) - 1
 _CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
+
+#: Column rounds then diagonal rounds — one entry per quarter round.
+_QR_INDICES = (
+    (0, 4, 8, 12), (1, 5, 9, 13), (2, 6, 10, 14), (3, 7, 11, 15),
+    (0, 5, 10, 15), (1, 6, 11, 12), (2, 7, 8, 13), (3, 4, 9, 14),
+)
 
 
 def _rotl32(value: int, shift: int) -> int:
@@ -34,6 +58,15 @@ def quarter_round(state: list[int], a: int, b: int, c: int, d: int) -> None:
     state[b] = _rotl32(state[b] ^ state[c], 7)
 
 
+def _check_parameters(key: bytes, nonce: bytes, rounds: int) -> None:
+    if len(key) != 32:
+        raise ValueError("ChaCha requires a 32-byte key")
+    if len(nonce) != 12:
+        raise ValueError("ChaCha requires a 12-byte nonce")
+    if rounds % 2 != 0 or rounds <= 0:
+        raise ValueError("round count must be a positive even number")
+
+
 def chacha_block(key: bytes, counter: int, nonce: bytes,
                  rounds: int = 20) -> bytes:
     """Compute one 64-byte ChaCha keystream block.
@@ -42,12 +75,7 @@ def chacha_block(key: bytes, counter: int, nonce: bytes,
     a 12-byte nonce.  ``rounds`` must be even (each iteration below runs a
     column round and a diagonal round).
     """
-    if len(key) != 32:
-        raise ValueError("ChaCha requires a 32-byte key")
-    if len(nonce) != 12:
-        raise ValueError("ChaCha requires a 12-byte nonce")
-    if rounds % 2 != 0 or rounds <= 0:
-        raise ValueError("round count must be a positive even number")
+    _check_parameters(key, nonce, rounds)
 
     state = list(_CONSTANTS)
     state.extend(int.from_bytes(key[i:i + 4], "little")
@@ -58,14 +86,8 @@ def chacha_block(key: bytes, counter: int, nonce: bytes,
 
     working = list(state)
     for _ in range(rounds // 2):
-        quarter_round(working, 0, 4, 8, 12)
-        quarter_round(working, 1, 5, 9, 13)
-        quarter_round(working, 2, 6, 10, 14)
-        quarter_round(working, 3, 7, 11, 15)
-        quarter_round(working, 0, 5, 10, 15)
-        quarter_round(working, 1, 6, 11, 12)
-        quarter_round(working, 2, 7, 8, 13)
-        quarter_round(working, 3, 4, 9, 14)
+        for a, b, c, d in _QR_INDICES:
+            quarter_round(working, a, b, c, d)
 
     out = bytearray()
     for original, mixed in zip(state, working):
@@ -73,51 +95,165 @@ def chacha_block(key: bytes, counter: int, nonce: bytes,
     return bytes(out)
 
 
+def _stream_counter_nonce(block_index: int,
+                          nonce: bytes) -> tuple[int, bytes]:
+    """RFC counter and nonce for a 64-bit stream block index.
+
+    The block counter is 32 bits in RFC 8439; overflow rolls into the
+    first nonce word, which gives a 2^96-block period — far beyond
+    anything the benchmarks can consume.
+    """
+    counter = block_index & _MASK32
+    overflow = block_index >> 32
+    if not overflow:
+        return counter, nonce
+    adjusted = bytearray(nonce)
+    first = (int.from_bytes(adjusted[0:4], "little") + overflow) & _MASK32
+    adjusted[0:4] = first.to_bytes(4, "little")
+    return counter, bytes(adjusted)
+
+
+def _chacha_blocks_scalar(key: bytes, start_block: int, nonce: bytes,
+                          count: int, rounds: int) -> bytes:
+    chunks = []
+    for index in range(start_block, start_block + count):
+        counter, block_nonce = _stream_counter_nonce(index, nonce)
+        chunks.append(chacha_block(key, counter, block_nonce, rounds))
+    return b"".join(chunks)
+
+
+def _rotl_lanes(lanes, shift: int):
+    """Rotate every uint32 lane left by ``shift`` (vector path)."""
+    return ((lanes << _np.uint32(shift))
+            | (lanes >> _np.uint32(32 - shift)))
+
+
+def _quarter_round_lanes(x, a: int, b: int, c: int, d: int) -> None:
+    """The quarter round over rows of a ``(16, count)`` uint32 array.
+
+    ``uint32`` arithmetic wraps mod 2^32 natively, so the adds need no
+    masking; every line is one vectorized instruction across all block
+    lanes at once.
+    """
+    x[a] += x[b]
+    x[d] = _rotl_lanes(x[d] ^ x[a], 16)
+    x[c] += x[d]
+    x[b] = _rotl_lanes(x[b] ^ x[c], 12)
+    x[a] += x[b]
+    x[d] = _rotl_lanes(x[d] ^ x[a], 8)
+    x[c] += x[d]
+    x[b] = _rotl_lanes(x[b] ^ x[c], 7)
+
+
+def _chacha_blocks_numpy(key: bytes, start_block: int, nonce: bytes,
+                         count: int, rounds: int) -> bytes:
+    """``count`` consecutive blocks, one uint32 lane per block counter."""
+    key_words = _np.frombuffer(key, dtype="<u4").astype(_np.uint32)
+    nonce_words = _np.frombuffer(nonce, dtype="<u4").astype(_np.uint32)
+    indices = _np.uint64(start_block) + _np.arange(count, dtype=_np.uint64)
+
+    initial = _np.empty((16, count), dtype=_np.uint32)
+    for row, constant in enumerate(_CONSTANTS):
+        initial[row] = constant
+    for row in range(8):
+        initial[4 + row] = key_words[row]
+    initial[12] = (indices & _np.uint64(_MASK32)).astype(_np.uint32)
+    # 32-bit counter overflow rolls into the first nonce word (see
+    # _stream_counter_nonce); the wrap-add is native in uint32.
+    initial[13] = nonce_words[0] + (indices >> _np.uint64(32)) \
+        .astype(_np.uint32)
+    initial[14] = nonce_words[1]
+    initial[15] = nonce_words[2]
+
+    working = initial.copy()
+    for _ in range(rounds // 2):
+        for a, b, c, d in _QR_INDICES:
+            _quarter_round_lanes(working, a, b, c, d)
+    working += initial
+
+    # Serialize block-major: block i is the 16 words of column i,
+    # little-endian each — exactly the scalar layout.
+    return _np.ascontiguousarray(working.T).astype("<u4").tobytes()
+
+
+def chacha_blocks(key: bytes, start_block: int, nonce: bytes,
+                  count: int, rounds: int = 20,
+                  vectorized: bool | None = None) -> bytes:
+    """``count * 64`` keystream bytes from ``count`` consecutive blocks.
+
+    ``start_block`` is a *stream* block index: 64 bits wide, with the
+    overflow beyond the RFC's 32-bit counter rolled into the first nonce
+    word (the :class:`ChaChaStream` convention).  ``vectorized`` selects
+    the evaluation strategy: ``None`` picks NumPy when available; both
+    strategies are byte-identical (pinned by the RFC-vector tests).
+    """
+    _check_parameters(key, nonce, rounds)
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return b""
+    if vectorized is None:
+        vectorized = HAVE_VECTOR_CHACHA
+    if vectorized and _np is None:
+        raise RuntimeError(
+            "NumPy is not installed; use vectorized=False")
+    # uint64 lane arithmetic bounds the vector path; unreachable in
+    # practice (2^64 blocks = 2^70 bytes) but guarded for correctness.
+    if vectorized and start_block + count <= (1 << 64):
+        return _chacha_blocks_numpy(key, start_block, nonce, count,
+                                    rounds)
+    return _chacha_blocks_scalar(key, start_block, nonce, count, rounds)
+
+
 class ChaChaStream:
     """Endless ChaCha keystream used as a deterministic PRNG.
 
-    The block counter is 32 bits in RFC 8439; when it wraps we roll the
-    overflow into the first nonce word, which gives a 2^96-block period —
-    far beyond anything the benchmarks can consume.
+    ``read`` computes exactly the blocks a request needs in one
+    multi-block slab — vectorized across block counters when NumPy is
+    available (``vectorized=None``), falling back to the scalar RFC
+    rendition otherwise.  Both paths produce the same bytes, and
+    :attr:`blocks_generated` counts the same way, so cost accounting is
+    strategy-independent.
     """
 
     def __init__(self, key: bytes, nonce: bytes = b"\x00" * 12,
-                 rounds: int = 20) -> None:
-        if len(key) != 32:
-            raise ValueError("ChaCha requires a 32-byte key")
-        if len(nonce) != 12:
-            raise ValueError("ChaCha requires a 12-byte nonce")
+                 rounds: int = 20,
+                 vectorized: bool | None = None) -> None:
+        _check_parameters(key, nonce, rounds)
         self.key = key
         self.nonce = nonce
         self.rounds = rounds
+        self.vectorized = vectorized
         self._block_index = 0
         self._buffer = b""
         self._offset = 0
 
+    def _next_blocks(self, count: int) -> bytes:
+        """Generate ``count`` consecutive blocks in one slab."""
+        slab = chacha_blocks(self.key, self._block_index, self.nonce,
+                             count, self.rounds,
+                             vectorized=self.vectorized)
+        self._block_index += count
+        return slab
+
     def _next_block(self) -> bytes:
-        counter = self._block_index & _MASK32
-        overflow = self._block_index >> 32
-        nonce = bytearray(self.nonce)
-        if overflow:
-            first = (int.from_bytes(nonce[0:4], "little") + overflow) & _MASK32
-            nonce[0:4] = first.to_bytes(4, "little")
-        block = chacha_block(self.key, counter, bytes(nonce), self.rounds)
-        self._block_index += 1
-        return block
+        return self._next_blocks(1)
 
     def read(self, length: int) -> bytes:
         """Return the next ``length`` keystream bytes."""
-        chunks = []
-        remaining = length
-        while remaining > 0:
-            if self._offset == len(self._buffer):
-                self._buffer = self._next_block()
-                self._offset = 0
-            take = min(remaining, len(self._buffer) - self._offset)
-            chunks.append(self._buffer[self._offset:self._offset + take])
-            self._offset += take
-            remaining -= take
-        return b"".join(chunks)
+        if length <= 0:
+            return b""
+        available = len(self._buffer) - self._offset
+        if length <= available:
+            out = self._buffer[self._offset:self._offset + length]
+            self._offset += length
+            return out
+        head = self._buffer[self._offset:]
+        need = length - available
+        slab = self._next_blocks((need + 63) // 64)
+        self._buffer = slab
+        self._offset = need
+        return head + slab[:need] if head else slab[:need]
 
     @property
     def blocks_generated(self) -> int:

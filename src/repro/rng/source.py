@@ -10,6 +10,15 @@ that
 * byte/bit consumption can be *counted*, which the cost model uses to
   attribute PRNG cycles per sample.
 
+The deterministic cryptographic sources (:class:`ChaChaSource`,
+:class:`ShakeSource`) are **buffered**: they pull keystream from the
+underlying primitive in multi-kilobyte slabs and serve requests from the
+buffer, so small reads (a 7-byte acceptance uniform, a single sign byte)
+amortize block generation instead of paying a full block per call.
+Buffering is transparent — the delivered byte sequence is exactly the
+primitive's keystream, so buffered and unbuffered sources are
+byte-identical for any interleaving of reads (pinned by the tests).
+
 Bit order convention: bits are extracted from each byte least-significant
 bit first.  The convention is arbitrary but must be fixed so that feeding
 the same source to Algorithm 1 and to the compiled Boolean sampler yields
@@ -21,8 +30,13 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 
-from .chacha import ChaChaStream
+from .chacha import HAVE_VECTOR_CHACHA, ChaChaStream
 from .keccak import Shake128, Shake256
+
+try:  # Optional: powers read_words_array and the vectorized ChaCha.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI job
+    _np = None
 
 
 class RandomSource(ABC):
@@ -68,22 +82,131 @@ class RandomSource(ABC):
                                "little") & mask
                 for i in range(count)]
 
+    def read_words_array(self, bits: int, count: int):
+        """``count`` uniform ``bits``-bit words as a NumPy uint64 array.
 
-class ChaChaSource(RandomSource):
-    """Deterministic source backed by the ChaCha stream cipher."""
+        Same stream consumption and word values as :meth:`read_words`
+        (one ``read_word_block`` underneath), but the bytes go straight
+        into a ``uint64`` array via ``frombuffer`` — no Python-int
+        round-trips, so bulk consumers (the word engines, the batched
+        acceptance uniforms) stay on the vectorized fast path.
+        Requires NumPy and ``bits <= 64``.
+        """
+        if _np is None:
+            raise RuntimeError(
+                "NumPy is not installed; use read_words instead")
+        if not 0 < bits <= 64:
+            raise ValueError("bits must be in (0, 64] for array reads")
+        nbytes = (bits + 7) // 8
+        raw = self.read_word_block(bits, count)
+        if nbytes == 8:
+            words = _np.frombuffer(raw, dtype="<u8").copy()
+        else:
+            padded = _np.zeros((count, 8), dtype=_np.uint8)
+            padded[:, :nbytes] = _np.frombuffer(raw, dtype=_np.uint8) \
+                .reshape(count, nbytes)
+            words = padded.reshape(-1).view("<u8")
+        if bits < 64:
+            words &= _np.uint64((1 << bits) - 1)
+        return words
 
-    def __init__(self, seed: bytes | int = 0, rounds: int = 20) -> None:
-        key = _seed_to_key(seed)
-        self.stream = ChaChaStream(key, rounds=rounds)
+
+class BufferedRandomSource(RandomSource):
+    """Base for sources that refill an internal keystream buffer.
+
+    Subclasses implement :meth:`_generate`, producing the next ``length``
+    bytes of their underlying deterministic stream.  ``read_bytes``
+    serves requests from a buffer that refills in ``buffer_bytes`` slabs
+    (requests larger than the slab bypass it and generate exactly what
+    is needed), so the delivered sequence is always a contiguous prefix
+    of the primitive's stream — byte-identical to an unbuffered source
+    (``buffer_bytes=0``) for any interleaving of read calls.
+    """
+
+    def __init__(self, buffer_bytes: int = 0) -> None:
+        if buffer_bytes < 0:
+            raise ValueError("buffer_bytes must be non-negative")
+        self.buffer_bytes = buffer_bytes
+        self._keystream = b""
+        self._position = 0
+
+    @abstractmethod
+    def _generate(self, length: int) -> bytes:
+        """Produce the next ``length`` bytes of the underlying stream."""
 
     def read_bytes(self, length: int) -> bytes:
+        if length <= 0:
+            return b""
+        available = len(self._keystream) - self._position
+        if length <= available:
+            out = self._keystream[self._position:self._position + length]
+            self._position += length
+            return out
+        head = self._keystream[self._position:]
+        self._keystream = b""
+        self._position = 0
+        need = length - available
+        if need >= self.buffer_bytes:
+            # Large request: generate exactly what is missing.
+            return head + self._generate(need) if head \
+                else self._generate(need)
+        slab = self._generate(self.buffer_bytes)
+        self._keystream = slab
+        self._position = need
+        return head + slab[:need] if head else slab[:need]
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Keystream generated but not yet served (introspection)."""
+        return len(self._keystream) - self._position
+
+
+#: Default keystream slab for the buffered ChaCha source.  Sized so the
+#: vectorized block function runs over ~1k counters per refill (the
+#: regime where NumPy overhead is amortized away); without NumPy a big
+#: slab buys nothing — scalar cost is per block — so stay unbuffered.
+DEFAULT_CHACHA_BUFFER = 65536 if HAVE_VECTOR_CHACHA else 0
+
+#: Default squeeze slab for the buffered SHAKE sources: a few sponge
+#: rates per refill amortizes the per-call squeeze bookkeeping (the
+#: permutation count itself is unchanged — it only depends on how many
+#: bytes are ultimately consumed, modulo one speculative slab).
+DEFAULT_SHAKE_BUFFER_RATES = 4
+
+
+class ChaChaSource(BufferedRandomSource):
+    """Deterministic source backed by the ChaCha stream cipher.
+
+    ``buffer_bytes=None`` picks the default slab size (large when the
+    vectorized block function is available, unbuffered otherwise);
+    ``vectorized`` forces an evaluation strategy for A/B benchmarking.
+    All configurations emit the same byte stream for the same seed.
+    """
+
+    def __init__(self, seed: bytes | int = 0, rounds: int = 20,
+                 buffer_bytes: int | None = None,
+                 vectorized: bool | None = None) -> None:
+        super().__init__(DEFAULT_CHACHA_BUFFER
+                         if buffer_bytes is None else buffer_bytes)
+        key = _seed_to_key(seed)
+        self.stream = ChaChaStream(key, rounds=rounds,
+                                   vectorized=vectorized)
+
+    def _generate(self, length: int) -> bytes:
         return self.stream.read(length)
 
 
-class ShakeSource(RandomSource):
-    """Deterministic source backed by a SHAKE XOF (Keccak sponge)."""
+class ShakeSource(BufferedRandomSource):
+    """Deterministic source backed by a SHAKE XOF (Keccak sponge).
 
-    def __init__(self, seed: bytes | int = 0, variant: int = 256) -> None:
+    Squeezes the sponge in multi-block slabs through the shared refill
+    buffer (``buffer_bytes=None`` = ``DEFAULT_SHAKE_BUFFER_RATES``
+    sponge rates), which amortizes per-call overhead for the many small
+    reads the samplers issue.
+    """
+
+    def __init__(self, seed: bytes | int = 0, variant: int = 256,
+                 buffer_bytes: int | None = None) -> None:
         key = _seed_to_key(seed)
         if variant == 128:
             self.sponge = Shake128(key)
@@ -91,8 +214,11 @@ class ShakeSource(RandomSource):
             self.sponge = Shake256(key)
         else:
             raise ValueError("variant must be 128 or 256")
+        super().__init__(
+            DEFAULT_SHAKE_BUFFER_RATES * self.sponge.rate_bytes
+            if buffer_bytes is None else buffer_bytes)
 
-    def read_bytes(self, length: int) -> bytes:
+    def _generate(self, length: int) -> bytes:
         return self.sponge.squeeze(length)
 
 
@@ -230,6 +356,37 @@ def _seed_to_key(seed: bytes | int) -> bytes:
     if len(seed) > 32:
         raise ValueError("byte seeds must be at most 32 bytes")
     return seed.ljust(32, b"\x00")
+
+
+#: Named deterministic PRNG configurations — the axis of the paper's
+#: PRNG-overhead experiment, exposed uniformly to the CLI, the Falcon
+#: scheme and the benchmarks.  Every factory takes a seed.
+SOURCE_FACTORIES = {
+    "chacha20": lambda seed: ChaChaSource(seed, rounds=20),
+    "chacha12": lambda seed: ChaChaSource(seed, rounds=12),
+    "chacha8": lambda seed: ChaChaSource(seed, rounds=8),
+    "shake128": lambda seed: ShakeSource(seed, variant=128),
+    "shake256": lambda seed: ShakeSource(seed, variant=256),
+    "counter": lambda seed: CounterSource(
+        seed if isinstance(seed, int)
+        else int.from_bytes(seed, "little")),
+}
+
+
+def available_sources() -> list[str]:
+    """Names accepted by :func:`make_source` (sorted)."""
+    return sorted(SOURCE_FACTORIES)
+
+
+def make_source(name: str, seed: bytes | int = 0) -> RandomSource:
+    """Instantiate a named deterministic PRNG configuration."""
+    try:
+        factory = SOURCE_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown PRNG {name!r}; "
+            f"choose from {available_sources()}") from None
+    return factory(seed)
 
 
 def default_source(seed: bytes | int = 0) -> RandomSource:

@@ -136,3 +136,37 @@ def test_read_words_matches_sequential_reads():
         bulk = ChaChaSource(9)
         expected = [sequential.read_word(bits) for _ in range(10)]
         assert bulk.read_words(bits, 10) == expected
+
+
+@pytest.mark.parametrize("engine", ["bigint", "chunked", "numpy"])
+def test_buffered_source_is_sample_transparent(engine):
+    """Keystream buffering and PRNG vectorization never change the
+    sample stream: every engine fed a buffered source reproduces the
+    unbuffered scalar-ChaCha stream exactly."""
+    circuit = compile_sampler_circuit(GaussianParams.from_sigma(2, 16))
+    reference = BitslicedSampler(
+        circuit, source=ChaChaSource(13, buffer_bytes=0,
+                                     vectorized=False),
+        batch_width=100, engine=engine)
+    buffered = BitslicedSampler(
+        circuit, source=ChaChaSource(13, buffer_bytes=4096),
+        batch_width=100, engine=engine)
+    assert buffered.sample_many(777) == reference.sample_many(777)
+    assert buffered.source.bytes_read == reference.source.bytes_read
+
+
+def test_auto_batch_width_resolves_per_engine():
+    from repro.core.sampler import BATCH_WIDTH_CALIBRATION
+
+    circuit = compile_sampler_circuit(GaussianParams.from_sigma(2, 12))
+    for engine, expected in BATCH_WIDTH_CALIBRATION.items():
+        sampler = BitslicedSampler(circuit, batch_width="auto",
+                                   engine=engine)
+        if engine == "numpy" and not HAVE_NUMPY:
+            # numpy degrades to the chunked layout; auto follows it.
+            expected = BATCH_WIDTH_CALIBRATION["chunked"]
+        assert sampler.batch_width == expected
+        assert len(sampler.sample_many(2 * expected + 5)) == \
+            2 * expected + 5
+    with pytest.raises(ValueError):
+        BitslicedSampler(circuit, batch_width="wide")

@@ -1,0 +1,187 @@
+"""Byte-identity of the buffered randomness layer.
+
+The :class:`~repro.rng.source.BufferedRandomSource` refactor promises
+that serving reads from a prefetched keystream slab never changes the
+delivered byte sequence: for any interleaving of ``read_bytes`` /
+``read_word`` / ``read_word_block`` / ``read_words`` calls, a buffered
+source must reproduce the unbuffered stream exactly, for ChaCha
+(scalar and vectorized) and SHAKE alike.  These tests pin that
+contract, plus the NumPy array read path and the named-source
+registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import (
+    HAVE_VECTOR_CHACHA,
+    ChaChaSource,
+    CounterSource,
+    ChaChaStream,
+    ShakeSource,
+    available_sources,
+    make_source,
+)
+
+try:
+    import numpy
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI job
+    numpy = None
+
+
+#: An interleaved consumption schedule: (method, args) operations.
+_OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("read_bytes"),
+                  st.integers(min_value=0, max_value=200)),
+        st.tuples(st.just("read_word"),
+                  st.integers(min_value=1, max_value=80)),
+        st.tuples(st.just("read_word_block"),
+                  st.tuples(st.integers(min_value=1, max_value=64),
+                            st.integers(min_value=1, max_value=20))),
+        st.tuples(st.just("read_words"),
+                  st.tuples(st.integers(min_value=1, max_value=64),
+                            st.integers(min_value=1, max_value=20))),
+    ),
+    min_size=1, max_size=12)
+
+
+def _replay(source, operations):
+    out = []
+    for method, args in operations:
+        if method in ("read_bytes", "read_word"):
+            out.append(getattr(source, method)(args))
+        else:
+            out.append(getattr(source, method)(*args))
+    return out
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32),
+       operations=_OPERATIONS)
+def test_buffered_chacha_matches_unbuffered(seed, operations):
+    buffered = ChaChaSource(seed, buffer_bytes=512)
+    unbuffered = ChaChaSource(seed, buffer_bytes=0)
+    assert _replay(buffered, operations) == _replay(unbuffered,
+                                                    operations)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32),
+       operations=_OPERATIONS)
+def test_buffered_shake_matches_unbuffered(seed, operations):
+    for variant in (128, 256):
+        buffered = ShakeSource(seed, variant=variant, buffer_bytes=300)
+        unbuffered = ShakeSource(seed, variant=variant, buffer_bytes=0)
+        assert _replay(buffered, operations) == _replay(unbuffered,
+                                                        operations)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32),
+       operations=_OPERATIONS)
+def test_default_buffer_matches_unbuffered(seed, operations):
+    """The library default (large slab + vectorized ChaCha when NumPy
+    is present) emits the same stream as the scalar unbuffered path."""
+    default = ChaChaSource(seed)
+    reference = ChaChaSource(seed, buffer_bytes=0, vectorized=False)
+    assert _replay(default, operations) == _replay(reference, operations)
+
+
+def test_large_reads_bypass_the_buffer():
+    source = ChaChaSource(3, buffer_bytes=128)
+    reference = ChaChaSource(3, buffer_bytes=0)
+    # Larger than the slab: generated exactly, no residue kept.
+    assert source.read_bytes(1000) == reference.read_bytes(1000)
+    assert source.buffered_bytes == 0
+    # Small read refills one slab and leaves the rest buffered.
+    assert source.read_bytes(5) == reference.read_bytes(5)
+    assert source.buffered_bytes == 123
+
+
+def test_zero_length_read():
+    source = ChaChaSource(1)
+    assert source.read_bytes(0) == b""
+    assert source.read_bytes(-3) == b""
+
+
+def test_negative_buffer_rejected():
+    with pytest.raises(ValueError):
+        ChaChaSource(0, buffer_bytes=-1)
+
+
+def test_buffered_stream_spans_slab_boundaries():
+    """Reads that straddle refills stay contiguous with the keystream."""
+    whole = ChaChaStream(bytes(32)).read(4096)
+    source = ChaChaSource(0, buffer_bytes=96)
+    pieces = []
+    taken = 0
+    size = 1
+    while taken < 4096:
+        take = min(size, 4096 - taken)
+        pieces.append(source.read_bytes(take))
+        taken += take
+        size = (size * 7 + 3) % 200 + 1
+    assert b"".join(pieces) == whole
+
+
+# -- read_words_array -----------------------------------------------------
+
+@pytest.mark.skipif(numpy is None, reason="NumPy not installed")
+@pytest.mark.parametrize("bits", [1, 7, 8, 12, 24, 32, 53, 56, 63, 64])
+def test_read_words_array_matches_read_words(bits):
+    as_list = ChaChaSource(11).read_words(bits, 50)
+    as_array = ChaChaSource(11).read_words_array(bits, 50)
+    assert as_array.dtype == numpy.uint64
+    assert as_array.tolist() == as_list
+
+
+@pytest.mark.skipif(numpy is None, reason="NumPy not installed")
+def test_read_words_array_validation():
+    source = CounterSource(0)
+    with pytest.raises(ValueError):
+        source.read_words_array(0, 4)
+    with pytest.raises(ValueError):
+        source.read_words_array(65, 4)
+
+
+@pytest.mark.skipif(numpy is not None, reason="NumPy installed")
+def test_read_words_array_requires_numpy():
+    with pytest.raises(RuntimeError):
+        CounterSource(0).read_words_array(64, 4)
+
+
+# -- the named-source registry --------------------------------------------
+
+def test_registry_names():
+    assert set(available_sources()) == {
+        "chacha20", "chacha12", "chacha8",
+        "shake128", "shake256", "counter"}
+    with pytest.raises(ValueError):
+        make_source("aesni")
+
+
+def test_registry_streams_match_direct_construction():
+    assert make_source("chacha20", 5).read_bytes(32) == \
+        ChaChaSource(5).read_bytes(32)
+    assert make_source("chacha8", 5).read_bytes(32) == \
+        ChaChaSource(5, rounds=8).read_bytes(32)
+    assert make_source("shake128", 5).read_bytes(32) == \
+        ShakeSource(5, variant=128).read_bytes(32)
+    assert make_source("counter", 5).read_bytes(32) == \
+        CounterSource(5).read_bytes(32)
+
+
+def test_registry_counter_accepts_byte_seeds():
+    assert make_source("counter", b"\x05").read_bytes(16) == \
+        CounterSource(5).read_bytes(16)
+
+
+@pytest.mark.skipif(not HAVE_VECTOR_CHACHA, reason="NumPy not installed")
+def test_vectorized_flag_is_transparent():
+    fast = ChaChaSource(9, vectorized=True)
+    slow = ChaChaSource(9, vectorized=False)
+    assert fast.read_bytes(3000) == slow.read_bytes(3000)

@@ -1,10 +1,31 @@
-"""RFC 8439 known-answer tests and stream-behaviour tests for ChaCha."""
+"""RFC 8439 known-answer tests and stream-behaviour tests for ChaCha.
+
+The known-answer vectors are asserted against *both* evaluation
+strategies — the scalar RFC rendition and the NumPy-vectorized
+multi-block path — which must be byte-identical everywhere, including
+across the 32-bit counter rollover.
+"""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.rng import ChaChaSource, ChaChaStream, chacha_block, quarter_round
+from repro.rng import (
+    HAVE_VECTOR_CHACHA,
+    ChaChaSource,
+    ChaChaStream,
+    chacha_block,
+    chacha_blocks,
+    quarter_round,
+)
+
+#: Evaluation strategies exercised by the known-answer tests.  The
+#: vectorized one is skipped (not silently passed) without NumPy.
+STRATEGIES = [
+    False,
+    pytest.param(True, marks=pytest.mark.skipif(
+        not HAVE_VECTOR_CHACHA, reason="NumPy not installed")),
+]
 
 
 def test_quarter_round_rfc8439_vector():
@@ -96,3 +117,91 @@ def test_source_reads_are_deterministic(seed, sizes):
     source_b = ChaChaSource(seed)
     for size in sizes:
         assert source_a.read_bytes(size) == source_b.read_bytes(size)
+
+
+# -- vectorized multi-block path ------------------------------------------
+
+@pytest.mark.parametrize("vectorized", STRATEGIES)
+def test_blocks_rfc8439_block_vector(vectorized):
+    # RFC 8439 section 2.3.2, through the multi-block interface.
+    key = bytes(range(32))
+    nonce = bytes.fromhex("000000090000004a00000000")
+    expected = bytes.fromhex(
+        "10f1e7e4d13b5915500fdd1fa32071c4"
+        "c7d1f4c733c068030422aa9ac3d46c4e"
+        "d2826446079faa0914c2d705d98b02a2"
+        "b5129cd1de164eb9cbd083e8a2503c4e")
+    got = chacha_blocks(key, 1, nonce, 1, vectorized=vectorized)
+    assert got == expected
+    # The same block embedded in a slab spanning counters 0..2.
+    slab = chacha_blocks(key, 0, nonce, 3, vectorized=vectorized)
+    assert slab[64:128] == expected
+
+
+@pytest.mark.parametrize("vectorized", STRATEGIES)
+def test_blocks_rfc8439_keystream_vector(vectorized):
+    # RFC 8439 section 2.4.2: "Ladies and Gentlemen..." ciphertext,
+    # keystream blocks at counters 1 and 2 drawn as one slab.
+    key = bytes(range(32))
+    nonce = bytes.fromhex("000000000000004a00000000")
+    plaintext = (b"Ladies and Gentlemen of the class of '99: If I could "
+                 b"offer you only one tip for the future, sunscreen would "
+                 b"be it.")
+    keystream = chacha_blocks(key, 1, nonce, 2, vectorized=vectorized)
+    ciphertext = bytes(p ^ k for p, k in zip(plaintext, keystream))
+    assert ciphertext[:32] == bytes.fromhex(
+        "6e2e359a2568f98041ba0728dd0d6981"
+        "e97e7aec1d4360c20a27afccfd9fae0b")
+    assert ciphertext[-2:] == bytes.fromhex("874d")
+
+
+@pytest.mark.parametrize("vectorized", STRATEGIES)
+def test_blocks_counter_rollover(vectorized):
+    """A slab spanning the 32-bit counter wrap rolls into nonce word 0."""
+    key = bytes(range(32))
+    nonce = bytes.fromhex("0100000002000000030000aa")
+    start = (1 << 32) - 2
+    slab = chacha_blocks(key, start, nonce, 4, vectorized=vectorized)
+    # Per-block scalar reference with the explicit nonce adjustment.
+    bumped = bytearray(nonce)
+    bumped[0:4] = (2).to_bytes(4, "little")  # nonce word 0 + overflow 1
+    expected = (
+        chacha_block(key, (1 << 32) - 2, nonce)
+        + chacha_block(key, (1 << 32) - 1, nonce)
+        + chacha_block(key, 0, bytes(bumped))
+        + chacha_block(key, 1, bytes(bumped)))
+    assert slab == expected
+
+
+@pytest.mark.skipif(not HAVE_VECTOR_CHACHA, reason="NumPy not installed")
+@settings(max_examples=15, deadline=None)
+@given(start=st.one_of(
+           st.integers(min_value=0, max_value=2**20),
+           st.integers(min_value=2**32 - 4, max_value=2**32 + 4)),
+       count=st.integers(min_value=1, max_value=9),
+       rounds=st.sampled_from([8, 12, 20]),
+       seed=st.integers(min_value=0, max_value=2**32))
+def test_vectorized_matches_scalar(start, count, rounds, seed):
+    key = seed.to_bytes(32, "little")
+    nonce = (seed * 3).to_bytes(12, "little")
+    assert chacha_blocks(key, start, nonce, count, rounds,
+                         vectorized=True) == \
+        chacha_blocks(key, start, nonce, count, rounds,
+                      vectorized=False)
+
+
+@pytest.mark.skipif(not HAVE_VECTOR_CHACHA, reason="NumPy not installed")
+def test_stream_strategies_agree_across_rollover():
+    scalar = ChaChaStream(bytes(32), vectorized=False)
+    vector = ChaChaStream(bytes(32), vectorized=True)
+    scalar._block_index = vector._block_index = (1 << 32) - 3
+    assert scalar.read(500) == vector.read(500)
+    assert scalar.blocks_generated == vector.blocks_generated
+
+
+def test_blocks_input_validation():
+    with pytest.raises(ValueError):
+        chacha_blocks(bytes(16), 0, bytes(12), 1)
+    with pytest.raises(ValueError):
+        chacha_blocks(bytes(32), 0, bytes(12), -1)
+    assert chacha_blocks(bytes(32), 0, bytes(12), 0) == b""

@@ -70,6 +70,33 @@ def test_falcon_command(capsys):
     assert "verified   : True" in out
 
 
+def test_sample_prng_and_auto_width(capsys):
+    assert main(["sample", "--count", "12", "--seed", "2",
+                 "--precision", "16", "--prng", "chacha8",
+                 "--batch-width", "auto"]) == 0
+    chacha8 = capsys.readouterr().out.split()
+    assert len(chacha8) == 12
+    assert main(["sample", "--count", "12", "--seed", "2",
+                 "--precision", "16", "--prng", "shake256",
+                 "--batch-width", "auto"]) == 0
+    shake = capsys.readouterr().out.split()
+    assert len(shake) == 12
+    assert chacha8 != shake  # different PRNGs, different streams
+
+
+def test_falcon_command_prng_choice(capsys):
+    code = main(["falcon", "--n", "32", "--seed", "4",
+                 "--message", "cli test", "--backend", "cdt-binary",
+                 "--prng", "shake128"])
+    assert code == 0
+    assert "verified   : True" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_prng():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sample", "--prng", "aesni"])
+
+
 def test_parser_requires_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

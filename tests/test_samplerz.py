@@ -112,3 +112,27 @@ def test_base_sigma_documented_value():
     assert BASE_SIGMA == 2.0
     gaussian = GaussianParams.from_sigma(BASE_SIGMA, 16)
     assert gaussian.support_bound == 26
+
+
+@pytest.mark.parametrize("block", [1, 7, 64])
+def test_uniform_block_size_is_output_transparent(block):
+    """With a dedicated uniform source, pre-drawing acceptance uniforms
+    in blocks consumes the same stream in the same order, so every
+    block size yields the identical sample sequence."""
+    def build(uniform_block):
+        base = make_base_sampler("cdt-binary", source=ChaChaSource(42),
+                                 precision=64)
+        return RejectionSamplerZ(base, uniform_source=ChaChaSource(77),
+                                 uniform_block=uniform_block)
+
+    reference, candidate = build(1), build(block)
+    ref = [reference.sample(0.3, 1.4) for _ in range(300)]
+    got = [candidate.sample(0.3, 1.4) for _ in range(300)]
+    assert got == ref
+    assert candidate.base_draws == reference.base_draws
+
+
+def test_uniform_block_validation():
+    base = make_base_sampler("cdt-binary", source=ChaChaSource(1))
+    with pytest.raises(ValueError):
+        RejectionSamplerZ(base, uniform_block=0)
