@@ -125,3 +125,21 @@ class BitslicedIntegerSampler(IntegerSampler):
             need = count - len(self._buffer)
             batches = min(cap, max(1, -(-need // width)))
             self._buffer.extend(self._refill(batches))
+
+    def take(self, count: int) -> list[int]:
+        """``count`` samples in one call, exactly as ``count``
+        sequential :meth:`sample` calls would return them.
+
+        ``sample`` pops from the end of the pool, so the slice is
+        reversed; refills happen at the same pool-exhaustion points,
+        keeping the PRNG stream identical to per-call draws.
+        """
+        out: list[int] = []
+        while count > 0:
+            if not self._buffer:
+                self._buffer = self._refill(self.inner.prefetch_batches)
+            grab = min(count, len(self._buffer))
+            out.extend(self._buffer[:-grab - 1:-1])
+            del self._buffer[-grab:]
+            count -= grab
+        return out

@@ -12,11 +12,14 @@ reproduction::
 
 Subcommands
 -----------
-``compile``  run the Fig. 4 pipeline, print statistics, optionally emit
-             generated C or Python source.
-``sample``   draw samples from a compiled constant-time sampler.
-``audit``    dudect leakage audit of any backend.
-``falcon``   keygen/sign/verify round trip with a chosen backend.
+``compile``      run the Fig. 4 pipeline, print statistics, optionally
+                 emit generated C or Python source.
+``sample``       draw samples from a compiled constant-time sampler.
+``audit``        dudect leakage audit of any backend.
+``falcon``       keygen/sign/verify round trip with a chosen backend.
+``bench-serve``  batch-signing throughput: ``sign_many`` over the
+                 vectorized numeric spine vs the scalar paths, plus
+                 batch verification.
 """
 
 from __future__ import annotations
@@ -127,11 +130,72 @@ def _cmd_falcon(args: argparse.Namespace) -> int:
                       if args.backend == "bitsliced" else {})
     sk.use_base_sampler(args.backend, **backend_kwargs)
     message = args.message.encode()
-    signature = sk.sign(message)
+    if args.spine == "legacy":
+        signature = sk.sign(message)
+    else:
+        signature = sk.sign_many([message], spine=args.spine)[0]
     ok = sk.public_key.verify(message, signature)
     print(f"public key : {len(encode_public_key(sk.public_key))} bytes")
     print(f"signature  : {len(encode_signature(signature, sk.n))} bytes")
     print(f"verified   : {ok}")
+    return 0 if ok else 1
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .falcon import HAVE_NUMPY, SecretKey
+
+    print(f"generating Falcon-{args.n} keys (seed {args.seed}) ...")
+    started = time.perf_counter()
+    sk = SecretKey.generate(n=args.n, seed=args.seed, prng=args.prng)
+    if args.backend == "bitsliced":
+        sk.use_base_sampler(args.backend, engine=args.engine,
+                            prefetch_batches=args.prefetch_batches)
+    else:
+        sk.use_base_sampler(args.backend)
+    print(f"keygen     : {time.perf_counter() - started:.2f}s")
+
+    messages = [f"serve-{i}".encode() for i in range(args.signs)]
+    batch = max(1, args.batch)
+
+    def measure(label: str, sign_batch) -> tuple[str, float, list]:
+        sign_batch(messages[:min(2, len(messages))])  # warm caches
+        signatures = []
+        begun = time.perf_counter()
+        for start in range(0, len(messages), batch):
+            signatures.extend(sign_batch(messages[start:start + batch]))
+        elapsed = time.perf_counter() - begun
+        return label, len(messages) / elapsed, signatures
+
+    rows = []
+    spines = ["scalar"] + (["numpy"] if HAVE_NUMPY else [])
+    if args.spine != "auto":
+        spines = [args.spine]
+    signatures = None
+    for spine in spines:
+        label, rate, signatures = measure(
+            f"sign_many[{spine}]",
+            lambda chunk, s=spine: sk.sign_many(chunk, spine=s))
+        rows.append([label, f"{rate:,.1f}"])
+    if args.legacy_row:
+        label, rate, _ = measure(
+            "sign (one-by-one)",
+            lambda chunk: [sk.sign(m) for m in chunk])
+        rows.append([label, f"{rate:,.1f}"])
+
+    pk = sk.public_key
+    begun = time.perf_counter()
+    verdicts = pk.verify_many(messages, signatures)
+    verify_rate = len(messages) / (time.perf_counter() - begun)
+    rows.append(["verify_many", f"{verify_rate:,.1f}"])
+    print(format_table(
+        ["path", "ops/s"], rows,
+        title=f"Falcon-{args.n} serving throughput "
+              f"({args.signs} messages, batch {batch}, "
+              f"backend {args.backend})"))
+    ok = all(verdicts)
+    print(f"all verified: {ok}")
     return 0 if ok else 1
 
 
@@ -186,9 +250,41 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["bitsliced", "cdt-byte-scan",
                                    "cdt-binary", "cdt-linear"])
     falcon_p.add_argument("--message", default="repro")
+    falcon_p.add_argument(
+        "--spine", default="legacy",
+        choices=["legacy", "auto", "numpy", "scalar"],
+        help="numeric spine for signing: 'legacy' = the one-message "
+             "scalar path, others go through sign_many (all spines "
+             "produce identical signatures for a seed)")
     _add_prng_option(falcon_p)
     _add_engine_option(falcon_p)
     falcon_p.set_defaults(func=_cmd_falcon)
+
+    serve_p = sub.add_parser(
+        "bench-serve",
+        help="batch signing/verification throughput (the serving "
+             "workload: sign_many + verify_many)")
+    serve_p.add_argument("--n", type=int, default=256)
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument("--signs", type=int, default=64,
+                         help="total messages to sign")
+    serve_p.add_argument("--batch", type=int, default=32,
+                         help="messages per sign_many call")
+    serve_p.add_argument("--backend", default="bitsliced",
+                         choices=["bitsliced", "cdt-byte-scan",
+                                  "cdt-binary", "cdt-linear"])
+    serve_p.add_argument("--prefetch-batches", type=int, default=32,
+                         help="base-sampler pool refill size "
+                              "(bitsliced backend)")
+    serve_p.add_argument(
+        "--spine", default="auto",
+        choices=["auto", "numpy", "scalar"],
+        help="'auto' benchmarks every available spine")
+    serve_p.add_argument("--legacy-row", action="store_true",
+                         help="also time the one-by-one sign() loop")
+    _add_prng_option(serve_p)
+    _add_engine_option(serve_p)
+    serve_p.set_defaults(func=_cmd_bench_serve)
     return parser
 
 

@@ -241,6 +241,22 @@ class BitslicedSampler:
                 self._buffer = self.sample_batch()
         return self._buffer.pop()
 
+    def prefill(self, count: int) -> None:
+        """Top the :meth:`sample` buffer up to ``count`` samples.
+
+        Generation happens now, in ``prefetch_batches``-sized fused
+        passes — exactly the chunks lazy refills would use, prepended
+        in generation order — so the :meth:`sample` stream is
+        *unchanged*; a serving loop just pays the kernel cost up front
+        instead of mid-request.
+        """
+        while len(self._buffer) < count:
+            if self.prefetch_batches > 1:
+                block = self._sample_block(self.prefetch_batches)
+            else:
+                block = self.sample_batch()
+            self._buffer = block + self._buffer
+
     def sample_many(self, count: int) -> list[int]:
         """Exactly ``count`` signed samples, drawn in super-batches.
 

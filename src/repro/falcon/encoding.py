@@ -80,40 +80,58 @@ class _BitReader:
 
 
 def compress(coefficients: list[int], payload_bits: int) -> bytes:
-    """Compress ``s2`` into exactly ``ceil(payload_bits / 8)`` bytes."""
-    writer = _BitWriter()
+    """Compress ``s2`` into exactly ``ceil(payload_bits / 8)`` bytes.
+
+    The bit stream is accumulated in one Python bigint (a sentinel top
+    bit preserves leading zeros) instead of a per-bit list — the signer
+    compresses every signature, so this path is hot.  The emitted bytes
+    are identical to the straightforward :class:`_BitWriter` form.
+    """
+    acc = 1  # sentinel: keeps leading zero bits in the integer
+    bits = 0
     for value in coefficients:
         sign = 1 if value < 0 else 0
         magnitude = -value if value < 0 else value
-        writer.write(sign)
-        writer.write_int(magnitude & 0x7F, 7)
         high = magnitude >> 7
-        for _ in range(high):
-            writer.write(0)
-        writer.write(1)
+        # sign bit, 7 low bits, `high` zeros, terminating 1:
+        chunk = (((sign << 7) | (magnitude & 0x7F)) << (high + 1)) | 1
+        acc = (acc << (high + 9)) | chunk
+        bits += high + 9
     total_bits = ((payload_bits + 7) // 8) * 8
-    return writer.to_bytes(total_bits)
+    if bits > total_bits:
+        raise CompressError(
+            f"needs {bits} bits > budget {total_bits}")
+    acc <<= total_bits - bits  # zero padding
+    return acc.to_bytes(total_bits // 8 + 1, "big")[1:]
 
 
 def decompress(data: bytes, n: int) -> list[int]:
-    """Inverse of :func:`compress`; raises on any non-canonical form."""
-    reader = _BitReader(data)
+    """Inverse of :func:`compress`; raises on any non-canonical form.
+
+    Operates on the bit stream as a text of ``0``/``1`` characters so
+    the unary runs are located with C-speed ``str.find`` — same
+    accept/reject behavior as the bit-by-bit reference reader.
+    """
+    total = len(data) * 8
+    stream = bin((1 << total) | int.from_bytes(data, "big"))[3:]
     out = []
+    position = 0
     for _ in range(n):
-        sign = reader.read()
-        low = reader.read_int(7)
-        high = 0
-        while True:
-            bit = reader.read()
-            if bit:
-                break
-            high += 1
-            if high > (1 << 10):
-                raise DecompressError("unary run too long")
+        if position + 8 > total:
+            raise DecompressError("compressed signature truncated")
+        sign = stream[position] == "1"
+        low = int(stream[position + 1:position + 8], 2)
+        terminator = stream.find("1", position + 8)
+        if terminator < 0:
+            raise DecompressError("compressed signature truncated")
+        high = terminator - (position + 8)
+        if high > (1 << 10):
+            raise DecompressError("unary run too long")
         magnitude = (high << 7) | low
         if sign and magnitude == 0:
             raise DecompressError("negative zero is non-canonical")
         out.append(-magnitude if sign else magnitude)
-    if not reader.remaining_all_zero():
+        position = terminator + 1
+    if "1" in stream[position:]:
         raise DecompressError("non-zero padding")
     return out

@@ -15,22 +15,47 @@ Tree layout over ``R_n = R[x]/(x^n + 1)``:
   diagonal blocks;
 * leaf (n == 1): the two per-slot standard deviations
   ``sigma / sqrt(d_ii)`` after normalization.
+
+Two representations coexist:
+
+* the **recursive node objects** above (:class:`LdlNode` /
+  :class:`LdlLeaf`) — the reference structure, and
+* a **flattened** :class:`FlatLdlTree`, which stores each level's L10
+  factors as one contiguous buffer (node ``j``'s children sit at
+  ``2j`` / ``2j + 1`` on the next level).  :func:`ff_sampling_batch`
+  walks the flat tree for a whole *batch* of targets at once, with the
+  per-node vector arithmetic carried out by a pluggable lane kernel —
+  NumPy ``(batch, m)`` arrays or plain per-lane Python lists.  Both
+  kernels execute bit-identical IEEE operations and call the leaf
+  sampler in the same order, so scalar and vectorized signing produce
+  identical signatures for a fixed seed (the differential tests pin
+  this).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 from .fft import (
+    HAVE_NUMPY,
     add_fft,
     adj_fft,
+    cdiv,
+    cmul,
     div_fft,
     merge_fft,
+    merge_fft_array,
     mul_fft,
     split_fft,
+    split_fft_array,
     sub_fft,
 )
+
+if HAVE_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - exercised in the no-numpy CI job
+    _np = None
 
 #: Leaf sampler signature: (center, sigma) -> integer.
 SamplerZ = Callable[[float, float], int]
@@ -133,3 +158,243 @@ def ff_sampling(t0: list[complex], t1: list[complex],
     z0_even, z0_odd = ff_sampling(t0_even, t0_odd, tree.child0, sampler_z)
     z0 = merge_fft(z0_even, z0_odd)
     return z0, z1
+
+
+# -- flattened tree + batched walk -----------------------------------------
+
+@dataclass
+class FlatLdlTree:
+    """ffLDL* tree in flattened, level-major contiguous storage.
+
+    ``levels[l]`` holds the L10 factors of all ``2^l`` inner nodes at
+    ring size ``m = n / 2^l`` — a NumPy ``(2^l, m)`` complex array when
+    NumPy is available, else a list of per-node lists.  Node ``j``'s
+    children live at rows ``2j`` (child0) and ``2j + 1`` (child1) of
+    the next level.  Leaves store the per-slot L10 scalar and the two
+    *normalized* sigmas handed to SamplerZ.
+    """
+
+    n: int
+    levels: list
+    leaf_l10: list[complex]
+    leaf_sigma0: list[float]
+    leaf_sigma1: list[float]
+    _scalar_levels: list | None = field(default=None, repr=False)
+
+    @property
+    def depth(self) -> int:
+        """Leaf level index (``log2 n``); equals ``len(levels)``."""
+        return len(self.levels)
+
+    def scalar_levels(self) -> list:
+        """Levels as plain per-node Python lists (cached)."""
+        if self._scalar_levels is None:
+            if self.levels and _np is not None \
+                    and isinstance(self.levels[0], _np.ndarray):
+                self._scalar_levels = [
+                    [list(row) for row in level.tolist()]
+                    for level in self.levels]
+            else:
+                self._scalar_levels = self.levels
+        return self._scalar_levels
+
+    def leaf_sigmas(self) -> list[float]:
+        """All leaf sigmas in leaf order (:func:`tree_leaf_sigmas`)."""
+        out = []
+        for s0, s1 in zip(self.leaf_sigma0, self.leaf_sigma1):
+            out.extend((s0, s1))
+        return out
+
+
+def flatten_ldl_tree(tree: LdlNode | LdlLeaf) -> FlatLdlTree:
+    """Flatten a (normalized) recursive tree into level-major buffers.
+
+    Pure value copying — the flat tree is exactly as precise as the
+    recursive one it came from.  Works without NumPy (levels stay
+    Python lists); with NumPy each level is packed into one array.
+    """
+    levels: list = []
+    frontier: list = [tree]
+    while not isinstance(frontier[0], LdlLeaf):
+        levels.append([node.l10 for node in frontier])
+        frontier = [child for node in frontier
+                    for child in (node.child0, node.child1)]
+    leaf_l10 = [leaf.l10 for leaf in frontier]
+    leaf_sigma0 = [leaf.sigma0 for leaf in frontier]
+    leaf_sigma1 = [leaf.sigma1 for leaf in frontier]
+    if _np is not None:
+        levels = [_np.array(level, dtype=_np.complex128)
+                  for level in levels]
+    return FlatLdlTree(n=len(leaf_l10), levels=levels,
+                       leaf_l10=leaf_l10, leaf_sigma0=leaf_sigma0,
+                       leaf_sigma1=leaf_sigma1)
+
+
+def build_flat_ldl_tree(g00: Sequence[complex], g01: Sequence[complex],
+                        g11: Sequence[complex],
+                        sigma: float) -> FlatLdlTree:
+    """Vectorized ffLDL* + normalization, straight to flat storage.
+
+    Level-synchronous: all ``2^l`` nodes of a level factor in one array
+    pass.  Every elementwise operation matches the scalar
+    :func:`build_ldl_tree` / :func:`normalize_tree` pipeline bit for
+    bit (hand-rolled complex kernels, Python ``** 0.5`` for the leaf
+    sigmas), so the resulting tree is identical to flattening the
+    scalar one.
+    """
+    if _np is None:
+        raise RuntimeError(
+            "NumPy is required for the vectorized tree build; "
+            "use flatten_ldl_tree(build_ldl_tree(...)) instead")
+    n = len(g00)
+    G00 = _np.asarray(g00, dtype=_np.complex128).reshape(1, n)
+    G01 = _np.asarray(g01, dtype=_np.complex128).reshape(1, n)
+    G11 = _np.asarray(g11, dtype=_np.complex128).reshape(1, n)
+    levels = []
+    m = n
+    while True:
+        L10 = cdiv(_np.conj(G01), G00)
+        D11 = G11 - cmul(cmul(L10, _np.conj(L10)), G00)
+        if m == 1:
+            leaf_l10 = L10[:, 0].tolist()
+            leaf_sigma0 = [sigma / (d ** 0.5)
+                           for d in G00[:, 0].real.tolist()]
+            leaf_sigma1 = [sigma / (d ** 0.5)
+                           for d in D11[:, 0].real.tolist()]
+            return FlatLdlTree(n=n, levels=levels, leaf_l10=leaf_l10,
+                               leaf_sigma0=leaf_sigma0,
+                               leaf_sigma1=leaf_sigma1)
+        levels.append(L10)
+        d00_even, d00_odd = split_fft_array(G00)
+        d11_even, d11_odd = split_fft_array(D11)
+        nodes = G00.shape[0]
+        G00 = _np.empty((2 * nodes, m // 2), dtype=_np.complex128)
+        G00[0::2] = d00_even
+        G00[1::2] = d11_even
+        G01 = _np.empty((2 * nodes, m // 2), dtype=_np.complex128)
+        G01[0::2] = d00_odd
+        G01[1::2] = d11_odd
+        G11 = G00
+        m //= 2
+
+
+class _NumpyLanes:
+    """Lane kernel: targets are ``(batch, m)`` complex128 arrays."""
+
+    def __init__(self, tree: FlatLdlTree) -> None:
+        self.levels = tree.levels
+
+    def l10(self, level: int, node: int):
+        return self.levels[level][node]
+
+    def split(self, t):
+        return split_fft_array(t)
+
+    def merge(self, even, odd):
+        return merge_fft_array(even, odd)
+
+    def adjust(self, t0, t1, z1, l10):
+        return t0 + cmul(t1 - z1, l10)
+
+    def column(self, t) -> list[complex]:
+        return t[:, 0].tolist()
+
+    def from_column(self, values: list[complex]):
+        return _np.array(values, dtype=_np.complex128)[:, None]
+
+
+class _ScalarLanes:
+    """Lane kernel: targets are lists of per-lane coefficient lists."""
+
+    def __init__(self, tree: FlatLdlTree) -> None:
+        self.levels = tree.scalar_levels()
+
+    def l10(self, level: int, node: int):
+        return self.levels[level][node]
+
+    def split(self, t):
+        pairs = [split_fft(lane) for lane in t]
+        return [p[0] for p in pairs], [p[1] for p in pairs]
+
+    def merge(self, even, odd):
+        return [merge_fft(e, o) for e, o in zip(even, odd)]
+
+    def adjust(self, t0, t1, z1, l10):
+        return [add_fft(a, mul_fft(sub_fft(b, z), l10))
+                for a, b, z in zip(t0, t1, z1)]
+
+    def column(self, t) -> list[complex]:
+        return [lane[0] for lane in t]
+
+    def from_column(self, values: list[complex]):
+        return [[v] for v in values]
+
+
+def _walk_batch(ops, tree: FlatLdlTree, level: int, node: int,
+                t0, t1, sample_one, sample_lanes):
+    if level == tree.depth:
+        t0_col = ops.column(t0)
+        t1_col = ops.column(t1)
+        l10 = tree.leaf_l10[node]
+        sigma0 = tree.leaf_sigma0[node]
+        sigma1 = tree.leaf_sigma1[node]
+        if sample_lanes is not None:
+            z1s = [complex(z) for z in
+                   sample_lanes([b.real for b in t1_col], sigma1)]
+            adjusted = [a + (b - z) * l10
+                        for a, b, z in zip(t0_col, t1_col, z1s)]
+            z0s = [complex(z) for z in
+                   sample_lanes([a.real for a in adjusted], sigma0)]
+        else:
+            z0s = []
+            z1s = []
+            for a, b in zip(t0_col, t1_col):
+                z1 = complex(sample_one(b.real, sigma1))
+                adjusted = a + (b - z1) * l10
+                z0 = complex(sample_one(adjusted.real, sigma0))
+                z0s.append(z0)
+                z1s.append(z1)
+        return ops.from_column(z0s), ops.from_column(z1s)
+
+    t1_even, t1_odd = ops.split(t1)
+    z1_even, z1_odd = _walk_batch(ops, tree, level + 1, 2 * node + 1,
+                                  t1_even, t1_odd, sample_one,
+                                  sample_lanes)
+    z1 = ops.merge(z1_even, z1_odd)
+
+    t0_adjusted = ops.adjust(t0, t1, z1, ops.l10(level, node))
+    t0_even, t0_odd = ops.split(t0_adjusted)
+    z0_even, z0_odd = _walk_batch(ops, tree, level + 1, 2 * node,
+                                  t0_even, t0_odd, sample_one,
+                                  sample_lanes)
+    z0 = ops.merge(z0_even, z0_odd)
+    return z0, z1
+
+
+def ff_sampling_batch(t0, t1, tree: FlatLdlTree, sampler_z):
+    """Batched ffSampling over a flat tree.
+
+    ``t0``/``t1`` are either NumPy ``(batch, n)`` complex arrays (the
+    vectorized spine) or lists of per-lane coefficient lists (the
+    scalar spine); the result uses the same representation.  The walk
+    order is the scalar :func:`ff_sampling` recursion, and at each leaf
+    the lanes are sampled in batch order — both spines therefore issue
+    identical sampler calls, and a batch of one reproduces the scalar
+    recursion's stream exactly.
+
+    ``sampler_z`` is either a plain ``(center, sigma) -> int`` callable
+    (lanes are then sampled one by one, the legacy order) or an object
+    exposing ``sample``/``sample_lanes`` (e.g.
+    :class:`~repro.falcon.samplerz.RejectionSamplerZ`), in which case
+    each leaf bulk-draws one candidate round per pending lane — the
+    fast path the batch signer uses.
+    """
+    sample_lanes = getattr(sampler_z, "sample_lanes", None)
+    sample_one = (sampler_z.sample if sample_lanes is not None
+                  else sampler_z)
+    if _np is not None and isinstance(t0, _np.ndarray):
+        ops = _NumpyLanes(tree)
+    else:
+        ops = _ScalarLanes(tree)
+    return _walk_batch(ops, tree, 0, 0, t0, t1, sample_one,
+                       sample_lanes)

@@ -20,6 +20,24 @@ So slots ``2k`` and ``2k+1`` always hold a conjugate... more precisely a
 Everything here is pure Python ``complex``; Falcon-1024 needs ~53-bit
 precision, which doubles provide (the reference implementation makes the
 same choice).
+
+Array kernels
+-------------
+When NumPy is installed, every transform also exists in an array form
+(:func:`fft_array`, :func:`ifft_array`, :func:`split_fft_array`,
+:func:`merge_fft_array`, and the pointwise ``*_array`` helpers) working
+on ``complex128`` arrays of shape ``(..., n)`` — leading axes are
+independent lanes, which is how the batch signing path runs one kernel
+pass over a whole batch of messages.
+
+The array kernels are **bit-identical** to the scalar functions, not
+merely close: complex multiplication is hand-rolled from real ops using
+CPython's ``_Py_c_prod`` formula and division uses CPython's Smith-style
+``_Py_c_quot`` (NumPy's own complex ``*``/``/`` round differently), and
+the twiddle factors are the exact same ``cmath.sqrt`` values the scalar
+recursion uses.  The differential tests pin this slot for slot, which
+is what lets the vectorized signing spine reproduce scalar signatures
+byte for byte.
 """
 
 from __future__ import annotations
@@ -27,6 +45,13 @@ from __future__ import annotations
 import cmath
 from functools import lru_cache
 from typing import Sequence
+
+try:  # Optional: powers the vectorized array kernels below.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI job
+    _np = None
+
+HAVE_NUMPY = _np is not None
 
 
 @lru_cache(maxsize=None)
@@ -158,3 +183,263 @@ def fft_of_int_poly(coefficients: Sequence[int]) -> list[complex]:
 def round_ifft(values: Sequence[complex]) -> list[int]:
     """Inverse FFT followed by rounding to nearest integers."""
     return [round(c) for c in ifft(values)]
+
+
+# -- NumPy array kernels ---------------------------------------------------
+#
+# Shape convention: every function operates on the last axis (length n);
+# leading axes are independent lanes (e.g. a batch of messages).
+
+def _require_numpy() -> None:
+    if _np is None:
+        raise RuntimeError(
+            "NumPy is required for the array FFT kernels; "
+            "use the scalar functions instead")
+
+
+@lru_cache(maxsize=None)
+def _bitrev_perm(n: int):
+    """Leaf order of the even/odd recursion: index ``g`` holds
+    coefficient ``bitrev(g)`` (an involution, so it inverts itself)."""
+    _require_numpy()
+    bits = n.bit_length() - 1
+    perm = _np.zeros(n, dtype=_np.intp)
+    for g in range(n):
+        value, rev = g, 0
+        for _ in range(bits):
+            rev = (rev << 1) | (value & 1)
+            value >>= 1
+        perm[g] = rev
+    perm.setflags(write=False)
+    return perm
+
+
+@lru_cache(maxsize=None)
+def _merge_roots_array(n: int):
+    """:func:`_merge_roots` as a ``complex128`` array (same values)."""
+    _require_numpy()
+    roots = _np.array(_merge_roots(n), dtype=_np.complex128)
+    roots.setflags(write=False)
+    return roots
+
+
+@lru_cache(maxsize=None)
+def _split_div_tables(n: int):
+    """Precomputed Smith-division tables for the split denominators.
+
+    The split's divisor ``2 * roots[k]`` is a constant per slot, so the
+    branch choice, ratio and denominator of CPython's ``_Py_c_quot``
+    are computed once here (in Python floats, the exact values the
+    scalar code derives per call) and the per-call work reduces to a
+    few fused array ops in :func:`_div_by_split_tables`.
+    """
+    _require_numpy()
+    use_real = _np.empty(n // 2, dtype=bool)
+    ratio = _np.empty(n // 2, dtype=_np.float64)
+    denom = _np.empty(n // 2, dtype=_np.float64)
+    for k, root in enumerate(_merge_roots(n)):
+        b = 2 * root
+        if abs(b.real) >= abs(b.imag):
+            use_real[k] = True
+            ratio[k] = b.imag / b.real
+            denom[k] = b.real + b.imag * ratio[k]
+        else:
+            use_real[k] = False
+            ratio[k] = b.real / b.imag
+            denom[k] = b.real * ratio[k] + b.imag
+    for table in (use_real, ratio, denom):
+        table.setflags(write=False)
+    return use_real, ratio, denom
+
+
+def _div_by_split_tables(a, n: int):
+    """``a / (2 * roots)`` with the precomputed tables for size ``n``.
+
+    Performs exactly the selected-branch arithmetic of :func:`cdiv`
+    (hence of CPython's ``_Py_c_quot``) per slot; the unselected
+    branch's values are finite garbage discarded by ``where``.
+    """
+    use_real, ratio, denom = _split_div_tables(n)
+    ar, ai = a.real, a.imag
+    ar_ratio = ar * ratio
+    ai_ratio = ai * ratio
+    out = _np.empty(a.shape, dtype=_np.complex128)
+    out.real = _np.where(use_real, (ar + ai_ratio) / denom,
+                         (ar_ratio + ai) / denom)
+    out.imag = _np.where(use_real, (ai - ar_ratio) / denom,
+                         (ai_ratio - ar) / denom)
+    return out
+
+
+def cmul(a, b):
+    """Elementwise complex product, bit-identical to CPython's.
+
+    NumPy's complex ``*`` may round differently from CPython's
+    ``_Py_c_prod`` (SIMD/FMA paths); this hand-rolled version performs
+    the exact scalar sequence ``(ar*br - ai*bi, ar*bi + ai*br)`` with
+    separate IEEE ops, so vectorized and scalar pipelines agree slot
+    for slot.
+    """
+    out = _np.empty(_np.broadcast(a, b).shape, dtype=_np.complex128)
+    ar, ai = a.real, a.imag
+    br, bi = b.real, b.imag
+    out.real = ar * br - ai * bi
+    out.imag = ar * bi + ai * br
+    return out
+
+
+def cdiv(a, b):
+    """Elementwise complex quotient via CPython's Smith algorithm.
+
+    Mirrors ``_Py_c_quot`` branch for branch (scale by whichever
+    component of the divisor is larger), which both CPython and the
+    scalar code use — NumPy's own ``/`` multiplies by a reciprocal and
+    rounds differently.
+    """
+    ar, ai = a.real, a.imag
+    br, bi = b.real, b.imag
+    use_real = _np.abs(br) >= _np.abs(bi)
+    with _np.errstate(divide="ignore", invalid="ignore"):
+        ratio_r = bi / br
+        denom_r = br + bi * ratio_r
+        real_r = (ar + ai * ratio_r) / denom_r
+        imag_r = (ai - ar * ratio_r) / denom_r
+        ratio_i = br / bi
+        denom_i = br * ratio_i + bi
+        real_i = (ar * ratio_i + ai) / denom_i
+        imag_i = (ai * ratio_i - ar) / denom_i
+    out = _np.empty(_np.broadcast(a, b).shape, dtype=_np.complex128)
+    out.real = _np.where(use_real, real_r, real_i)
+    out.imag = _np.where(use_real, imag_r, imag_i)
+    return out
+
+
+def _div_real(a, divisor: float):
+    """``a / divisor`` for a real divisor, matching ``complex / int``.
+
+    CPython routes ``complex / int`` through ``_Py_c_quot`` with a zero
+    imaginary part, which reduces to dividing both components.
+    """
+    out = _np.empty(a.shape, dtype=_np.complex128)
+    out.real = a.real / divisor
+    out.imag = a.imag / divisor
+    return out
+
+
+def _as_complex_array(values):
+    a = _np.asarray(values)
+    if a.dtype != _np.complex128:
+        a = a.astype(_np.complex128)
+    return a
+
+
+def fft_array(coefficients):
+    """Batched forward FFT over the last axis; see :func:`fft`.
+
+    Iterative bottom-up form of the scalar recursion: coefficients are
+    laid out in the recursion's leaf order (bit-reversal), then merged
+    level by level with exactly the scalar butterfly
+    ``even[k] +/- roots[k] * odd[k]``.
+    """
+    _require_numpy()
+    a = _as_complex_array(coefficients)
+    n = a.shape[-1]
+    if n == 1:
+        return a.copy()
+    if n & (n - 1):
+        raise ValueError("length must be a power of two")
+    state = a[..., _bitrev_perm(n)]
+    lead = state.shape[:-1]
+    m = 1
+    while m < n:
+        m2 = 2 * m
+        view = state.reshape(*lead, n // m2, 2, m)
+        even = view[..., 0, :]
+        odd = view[..., 1, :]
+        twist = cmul(_merge_roots_array(m2), odd)
+        merged = _np.empty((*lead, n // m2, m2), dtype=_np.complex128)
+        merged[..., 0::2] = even + twist
+        merged[..., 1::2] = even - twist
+        state = merged.reshape(*lead, n)
+        m = m2
+    return state
+
+
+def ifft_array(values):
+    """Batched inverse FFT over the last axis, returning real coeffs."""
+    _require_numpy()
+    a = _as_complex_array(values)
+    n = a.shape[-1]
+    if n == 1:
+        return a.real.copy()
+    if n & (n - 1):
+        raise ValueError("length must be a power of two")
+    lead = a.shape[:-1]
+    state = a
+    m = n
+    while m > 1:
+        view = state.reshape(*lead, n // m, m)
+        hi = view[..., 0::2]
+        lo = view[..., 1::2]
+        even = (hi + lo) / 2.0
+        odd = _div_by_split_tables(hi - lo, m)
+        split = _np.empty((*lead, n // m, 2, m // 2),
+                          dtype=_np.complex128)
+        split[..., 0, :] = even
+        split[..., 1, :] = odd
+        state = split.reshape(*lead, n)
+        m //= 2
+    return state[..., _bitrev_perm(n)].real.copy()
+
+
+def split_fft_array(values):
+    """Array form of :func:`split_fft` (over the last axis)."""
+    _require_numpy()
+    a = _as_complex_array(values)
+    n = a.shape[-1]
+    hi = a[..., 0::2]
+    lo = a[..., 1::2]
+    even = (hi + lo) / 2.0
+    odd = _div_by_split_tables(hi - lo, n)
+    return even, odd
+
+
+def merge_fft_array(even, odd):
+    """Array form of :func:`merge_fft` (over the last axis)."""
+    _require_numpy()
+    e = _as_complex_array(even)
+    o = _as_complex_array(odd)
+    n = 2 * e.shape[-1]
+    twist = cmul(_merge_roots_array(n), o)
+    out = _np.empty((*e.shape[:-1], n), dtype=_np.complex128)
+    out[..., 0::2] = e + twist
+    out[..., 1::2] = e - twist
+    return out
+
+
+def mul_fft_array(a, b):
+    """Pointwise product (array form of :func:`mul_fft`)."""
+    _require_numpy()
+    return cmul(_as_complex_array(a), _as_complex_array(b))
+
+
+def div_fft_array(a, b):
+    """Pointwise quotient (array form of :func:`div_fft`)."""
+    _require_numpy()
+    return cdiv(_as_complex_array(a), _as_complex_array(b))
+
+
+def adj_fft_array(a):
+    """Adjoint (array form of :func:`adj_fft`)."""
+    _require_numpy()
+    return _np.conj(_as_complex_array(a))
+
+
+def round_ifft_array(values):
+    """Inverse FFT + round to nearest integers (``int64`` array).
+
+    ``np.rint`` rounds half to even, exactly like the builtin
+    ``round`` the scalar path uses.
+    """
+    _require_numpy()
+    return _np.rint(ifft_array(values)).astype(_np.int64)

@@ -9,12 +9,30 @@ Sande inverse butterflies with ``psi``-power tables in bit-reversed
 order (Longa–Naehrig formulation).  The generator and the primitive
 ``2n``-th roots are found at import time by search — no magic constants
 to mistype — and cached per ``n``.
+
+When NumPy is installed, :func:`ntt_array`, :func:`intt_array` and
+:func:`mul_ntt_array` run the same butterflies over ``uint64`` arrays
+(last axis = coefficients, leading axes = independent lanes) with
+**lazy reduction**: inside a stage only the twiddle product is reduced
+mod q, the add/sub halves of the butterfly accumulate unreduced (the
+bound grows by at most ``q`` per forward stage and doubles per inverse
+stage — at ``n = 2048`` everything stays far below 2^64), and a single
+reduction lands at the end.  All arithmetic is exact, so the array
+path returns the same integers as the scalar one — batch verification
+leans on that.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
 from typing import Sequence
+
+try:  # Optional: powers the vectorized array NTT below.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI job
+    _np = None
+
+HAVE_NUMPY = _np is not None
 
 Q = 12289
 
@@ -127,3 +145,103 @@ def center_mod_q(value: int) -> int:
     """Representative of ``value mod q`` in ``(-q/2, q/2]``."""
     value %= Q
     return value - Q if value > Q // 2 else value
+
+
+# -- NumPy array kernels ---------------------------------------------------
+
+def _require_numpy() -> None:
+    if _np is None:
+        raise RuntimeError(
+            "NumPy is required for the array NTT kernels; "
+            "use the scalar functions instead")
+
+
+@lru_cache(maxsize=None)
+def _tables_array(n: int):
+    """:func:`_tables` as read-only ``uint64`` arrays."""
+    _require_numpy()
+    forward, inverse, n_inv = _tables(n)
+    fwd = _np.array(forward, dtype=_np.uint64)
+    inv = _np.array(inverse, dtype=_np.uint64)
+    fwd.setflags(write=False)
+    inv.setflags(write=False)
+    return fwd, inv, n_inv
+
+
+def ntt_array(coefficients):
+    """Batched forward negacyclic NTT over the last axis.
+
+    Lazy reduction: per stage, only the twiddle product ``v`` is taken
+    mod q; the butterfly halves ``u + v`` and ``u + q - v`` stay
+    unreduced, so values grow by at most ``q`` per stage (bounded by
+    ``(log2(n) + 1) * q``, nowhere near the ``2^64 / q`` product
+    ceiling).  One final reduction restores canonical residues.
+    """
+    _require_numpy()
+    a = _np.asarray(coefficients)
+    n = a.shape[-1]
+    forward, _, _ = _tables_array(n)
+    q = _np.uint64(Q)
+    a = (a.astype(_np.int64) % Q).astype(_np.uint64)
+    lead = a.shape[:-1]
+    t = n
+    m = 1
+    while m < n:
+        t //= 2
+        view = a.reshape(*lead, m, 2 * t)
+        s = forward[m:2 * m]
+        u = view[..., :t]
+        v = (view[..., t:] * s[:, None]) % q
+        lo = u + v
+        hi = (u + q) - v
+        view[..., :t] = lo
+        view[..., t:] = hi
+        m *= 2
+    return a % q
+
+
+def intt_array(values):
+    """Batched inverse negacyclic NTT over the last axis."""
+    _require_numpy()
+    a = _np.asarray(values)
+    n = a.shape[-1]
+    _, inverse, n_inv = _tables_array(n)
+    q = _np.uint64(Q)
+    a = (a.astype(_np.int64) % Q).astype(_np.uint64)
+    lead = a.shape[:-1]
+    # Unreduced values at most double per stage; ``pad`` (a multiple of
+    # q at least the current bound) keeps ``u - v`` non-negative in
+    # uint64 before the reduced twiddle multiply.
+    bound = Q
+    t = 1
+    m = n
+    while m > 1:
+        half = m // 2
+        view = a.reshape(*lead, half, 2 * t)
+        s = inverse[half:2 * half]
+        u = view[..., :t]
+        v = view[..., t:]
+        pad = _np.uint64(Q * (-(-bound // Q)))
+        lo = u + v
+        hi = (((u + pad) - v) * s[:, None]) % q
+        view[..., :t] = lo
+        view[..., t:] = hi
+        bound = 2 * bound
+        t *= 2
+        m = half
+    return (a % q) * _np.uint64(n_inv) % q
+
+
+def mul_ntt_array(a, b):
+    """Batched product in ``Z_q[x]/(x^n + 1)`` (array :func:`mul_ntt`)."""
+    _require_numpy()
+    fa = ntt_array(a)
+    fb = ntt_array(b)
+    return intt_array(fa * fb % _np.uint64(Q))
+
+
+def center_mod_q_array(values):
+    """Array form of :func:`center_mod_q` (``int64`` output)."""
+    _require_numpy()
+    a = _np.asarray(values).astype(_np.int64) % Q
+    return _np.where(a > Q // 2, a - Q, a)

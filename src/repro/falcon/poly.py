@@ -20,8 +20,17 @@ from __future__ import annotations
 
 from typing import Sequence
 
+try:  # Optional: exact vectorized convolution for small coefficients.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI job
+    _np = None
+
 #: Below this size, schoolbook multiplication beats Karatsuba's overhead.
 KARATSUBA_THRESHOLD = 32
+
+#: ``np.convolve`` on int64 is exact only while every accumulated dot
+#: product stays below 2^63; the dispatch bound keeps a safety bit.
+_CONVOLVE_LIMIT = 1 << 62
 
 
 def add(a: Sequence[int], b: Sequence[int]) -> list[int]:
@@ -73,9 +82,23 @@ def _karatsuba(a: list[int], b: list[int]) -> list[int]:
 
 
 def mul_raw(a: Sequence[int], b: Sequence[int]) -> list[int]:
-    """Plain polynomial product (degree ``len(a)+len(b)-2``)."""
+    """Plain polynomial product (degree ``len(a)+len(b)-2``).
+
+    Runs on the array representation (one exact ``int64`` convolution)
+    whenever the coefficients are provably too small to overflow —
+    the common case in the lower NTRUSolve tower levels — and falls
+    back to bigint Karatsuba/schoolbook as they grow.
+    """
     if not a or not b:
         return []
+    if _np is not None and len(a) >= 16:
+        bound = (max(map(abs, a), default=0)
+                 * max(map(abs, b), default=0)
+                 * min(len(a), len(b)))
+        if bound < _CONVOLVE_LIMIT:
+            return _np.convolve(
+                _np.asarray(a, dtype=_np.int64),
+                _np.asarray(b, dtype=_np.int64)).tolist()
     return _karatsuba(list(a), list(b))
 
 

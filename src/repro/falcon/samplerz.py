@@ -75,8 +75,18 @@ class RejectionSamplerZ:
         self.uniform_block = uniform_block
         self.base_draws = 0
         self.accepted = 0
+        #: Base draws the most recent accepted sample needed — the
+        #: public rejection count, exposed for diagnostics.
+        self.attempts_last = 0
         #: Pre-drawn uniforms, reversed so pop() yields stream order.
         self._uniform_queue: list[float] = []
+        # Hot-path constants: sample() runs 2n times per signature, so
+        # attribute lookups are hoisted once here.  Values are computed
+        # by the exact expressions the per-call path used, keeping the
+        # accept/reject decisions bit-identical.
+        self._inv_base = 1.0 / (2.0 * self.base_sigma * self.base_sigma)
+        counter = getattr(self.base, "counter", None)
+        self._book_rng = counter.rng if counter is not None else None
 
     def _refill_uniforms(self) -> None:
         # One bulk draw of `block` 56-bit words (7 bytes each, exactly
@@ -95,36 +105,157 @@ class RejectionSamplerZ:
     def _uniform01(self) -> float:
         if not self._uniform_queue:
             self._refill_uniforms()
-        counter = getattr(self.base, "counter", None)
-        if counter is not None:
+        if self._book_rng is not None:
             # Book the acceptance-test randomness with the base draw so
             # the cost model sees the full per-candidate PRNG bill.
-            counter.rng(7)
+            self._book_rng(7)
         return self._uniform_queue.pop()
 
     def sample(self, center: float, sigma: float) -> int:
-        """One draw from ``D_{Z, sigma, center}``."""
+        """One draw from ``D_{Z, sigma, center}``.
+
+        The loop body is written with hoisted locals (it dominates the
+        non-FFT share of signing time) but performs the exact same IEEE
+        operations as the straightforward form, so the sample stream
+        for a given seed is unchanged.
+        """
         if not 0 < sigma < self.base_sigma:
             raise ValueError(
                 f"sigma must lie in (0, {self.base_sigma}); got {sigma}")
         inv_target = 1.0 / (2.0 * sigma * sigma)
-        inv_base = 1.0 / (2.0 * self.base_sigma * self.base_sigma)
+        inv_base = self._inv_base
         center_round = round(center)
         fractional = center - center_round  # in [-0.5, 0.5]
         # log-ratio g(u) = -(u - d)^2 * inv_target + u^2 * inv_base is a
         # downward parabola (inv_base < inv_target); its real maximum:
         peak = fractional * inv_target / (inv_target - inv_base)
-        log_m = (-(peak - fractional) ** 2 * inv_target
+        offset = peak - fractional
+        # Squares are written as explicit products (not ``** 2``) so
+        # the batched :meth:`sample_lanes` — whose NumPy-assisted prep
+        # performs the same IEEE multiplies — matches bit for bit.
+        log_m = (-(offset * offset) * inv_target
                  + peak * peak * inv_base)
+        base_sample = self.base.sample
+        book_rng = self._book_rng
+        exp = math.exp
+        queue = self._uniform_queue
+        draws = 0
         while True:
-            x = self.base.sample()
-            self.base_draws += 1
+            x = base_sample()
+            draws += 1
             z = center_round + x
-            log_ratio = (-(z - center) ** 2 * inv_target
-                         + x * x * inv_base)
-            if self._uniform01() < math.exp(log_ratio - log_m):
+            dz = z - center
+            log_ratio = -(dz * dz) * inv_target + x * x * inv_base
+            if not queue:
+                self._refill_uniforms()
+                queue = self._uniform_queue
+            if book_rng is not None:
+                book_rng(7)
+            if queue.pop() < exp(log_ratio - log_m):
+                self.base_draws += draws
                 self.accepted += 1
+                self.attempts_last = draws
                 return z
+
+    def _take_uniforms(self, count: int) -> list[float]:
+        """``count`` acceptance uniforms, in queue (stream) order.
+
+        Refills trigger at the same queue-exhaustion points as
+        :meth:`_uniform01`, so the underlying PRNG stream is split
+        identically; only the per-call booking granularity differs
+        (the bytes are booked once for the whole take).
+        """
+        out: list[float] = []
+        queue = self._uniform_queue
+        remaining = count
+        while remaining > 0:
+            if not queue:
+                self._refill_uniforms()
+                queue = self._uniform_queue
+            grab = min(remaining, len(queue))
+            out.extend(queue[:-grab - 1:-1])
+            del queue[-grab:]
+            remaining -= grab
+        if self._book_rng is not None:
+            self._book_rng(7 * count)
+        return out
+
+    def sample_lanes(self, centers: list[float],
+                     sigma: float) -> list[int]:
+        """One draw per center from ``D_{Z, sigma, center_i}``.
+
+        Batch counterpart of :meth:`sample` for the ffSampling leaves,
+        where every lane of a signing batch shares the leaf's sigma.
+        Rejection runs round-based: each round bulk-draws one base
+        candidate and one uniform per still-pending lane (in lane
+        order) and decides all of them; rejected lanes continue into
+        the next round.  The acceptance arithmetic per lane is exactly
+        :meth:`sample`'s, in pure Python floats, so results are
+        identical whether or not NumPy is installed.
+        """
+        if not 0 < sigma < self.base_sigma:
+            raise ValueError(
+                f"sigma must lie in (0, {self.base_sigma}); got {sigma}")
+        count = len(centers)
+        if count == 0:
+            return []
+        inv_target = 1.0 / (2.0 * sigma * sigma)
+        inv_base = self._inv_base
+        if _np is not None and count >= 8:
+            # Vectorized per-center prep.  Only IEEE +,-,*,/ and
+            # round-half-even are involved, every one of which NumPy
+            # evaluates identically to CPython floats, so this is
+            # bit-identical to the loop below (and to :meth:`sample`).
+            center_arr = _np.asarray(centers, dtype=_np.float64)
+            round_arr = _np.rint(center_arr)
+            fractional = center_arr - round_arr
+            peak = fractional * inv_target / (inv_target - inv_base)
+            offset = peak - fractional
+            log_ms = (-(offset * offset) * inv_target
+                      + peak * peak * inv_base).tolist()
+            rounds = [int(r) for r in round_arr.tolist()]
+        else:
+            rounds = []
+            log_ms = []
+            for center in centers:
+                center_round = round(center)
+                fractional = center - center_round
+                peak = fractional * inv_target / (inv_target - inv_base)
+                offset = peak - fractional
+                rounds.append(center_round)
+                log_ms.append(-(offset * offset) * inv_target
+                              + peak * peak * inv_base)
+        results: list[int] = [0] * count
+        attempts = [0] * count
+        pending = list(range(count))
+        take = getattr(self.base, "take", None)
+        exp = math.exp
+        accepted = 0
+        while pending:
+            width = len(pending)
+            if take is not None:
+                candidates = take(width)
+            else:
+                candidates = [self.base.sample() for _ in range(width)]
+            uniforms = self._take_uniforms(width)
+            self.base_draws += width
+            still: list[int] = []
+            append_still = still.append
+            for slot, lane in enumerate(pending):
+                x = candidates[slot]
+                z = rounds[lane] + x
+                dz = z - centers[lane]
+                log_ratio = -(dz * dz) * inv_target + x * x * inv_base
+                attempts[lane] += 1
+                if uniforms[slot] < exp(log_ratio - log_ms[lane]):
+                    results[lane] = z
+                    accepted += 1
+                    self.attempts_last = attempts[lane]
+                else:
+                    append_still(lane)
+            pending = still
+        self.accepted += accepted
+        return results
 
     @property
     def acceptance_rate(self) -> float:

@@ -23,37 +23,65 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from hashlib import shake_256 as _hashlib_shake_256
+from typing import Sequence
 
 from ..baselines.adapters import BitslicedIntegerSampler
 from ..baselines.byte_scan import ByteScanCdtSampler
 from ..baselines.cdt import CdtBinarySearchSampler
 from ..baselines.linear_scan import LinearScanCdtSampler
 from ..core.gaussian import GaussianParams
-from ..rng.keccak import Shake256
 from ..rng.source import RandomSource, default_source, make_source
 from .encoding import CompressError, DecompressError, compress, decompress
 from .ffsampling import (
+    FlatLdlTree,
     LdlLeaf,
     LdlNode,
+    build_flat_ldl_tree,
     build_ldl_tree,
     ff_sampling,
+    ff_sampling_batch,
+    flatten_ldl_tree,
     normalize_tree,
     tree_leaf_sigmas,
 )
 from .fft import (
+    HAVE_NUMPY,
+    _div_real,
     add_fft,
     adj_fft,
-    fft,
+    cmul,
+    fft_array,
     fft_of_int_poly,
     mul_fft,
     neg_fft,
     round_ifft,
+    round_ifft_array,
     sub_fft,
 )
 from .ntrugen import NtruKeys, generate_keys
-from .ntt import Q, center_mod_q, mul_ntt
+from .ntt import (
+    Q,
+    center_mod_q,
+    center_mod_q_array,
+    intt,
+    intt_array,
+    ntt,
+    ntt_array,
+)
 from .params import FalconParams, falcon_params
 from .samplerz import RejectionSamplerZ
+
+if HAVE_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - exercised in the no-numpy CI job
+    _np = None
+
+#: Spine choices for the batch APIs: ``"numpy"`` runs the array
+#: kernels, ``"scalar"`` the pure-Python ones, ``"auto"`` picks numpy
+#: when installed.  Both spines produce identical signature bytes for a
+#: fixed seed (the array kernels are bit-identical by construction).
+SPINES = ("auto", "numpy", "scalar")
 
 #: Base-sampler precision: the paper keeps n = 128 bits and tau = 13
 #: for every backend in Table 1.
@@ -112,16 +140,36 @@ def hash_to_point(message: bytes, salt: bytes, n: int) -> list[int]:
 
     16-bit big-endian chunks are rejection-sampled below
     ``floor(2^16 / q) * q`` and reduced mod q.
+
+    The sponge is squeezed in bulk through ``hashlib``'s C SHAKE-256
+    (byte-identical to the library's pure-Python Keccak, pinned by the
+    tests) and the chunks are parsed vectorized when NumPy is present.
+    The accepted-value sequence is a pure function of the SHAKE stream,
+    so every implementation choice here yields the same point.
     """
-    sponge = Shake256(salt + message)
     limit = (1 << 16) // Q * Q
+    sponge = _hashlib_shake_256(salt + message)
     out: list[int] = []
-    while len(out) < n:
-        chunk = sponge.squeeze(2)
-        value = (chunk[0] << 8) | chunk[1]
-        if value < limit:
-            out.append(value % Q)
-    return out
+    consumed = 0
+    # Squeeze a little over the expected demand (~2n bytes at a ~75%
+    # acceptance rate), doubling on the rare shortfall.
+    block = (2 * n + (n // 2 if n >= 8 else 64) + 16) & ~1
+    while True:
+        digest = sponge.digest(consumed + block)
+        chunk = digest[consumed:]
+        consumed += block
+        if _np is not None:
+            values = _np.frombuffer(chunk, dtype=">u2")
+            out.extend((values[values < limit] % _np.uint16(Q)).tolist())
+        else:
+            for i in range(0, len(chunk) - 1, 2):
+                value = (chunk[i] << 8) | chunk[i + 1]
+                if value < limit:
+                    out.append(value % Q)
+        if len(out) >= n:
+            del out[n:]
+            return out
+        block *= 2
 
 
 @dataclass(frozen=True)
@@ -143,6 +191,25 @@ class PublicKey:
         self.n = n
         self.h = h
         self.params: FalconParams = falcon_params(n)
+        self._h_ntt: list[int] | None = None
+        self._h_ntt_row = None  # NumPy uint64 mirror of the above
+
+    @property
+    def h_ntt(self) -> list[int]:
+        """NTT of ``h``, computed once — every verification reuses it."""
+        if self._h_ntt is None:
+            self._h_ntt = ntt(self.h)
+        return self._h_ntt
+
+    def _mul_h(self, s2: list[int]) -> list[int]:
+        """``s2 * h`` in ``Z_q[x]/(x^n + 1)`` via the cached NTT."""
+        if _np is not None:
+            if self._h_ntt_row is None:
+                self._h_ntt_row = _np.array(self.h_ntt, dtype=_np.uint64)
+            fa = ntt_array(_np.asarray(s2, dtype=_np.int64))
+            return intt_array(fa * self._h_ntt_row
+                              % _np.uint64(Q)).tolist()
+        return intt([x * y % Q for x, y in zip(ntt(s2), self.h_ntt)])
 
     def verify(self, message: bytes, signature: Signature) -> bool:
         """Spec verification: recompute s1 and check the norm bound."""
@@ -151,10 +218,53 @@ class PublicKey:
         except DecompressError:
             return False
         hashed = hash_to_point(message, signature.salt, self.n)
-        s2h = mul_ntt(s2, self.h)
+        s2h = self._mul_h(s2)
         s1 = [center_mod_q(c - x) for c, x in zip(hashed, s2h)]
         norm_sq = sum(c * c for c in s1) + sum(c * c for c in s2)
         return norm_sq <= self.params.sig_bound
+
+    def verify_many(self, messages: Sequence[bytes],
+                    signatures: Sequence[Signature]) -> list[bool]:
+        """Verify a batch of (message, signature) pairs.
+
+        With NumPy the whole batch runs through one vectorized NTT /
+        pointwise-multiply / inverse-NTT pass against the cached
+        ``ntt(h)`` (all arithmetic exact, so verdicts match
+        :meth:`verify` bit for bit); without NumPy it falls back to a
+        plain loop.
+        """
+        if len(messages) != len(signatures):
+            raise ValueError("messages and signatures differ in length")
+        if _np is None or not messages:
+            return [self.verify(m, s)
+                    for m, s in zip(messages, signatures)]
+        results = [False] * len(messages)
+        lanes: list[int] = []
+        s2_rows: list[list[int]] = []
+        hashed_rows: list[list[int]] = []
+        for i, (message, signature) in enumerate(zip(messages,
+                                                     signatures)):
+            try:
+                s2 = decompress(signature.compressed, self.n)
+            except DecompressError:
+                continue
+            lanes.append(i)
+            s2_rows.append(s2)
+            hashed_rows.append(
+                hash_to_point(message, signature.salt, self.n))
+        if not lanes:
+            return results
+        if self._h_ntt_row is None:
+            self._h_ntt_row = _np.array(self.h_ntt, dtype=_np.uint64)
+        s2_mat = _np.asarray(s2_rows, dtype=_np.int64)
+        s2h = intt_array(ntt_array(s2_mat) * self._h_ntt_row
+                         % _np.uint64(Q)).astype(_np.int64)
+        s1 = center_mod_q_array(
+            _np.asarray(hashed_rows, dtype=_np.int64) - s2h)
+        norms = (s1 * s1).sum(axis=1) + (s2_mat * s2_mat).sum(axis=1)
+        for lane, i in enumerate(lanes):
+            results[i] = bool(norms[lane] <= self.params.sig_bound)
+        return results
 
 
 class SecretKey:
@@ -182,8 +292,16 @@ class SecretKey:
                       mul_fft(self._b01, adj_fft(self._b11)))
         g11 = add_fft(mul_fft(self._b10, adj_fft(self._b10)),
                       mul_fft(self._b11, adj_fft(self._b11)))
+        self._gram = (g00, g01, g11)
         self.tree: LdlNode | LdlLeaf = build_ldl_tree(g00, g01, g11)
         normalize_tree(self.tree, self.params.sigma)
+
+        # Batch-signing caches, all derived deterministically from the
+        # key: built on first use.
+        self._flat_tree: FlatLdlTree | None = None
+        self._target_ffts: tuple[list[complex], list[complex]] | None \
+            = None
+        self._numpy_rows: dict[str, object] | None = None
 
         self.signing_attempts = 0
         self.use_base_sampler(base_backend)
@@ -275,6 +393,178 @@ class SecretKey:
                 continue
             return Signature(salt=salt, compressed=compressed)
         raise RuntimeError(f"signing failed after {max_attempts} attempts")
+
+    # -- batch signing -----------------------------------------------------
+
+    @property
+    def flat_tree(self) -> FlatLdlTree:
+        """The ffLDL* tree in flattened level-major storage (cached).
+
+        Built vectorized straight from the Gram matrix when NumPy is
+        present, else by flattening the recursive tree; both routes
+        yield bit-identical values (pinned by the tests).
+        """
+        if self._flat_tree is None:
+            if HAVE_NUMPY:
+                self._flat_tree = build_flat_ldl_tree(
+                    *self._gram, self.params.sigma)
+            else:
+                self._flat_tree = flatten_ldl_tree(self.tree)
+        return self._flat_tree
+
+    def _resolve_spine(self, spine: str) -> str:
+        if spine not in SPINES:
+            raise ValueError(
+                f"unknown spine {spine!r}; choose from {SPINES}")
+        if spine == "auto":
+            return "numpy" if HAVE_NUMPY else "scalar"
+        if spine == "numpy" and not HAVE_NUMPY:
+            raise RuntimeError("NumPy is not installed; "
+                               "use spine='scalar'")
+        return spine
+
+    def _key_target_ffts(self) -> tuple[list[complex], list[complex]]:
+        """FFTs of (f, F) used to build signing targets (cached)."""
+        if self._target_ffts is None:
+            self._target_ffts = (fft_of_int_poly(self.keys.f),
+                                 fft_of_int_poly(self.keys.F))
+        return self._target_ffts
+
+    def _key_rows(self) -> dict:
+        """NumPy mirrors of the key transforms (exact copies, cached)."""
+        if self._numpy_rows is None:
+            f_fft, big_f_fft = self._key_target_ffts()
+            self._numpy_rows = {
+                "f": _np.array(f_fft, dtype=_np.complex128),
+                "F": _np.array(big_f_fft, dtype=_np.complex128),
+                "b00": _np.array(self._b00, dtype=_np.complex128),
+                "b01": _np.array(self._b01, dtype=_np.complex128),
+                "b10": _np.array(self._b10, dtype=_np.complex128),
+                "b11": _np.array(self._b11, dtype=_np.complex128),
+            }
+        return self._numpy_rows
+
+    def _prefetch_keystream(self, lanes: int) -> None:
+        """Pre-generate one round's worth of keystream in bulk.
+
+        A rough upper estimate of the demand (salts, acceptance
+        uniforms, base-sampler words); prefetching is transparent to
+        the byte stream, and unused keystream is served later, so
+        over-estimating costs only memory.
+        """
+        per_signature = self.params.salt_bytes + 80 * self.n
+        self.source.prefetch(min(lanes * per_signature, 1 << 22))
+
+    def _attempt_batch_numpy(self, hashed: list[list[int]]):
+        """One signing attempt for a batch of hashed points, array spine.
+
+        Returns per-lane ``s2`` coefficient lists (``None`` where the
+        norm bound failed).
+        """
+        rows = self._key_rows()
+        c_fft = fft_array(_np.asarray(hashed, dtype=_np.float64))
+        t0 = _div_real(-cmul(c_fft, rows["F"]), Q)
+        t1 = _div_real(cmul(c_fft, rows["f"]), Q)
+        z0, z1 = ff_sampling_batch(t0, t1, self.flat_tree,
+                                   self.sampler_z)
+        d0 = t0 - z0
+        d1 = t1 - z1
+        s1 = round_ifft_array(cmul(d0, rows["b00"])
+                              + cmul(d1, rows["b10"]))
+        s2 = round_ifft_array(cmul(d0, rows["b01"])
+                              + cmul(d1, rows["b11"]))
+        norms = (s1 * s1).sum(axis=1) + (s2 * s2).sum(axis=1)
+        bound = self.params.sig_bound
+        return [s2[lane].tolist() if norms[lane] <= bound else None
+                for lane in range(len(hashed))]
+
+    def _attempt_batch_scalar(self, hashed: list[list[int]]):
+        """One signing attempt for a batch of hashed points, pure Python.
+
+        Same structure (and the same leaf-sampler call order) as the
+        array spine, so both produce identical signatures for a fixed
+        seed.
+        """
+        f_fft, big_f_fft = self._key_target_ffts()
+        t0s, t1s = [], []
+        for point in hashed:
+            c_fft = fft_of_int_poly(point)
+            t0s.append([-(x * y) / Q
+                        for x, y in zip(c_fft, big_f_fft)])
+            t1s.append([(x * y) / Q for x, y in zip(c_fft, f_fft)])
+        z0s, z1s = ff_sampling_batch(t0s, t1s, self.flat_tree,
+                                     self.sampler_z)
+        out = []
+        bound = self.params.sig_bound
+        for t0, t1, z0, z1 in zip(t0s, t1s, z0s, z1s):
+            d0 = sub_fft(t0, z0)
+            d1 = sub_fft(t1, z1)
+            s1 = round_ifft(add_fft(mul_fft(d0, self._b00),
+                                    mul_fft(d1, self._b10)))
+            s2 = round_ifft(add_fft(mul_fft(d0, self._b01),
+                                    mul_fft(d1, self._b11)))
+            norm_sq = sum(c * c for c in s1) + sum(c * c for c in s2)
+            out.append(s2 if norm_sq <= bound else None)
+        return out
+
+    def sign_many(self, messages: Sequence[bytes],
+                  max_attempts: int = 64,
+                  spine: str = "auto") -> list[Signature]:
+        """Sign a batch of messages through the vectorized spine.
+
+        Round-based: each round draws a salt per still-unsigned
+        message (in message order), hashes them to points, and runs
+        *one* batched ffSampling walk over all pending lanes — the
+        per-node vector arithmetic is amortized across the batch, as
+        are the keystream slabs (prefetched for the round's estimated
+        demand) and the key/tree transforms (computed once per key).
+        Lanes failing the norm or compression check retry in the next
+        round, like :meth:`sign` does.
+
+        ``spine`` selects the numeric backend (``"numpy"``,
+        ``"scalar"``, or ``"auto"``); both produce **identical
+        signature bytes** for a fixed seed, and a batch of one
+        reproduces :meth:`sign` exactly.
+        """
+        spine = self._resolve_spine(spine)
+        count = len(messages)
+        if count == 0:
+            return []
+        signatures: list[Signature | None] = [None] * count
+        pending = list(range(count))
+        for _ in range(max_attempts):
+            if not pending:
+                break
+            self.signing_attempts += len(pending)
+            self._prefetch_keystream(len(pending))
+            salts = [self.source.read_bytes(self.params.salt_bytes)
+                     for _ in pending]
+            hashed = [hash_to_point(messages[i], salt, self.n)
+                      for i, salt in zip(pending, salts)]
+            if spine == "numpy":
+                results = self._attempt_batch_numpy(hashed)
+            else:
+                results = self._attempt_batch_scalar(hashed)
+            still_pending = []
+            for lane, (i, salt) in enumerate(zip(pending, salts)):
+                s2 = results[lane]
+                if s2 is None:
+                    still_pending.append(i)
+                    continue
+                try:
+                    compressed = compress(s2,
+                                          self.params.sig_payload_bits)
+                except CompressError:
+                    still_pending.append(i)
+                    continue
+                signatures[i] = Signature(salt=salt,
+                                          compressed=compressed)
+            pending = still_pending
+        if pending:
+            raise RuntimeError(
+                f"batch signing failed for {len(pending)} message(s) "
+                f"after {max_attempts} attempts")
+        return signatures
 
     def samples_per_signature(self) -> int:
         """Base-sampler leaf calls per ffSampling pass: 2n."""

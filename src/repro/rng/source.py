@@ -82,6 +82,15 @@ class RandomSource(ABC):
                                "little") & mask
                 for i in range(count)]
 
+    def prefetch(self, length: int) -> None:
+        """Hint: ``length`` bytes will be read soon.
+
+        Buffered sources override this to generate the keystream ahead
+        of time in one bulk (vectorized) pass; the served byte sequence
+        is unchanged, so prefetching is always safe.  The default is a
+        no-op.
+        """
+
     def read_words_array(self, bits: int, count: int):
         """``count`` uniform ``bits``-bit words as a NumPy uint64 array.
 
@@ -154,6 +163,23 @@ class BufferedRandomSource(RandomSource):
         self._keystream = slab
         self._position = need
         return head + slab[:need] if head else slab[:need]
+
+    def prefetch(self, length: int) -> None:
+        """Top the buffer up to at least ``length`` unserved bytes.
+
+        One bulk :meth:`_generate` call produces the missing stream
+        continuation, so a consumer that knows its upcoming demand (the
+        batch signer) pays block-generation cost once instead of per
+        refill.  Reads still see the exact same byte sequence.
+        """
+        if length <= 0:
+            return
+        available = len(self._keystream) - self._position
+        if length <= available:
+            return
+        head = self._keystream[self._position:]
+        self._keystream = head + self._generate(length - available)
+        self._position = 0
 
     @property
     def buffered_bytes(self) -> int:
@@ -282,6 +308,10 @@ class CountingSource(RandomSource):
     def read_bytes(self, length: int) -> bytes:
         self.bytes_read += length
         return self.inner.read_bytes(length)
+
+    def prefetch(self, length: int) -> None:
+        # Not booked: prefetching generates keystream without serving it.
+        self.inner.prefetch(length)
 
     def reset_count(self) -> None:
         self.bytes_read = 0

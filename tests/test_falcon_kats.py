@@ -1,0 +1,84 @@
+"""Known-answer tests: seeded Falcon signatures pinned byte for byte.
+
+The fixtures under ``tests/kats/`` were generated once (seed, PRNG and
+backend recorded in each file) and committed; every future refactor of
+the numeric spine — scalar or vectorized — must keep reproducing the
+exact same signature bytes, in both the with-NumPy and without-NumPy
+environments.  A silent change here means a silent change to what the
+scheme signs, which is exactly what these vectors exist to catch.
+
+The n=256 vector costs a keygen of ~1s and runs under ``REPRO_FULL=1``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.falcon import HAVE_NUMPY, SecretKey
+
+KAT_DIR = Path(__file__).parent / "kats"
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+KAT_FILES = sorted(KAT_DIR.glob("falcon_*.json"))
+
+
+def _load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _kats():
+    for path in KAT_FILES:
+        kat = _load(path)
+        if kat["n"] > 64 and not FULL:
+            continue
+        yield pytest.param(kat, id=f"n{kat['n']}")
+
+
+def _regenerate(kat) -> SecretKey:
+    return SecretKey.generate(n=kat["n"], seed=kat["seed"],
+                              base_backend=kat["base_backend"],
+                              prng=kat["prng"])
+
+
+def test_kat_fixtures_exist():
+    assert len(KAT_FILES) >= 3, KAT_FILES
+
+
+@pytest.mark.parametrize("kat", _kats())
+def test_kat_key_generation(kat):
+    sk = _regenerate(kat)
+    assert sk.keys.h == kat["public_key_h"]
+
+
+@pytest.mark.parametrize("kat", _kats())
+def test_kat_sequential_sign(kat):
+    sk = _regenerate(kat)
+    for message_hex, expected in zip(kat["messages"],
+                                     kat["sign_sequential"]):
+        signature = sk.sign(bytes.fromhex(message_hex))
+        assert signature.salt.hex() == expected["salt"]
+        assert signature.compressed.hex() == expected["compressed"]
+
+
+@pytest.mark.parametrize("spine", ["scalar"]
+                         + (["numpy"] if HAVE_NUMPY else []))
+@pytest.mark.parametrize("kat", _kats())
+def test_kat_batch_sign(kat, spine):
+    sk = _regenerate(kat)
+    messages = [bytes.fromhex(h) for h in kat["messages"]]
+    signatures = sk.sign_many(messages, spine=spine)
+    for signature, expected in zip(signatures, kat["sign_many_batch"]):
+        assert signature.salt.hex() == expected["salt"]
+        assert signature.compressed.hex() == expected["compressed"]
+
+
+@pytest.mark.parametrize("kat", _kats())
+def test_kat_signatures_verify(kat):
+    sk = _regenerate(kat)
+    messages = [bytes.fromhex(h) for h in kat["messages"]]
+    signatures = sk.sign_many(messages)
+    assert sk.public_key.verify_many(messages, signatures) \
+        == [True] * len(messages)

@@ -1,0 +1,323 @@
+"""Differential tests: the vectorized Falcon spine vs the scalar one.
+
+The NumPy array kernels (FFT, NTT, flat-tree ffSampling, batch
+sign/verify) must be **bit-identical** to the scalar reference paths —
+not merely close — because batch signing reproduces scalar signatures
+byte for byte.  These tests pin that, transform by transform and end
+to end, across ring sizes.
+
+The full-sign differentials run at small n by default; the larger
+paper levels are exercised under ``REPRO_FULL=1`` (keygen cost).
+"""
+
+import importlib
+import os
+import random
+
+import pytest
+
+# ``from .fft import fft`` rebinds the package attributes to the
+# functions, so the submodules are fetched through importlib.
+fft_mod = importlib.import_module("repro.falcon.fft")
+ntt_mod = importlib.import_module("repro.falcon.ntt")
+
+from repro.falcon import (  # noqa: E402
+    HAVE_NUMPY,
+    SecretKey,
+    build_flat_ldl_tree,
+    ff_sampling,
+    ff_sampling_batch,
+    flatten_ldl_tree,
+    hash_to_point,
+    tree_leaf_sigmas,
+)
+from repro.falcon.samplerz import RejectionSamplerZ
+from repro.rng import ChaChaSource
+from repro.rng.keccak import Shake256
+
+numpy_only = pytest.mark.skipif(not HAVE_NUMPY,
+                                reason="NumPy not installed")
+
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+#: Transform-level differentials are cheap at every size.
+TRANSFORM_SIZES = (8, 64, 256, 512, 1024)
+
+#: Full keygen+sign differentials: small sizes always, paper levels
+#: under REPRO_FULL=1.
+SIGN_SIZES = (8, 64) + ((256, 512, 1024) if FULL else ())
+
+if HAVE_NUMPY:
+    import numpy as np
+
+
+# -- transform kernels -----------------------------------------------------
+
+@numpy_only
+@pytest.mark.parametrize("n", TRANSFORM_SIZES)
+def test_fft_kernels_bit_identical(n):
+    rng = random.Random(100 + n)
+    for _ in range(3):
+        coeffs = [rng.uniform(-900, 900) for _ in range(n)]
+        scalar = fft_mod.fft(coeffs)
+        vector = fft_mod.fft_array(coeffs)
+        assert list(vector) == scalar
+
+        assert fft_mod.ifft_array(vector).tolist() == fft_mod.ifft(scalar)
+        assert fft_mod.round_ifft_array(vector).tolist() \
+            == fft_mod.round_ifft(scalar)
+
+        even_s, odd_s = fft_mod.split_fft(scalar)
+        even_v, odd_v = fft_mod.split_fft_array(vector)
+        assert list(even_v) == even_s and list(odd_v) == odd_s
+        assert list(fft_mod.merge_fft_array(even_v, odd_v)) \
+            == fft_mod.merge_fft(even_s, odd_s)
+
+        other = fft_mod.fft([rng.uniform(-10, 10) for _ in range(n)])
+        assert list(fft_mod.mul_fft_array(vector, np.array(other))) \
+            == fft_mod.mul_fft(scalar, other)
+        assert list(fft_mod.div_fft_array(vector, np.array(other))) \
+            == fft_mod.div_fft(scalar, other)
+        assert list(fft_mod.adj_fft_array(vector)) \
+            == fft_mod.adj_fft(scalar)
+
+
+@numpy_only
+@pytest.mark.parametrize("n", TRANSFORM_SIZES)
+def test_fft_kernels_batched_lanes(n):
+    rng = random.Random(200 + n)
+    batch = [[rng.uniform(-50, 50) for _ in range(n)] for _ in range(4)]
+    vector = fft_mod.fft_array(batch)
+    for lane, coeffs in enumerate(batch):
+        assert list(vector[lane]) == fft_mod.fft(coeffs)
+    back = fft_mod.ifft_array(vector)
+    for lane in range(len(batch)):
+        assert back[lane].tolist() \
+            == fft_mod.ifft(fft_mod.fft(batch[lane]))
+
+
+@numpy_only
+@pytest.mark.parametrize("n", TRANSFORM_SIZES)
+def test_ntt_kernels_exact(n):
+    rng = random.Random(300 + n)
+    for _ in range(3):
+        a = [rng.randrange(-3 * ntt_mod.Q, 3 * ntt_mod.Q)
+             for _ in range(n)]
+        b = [rng.randrange(ntt_mod.Q) for _ in range(n)]
+        fa = ntt_mod.ntt(a)
+        assert ntt_mod.ntt_array(a).tolist() == fa
+        assert ntt_mod.intt_array(fa).tolist() == ntt_mod.intt(fa)
+        assert ntt_mod.mul_ntt_array(a, b).tolist() \
+            == ntt_mod.mul_ntt(a, b)
+    # NTT roundtrip on a batch, one call:
+    batch = [[rng.randrange(ntt_mod.Q) for _ in range(n)]
+             for _ in range(5)]
+    roundtrip = ntt_mod.intt_array(ntt_mod.ntt_array(batch))
+    for lane, poly in enumerate(batch):
+        assert roundtrip[lane].tolist() == poly
+
+
+# -- flat tree + batched walk ----------------------------------------------
+
+def _stub_sampler():
+    state = [0]
+
+    def sample(center, sigma):
+        state[0] += 1
+        return round(center) + state[0] % 3 - 1
+
+    return sample
+
+
+def test_flat_tree_matches_recursive():
+    sk = SecretKey.generate(n=64, seed=21)
+    flat = flatten_ldl_tree(sk.tree)
+    assert flat.leaf_sigmas() == tree_leaf_sigmas(sk.tree)
+    assert sk.flat_tree.leaf_sigma0 == flat.leaf_sigma0
+    assert sk.flat_tree.leaf_sigma1 == flat.leaf_sigma1
+    assert sk.flat_tree.leaf_l10 == flat.leaf_l10
+
+
+@numpy_only
+def test_vectorized_tree_build_bit_identical():
+    sk = SecretKey.generate(n=64, seed=22)
+    flat_scalar = flatten_ldl_tree(sk.tree)
+    flat_vector = build_flat_ldl_tree(*sk._gram, sk.params.sigma)
+    assert flat_vector.depth == flat_scalar.depth
+    for level_v, level_s in zip(flat_vector.levels, flat_scalar.levels):
+        assert np.array_equal(level_v, level_s)
+    assert flat_vector.leaf_l10 == flat_scalar.leaf_l10
+    assert flat_vector.leaf_sigma0 == flat_scalar.leaf_sigma0
+    assert flat_vector.leaf_sigma1 == flat_scalar.leaf_sigma1
+
+
+def test_batched_walk_matches_legacy_recursion():
+    sk = SecretKey.generate(n=64, seed=23)
+    rng = random.Random(5)
+    t0 = [complex(rng.uniform(-2, 2), rng.uniform(-2, 2))
+          for _ in range(64)]
+    t1 = [complex(rng.uniform(-2, 2), rng.uniform(-2, 2))
+          for _ in range(64)]
+    z0_ref, z1_ref = ff_sampling(list(t0), list(t1), sk.tree,
+                                 _stub_sampler())
+    z0, z1 = ff_sampling_batch([list(t0)], [list(t1)], sk.flat_tree,
+                               _stub_sampler())
+    assert z0[0] == z0_ref and z1[0] == z1_ref
+    if HAVE_NUMPY:
+        z0_v, z1_v = ff_sampling_batch(np.array([t0]), np.array([t1]),
+                                       sk.flat_tree, _stub_sampler())
+        assert z0_v[0].tolist() == z0_ref
+        assert z1_v[0].tolist() == z1_ref
+
+
+@numpy_only
+def test_batched_walk_lanes_identical_across_kernels():
+    sk = SecretKey.generate(n=64, seed=24)
+    rng = random.Random(6)
+    t0 = [[complex(rng.uniform(-2, 2), rng.uniform(-2, 2))
+           for _ in range(64)] for _ in range(3)]
+    t1 = [[complex(rng.uniform(-2, 2), rng.uniform(-2, 2))
+           for _ in range(64)] for _ in range(3)]
+    z_scalar = ff_sampling_batch([list(lane) for lane in t0],
+                                 [list(lane) for lane in t1],
+                                 sk.flat_tree, _stub_sampler())
+    z_vector = ff_sampling_batch(np.array(t0), np.array(t1),
+                                 sk.flat_tree, _stub_sampler())
+    for side in (0, 1):
+        for lane in range(3):
+            assert z_vector[side][lane].tolist() == z_scalar[side][lane]
+
+
+# -- hash-to-point ---------------------------------------------------------
+
+@pytest.mark.parametrize("n", (8, 64, 512))
+def test_hash_to_point_matches_pure_python_shake(n):
+    """The hashlib-backed bulk squeeze equals the spec's byte-at-a-time
+    squeeze of the library's own Keccak."""
+    message, salt = b"htp message", b"S" * 40
+    sponge = Shake256(salt + message)
+    limit = (1 << 16) // ntt_mod.Q * ntt_mod.Q
+    reference = []
+    while len(reference) < n:
+        chunk = sponge.squeeze(2)
+        value = (chunk[0] << 8) | chunk[1]
+        if value < limit:
+            reference.append(value % ntt_mod.Q)
+    assert hash_to_point(message, salt, n) == reference
+
+
+# -- sampler batching ------------------------------------------------------
+
+def test_sample_lanes_width_one_matches_sample():
+    def sampler(seed):
+        return RejectionSamplerZ(
+            _StubBase(ChaChaSource(seed)),
+            uniform_source=ChaChaSource(1000 + seed))
+
+    centers = [0.25, -1.8, 3.1, 0.0, -0.49, 7.7]
+    reference = sampler(7)
+    sequential = [reference.sample(c, 1.5) for c in centers]
+    lanes = sampler(7)
+    one_by_one = [lanes.sample_lanes([c], 1.5)[0] for c in centers]
+    assert one_by_one == sequential
+
+
+class _StubBase:
+    """Minimal sigma-2-ish base sampler reading from a source."""
+
+    def __init__(self, source):
+        self.source = source
+
+    def sample(self):
+        word = self.source.read_bytes(1)[0]
+        return (word & 7) - 4 + (word >> 7)
+
+
+# -- full signing ----------------------------------------------------------
+
+def _fresh(n, seed):
+    return SecretKey.generate(n=n, seed=seed)
+
+
+@pytest.mark.parametrize("n", SIGN_SIZES)
+def test_sign_many_batch_of_one_reproduces_sign(n):
+    messages = [b"diff-%d" % i for i in range(3)]
+    legacy = _fresh(n, 31)
+    reference = [legacy.sign(m) for m in messages]
+    scalar = _fresh(n, 31)
+    via_batch = [scalar.sign_many([m], spine="scalar")[0]
+                 for m in messages]
+    assert [(s.salt, s.compressed) for s in via_batch] \
+        == [(s.salt, s.compressed) for s in reference]
+    if HAVE_NUMPY:
+        vector = _fresh(n, 31)
+        via_numpy = [vector.sign_many([m], spine="numpy")[0]
+                     for m in messages]
+        assert [(s.salt, s.compressed) for s in via_numpy] \
+            == [(s.salt, s.compressed) for s in reference]
+
+
+@numpy_only
+@pytest.mark.parametrize("n", SIGN_SIZES)
+def test_sign_many_spines_identical(n):
+    """The acceptance-criterion property: scalar and NumPy spines emit
+    identical signature bytes for a fixed ChaCha seed."""
+    messages = [b"spine-%d" % i for i in range(4)]
+    scalar = _fresh(n, 32).sign_many(messages, spine="scalar")
+    vector = _fresh(n, 32).sign_many(messages, spine="numpy")
+    assert [(s.salt, s.compressed) for s in scalar] \
+        == [(s.salt, s.compressed) for s in vector]
+
+
+def test_sign_many_verifies_and_batches(n=64):
+    sk = _fresh(n, 33)
+    messages = [b"verify-%d" % i for i in range(6)]
+    signatures = sk.sign_many(messages)
+    pk = sk.public_key
+    assert all(pk.verify(m, s) for m, s in zip(messages, signatures))
+    verdicts = pk.verify_many(messages, signatures)
+    assert verdicts == [True] * len(messages)
+    tampered = list(messages)
+    tampered[2] = b"tampered"
+    assert pk.verify_many(tampered, signatures) \
+        == [True, True, False, True, True, True]
+
+
+def test_verify_many_rejects_malformed_compression(n=64):
+    from repro.falcon import Signature
+
+    sk = _fresh(n, 34)
+    messages = [b"ok", b"bad"]
+    good = sk.sign_many([messages[0]])[0]
+    broken = Signature(salt=good.salt, compressed=b"\xff" * 3)
+    assert sk.public_key.verify_many(messages, [good, broken]) \
+        == [True, False]
+
+
+def test_sign_many_empty_and_spine_validation():
+    sk = _fresh(8, 35)
+    assert sk.sign_many([]) == []
+    with pytest.raises(ValueError):
+        sk.sign_many([b"x"], spine="simd")
+    if not HAVE_NUMPY:
+        with pytest.raises(RuntimeError):
+            sk.sign_many([b"x"], spine="numpy")
+
+
+# -- CLI -------------------------------------------------------------------
+
+def test_cli_bench_serve_smoke(capsys):
+    from repro.cli import main
+
+    assert main(["bench-serve", "--n", "16", "--signs", "4",
+                 "--batch", "2", "--legacy-row"]) == 0
+    out = capsys.readouterr().out
+    assert "serving throughput" in out
+    assert "verify_many" in out
+
+
+def test_cli_falcon_spine_option(capsys):
+    from repro.cli import main
+
+    assert main(["falcon", "--n", "16", "--spine", "auto"]) == 0
+    assert "verified   : True" in capsys.readouterr().out

@@ -176,6 +176,26 @@ def test_prng_trace_identical_across_engines():
     assert len(set(workloads.values())) == 1, workloads
 
 
+@pytest.mark.parametrize("prefetch", [1, 4])
+def test_prefill_leaves_sample_stream_unchanged(prefetch):
+    """prefill() warms the pool without changing what sample() emits.
+
+    The prefilled buffer must be consumed in exactly the order lazy
+    refills would have produced — that's the contract that makes
+    warming a serving pool safe for reproducible (seeded) signing.
+    """
+    lazy = compile_sampler(2, 16, source=ChaChaSource(9),
+                           batch_width=64, engine="bigint",
+                           prefetch_batches=prefetch)
+    warmed = compile_sampler(2, 16, source=ChaChaSource(9),
+                             batch_width=64, engine="bigint",
+                             prefetch_batches=prefetch)
+    warmed.prefill(500)
+    assert len(warmed._buffer) >= 500
+    assert [warmed.sample() for _ in range(700)] \
+        == [lazy.sample() for _ in range(700)]
+
+
 def test_super_batch_randomness_scales_linearly():
     """A fused f-batch pass draws exactly f times the per-batch bytes
     (width 64 is byte-aligned), preserving the constant-time account."""

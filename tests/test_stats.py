@@ -4,7 +4,12 @@ import math
 from fractions import Fraction
 
 import pytest
-import scipy.stats
+
+#: SciPy is only present in the with-NumPy CI leg; the cross-checks
+#: against scipy.stats skip cleanly elsewhere (including environments
+#: where scipy exists but NumPy does not, hence exc_type=ImportError).
+scipy = pytest.importorskip("scipy", exc_type=ImportError)
+import scipy.stats  # noqa: E402
 
 from repro.analysis import (
     chi_square_p_value,
