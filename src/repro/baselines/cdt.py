@@ -16,9 +16,16 @@ replacement.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 from ..core.gaussian import GaussianParams, probability_matrix
 from ..rng.source import RandomSource
 from .api import IntegerSampler, LazyUniform, register_backend
+
+try:  # Optional: powers the vectorized block sampler below.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI job
+    _np = None
 
 
 class CdtTable:
@@ -60,6 +67,30 @@ class CdtTable:
         """Values ``r >= entries[-1]`` fall in the truncation gap."""
         return self.entries[-1]
 
+    @property
+    def shifted_entries(self) -> tuple[int, ...]:
+        """Entries aligned to full bytes (``value << shift``), matching
+        the byte strings :class:`LazyUniform` compares against —
+        the block sampler's search key space."""
+        if not hasattr(self, "_shifted_entries"):
+            self._shifted_entries = tuple(
+                value << self._shift for value in self.entries)
+        return self._shifted_entries
+
+    @property
+    def entries_array(self):
+        """:attr:`shifted_entries` as a read-only ``uint64`` array
+        (requires NumPy and at most 64-bit table words)."""
+        if _np is None:
+            raise RuntimeError("NumPy is not installed")
+        if 8 * self.num_bytes > 64:
+            raise ValueError("table words exceed 64 bits")
+        if not hasattr(self, "_entries_array"):
+            array = _np.array(self.shifted_entries, dtype=_np.uint64)
+            array.setflags(write=False)
+            self._entries_array = array
+        return self._entries_array
+
 
 @register_backend
 class CdtBinarySearchSampler(IntegerSampler):
@@ -100,3 +131,86 @@ def make_cdt_table(sigma: float, precision: int,
     params = GaussianParams.from_sigma(sigma, precision,
                                        tail_cut=tail_cut)
     return CdtTable(params)
+
+
+# -- bulk block sampling ------------------------------------------------------
+#
+# The Falcon keygen pipeline draws whole polynomials (hundreds of
+# coefficients) at once; the block sampler amortizes the PRNG and the
+# table search across the block instead of paying both per coefficient.
+#
+# Stream contract (identical for the scalar and the NumPy route, which
+# is what lets vectorized and pure-Python key generation emit
+# bit-identical keys from one seed):
+#
+# 1. while magnitudes are missing, draw ``missing`` full-width table
+#    words in one ``read_words``/``read_words_array`` bulk call
+#    (little-endian words, ``8 * num_bytes`` bits each) and binary-search
+#    every word; words at or beyond the last CDF entry fall in the
+#    truncation gap and are dropped (the block refills on the next pass);
+# 2. once ``count`` magnitudes are accepted, draw ``ceil(count / 8)``
+#    sign bytes in one call; sign bit ``i`` is bit ``i % 8`` (LSB first)
+#    of byte ``i // 8``, and flips the matching magnitude's sign.
+
+def _block_magnitudes_scalar(table: CdtTable, source: RandomSource,
+                             count: int) -> list[int]:
+    entries = table.shifted_entries
+    limit = len(entries)
+    bits = 8 * table.num_bytes
+    out: list[int] = []
+    while len(out) < count:
+        for word in source.read_words(bits, count - len(out)):
+            value = bisect_right(entries, word)
+            if value < limit:
+                out.append(value)
+    return out
+
+
+def _block_magnitudes_numpy(table: CdtTable, source: RandomSource,
+                            count: int):
+    entries = table.entries_array
+    limit = len(entries)
+    bits = 8 * table.num_bytes
+    parts = []
+    missing = count
+    while missing:
+        words = source.read_words_array(bits, missing)
+        found = _np.searchsorted(entries, words, side="right")
+        accepted = found[found < limit]
+        parts.append(accepted)
+        missing -= len(accepted)
+    return _np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+
+def cdt_sample_block(table: CdtTable, source: RandomSource, count: int,
+                     route: str = "auto") -> list[int]:
+    """``count`` signed CDT draws from one bulk-drawn randomness block.
+
+    ``route`` picks the search implementation — ``"numpy"``
+    (``searchsorted`` over ``uint64`` lanes), ``"scalar"`` (pure-Python
+    ``bisect``) or ``"auto"`` — all of which consume the identical byte
+    stream and return identical samples (pinned by the differential
+    tests).
+    """
+    if count <= 0:
+        return []
+    if route not in ("auto", "numpy", "scalar"):
+        raise ValueError(f"unknown route {route!r}")
+    if route == "auto":
+        route = "numpy" if (_np is not None
+                            and 8 * table.num_bytes <= 64) else "scalar"
+    if route == "numpy":
+        magnitudes = _block_magnitudes_numpy(table, source, count)
+        sign_data = source.read_bytes((count + 7) // 8)
+        sign_bits = _np.unpackbits(
+            _np.frombuffer(sign_data, dtype=_np.uint8),
+            bitorder="little")[:count]
+        signed = _np.where(sign_bits.astype(bool),
+                           -magnitudes.astype(_np.int64),
+                           magnitudes.astype(_np.int64))
+        return signed.tolist()
+    magnitudes = _block_magnitudes_scalar(table, source, count)
+    sign_data = source.read_bytes((count + 7) // 8)
+    return [-magnitude
+            if (sign_data[index >> 3] >> (index & 7)) & 1 else magnitude
+            for index, magnitude in enumerate(magnitudes)]

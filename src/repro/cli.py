@@ -17,9 +17,14 @@ Subcommands
 ``sample``       draw samples from a compiled constant-time sampler.
 ``audit``        dudect leakage audit of any backend.
 ``falcon``       keygen/sign/verify round trip with a chosen backend.
+``keygen``       fill a generate-ahead key store (optionally persisted
+                 to disk, optionally over a worker pool).
+``bench-keygen`` key-generation throughput: scalar vs vectorized
+                 keygen spines.
 ``bench-serve``  batch-signing throughput: ``sign_many`` over the
                  vectorized numeric spine vs the scalar paths, plus
-                 batch verification.
+                 batch verification; ``--keystore`` serves the signing
+                 key from a persisted pool.
 """
 
 from __future__ import annotations
@@ -141,14 +146,90 @@ def _cmd_falcon(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_keygen(args: argparse.Namespace) -> int:
+    import time
+
+    from .falcon.keystore import KeyStore
+    from .falcon.serialize import encode_public_key, encode_secret_key
+
+    if args.count < 1:
+        print("nothing to do: --count must be at least 1")
+        return 2
+    store = KeyStore(args.keystore, master_seed=args.seed,
+                     prng=args.prng, keygen_spine=args.spine,
+                     workers=args.workers)
+    started = time.perf_counter()
+    store.generate_ahead(args.n, args.count)
+    elapsed = time.perf_counter() - started
+    # Full canonical decode of one key for the report — peek, don't
+    # acquire: every generated key stays in the pool.
+    sk = store.peek(args.n)
+    rows = [
+        ["ring degree n", args.n],
+        ["keys generated", args.count],
+        ["keys/s", f"{args.count / elapsed:,.2f}"],
+        ["workers", args.workers],
+        ["keygen spine", args.spine],
+        ["secret key bytes", len(encode_secret_key(sk))],
+        ["public key bytes", len(encode_public_key(sk.public_key))],
+        ["pool remaining", store.available(args.n)],
+        ["persisted to", args.keystore or "(memory only)"],
+    ]
+    print(format_table(["property", "value"], rows,
+                       title="falcon keygen"))
+    return 0
+
+
+def _cmd_bench_keygen(args: argparse.Namespace) -> int:
+    import time
+
+    from .falcon import HAVE_NUMPY
+    from .falcon.ntrugen import generate_keys
+    from .rng import make_source
+
+    spines = ["scalar"] + (["numpy"] if HAVE_NUMPY else [])
+    if args.spine != "auto":
+        spines = [args.spine]
+    rows = []
+    rates = {}
+    for spine in spines:
+        started = time.perf_counter()
+        for seed in range(args.seed, args.seed + args.keys):
+            generate_keys(args.n, source=make_source(args.prng, seed),
+                          spine=spine)
+        rates[spine] = args.keys / (time.perf_counter() - started)
+        rows.append([f"generate_keys[{spine}]", f"{rates[spine]:,.2f}"])
+    if "numpy" in rates and "scalar" in rates:
+        rows.append(["numpy / scalar",
+                     f"{rates['numpy'] / rates['scalar']:.2f}x"])
+    print(format_table(
+        ["path", "keys/s"], rows,
+        title=f"Falcon-{args.n} key-generation throughput "
+              f"({args.keys} keys per row)"))
+    return 0
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     import time
 
     from .falcon import HAVE_NUMPY, SecretKey
 
-    print(f"generating Falcon-{args.n} keys (seed {args.seed}) ...")
     started = time.perf_counter()
-    sk = SecretKey.generate(n=args.n, seed=args.seed, prng=args.prng)
+    if args.keystore:
+        from .falcon.keystore import KeyStore
+
+        print(f"serving Falcon-{args.n} key from store "
+              f"{args.keystore} (seed {args.seed}) ...")
+        store = KeyStore(args.keystore, master_seed=args.seed,
+                         prng=args.prng)
+        # Peek, don't acquire: a benchmark run must not consume the
+        # provisioned pool (peek still exercises the full canonical
+        # decode the serving path relies on).
+        sk = store.peek(args.n)
+    else:
+        print(f"generating Falcon-{args.n} keys (seed {args.seed}) ...")
+        sk = SecretKey.generate(n=args.n, seed=args.seed,
+                                prng=args.prng)
     if args.backend == "bitsliced":
         sk.use_base_sampler(args.backend, engine=args.engine,
                             prefetch_batches=args.prefetch_batches)
@@ -260,6 +341,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_option(falcon_p)
     falcon_p.set_defaults(func=_cmd_falcon)
 
+    keygen_p = sub.add_parser(
+        "keygen",
+        help="fill a generate-ahead key store (optionally persisted "
+             "and parallel)")
+    keygen_p.add_argument("--n", type=int, default=64)
+    keygen_p.add_argument("--count", type=int, default=4,
+                          help="keys to generate ahead")
+    keygen_p.add_argument("--seed", type=int, default=0,
+                          help="key-store master seed (per-key seeds "
+                               "derive from it deterministically)")
+    keygen_p.add_argument("--keystore", default=None,
+                          help="directory to persist keys to "
+                               "(default: memory only)")
+    keygen_p.add_argument("--workers", type=int, default=1,
+                          help="process-pool fan-out for generation")
+    keygen_p.add_argument(
+        "--spine", default="auto", choices=["auto", "numpy", "scalar"],
+        help="keygen numeric spine (all spines emit identical keys "
+             "for a seed)")
+    _add_prng_option(keygen_p)
+    keygen_p.set_defaults(func=_cmd_keygen)
+
+    bench_keygen_p = sub.add_parser(
+        "bench-keygen",
+        help="key-generation throughput, scalar vs vectorized spine")
+    bench_keygen_p.add_argument("--n", type=int, default=256)
+    bench_keygen_p.add_argument("--keys", type=int, default=8,
+                                help="keys per measured row")
+    bench_keygen_p.add_argument("--seed", type=int, default=1)
+    bench_keygen_p.add_argument(
+        "--spine", default="auto", choices=["auto", "numpy", "scalar"],
+        help="'auto' benchmarks every available spine")
+    _add_prng_option(bench_keygen_p)
+    bench_keygen_p.set_defaults(func=_cmd_bench_keygen)
+
     serve_p = sub.add_parser(
         "bench-serve",
         help="batch signing/verification throughput (the serving "
@@ -276,6 +392,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--prefetch-batches", type=int, default=32,
                          help="base-sampler pool refill size "
                               "(bitsliced backend)")
+    serve_p.add_argument("--keystore", default=None,
+                         help="serve the signing key from this key-store "
+                              "directory (generate-ahead pool + "
+                              "serialize round-trip) instead of "
+                              "generating inline")
     serve_p.add_argument(
         "--spine", default="auto",
         choices=["auto", "numpy", "scalar"],

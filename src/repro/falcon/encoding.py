@@ -14,10 +14,24 @@ The bit budget is fixed per parameter set; unused space is zero-padded
 (and checked on decode), and encoders report failure when a freak
 signature exceeds the budget — the signer simply retries, as the
 reference implementation does.  Decoding enforces canonicity: padding
-must be all-zero and ``-0`` is rejected.
+must be all-zero, ``-0`` is rejected, and every magnitude must lie
+within the parameter set's coefficient range (any valid signature's
+coefficients satisfy ``c^2 <= beta^2``, so a longer unary run can only
+come from a malformed or forged blob).
 """
 
 from __future__ import annotations
+
+from math import isqrt
+
+from .params import falcon_params
+
+
+def max_coefficient(n: int) -> int:
+    """Largest |s2 coefficient| any valid Falcon-``n`` signature can
+    carry: ``floor(sqrt(beta^2))`` (one coefficient taking the entire
+    norm budget)."""
+    return isqrt(falcon_params(n).sig_bound)
 
 
 class CompressError(Exception):
@@ -108,10 +122,18 @@ def compress(coefficients: list[int], payload_bits: int) -> bytes:
 def decompress(data: bytes, n: int) -> list[int]:
     """Inverse of :func:`compress`; raises on any non-canonical form.
 
+    ``n`` is the ring degree: each decoded magnitude is checked against
+    :func:`max_coefficient` for that parameter set, so a unary run
+    encoding a coefficient no valid signature could carry (the old
+    guard allowed magnitudes up to ~131k, ~22x the Falcon-512 bound)
+    is rejected as malformed.
+
     Operates on the bit stream as a text of ``0``/``1`` characters so
     the unary runs are located with C-speed ``str.find`` — same
     accept/reject behavior as the bit-by-bit reference reader.
     """
+    limit = max_coefficient(n)
+    max_high = limit >> 7
     total = len(data) * 8
     stream = bin((1 << total) | int.from_bytes(data, "big"))[3:]
     out = []
@@ -125,9 +147,14 @@ def decompress(data: bytes, n: int) -> list[int]:
         if terminator < 0:
             raise DecompressError("compressed signature truncated")
         high = terminator - (position + 8)
-        if high > (1 << 10):
-            raise DecompressError("unary run too long")
+        if high > max_high:
+            raise DecompressError(
+                "unary run exceeds the coefficient bound")
         magnitude = (high << 7) | low
+        if magnitude > limit:
+            raise DecompressError(
+                f"coefficient {magnitude} exceeds the parameter "
+                f"set's bound {limit}")
         if sign and magnitude == 0:
             raise DecompressError("negative zero is non-canonical")
         out.append(-magnitude if sign else magnitude)

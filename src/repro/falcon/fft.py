@@ -417,6 +417,19 @@ def merge_fft_array(even, odd):
     return out
 
 
+def fft_of_int_rows(rows):
+    """Batched :func:`fft_of_int_poly`: FFT of ``(batch, n)`` integer rows.
+
+    ``np.asarray(..., dtype=float64)`` applies the same
+    round-to-nearest int-to-float conversion as the scalar
+    ``float(c)`` cast, so each output row is bit-identical to
+    ``fft_of_int_poly`` of that row (the keygen pipeline's batched
+    Gram–Schmidt filter relies on this).
+    """
+    _require_numpy()
+    return fft_array(_np.asarray(rows, dtype=_np.float64))
+
+
 def mul_fft_array(a, b):
     """Pointwise product (array form of :func:`mul_fft`)."""
     _require_numpy()

@@ -1,0 +1,291 @@
+"""Generate-ahead Falcon key store: pools, workers, disk persistence.
+
+The serving deployments the ROADMAP targets do not generate a key per
+request — they draw from a pre-filled pool and refill it off the hot
+path.  :class:`KeyStore` is that layer:
+
+* **generate-ahead pools** per ring degree, filled by
+  :meth:`KeyStore.generate_ahead` — inline, or fanned out over a
+  process pool (key generation is CPU-bound Python, so real
+  parallelism needs processes, not threads);
+* **deterministic provisioning**: every pool slot's seed derives from
+  ``(master_seed, n, index)`` via SHA-256, so a store can be audited or
+  rebuilt bit-for-bit (the keygen spines guarantee the same seed gives
+  the same key with or without NumPy);
+* **disk persistence** through the canonical ``serialize`` round-trip
+  (`save_secret_key` / `load_secret_key`): keys survive restarts, and
+  every acquisition exercises the full canonical decode — range
+  checks, G recomputation, NTRU-equation verification;
+* **signer cache**: :meth:`sign_many` keeps one decoded
+  :class:`~repro.falcon.scheme.SecretKey` checked out per degree, so
+  batch signing reuses its precomputed ffLDL tree instead of decoding
+  per call.
+
+The store is single-process-single-owner by design (the worker pool is
+fan-out only); cross-process sharding is ROADMAP backlog.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from dataclasses import dataclass, field
+from hashlib import sha256
+from pathlib import Path
+from typing import Sequence
+
+from .scheme import SecretKey, Signature
+from .serialize import (
+    SECRET_KEY_SUFFIX,
+    atomic_write_bytes,
+    load_secret_key,
+    save_secret_key,
+)
+
+_KEY_FILE_PATTERN = re.compile(
+    r"falcon_n(?P<n>\d+)_(?P<index>\d+)"
+    + re.escape(SECRET_KEY_SUFFIX) + r"$")
+
+#: Per-directory manifest holding the next unissued slot index per
+#: ring degree.  Key files alone cannot carry that information —
+#: :meth:`KeyStore.acquire` deletes the file it checks out, so a fully
+#: drained store would otherwise restart at index 0 and re-issue key
+#: material that is already in some caller's hands.
+_STATE_FILE = "keystore-state.json"
+
+
+def derive_key_seed(master_seed: int | bytes, n: int, index: int) -> bytes:
+    """Deterministic 32-byte PRNG seed for pool slot ``(n, index)``.
+
+    Integer master seeds of any sign and size are accepted (hashed via
+    their decimal form, so ``-1`` and huge seeds work); byte seeds are
+    hashed as-is.
+    """
+    if isinstance(master_seed, int):
+        master = b"%d" % master_seed
+    else:
+        master = bytes(master_seed)
+    material = b"falcon-keystore|%b|%d|%d" % (master, n, index)
+    return sha256(material).digest()
+
+
+def generate_encoded_key(n: int, seed: bytes, prng: str = "chacha20",
+                         keygen_spine: str = "auto") -> bytes:
+    """Generate one key and return its canonical encoding.
+
+    Module-level (not a method) so process pools can pickle the job;
+    returning the *encoded* bytes keeps the inter-process payload small
+    and guarantees every pooled key round-trips the serializer.
+    """
+    secret_key = SecretKey.generate(n=n, seed=seed, prng=prng,
+                                    keygen_spine=keygen_spine)
+    from .serialize import encode_secret_key
+    return encode_secret_key(secret_key)
+
+
+@dataclass
+class _PoolEntry:
+    """One ready key: encoded bytes in memory, file on disk, or both."""
+
+    encoded: bytes | None = None
+    path: Path | None = None
+
+    def read(self) -> bytes:
+        if self.encoded is not None:
+            return self.encoded
+        return self.path.read_bytes()
+
+
+@dataclass
+class KeyStoreStats:
+    """Counters for monitoring a store (returned by :meth:`stats`)."""
+
+    generated: int = 0
+    served: int = 0
+    loaded_from_disk: int = 0
+    available: dict[int, int] = field(default_factory=dict)
+
+
+class KeyStore:
+    """A generate-ahead pool of Falcon secret keys.
+
+    ``directory=None`` keeps the store purely in memory; with a
+    directory, every generated key is persisted (atomically) and
+    existing persisted keys plus the slot-index manifest are read back
+    at construction, so a restarted store resumes from disk without
+    ever re-issuing a slot it already handed out.  A memory-only store
+    has no such memory across processes — it is deterministic from
+    ``master_seed`` by design, so two memory-only stores with the same
+    seed serve the same keys.  ``workers > 1`` fans
+    :meth:`generate_ahead` out over a process pool.
+    """
+
+    def __init__(self, directory: str | Path | None = None, *,
+                 master_seed: int | bytes = 0,
+                 prng: str = "chacha20",
+                 base_backend: str = "bitsliced",
+                 keygen_spine: str = "auto",
+                 workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.directory = Path(directory) if directory is not None else None
+        self.master_seed = master_seed
+        self.prng = prng
+        self.base_backend = base_backend
+        self.keygen_spine = keygen_spine
+        self.workers = workers
+        self._pools: dict[int, deque[_PoolEntry]] = {}
+        self._next_index: dict[int, int] = {}
+        self._signers: dict[int, SecretKey] = {}
+        self._stats = KeyStoreStats()
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._index_directory()
+
+    # -- internal ----------------------------------------------------------
+
+    def _index_directory(self) -> None:
+        """Adopt keys already persisted under ``directory``.
+
+        The next-slot counters come from the state manifest (written
+        whenever indices are claimed), clamped up by any key files on
+        disk — so even a drained-and-restarted store never re-issues a
+        slot whose key was already handed out.
+        """
+        state_path = self.directory / _STATE_FILE
+        if state_path.exists():
+            import json
+
+            state = json.loads(state_path.read_text(encoding="utf-8"))
+            for n, next_index in state.get("next_index", {}).items():
+                self._next_index[int(n)] = int(next_index)
+        for path in sorted(self.directory.glob("falcon_n*" +
+                                               SECRET_KEY_SUFFIX)):
+            match = _KEY_FILE_PATTERN.match(path.name)
+            if not match:
+                continue
+            n = int(match.group("n"))
+            index = int(match.group("index"))
+            self._pools.setdefault(n, deque()).append(_PoolEntry(path=path))
+            self._next_index[n] = max(self._next_index.get(n, 0),
+                                      index + 1)
+            self._stats.loaded_from_disk += 1
+
+    def _write_state(self) -> None:
+        import json
+
+        payload = {"next_index": {str(n): index
+                                  for n, index in
+                                  sorted(self._next_index.items())}}
+        atomic_write_bytes(self.directory / _STATE_FILE,
+                           json.dumps(payload, indent=1).encode())
+
+    def _key_path(self, n: int, index: int) -> Path:
+        return self.directory / (f"falcon_n{n:04d}_{index:06d}"
+                                 + SECRET_KEY_SUFFIX)
+
+    def _claim_indices(self, n: int, count: int) -> list[int]:
+        start = self._next_index.get(n, 0)
+        self._next_index[n] = start + count
+        if self.directory is not None:
+            self._write_state()
+        return list(range(start, start + count))
+
+    # -- pool management ---------------------------------------------------
+
+    def generate_ahead(self, n: int, count: int) -> int:
+        """Add ``count`` fresh keys to the degree-``n`` pool.
+
+        Seeds derive from ``(master_seed, n, index)``; with
+        ``workers > 1`` generation fans out over a process pool (each
+        worker ships back the canonical encoding).  Returns ``count``.
+        """
+        if count <= 0:
+            return 0
+        indices = self._claim_indices(n, count)
+        seeds = [derive_key_seed(self.master_seed, n, index)
+                 for index in indices]
+        if self.workers > 1 and count > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                    max_workers=min(self.workers, count)) as executor:
+                encoded_keys = list(executor.map(
+                    generate_encoded_key, [n] * count, seeds,
+                    [self.prng] * count, [self.keygen_spine] * count))
+        else:
+            encoded_keys = [
+                generate_encoded_key(n, seed, self.prng,
+                                     self.keygen_spine)
+                for seed in seeds]
+        pool = self._pools.setdefault(n, deque())
+        for index, encoded in zip(indices, encoded_keys):
+            entry = _PoolEntry(encoded=encoded)
+            if self.directory is not None:
+                entry.path = atomic_write_bytes(
+                    self._key_path(n, index), encoded)
+            pool.append(entry)
+        self._stats.generated += count
+        return count
+
+    def available(self, n: int) -> int:
+        """Ready keys in the degree-``n`` pool (memory or disk)."""
+        return len(self._pools.get(n, ()))
+
+    def acquire(self, n: int) -> SecretKey:
+        """Check one key out of the pool (generating on a dry pool).
+
+        The returned signer went through the full canonical decode; its
+        disk copy, if any, is removed — an acquired key is no longer
+        the store's to hand out again.
+        """
+        pool = self._pools.setdefault(n, deque())
+        if not pool:
+            self.generate_ahead(n, 1)
+        entry = pool.popleft()
+        encoded = entry.read()
+        if entry.path is not None:
+            entry.path.unlink(missing_ok=True)
+        from .serialize import decode_secret_key
+        secret_key = decode_secret_key(encoded,
+                                       base_backend=self.base_backend)
+        self._stats.served += 1
+        return secret_key
+
+    def peek(self, n: int) -> SecretKey:
+        """Decode the pool's next key WITHOUT checking it out.
+
+        The entry (and any disk copy) stays in the pool — this is for
+        inspection and reporting; use :meth:`acquire` to take ownership.
+        Generates one key first if the pool is dry.
+        """
+        pool = self._pools.setdefault(n, deque())
+        if not pool:
+            self.generate_ahead(n, 1)
+        from .serialize import decode_secret_key
+        return decode_secret_key(pool[0].read(),
+                                 base_backend=self.base_backend)
+
+    # -- serving -----------------------------------------------------------
+
+    def signer(self, n: int) -> SecretKey:
+        """The cached signing key for degree ``n`` (acquired on first
+        use; reused so its ffLDL tree and sampler pools stay warm)."""
+        if n not in self._signers:
+            self._signers[n] = self.acquire(n)
+        return self._signers[n]
+
+    def sign_many(self, n: int, messages: Sequence[bytes],
+                  spine: str = "auto") -> list[Signature]:
+        """Batch-sign ``messages`` with the cached degree-``n`` signer."""
+        return self.signer(n).sign_many(messages, spine=spine)
+
+    def stats(self) -> KeyStoreStats:
+        """A point-in-time snapshot (callers may keep or mutate it
+        freely without touching the store's live counters)."""
+        return KeyStoreStats(
+            generated=self._stats.generated,
+            served=self._stats.served,
+            loaded_from_disk=self._stats.loaded_from_disk,
+            available={n: len(pool)
+                       for n, pool in self._pools.items() if pool})

@@ -245,3 +245,16 @@ def center_mod_q_array(values):
     _require_numpy()
     a = _np.asarray(values).astype(_np.int64) % Q
     return _np.where(a > Q // 2, a - Q, a)
+
+
+def is_invertible_array(rows):
+    """Per-row :func:`is_invertible` over ``(..., n)`` coefficient rows.
+
+    One batched NTT answers the invertibility question for a whole
+    block of keygen candidates; the arithmetic is exact, so each verdict
+    matches the scalar function's (the candidate pipeline depends on
+    that for spine-independent key streams).
+    """
+    _require_numpy()
+    values = ntt_array(_np.asarray(rows, dtype=_np.int64))
+    return (values != _np.uint64(0)).all(axis=-1)

@@ -4,8 +4,12 @@ NTRUSolve (key generation) works over towers of cyclotomic subrings with
 *exact* big-integer coefficients that grow to thousands of bits; this
 module supplies the required primitives:
 
-* negacyclic multiplication (Karatsuba above a schoolbook threshold —
-  Python bigints make the coefficient growth free of overflow concerns);
+* negacyclic multiplication, dispatched by operand shape: an exact
+  ``int64`` NumPy convolution while coefficients are provably small,
+  Kronecker substitution (pack each polynomial into ONE big integer,
+  multiply with CPython's subquadratic bigint kernel, slice the product
+  back out of its bytes) once they grow, and Karatsuba/schoolbook in
+  between — every route returns identical integers;
 * the Galois conjugate ``f(-x)``;
 * the field norm ``N(f) = f_e^2 - x f_o^2`` mapping Z[x]/(x^n+1) down to
   Z[x]/(x^{n/2}+1);
@@ -18,6 +22,7 @@ reference Python implementation.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Sequence
 
 try:  # Optional: exact vectorized convolution for small coefficients.
@@ -31,6 +36,43 @@ KARATSUBA_THRESHOLD = 32
 #: ``np.convolve`` on int64 is exact only while every accumulated dot
 #: product stays below 2^63; the dispatch bound keeps a safety bit.
 _CONVOLVE_LIMIT = 1 << 62
+
+#: Kronecker substitution beats Python-level Karatsuba where the degree
+#: is high and the coefficients moderate (just past the convolve limit:
+#: the mid-tower field norms) — there the Python recursion overhead
+#: dominates.  Deep in the tower (tiny degree, multi-thousand-bit
+#: coefficients) CPython's own bigint Karatsuba does the same C work
+#: without the packing passes, so the dispatch stays out of its way.
+_KRONECKER_MIN_DEGREE = 64
+_KRONECKER_MAX_BOUND_BITS = 768
+
+#: Multiplication strategies accepted by :func:`mul_strategy`.  ``auto``
+#: is the full dispatch; ``legacy`` is the pre-Kronecker dispatch
+#: (convolve + Karatsuba), kept addressable so benchmarks can measure the
+#: reference route; the rest force a single kernel (differential tests).
+MUL_STRATEGIES = ("auto", "legacy", "schoolbook", "karatsuba", "kronecker")
+
+_active_strategy = "auto"
+
+
+@contextmanager
+def mul_strategy(name: str):
+    """Force a :func:`mul_raw` dispatch strategy within a ``with`` block.
+
+    All strategies compute the same exact integers; this exists so
+    differential tests can pin kernel agreement and benchmarks can put a
+    number on each route (e.g. the pre-Kronecker ``legacy`` dispatch).
+    """
+    global _active_strategy
+    if name not in MUL_STRATEGIES:
+        raise ValueError(f"unknown mul strategy {name!r}; "
+                         f"choose from {MUL_STRATEGIES}")
+    previous = _active_strategy
+    _active_strategy = name
+    try:
+        yield
+    finally:
+        _active_strategy = previous
 
 
 def add(a: Sequence[int], b: Sequence[int]) -> list[int]:
@@ -81,24 +123,94 @@ def _karatsuba(a: list[int], b: list[int]) -> list[int]:
     return out
 
 
+def _pack_nonneg(values: Sequence[int], word_bytes: int) -> int:
+    """``sum(v << (8 * word_bytes * i))`` for non-negative ``v`` via one
+    ``int.from_bytes`` over a pre-filled buffer (no bigint shifts)."""
+    buffer = bytearray(word_bytes * len(values))
+    for i, v in enumerate(values):
+        if v:
+            start = i * word_bytes
+            buffer[start:start + (v.bit_length() + 7) // 8] = \
+                v.to_bytes((v.bit_length() + 7) // 8, "little")
+    return int.from_bytes(buffer, "little")
+
+
+def _kronecker(a: Sequence[int], b: Sequence[int],
+               bound: int | None = None) -> list[int]:
+    """Exact product by Kronecker substitution.
+
+    Evaluate both polynomials at ``x = 2^w`` (``w`` wide enough that
+    result coefficients cannot touch), multiply the two big integers —
+    CPython's C bigint multiplication, subquadratic and far faster than
+    Python-level Karatsuba — and read the coefficients back out of the
+    product's byte string.  Signed coefficients are handled by packing
+    positive and negative parts separately and, on the way out, adding a
+    per-digit offset of ``2^(w-1)`` so each digit of the (possibly
+    negative) product becomes an independent non-negative byte field.
+
+    ``bound`` is the coefficient-magnitude bound (:func:`_convolve_bound`
+    of the operands), accepted pre-computed so the dispatch's scan is
+    not repeated.
+    """
+    if bound is None:
+        bound = _convolve_bound(a, b)
+    word_bytes = bound.bit_length() // 8 + 1  # 8*wb >= bit_length + 2
+    word_bits = 8 * word_bytes
+    packed_a = _pack_nonneg([v if v > 0 else 0 for v in a], word_bytes) \
+        - _pack_nonneg([-v if v < 0 else 0 for v in a], word_bytes)
+    packed_b = _pack_nonneg([v if v > 0 else 0 for v in b], word_bytes) \
+        - _pack_nonneg([-v if v < 0 else 0 for v in b], word_bytes)
+    product = packed_a * packed_b
+    count = len(a) + len(b) - 1
+    half = 1 << (word_bits - 1)
+    # Digit-wise offset: every result coefficient c satisfies |c| <= bound
+    # < 2^(w-1) - 1, so c + 2^(w-1) lies in (0, 2^w) and the offset
+    # product has independent, borrow-free base-2^w digits.
+    offset = _pack_nonneg([half] * count, word_bytes)
+    raw = (product + offset).to_bytes(word_bytes * count, "little")
+    return [int.from_bytes(raw[i * word_bytes:(i + 1) * word_bytes],
+                           "little") - half
+            for i in range(count)]
+
+
+def _convolve_bound(a: Sequence[int], b: Sequence[int]) -> int:
+    return (max(map(abs, a), default=0) * max(map(abs, b), default=0)
+            * min(len(a), len(b)))
+
+
 def mul_raw(a: Sequence[int], b: Sequence[int]) -> list[int]:
     """Plain polynomial product (degree ``len(a)+len(b)-2``).
 
-    Runs on the array representation (one exact ``int64`` convolution)
-    whenever the coefficients are provably too small to overflow —
-    the common case in the lower NTRUSolve tower levels — and falls
-    back to bigint Karatsuba/schoolbook as they grow.
+    Dispatch (``auto`` strategy): one exact ``int64`` convolution while
+    the coefficients are provably too small to overflow — the common
+    case in the upper NTRUSolve tower levels — then Kronecker
+    substitution once the operands are big enough to amortize its
+    packing passes, with bigint Karatsuba/schoolbook covering the
+    remainder.  All routes produce identical integers (pinned by the
+    differential tests); :func:`mul_strategy` forces a specific one.
     """
     if not a or not b:
         return []
+    strategy = _active_strategy
+    if strategy == "schoolbook":
+        return _schoolbook(a, b)
+    if strategy == "kronecker":
+        return _kronecker(a, b)
+    if strategy == "karatsuba":
+        return _karatsuba(list(a), list(b))
+    bound = None
     if _np is not None and len(a) >= 16:
-        bound = (max(map(abs, a), default=0)
-                 * max(map(abs, b), default=0)
-                 * min(len(a), len(b)))
+        bound = _convolve_bound(a, b)
         if bound < _CONVOLVE_LIMIT:
             return _np.convolve(
                 _np.asarray(a, dtype=_np.int64),
                 _np.asarray(b, dtype=_np.int64)).tolist()
+    if strategy == "auto" and \
+            min(len(a), len(b)) >= _KRONECKER_MIN_DEGREE:
+        if bound is None:
+            bound = _convolve_bound(a, b)
+        if _CONVOLVE_LIMIT <= bound < (1 << _KRONECKER_MAX_BOUND_BITS):
+            return _kronecker(a, b, bound)
     return _karatsuba(list(a), list(b))
 
 
@@ -117,6 +229,19 @@ def mul_negacyclic(a: Sequence[int], b: Sequence[int]) -> list[int]:
 def galois_conjugate(a: Sequence[int]) -> list[int]:
     """``f(x) -> f(-x)``: negate odd-index coefficients."""
     return [(-c if i % 2 else c) for i, c in enumerate(a)]
+
+
+def adjoint(a: Sequence[int]) -> list[int]:
+    """Hermitian adjoint ``f*(x) = f(x^-1)`` in ``Z[x]/(x^n + 1)``.
+
+    ``x^-i = -x^(n-i)``, so the adjoint keeps the constant term and
+    reverse-negates the rest; in the FFT domain it is the complex
+    conjugate (``adj_fft``), which is how the Babai quotients use it.
+    """
+    n = len(a)
+    if n == 1:
+        return [a[0]]
+    return [a[0]] + [-c for c in a[:0:-1]]
 
 
 def field_norm(a: Sequence[int]) -> list[int]:

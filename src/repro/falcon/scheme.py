@@ -311,16 +311,20 @@ class SecretKey:
     @classmethod
     def generate(cls, n: int, seed: int | bytes = 0,
                  base_backend: str = "bitsliced",
-                 prng: str = "chacha20") -> "SecretKey":
+                 prng: str = "chacha20",
+                 keygen_spine: str = "auto") -> "SecretKey":
         """Generate a fresh key pair for ring degree ``n``.
 
         ``prng`` names the deterministic randomness backend feeding key
         generation *and* signing (``chacha20`` — the paper's Table 1
         configuration, vectorized when NumPy is present — ``chacha12``,
         ``chacha8``, ``shake128``, ``shake256``, ``counter``).
+        ``keygen_spine`` selects the keygen numeric route (``"numpy"``,
+        ``"scalar"`` or ``"auto"``); all spines consume the identical
+        byte stream and emit bit-identical keys for a fixed seed.
         """
         source = make_source(prng, seed)
-        keys = generate_keys(n, source=source)
+        keys = generate_keys(n, source=source, spine=keygen_spine)
         return cls(keys, source=source, base_backend=base_backend)
 
     @property

@@ -19,6 +19,8 @@ trailing padding must be zero.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from .encoding import DecompressError
 from .ntrugen import NtruKeys
 from .ntt import Q, div_ntt
@@ -200,6 +202,41 @@ def decode_secret_key(data: bytes,
     if not keys.verify_ntru_equation():
         raise SerializeError("decoded key fails the NTRU equation")
     return SecretKey(keys, base_backend=base_backend)
+
+
+#: File extension for persisted secret keys (the key store's layout).
+SECRET_KEY_SUFFIX = ".skey"
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` via scratch-file-then-replace.
+
+    A crash mid-write leaves only a ``*.tmp`` scratch file, never a
+    truncated target — key stores index targets only, so half-written
+    key material can never be adopted.
+    """
+    path = Path(path)
+    scratch = path.with_suffix(path.suffix + ".tmp")
+    scratch.write_bytes(data)
+    scratch.replace(path)
+    return path
+
+
+def save_secret_key(secret_key: SecretKey, path: str | Path) -> Path:
+    """Persist a secret key to ``path`` (atomic replace)."""
+    return atomic_write_bytes(path, encode_secret_key(secret_key))
+
+
+def load_secret_key(path: str | Path,
+                    base_backend: str = "bitsliced") -> SecretKey:
+    """Load a secret key written by :func:`save_secret_key`.
+
+    Runs the full canonical decode — range checks, G recomputation and
+    the NTRU-equation check — so a corrupted file raises
+    :class:`SerializeError` instead of producing a bad signer.
+    """
+    return decode_secret_key(Path(path).read_bytes(),
+                             base_backend=base_backend)
 
 
 # -- signature ----------------------------------------------------------------

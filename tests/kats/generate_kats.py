@@ -1,0 +1,103 @@
+"""Regenerate the committed Falcon known-answer fixtures.
+
+Run from the repository root after an *intentional* change to the
+keygen or signing stream contract::
+
+    PYTHONPATH=src python tests/kats/generate_kats.py
+
+Two fixture families land next to this script:
+
+* ``falcon_n{n}_seed{seed}.json`` — signature KATs: public key plus
+  byte-pinned sequential and batched signatures (as in PR 3);
+* ``keygen_n{n}_seed{seed}.json`` — keygen KATs: the full ``NtruKeys``
+  tuple (f, g, F, G, h) for a seeded ``generate_keys`` run.
+
+Both families must reproduce bit-for-bit in the with-NumPy and
+without-NumPy CI legs: the keygen and signing spines consume identical
+PRNG streams and perform bit-identical arithmetic by construction, and
+these fixtures are the lock on that promise.  Regenerating them is a
+reviewed event, not a fix for a failing test.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+KAT_DIR = Path(__file__).parent
+
+#: Signature KATs: (n, seed) as committed since PR 3.
+SIGN_CASES = [(8, 1001), (64, 1002), (256, 1003)]
+
+#: Keygen KATs: the acceptance grid of this PR's keygen pipeline.
+KEYGEN_CASES = [(8, 2001), (64, 2002), (256, 2003), (512, 2004)]
+
+MESSAGES = [b"kat message 0", b"kat message 1",
+            b"kat-msg-2 with a longer body"]
+
+
+def generate_sign_kat(n: int, seed: int) -> dict:
+    from repro.falcon import SecretKey
+
+    def fresh():
+        return SecretKey.generate(n=n, seed=seed, prng="chacha20",
+                                  base_backend="bitsliced")
+
+    sk = fresh()
+    sequential = [sk.sign(message) for message in MESSAGES]
+    batch = fresh().sign_many(MESSAGES)
+    return {
+        "scheme": "falcon-repro",
+        "n": n,
+        "seed": seed,
+        "prng": "chacha20",
+        "base_backend": "bitsliced",
+        "public_key_h": sk.keys.h,
+        "messages": [message.hex() for message in MESSAGES],
+        "sign_sequential": [
+            {"salt": s.salt.hex(), "compressed": s.compressed.hex()}
+            for s in sequential],
+        "sign_many_batch": [
+            {"salt": s.salt.hex(), "compressed": s.compressed.hex()}
+            for s in batch],
+    }
+
+
+def generate_keygen_kat(n: int, seed: int) -> dict:
+    from repro.falcon import generate_keys
+    from repro.rng import ChaChaSource
+
+    keys = generate_keys(n, source=ChaChaSource(seed))
+    assert keys.verify_ntru_equation()
+    return {
+        "scheme": "falcon-repro-keygen",
+        "n": n,
+        "seed": seed,
+        "prng": "chacha20",
+        "f": keys.f,
+        "g": keys.g,
+        "F": keys.F,
+        "G": keys.G,
+        "h": keys.h,
+    }
+
+
+def main() -> int:
+    for n, seed in SIGN_CASES:
+        payload = generate_sign_kat(n, seed)
+        path = KAT_DIR / f"falcon_n{n}_seed{seed}.json"
+        path.write_text(json.dumps(payload, indent=1) + "\n",
+                        encoding="utf-8")
+        print(f"wrote {path}")
+    for n, seed in KEYGEN_CASES:
+        payload = generate_keygen_kat(n, seed)
+        path = KAT_DIR / f"keygen_n{n}_seed{seed}.json"
+        path.write_text(json.dumps(payload, indent=1) + "\n",
+                        encoding="utf-8")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,6 +92,49 @@ def test_falcon_command_prng_choice(capsys):
     assert "verified   : True" in capsys.readouterr().out
 
 
+def test_keygen_command(capsys):
+    assert main(["keygen", "--n", "8", "--count", "2",
+                 "--seed", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "keys/s" in out
+    assert "memory only" in out
+
+
+def test_keygen_command_persists(capsys, tmp_path):
+    store_dir = str(tmp_path / "keys")
+    assert main(["keygen", "--n", "8", "--count", "2", "--seed", "4",
+                 "--keystore", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert store_dir in out
+    assert len(list((tmp_path / "keys").glob("*.skey"))) >= 1
+
+
+def test_keygen_command_spine_choice(capsys):
+    assert main(["keygen", "--n", "8", "--count", "1",
+                 "--spine", "scalar"]) == 0
+    assert "scalar" in capsys.readouterr().out
+
+
+def test_bench_keygen_command(capsys):
+    assert main(["bench-keygen", "--n", "8", "--keys", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "generate_keys[scalar]" in out
+    assert "keys/s" in out
+
+
+def test_bench_serve_from_keystore(capsys, tmp_path):
+    store_dir = str(tmp_path / "serve-keys")
+    assert main(["keygen", "--n", "16", "--count", "2", "--seed", "2",
+                 "--keystore", store_dir]) == 0
+    capsys.readouterr()
+    assert main(["bench-serve", "--n", "16", "--seed", "2",
+                 "--signs", "4", "--batch", "4",
+                 "--keystore", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "serving Falcon-16 key from store" in out
+    assert "all verified: True" in out
+
+
 def test_parser_rejects_unknown_prng():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["sample", "--prng", "aesni"])

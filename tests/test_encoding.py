@@ -1,25 +1,49 @@
-"""Tests for Falcon signature compression."""
+"""Tests for Falcon signature compression.
+
+``decompress(data, n)`` takes the *ring degree* ``n`` and enforces the
+parameter set's coefficient range: every decoded magnitude must fit
+inside ``max_coefficient(n) = floor(sqrt(beta^2))``, the largest value
+any norm-passing signature could carry.
+"""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.falcon import CompressError, DecompressError, compress, decompress
+from repro.falcon.encoding import max_coefficient
+
+
+def _bits_to_bytes(bits: str) -> bytes:
+    padded = bits + "0" * (-len(bits) % 8)
+    return bytes(int(padded[i:i + 8], 2)
+                 for i in range(0, len(padded), 8))
+
+
+def _encode_one(value: int) -> str:
+    """Bit string for one coefficient (sign, 7 low bits, unary high)."""
+    sign = "1" if value < 0 else "0"
+    magnitude = abs(value)
+    return (sign + format(magnitude & 0x7F, "07b")
+            + "0" * (magnitude >> 7) + "1")
 
 
 def test_round_trip_simple():
-    coeffs = [0, 1, -1, 127, -128, 300, -300, 12345]
+    coeffs = [0, 1, -1, 127, -128, 300, -300, 680]
     data = compress(coeffs, payload_bits=len(coeffs) * 40)
     assert decompress(data, len(coeffs)) == coeffs
 
 
 @settings(max_examples=60, deadline=None)
-@given(st.lists(st.integers(min_value=-2000, max_value=2000),
-                min_size=1, max_size=64))
-def test_round_trip_random(coeffs):
-    budget = 16 * len(coeffs) + 256
-    data = compress(coeffs, payload_bits=budget)
-    assert decompress(data, len(coeffs)) == coeffs
+@given(st.sampled_from([4, 8, 16, 32, 64]), st.data())
+def test_round_trip_random(n, data):
+    bound = max_coefficient(n)
+    coeffs = data.draw(st.lists(
+        st.integers(min_value=-bound, max_value=bound),
+        min_size=n, max_size=n))
+    budget = 16 * n + 256
+    blob = compress(coeffs, payload_bits=budget)
+    assert decompress(blob, n) == coeffs
 
 
 def test_output_length_is_fixed():
@@ -43,31 +67,82 @@ def test_gaussian_coefficients_fit_spec_budget():
     assert decompress(data, n) == coeffs
 
 
+def test_max_coefficient_is_norm_bound_root():
+    from repro.falcon import falcon_params
+
+    for n in (8, 64, 512):
+        bound = max_coefficient(n)
+        assert bound * bound <= falcon_params(n).sig_bound
+        assert (bound + 1) * (bound + 1) > falcon_params(n).sig_bound
+
+
+def test_boundary_magnitude_round_trips():
+    for n in (4, 8, 64):
+        bound = max_coefficient(n)
+        coeffs = [bound, -bound] + [0] * (n - 2)
+        data = compress(coeffs, payload_bits=16 * n + 256)
+        assert decompress(data, n) == coeffs
+
+
+def test_magnitude_just_beyond_bound_rejected():
+    """A unary run one step past the parameter bound is non-canonical
+    even though the old ``1 << 10`` guard would have waved it through."""
+    for n in (4, 8, 64):
+        beyond = ((max_coefficient(n) >> 7) + 1) << 7
+        assert beyond <= 1 << 17  # far below the old guard's reach
+        bits = _encode_one(beyond) + _encode_one(0) * (n - 1)
+        with pytest.raises(DecompressError,
+                           match="exceeds the coefficient bound"):
+            decompress(_bits_to_bytes(bits), n)
+
+
+def test_in_range_run_with_overflowing_low_bits_rejected():
+    """high <= max_high does not imply in-range: the low bits can still
+    push the magnitude past the bound."""
+    n = 4
+    bound = max_coefficient(n)  # 475: max_high = 3, 475 & 0x7F = 91
+    value = ((bound >> 7) << 7) | 0x7F  # 511 > 475, same run length
+    assert value > bound
+    bits = _encode_one(value) + _encode_one(0) * (n - 1)
+    with pytest.raises(DecompressError, match="exceeds the parameter"):
+        decompress(_bits_to_bytes(bits), n)
+
+
 def test_negative_zero_rejected():
     # sign=1, low bits 0000000, unary terminator 1 -> -0.
-    data = bytes([0b10000000, 0b10000000])  # second coeff: +0
-    with pytest.raises(DecompressError):
-        decompress(data, 2)
+    bits = "1" + "0" * 7 + "1" + _encode_one(0) * 3
+    with pytest.raises(DecompressError, match="negative zero"):
+        decompress(_bits_to_bytes(bits), 4)
 
 
 def test_nonzero_padding_rejected():
-    coeffs = [1, 2, 3]
+    coeffs = [1, 2, 3, -4]
     data = bytearray(compress(coeffs, payload_bits=200))
     data[-1] |= 1
-    with pytest.raises(DecompressError):
-        decompress(bytes(data), 3)
+    with pytest.raises(DecompressError, match="padding"):
+        decompress(bytes(data), 4)
 
 
 def test_truncated_stream_rejected():
-    coeffs = [1000] * 4
+    coeffs = [400] * 4
     data = compress(coeffs, payload_bits=100)
-    with pytest.raises(DecompressError):
+    with pytest.raises(DecompressError, match="truncated"):
         decompress(data[:2], 4)
 
 
+def test_truncated_final_run_rejected():
+    """A stream that ends mid-run (no terminator) is truncated."""
+    bits = _encode_one(1) * 3 + "0" * 8  # 4th coefficient never ends
+    with pytest.raises(DecompressError, match="truncated"):
+        decompress(_bits_to_bytes(bits), 4)
+
+
 def test_overlong_unary_rejected():
-    # 1 sign + 7 low bits, then > 1024 zeros with no terminator in
-    # range: triggers the unary-run guard.
-    data = bytes(200)
-    with pytest.raises(DecompressError):
-        decompress(data, 1)
+    # A run longer than any in-range coefficient's, with a terminator
+    # present: specifically the run-length guard, not truncation.
+    n = 4
+    run = (max_coefficient(n) >> 7) + 3
+    bits = "0" * 8 + "0" * run + "1" + _encode_one(0) * (n - 1)
+    with pytest.raises(DecompressError,
+                       match="exceeds the coefficient bound"):
+        decompress(_bits_to_bytes(bits), n)

@@ -1,0 +1,180 @@
+"""Differential tests: the vectorized keygen pipeline vs pure Python.
+
+The keygen spines promise more than statistical agreement — for a fixed
+seed the scalar and numpy routes must consume the identical PRNG byte
+stream and emit **bit-identical** keys.  These tests pin every layer of
+that promise: the bulk CDT block sampler, the batched invertibility and
+Gram–Schmidt filters, the Babai quotients, the multiplication kernels,
+and finally whole ``generate_keys`` runs.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.cdt import CdtTable, cdt_sample_block
+from repro.core.gaussian import GaussianParams
+from repro.falcon import (
+    HAVE_NUMPY,
+    generate_keys,
+    gram_schmidt_norm_sq,
+    gram_schmidt_norms_batch,
+    is_invertible,
+    poly,
+)
+from repro.falcon.ntrugen import _sample_fg
+from repro.falcon.params import falcon_params
+from repro.rng import ChaChaSource, CountingSource
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY,
+                                 reason="NumPy not installed")
+
+
+def _table(sigma=4.05, precision=64):
+    return CdtTable(GaussianParams.from_sigma(sigma, precision))
+
+
+# -- bulk CDT block sampler -------------------------------------------------
+
+@needs_numpy
+@pytest.mark.parametrize("count", [1, 7, 64, 1000])
+def test_cdt_block_routes_identical(count):
+    table = _table()
+    scalar = cdt_sample_block(table, ChaChaSource(42), count,
+                              route="scalar")
+    vector = cdt_sample_block(table, ChaChaSource(42), count,
+                              route="numpy")
+    assert scalar == vector
+
+
+@needs_numpy
+def test_cdt_block_routes_consume_identical_stream():
+    table = _table()
+    counting_scalar = CountingSource(ChaChaSource(9))
+    counting_vector = CountingSource(ChaChaSource(9))
+    cdt_sample_block(table, counting_scalar, 333, route="scalar")
+    cdt_sample_block(table, counting_vector, 333, route="numpy")
+    assert counting_scalar.bytes_read == counting_vector.bytes_read
+
+
+def test_cdt_block_matches_distribution_contract():
+    """Block draws follow the documented stream contract: full-width
+    words searched against the shifted CDF, then LSB-first sign bits."""
+    from bisect import bisect_right
+
+    table = _table()
+    source = ChaChaSource(5)
+    words = source.read_words(8 * table.num_bytes, 16)
+    sign_data = ChaChaSource(5)
+    sign_data.read_bytes(16 * table.num_bytes)  # skip the word block
+    signs = sign_data.read_bytes(2)
+    expected = []
+    for index, word in enumerate(words):
+        magnitude = bisect_right(table.shifted_entries, word)
+        assert magnitude < len(table.shifted_entries)  # no gap hits here
+        bit = (signs[index >> 3] >> (index & 7)) & 1
+        expected.append(-magnitude if bit else magnitude)
+    assert cdt_sample_block(table, ChaChaSource(5), 16,
+                            route="scalar") == expected
+
+
+def test_cdt_block_rejects_bad_route():
+    with pytest.raises(ValueError):
+        cdt_sample_block(_table(), ChaChaSource(0), 4, route="simd")
+
+
+def test_sample_fg_spines_identical():
+    params = falcon_params(64)
+    scalar = _sample_fg(params, ChaChaSource(3), spine="scalar")
+    assert len(scalar) == 64
+    if HAVE_NUMPY:
+        assert _sample_fg(params, ChaChaSource(3),
+                          spine="numpy") == scalar
+
+
+# -- batched filters --------------------------------------------------------
+
+@needs_numpy
+def test_batched_gram_schmidt_bit_identical():
+    rng = random.Random(17)
+    fs = [[rng.randrange(-40, 41) for _ in range(64)] for _ in range(6)]
+    gs = [[rng.randrange(-40, 41) for _ in range(64)] for _ in range(6)]
+    batch = gram_schmidt_norms_batch(fs, gs, spine="numpy")
+    for f, g, norm_sq in zip(fs, gs, batch):
+        assert norm_sq == gram_schmidt_norm_sq(f, g)  # same float, ==
+
+
+@needs_numpy
+def test_batched_invertibility_matches_scalar():
+    from repro.falcon import is_invertible_array
+
+    rng = random.Random(23)
+    rows = [[rng.randrange(-5, 6) for _ in range(32)] for _ in range(20)]
+    verdicts = is_invertible_array(rows)
+    assert [bool(v) for v in verdicts] == \
+        [is_invertible(row) for row in rows]
+
+
+# -- multiplication kernels -------------------------------------------------
+
+@pytest.mark.parametrize("strategy", ["schoolbook", "karatsuba",
+                                      "kronecker", "legacy"])
+def test_mul_strategies_identical(strategy):
+    rng = random.Random(31)
+    for n, bits in [(2, 300), (16, 9), (16, 700), (64, 60), (256, 14)]:
+        a = [rng.getrandbits(bits) - (1 << (bits - 1)) for _ in range(n)]
+        b = [rng.getrandbits(bits) - (1 << (bits - 1)) for _ in range(n)]
+        reference = poly.mul_raw(a, b)  # auto dispatch
+        with poly.mul_strategy(strategy):
+            assert poly.mul_raw(a, b) == reference
+
+
+def test_mul_strategy_rejects_unknown():
+    with pytest.raises(ValueError):
+        with poly.mul_strategy("fft"):
+            pass
+
+
+def test_adjoint_is_fft_conjugate():
+    from repro.falcon import fft
+
+    rng = random.Random(37)
+    a = [rng.randrange(-9, 10) for _ in range(16)]
+    adjoint_fft = fft([float(c) for c in poly.adjoint(a)])
+    direct = [value.conjugate() for value in fft([float(c) for c in a])]
+    assert all(abs(x - y) < 1e-9 for x, y in zip(adjoint_fft, direct))
+
+
+# -- whole-pipeline identity ------------------------------------------------
+
+@needs_numpy
+@pytest.mark.parametrize("n", [8, 64])
+def test_generate_keys_spines_bit_identical(n):
+    scalar = generate_keys(n, source=ChaChaSource(1234), spine="scalar")
+    vector = generate_keys(n, source=ChaChaSource(1234), spine="numpy")
+    assert scalar.f == vector.f
+    assert scalar.g == vector.g
+    assert scalar.F == vector.F
+    assert scalar.G == vector.G
+    assert scalar.h == vector.h
+
+
+@needs_numpy
+def test_generate_keys_spines_consume_identical_stream():
+    counting_scalar = CountingSource(ChaChaSource(77))
+    counting_vector = CountingSource(ChaChaSource(77))
+    generate_keys(32, source=counting_scalar, spine="scalar")
+    generate_keys(32, source=counting_vector, spine="numpy")
+    assert counting_scalar.bytes_read == counting_vector.bytes_read
+
+
+def test_generate_keys_rejects_unknown_spine():
+    with pytest.raises(ValueError):
+        generate_keys(8, source=ChaChaSource(0), spine="gpu")
+
+
+def test_generate_keys_auto_spine_matches_explicit():
+    auto = generate_keys(8, source=ChaChaSource(55), spine="auto")
+    explicit = "numpy" if HAVE_NUMPY else "scalar"
+    again = generate_keys(8, source=ChaChaSource(55), spine=explicit)
+    assert auto.f == again.f and auto.h == again.h

@@ -1,0 +1,170 @@
+"""Tests for the generate-ahead key store (pools, disk, workers)."""
+
+import pytest
+
+from repro.falcon import (
+    KeyStore,
+    SerializeError,
+    derive_key_seed,
+    load_secret_key,
+    save_secret_key,
+)
+from repro.falcon.keystore import generate_encoded_key
+
+
+def test_derive_key_seed_deterministic_and_distinct():
+    a = derive_key_seed(7, 64, 0)
+    assert a == derive_key_seed(7, 64, 0)
+    assert len(a) == 32
+    assert a != derive_key_seed(7, 64, 1)
+    assert a != derive_key_seed(7, 8, 0)
+    assert a != derive_key_seed(8, 64, 0)
+    assert derive_key_seed(b"master", 8, 0) == \
+        derive_key_seed(b"master", 8, 0)
+
+
+def test_generate_ahead_fills_pool_and_acquire_drains_it():
+    store = KeyStore(master_seed=1)
+    assert store.available(8) == 0
+    store.generate_ahead(8, 3)
+    assert store.available(8) == 3
+    sk = store.acquire(8)
+    assert sk.n == 8
+    assert sk.keys.verify_ntru_equation()
+    assert store.available(8) == 2
+
+
+def test_acquire_on_dry_pool_generates_inline():
+    store = KeyStore(master_seed=2)
+    sk = store.acquire(8)
+    assert sk.n == 8
+    stats = store.stats()
+    assert stats.generated == 1 and stats.served == 1
+
+
+def test_store_is_deterministic_per_master_seed():
+    first = KeyStore(master_seed=5).acquire(8)
+    second = KeyStore(master_seed=5).acquire(8)
+    third = KeyStore(master_seed=6).acquire(8)
+    assert first.keys.f == second.keys.f
+    assert first.keys.F == second.keys.F
+    assert first.keys.f != third.keys.f
+
+
+def test_disk_persistence_and_restart(tmp_path):
+    store = KeyStore(tmp_path, master_seed=3)
+    store.generate_ahead(8, 2)
+    assert len(list(tmp_path.glob("*.skey"))) == 2
+
+    restarted = KeyStore(tmp_path, master_seed=3)
+    assert restarted.available(8) == 2
+    assert restarted.stats().loaded_from_disk == 2
+    sk = restarted.acquire(8)
+    assert sk.keys.verify_ntru_equation()
+    # Acquisition checks the key out: its file is gone.
+    assert len(list(tmp_path.glob("*.skey"))) == 1
+
+
+def test_restart_continues_index_sequence(tmp_path):
+    store = KeyStore(tmp_path, master_seed=4)
+    store.generate_ahead(8, 2)
+    restarted = KeyStore(tmp_path, master_seed=4)
+    restarted.generate_ahead(8, 1)
+    names = sorted(p.name for p in tmp_path.glob("*.skey"))
+    assert names == ["falcon_n0008_000000.skey",
+                     "falcon_n0008_000001.skey",
+                     "falcon_n0008_000002.skey"]
+
+
+def test_corrupted_persisted_key_is_rejected(tmp_path):
+    store = KeyStore(tmp_path, master_seed=5)
+    store.generate_ahead(8, 1)
+    path = next(tmp_path.glob("*.skey"))
+    blob = bytearray(path.read_bytes())
+    blob[4] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    restarted = KeyStore(tmp_path, master_seed=5)
+    with pytest.raises((SerializeError, ZeroDivisionError)):
+        restarted.acquire(8)
+
+
+def test_worker_pool_matches_inline_generation():
+    inline = KeyStore(master_seed=9, workers=1)
+    inline.generate_ahead(8, 4)
+    pooled = KeyStore(master_seed=9, workers=2)
+    pooled.generate_ahead(8, 4)
+    for _ in range(4):
+        a = inline.acquire(8)
+        b = pooled.acquire(8)
+        assert a.keys.f == b.keys.f and a.keys.F == b.keys.F
+
+
+def test_sign_many_uses_cached_signer():
+    store = KeyStore(master_seed=11)
+    messages = [b"store msg 0", b"store msg 1", b"store msg 2"]
+    signatures = store.sign_many(8, messages)
+    signer = store.signer(8)
+    assert signer is store.signer(8)  # cached, not re-acquired
+    verdicts = signer.public_key.verify_many(messages, signatures)
+    assert verdicts == [True] * len(messages)
+
+
+def test_generate_encoded_key_round_trips():
+    encoded = generate_encoded_key(8, derive_key_seed(0, 8, 0))
+    from repro.falcon import decode_secret_key
+
+    sk = decode_secret_key(encoded)
+    assert sk.n == 8
+
+
+def test_save_and_load_secret_key(tmp_path):
+    store = KeyStore(master_seed=13)
+    sk = store.acquire(8)
+    path = save_secret_key(sk, tmp_path / "solo.skey")
+    restored = load_secret_key(path)
+    assert restored.keys.f == sk.keys.f
+    assert restored.keys.G == sk.keys.G
+
+
+def test_peek_does_not_consume(tmp_path):
+    store = KeyStore(tmp_path, master_seed=15)
+    store.generate_ahead(8, 2)
+    peeked = store.peek(8)
+    assert store.available(8) == 2
+    assert len(list(tmp_path.glob("*.skey"))) == 2
+    acquired = store.acquire(8)
+    assert acquired.keys.f == peeked.keys.f  # same head entry
+
+
+def test_negative_and_huge_master_seeds():
+    assert derive_key_seed(-1, 8, 0) == derive_key_seed(-1, 8, 0)
+    assert derive_key_seed(-1, 8, 0) != derive_key_seed(1, 8, 0)
+    big = 1 << 300
+    assert len(derive_key_seed(big, 8, 0)) == 32
+    sk = KeyStore(master_seed=-3).acquire(8)
+    assert sk.keys.verify_ntru_equation()
+
+
+def test_drained_store_restart_never_reissues_slots(tmp_path):
+    """Even with every key file checked out (deleted), the persisted
+    slot manifest keeps a restarted store from regenerating key
+    material that is already in some caller's hands."""
+    store = KeyStore(tmp_path, master_seed=21)
+    store.generate_ahead(8, 2)
+    issued = [store.acquire(8).keys.f, store.acquire(8).keys.f]
+    assert not list(tmp_path.glob("*.skey"))  # fully drained
+    restarted = KeyStore(tmp_path, master_seed=21)
+    fresh = restarted.acquire(8)
+    assert fresh.keys.f not in issued
+
+
+def test_persisted_writes_leave_no_scratch_files(tmp_path):
+    store = KeyStore(tmp_path, master_seed=22)
+    store.generate_ahead(8, 2)
+    assert not list(tmp_path.glob("*.tmp"))
+    assert (tmp_path / "keystore-state.json").exists()
+
+
+def test_workers_validation():
+    with pytest.raises(ValueError):
+        KeyStore(workers=0)

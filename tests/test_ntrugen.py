@@ -13,7 +13,12 @@ from repro.falcon import (
     reduce_basis,
 )
 from repro.falcon import poly
-from repro.falcon.ntrugen import _xgcd
+from repro.falcon.ntrugen import (
+    _reduce_basis_exact,
+    _round_div,
+    _scaled_ring_inverse,
+    _xgcd,
+)
 from repro.rng import ChaChaSource
 
 
@@ -105,6 +110,100 @@ def test_reduce_basis_preserves_equation():
     assert _check_ntru_equation(f, g, F_red, G_red)
     assert poly.max_bitsize([F_red, G_red]) <= \
         poly.max_bitsize([F, G]) + 8
+
+
+def test_reduce_basis_zooms_past_coarse_scale_stall():
+    """Regression: the pre-fix code returned as soon as the 53-bit
+    quotient rounded to zero at a coarse block scale, leaving (F, G) =
+    t * (f, g) completely un-reduced whenever the convolution's carry
+    bits pushed the block scale above t's magnitude.  The multi-scale
+    loop must remove t entirely (here the fully-reduced reference is
+    exactly zero)."""
+    rng = random.Random(2024)
+    n = 32  # above the exact-Babai cutoff: exercises the float loop
+    f = [rng.getrandbits(60) - (1 << 59) for _ in range(n)]
+    g = [rng.getrandbits(60) - (1 << 59) for _ in range(n)]
+    t = [rng.randrange(-100, 101) for _ in range(n)]
+    F = poly.mul_negacyclic(t, f)
+    G = poly.mul_negacyclic(t, g)
+    size = max(53, poly.max_bitsize([f, g]))
+    assert poly.max_bitsize([F, G]) > size + 8  # quotient < 2^-1 at
+    # the coarse window, so the pre-fix code bailed out right here.
+    F_red, G_red = reduce_basis(f, g, list(F), list(G))
+    assert poly.max_bitsize([F_red, G_red]) < size
+
+
+def test_reduce_basis_zoom_terminates_on_intrinsic_excess():
+    """An (F, G) that is reduced-but-bigger-than-(f, g) must terminate
+    through the zoom schedule without disturbing the lattice point."""
+    rng = random.Random(7)
+    n = 32
+    f = [rng.getrandbits(60) - (1 << 59) for _ in range(n)]
+    g = [rng.getrandbits(60) - (1 << 59) for _ in range(n)]
+    t = [rng.randrange(-100, 101) for _ in range(n)]
+    r = [rng.getrandbits(64) - (1 << 63) for _ in range(n)]
+    s = [rng.getrandbits(64) - (1 << 63) for _ in range(n)]
+    F = poly.add(poly.mul_negacyclic(t, f), r)
+    G = poly.add(poly.mul_negacyclic(t, g), s)
+    F_red, G_red = reduce_basis(f, g, list(F), list(G))
+    # The removable t * (f, g) component is gone; what remains is (r, s)
+    # plus at most a +-1 Babai ambiguity per coefficient.
+    assert poly.max_bitsize([F_red, G_red]) <= \
+        poly.max_bitsize([r, s]) + poly.max_bitsize([f, g]) - 53 + 8
+
+
+@pytest.mark.parametrize("spine", ["scalar", "numpy", "auto"])
+def test_reduce_basis_spines_identical(spine):
+    from repro.falcon import HAVE_NUMPY
+
+    if spine == "numpy" and not HAVE_NUMPY:
+        pytest.skip("NumPy not installed")
+    rng = random.Random(11)
+    n = 64
+    f = [rng.getrandbits(40) - (1 << 39) for _ in range(n)]
+    g = [rng.getrandbits(40) - (1 << 39) for _ in range(n)]
+    t = [rng.randrange(-5000, 5001) for _ in range(n)]
+    F = poly.mul_negacyclic(t, f)
+    G = poly.mul_negacyclic(t, g)
+    reference = reduce_basis(f, g, list(F), list(G), spine="scalar")
+    assert reduce_basis(f, g, list(F), list(G), spine=spine) == reference
+
+
+def test_round_div_is_nearest_integer():
+    import math
+    from fractions import Fraction
+
+    for numerator in range(-25, 26):
+        for denominator in (1, 2, 3, 7, 10):
+            got = _round_div(numerator, denominator)
+            # Nearest integer, ties rounded up (= floor(x + 1/2)).
+            want = math.floor(Fraction(numerator, denominator)
+                              + Fraction(1, 2))
+            assert got == want
+
+
+def test_scaled_ring_inverse_clears_denominator():
+    rng = random.Random(3)
+    for d in (1, 2, 4, 8, 16):
+        den = [rng.randrange(-50, 51) for _ in range(d)]
+        den[0] |= 1  # avoid the zero polynomial
+        cofactor, resultant = _scaled_ring_inverse(den)
+        product = poly.mul_negacyclic(den, cofactor)
+        assert product == [resultant] + [0] * (d - 1)
+
+
+def test_exact_babai_matches_equation_and_size():
+    """The one-shot exact reduction removes a planted multiple whole."""
+    rng = random.Random(5)
+    for d in (2, 4, 8, 16):
+        f = [rng.getrandbits(200) - (1 << 199) for _ in range(d)]
+        g = [rng.getrandbits(200) - (1 << 199) for _ in range(d)]
+        t = [rng.getrandbits(150) - (1 << 149) for _ in range(d)]
+        F = poly.mul_negacyclic(t, f)
+        G = poly.mul_negacyclic(t, g)
+        F_red, G_red = _reduce_basis_exact(f, g, list(F), list(G))
+        assert poly.max_bitsize([F_red, G_red]) <= \
+            poly.max_bitsize([f, g]) + d.bit_length() + 2
 
 
 def test_generate_keys_small_ring():

@@ -69,6 +69,57 @@ def test_secret_key_round_trip_preserves_trapdoor():
     assert restored.keys.h == sk.keys.h
 
 
+@pytest.mark.parametrize("n", [8, 16, 32, 64, 128])
+def test_secret_key_round_trip_across_degrees(n):
+    """The G-recomputation decode path must hold at every supported
+    ring degree — the (f, g) field widths shrink as n grows, so each
+    degree exercises a different packing geometry."""
+    sk = SecretKey.generate(n=n, seed=100 + n)
+    restored = decode_secret_key(encode_secret_key(sk))
+    assert restored.n == n
+    assert restored.keys.f == sk.keys.f
+    assert restored.keys.g == sk.keys.g
+    assert restored.keys.F == sk.keys.F
+    assert restored.keys.G == sk.keys.G
+    assert restored.keys.h == sk.keys.h
+    assert restored.keys.verify_ntru_equation()
+
+
+@pytest.mark.parametrize("n", [8, 32])
+def test_g_recomputation_is_not_a_copy(n):
+    """Sanity for the recomputation path: G is genuinely derived from
+    (f, g, F) via the NTT quotient, not deserialized — corrupting F in
+    the stream must surface as an equation failure, never a silently
+    different G."""
+    sk = SecretKey.generate(n=n, seed=200 + n)
+    data = bytearray(encode_secret_key(sk))
+    data[-2] ^= 0x10  # inside F's fields for every supported layout
+    with pytest.raises((SerializeError, ZeroDivisionError)):
+        decode_secret_key(bytes(data))
+
+
+def test_encode_rejects_oversized_F_width():
+    """F coefficients beyond the 24-bit field ceiling must be refused
+    at encode time (an unreduced basis, exactly what the Babai-stall
+    bug used to produce)."""
+    sk = _secret_key(8)
+    bloated = SecretKey(
+        type(sk.keys)(f=sk.keys.f, g=sk.keys.g,
+                      F=[c + (1 << 30) for c in sk.keys.F],
+                      G=sk.keys.G, h=sk.keys.h))
+    with pytest.raises(SerializeError, match="unexpectedly large"):
+        encode_secret_key(bloated)
+
+
+def test_decode_rejects_out_of_range_widths():
+    sk = _secret_key(8)
+    data = bytearray(encode_secret_key(sk))
+    for bad_width in (0, 8, 25, 255):  # outside [_MIN, _MAX]
+        data[1] = bad_width
+        with pytest.raises(SerializeError, match="width"):
+            decode_secret_key(bytes(data))
+
+
 def test_restored_secret_key_signs_and_verifies():
     sk = _secret_key()
     restored = decode_secret_key(encode_secret_key(sk))
