@@ -24,7 +24,12 @@ Subcommands
 ``bench-serve``  batch-signing throughput: ``sign_many`` over the
                  vectorized numeric spine vs the scalar paths, plus
                  batch verification; ``--keystore`` serves the signing
-                 key from a persisted pool.
+                 key from a persisted pool; ``--async`` adds coalesced
+                 async-service rows (``--tenants``/``--clients``).
+``serve``        run the asyncio coalescing signing service over a
+                 sharded key store and drive a client load through it
+                 (the serving-architecture demo: coalesced rounds,
+                 watermark refill, back-pressure, metrics).
 """
 
 from __future__ import annotations
@@ -270,6 +275,31 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     verdicts = pk.verify_many(messages, signatures)
     verify_rate = len(messages) / (time.perf_counter() - begun)
     rows.append(["verify_many", f"{verify_rate:,.1f}"])
+
+    if args.async_rows:
+        from .falcon.serving import ShardedKeyStore
+
+        # The async rows need per-tenant keys over shards, which the
+        # flat --keystore layout cannot provide: they run over a
+        # dedicated in-memory sharded store derived from --seed
+        # (stated in --async's help).  Warm the per-tenant signers so
+        # the rows measure coalesced serving, not first-checkout
+        # keygen.
+        async_store = ShardedKeyStore(shards=args.shards,
+                                      master_seed=args.seed,
+                                      prng=args.prng)
+        for tenant in range(args.tenants):
+            async_store.signer(f"tenant-{tenant}", args.n)
+        for clients in (1, args.clients):
+            outcome = _run_service_load(
+                async_store, n=args.n, tenants=args.tenants,
+                clients=clients, requests=args.signs,
+                max_batch=batch, max_wait=args.max_wait,
+                queue_depth=max(batch * 4, 16), spine=args.spine)
+            rows.append(
+                [f"async coalesced (clients={clients}, "
+                 f"tenants={args.tenants})",
+                 f"{outcome['rate']:,.1f}"])
     print(format_table(
         ["path", "ops/s"], rows,
         title=f"Falcon-{args.n} serving throughput "
@@ -278,6 +308,92 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     ok = all(verdicts)
     print(f"all verified: {ok}")
     return 0 if ok else 1
+
+
+def _run_service_load(store, *, n: int, tenants: int, clients: int,
+                      requests: int, max_batch: int, max_wait: float,
+                      queue_depth: int, spine: str,
+                      verify_share: int = 0) -> dict:
+    """Drive ``requests`` sign calls (plus optional verifies) from
+    ``clients`` concurrent client coroutines through a
+    :class:`~repro.falcon.serving.SigningService`; returns rates and
+    the service metrics snapshot."""
+    import asyncio
+    import time
+
+    from .falcon.serving import SigningService
+
+    async def drive() -> dict:
+        service = SigningService(store, n=n, max_batch=max_batch,
+                                 max_wait=max_wait,
+                                 queue_depth=queue_depth, spine=spine)
+
+        async def client(which: int) -> None:
+            for i in range(which, requests, clients):
+                tenant = f"tenant-{i % tenants}"
+                message = b"serve-%d" % i
+                signature = await service.sign(tenant, message)
+                if verify_share and i % verify_share == 0:
+                    if not await service.verify(tenant, message,
+                                                signature):
+                        raise RuntimeError(
+                            f"verification failed for {tenant}")
+
+        async with service:
+            started = time.perf_counter()
+            await asyncio.gather(*[client(which)
+                                   for which in range(clients)])
+            elapsed = time.perf_counter() - started
+        return {
+            "elapsed": elapsed,
+            "rate": requests / elapsed,
+            "metrics": service.metrics.as_dict(),
+        }
+
+    return asyncio.run(drive())
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .falcon.serving import ShardedKeyStore
+
+    store = ShardedKeyStore(
+        args.keystore, shards=args.shards, master_seed=args.seed,
+        prng=args.prng, keygen_spine=args.spine,
+        low_watermark=args.watermark,
+        refill_target=(2 * args.watermark if args.watermark else None))
+    if args.provision:
+        print(f"provisioning {args.provision} Falcon-{args.n} keys "
+              f"per shard ...")
+        store.generate_ahead(args.n, args.provision)
+    print(f"serving Falcon-{args.n}: {args.shards} shard(s), "
+          f"{args.tenants} tenant(s), {args.clients} client(s), "
+          f"{args.requests} requests ...")
+    outcome = _run_service_load(
+        store, n=args.n, tenants=args.tenants, clients=args.clients,
+        requests=args.requests, max_batch=args.max_batch,
+        max_wait=args.max_wait, queue_depth=args.queue_depth,
+        spine="auto", verify_share=args.verify_share)
+    metrics = outcome["metrics"]
+    totals = store.stats()["totals"]
+    rows = [
+        ["requests/s", f"{outcome['rate']:,.1f}"],
+        ["requests", metrics["requests"]],
+        ["signed / verified",
+         f"{metrics['signed']} / {metrics['verified']}"],
+        ["coalesced rounds", metrics["rounds"]],
+        ["avg / max round", f"{metrics['coalesced_avg']} / "
+                            f"{metrics['coalesced_max']}"],
+        ["queue high water", metrics["queue_high_water"]],
+        ["keys generated", totals["generated"]],
+        ["keys checked out", totals["served"]],
+        ["watermark refills", totals["refills"]],
+        ["pool depth", totals["available"].get(args.n, 0)],
+        ["tenants checked out", totals["tenants_checked_out"]],
+        ["persisted to", args.keystore or "(memory only)"],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title="coalescing signing service"))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -403,9 +519,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="'auto' benchmarks every available spine")
     serve_p.add_argument("--legacy-row", action="store_true",
                          help="also time the one-by-one sign() loop")
+    serve_p.add_argument("--async", dest="async_rows",
+                         action="store_true",
+                         help="also time the asyncio coalescing "
+                              "service over a dedicated in-memory "
+                              "sharded store with per-tenant keys "
+                              "derived from --seed (--keystore does "
+                              "not apply to these rows)")
+    serve_p.add_argument("--tenants", type=int, default=4,
+                         help="tenants for the async rows")
+    serve_p.add_argument("--clients", type=int, default=8,
+                         help="concurrent clients for the async rows")
+    serve_p.add_argument("--shards", type=int, default=2,
+                         help="key-store shards for the async rows")
+    serve_p.add_argument("--max-wait", type=float, default=0.002,
+                         help="coalescing batch window in seconds")
     _add_prng_option(serve_p)
     _add_engine_option(serve_p)
     serve_p.set_defaults(func=_cmd_bench_serve)
+
+    run_p = sub.add_parser(
+        "serve",
+        help="run the asyncio coalescing signing service over a "
+             "sharded key store and drive a client load through it")
+    run_p.add_argument("--n", type=int, default=64)
+    run_p.add_argument("--seed", type=int, default=0,
+                       help="deployment master seed (shard and slot "
+                            "seeds derive from it)")
+    run_p.add_argument("--shards", type=int, default=2)
+    run_p.add_argument("--tenants", type=int, default=4)
+    run_p.add_argument("--clients", type=int, default=8,
+                       help="concurrent client coroutines")
+    run_p.add_argument("--requests", type=int, default=64,
+                       help="total sign requests to serve")
+    run_p.add_argument("--max-batch", type=int, default=32,
+                       help="coalescing round size cap")
+    run_p.add_argument("--max-wait", type=float, default=0.002,
+                       help="coalescing batch window in seconds")
+    run_p.add_argument("--queue-depth", type=int, default=64,
+                       help="bounded per-shard queue (back-pressure)")
+    run_p.add_argument("--watermark", type=int, default=0,
+                       help="per-shard low watermark for background "
+                            "refill (0 disables)")
+    run_p.add_argument("--provision", type=int, default=0,
+                       help="keys to generate ahead per shard before "
+                            "serving")
+    run_p.add_argument("--verify-share", type=int, default=4,
+                       help="verify every k-th signature through the "
+                            "service (0 disables)")
+    run_p.add_argument("--keystore", default=None,
+                       help="directory for persisted shard pools "
+                            "(default: memory only)")
+    run_p.add_argument(
+        "--spine", default="auto", choices=["auto", "numpy", "scalar"],
+        help="keygen numeric spine for provisioning")
+    _add_prng_option(run_p)
+    run_p.set_defaults(func=_cmd_serve)
     return parser
 
 

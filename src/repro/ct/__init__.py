@@ -1,5 +1,10 @@
 """Constant-time analysis: operation counting and dudect leakage tests."""
 
+from .coalesce import (
+    CoalesceAuditResult,
+    audit_coalescing,
+    round_shape_trace,
+)
 from .dudect import (
     CROP_PERCENTILES,
     T_THRESHOLD,
@@ -22,6 +27,9 @@ from .opcount import (
 
 __all__ = [
     "CROP_PERCENTILES",
+    "CoalesceAuditResult",
+    "audit_coalescing",
+    "round_shape_trace",
     "DudectReport",
     "TTestResult",
     "T_THRESHOLD",

@@ -16,25 +16,55 @@ path.  :class:`KeyStore` is that layer:
   (`save_secret_key` / `load_secret_key`): keys survive restarts, and
   every acquisition exercises the full canonical decode — range
   checks, G recomputation, NTRU-equation verification;
+* **a locked slot manifest**: slot indices are claimed under an
+  exclusive cross-process file lock, with the manifest re-read inside
+  the critical section — several store instances (or processes) may
+  share one directory without ever deriving the same per-slot seed
+  twice.  Slot indices are strictly monotone per degree: a slot, once
+  claimed, is never reissued, whether it was served, retired, or lost;
+* **generation cohorts**: the manifest stamps each degree with a
+  generation number and the first slot index of the current cohort.
+  :meth:`rotate` retires the live cohort (pooled keys are discarded
+  and their files removed — retired slots are *not* re-derivable
+  because the index sequence keeps advancing) and optionally
+  regenerates a fresh cohort;
+* **watermark refill**: with ``low_watermark`` set, every checkout
+  that leaves the pool below the watermark triggers a refill up to
+  ``refill_target`` — on a background thread by default, so the
+  serving path never blocks on key generation (the dry-``acquire``
+  inline fallback remains as a last resort);
 * **signer cache**: :meth:`sign_many` keeps one decoded
   :class:`~repro.falcon.scheme.SecretKey` checked out per degree, so
   batch signing reuses its precomputed ffLDL tree instead of decoding
-  per call.
+  per call;
+* **metrics**: :meth:`stats` snapshots pool depth, checkout counts,
+  refill counts and latency, cohort generations — the dashboard
+  surface the serving layer aggregates per shard.
 
-The store is single-process-single-owner by design (the worker pool is
-fan-out only); cross-process sharding is ROADMAP backlog.
+Tenant-facing sharding (consistent hashing, per-tenant signer
+checkout, the asyncio coalescing front) lives one layer up, in
+:mod:`repro.falcon.serving`.
 """
 
 from __future__ import annotations
 
+import json
 import re
+import threading
+import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from hashlib import sha256
 from pathlib import Path
 from typing import Sequence
 
-from .scheme import SecretKey, Signature
+try:  # POSIX cross-process advisory locks; absent on some platforms.
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _fcntl = None
+
+from .scheme import PublicKey, SecretKey, Signature
 from .serialize import (
     SECRET_KEY_SUFFIX,
     atomic_write_bytes,
@@ -46,12 +76,23 @@ _KEY_FILE_PATTERN = re.compile(
     r"falcon_n(?P<n>\d+)_(?P<index>\d+)"
     + re.escape(SECRET_KEY_SUFFIX) + r"$")
 
-#: Per-directory manifest holding the next unissued slot index per
-#: ring degree.  Key files alone cannot carry that information —
-#: :meth:`KeyStore.acquire` deletes the file it checks out, so a fully
-#: drained store would otherwise restart at index 0 and re-issue key
-#: material that is already in some caller's hands.
+#: Per-directory manifest holding, per ring degree, the next unissued
+#: slot index, the current generation and the cohort's first slot.
+#: Key files alone cannot carry that information — :meth:`KeyStore
+#: .acquire` deletes the file it checks out, so a fully drained store
+#: would otherwise restart at index 0 and re-issue key material that
+#: is already in some caller's hands.
 _STATE_FILE = "keystore-state.json"
+
+#: Lock file guarding manifest read-modify-write cycles across
+#: processes (and across store instances within one process).
+_LOCK_FILE = "keystore.lock"
+
+#: Claim scratch files older than this are crash leftovers (a live
+#: claim exists for milliseconds between rename and unlink) and are
+#: swept at store construction — secret key material must not linger
+#: in orphaned scratch files.
+_STALE_CLAIM_SECONDS = 60.0
 
 
 def derive_key_seed(master_seed: int | bytes, n: int, index: int) -> bytes:
@@ -89,6 +130,8 @@ class _PoolEntry:
 
     encoded: bytes | None = None
     path: Path | None = None
+    index: int = -1
+    generation: int = 0
 
     def read(self) -> bytes:
         if self.encoded is not None:
@@ -98,12 +141,67 @@ class _PoolEntry:
 
 @dataclass
 class KeyStoreStats:
-    """Counters for monitoring a store (returned by :meth:`stats`)."""
+    """Counters for monitoring a store (returned by :meth:`stats`).
+
+    ``served`` is the checkout count (acquires); ``refills`` counts
+    completed refill passes with their cumulative and most recent
+    latency; ``watermark_triggers`` counts checkouts that dipped below
+    the watermark; ``retired`` counts keys discarded by rotation.
+    """
 
     generated: int = 0
     served: int = 0
     loaded_from_disk: int = 0
+    refills: int = 0
+    watermark_triggers: int = 0
+    retired: int = 0
+    last_refill_seconds: float = 0.0
+    total_refill_seconds: float = 0.0
     available: dict[int, int] = field(default_factory=dict)
+    generation: dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot (the metrics-export surface)."""
+        return {
+            "generated": self.generated,
+            "served": self.served,
+            "loaded_from_disk": self.loaded_from_disk,
+            "refills": self.refills,
+            "watermark_triggers": self.watermark_triggers,
+            "retired": self.retired,
+            "last_refill_seconds": round(self.last_refill_seconds, 6),
+            "total_refill_seconds": round(self.total_refill_seconds, 6),
+            "available": {str(n): depth
+                          for n, depth in self.available.items()},
+            "generation": {str(n): generation
+                           for n, generation in
+                           self.generation.items()},
+        }
+
+
+def fenced_signer_checkout(store: "KeyStore", n: int, *, lock, guards,
+                           cache, key) -> SecretKey:
+    """The shared signer-cache checkout loop (rotation-fenced).
+
+    Used by :meth:`KeyStore.signer` (cache keyed by degree) and the
+    sharded layer's per-tenant signer (cache keyed by tenant): a
+    per-key guard serializes cold-cache checkouts so concurrent first
+    users wait for one checkout instead of each burning a slot, and
+    the generation re-check under the cache lock discards a checkout
+    that a concurrent :meth:`KeyStore.rotate` retired mid-flight.
+    """
+    with lock:
+        guard = guards.setdefault(key, threading.Lock())
+    with guard:
+        while True:
+            with lock:
+                cached = cache.get(key)
+            if cached is not None:
+                return cached
+            acquired, generation = store.checkout_current(n)
+            with lock:
+                if store.generation(n) == generation:
+                    return cache.setdefault(key, acquired)
 
 
 class KeyStore:
@@ -113,11 +211,19 @@ class KeyStore:
     directory, every generated key is persisted (atomically) and
     existing persisted keys plus the slot-index manifest are read back
     at construction, so a restarted store resumes from disk without
-    ever re-issuing a slot it already handed out.  A memory-only store
+    ever re-issuing a slot it already handed out.  Slot claims happen
+    under an exclusive manifest lock with a reload inside the critical
+    section, so any number of stores (including other processes)
+    sharing the directory claim disjoint slots.  A memory-only store
     has no such memory across processes — it is deterministic from
     ``master_seed`` by design, so two memory-only stores with the same
     seed serve the same keys.  ``workers > 1`` fans
     :meth:`generate_ahead` out over a process pool.
+
+    ``low_watermark > 0`` arms watermark refill: a checkout leaving
+    fewer than ``low_watermark`` pooled keys schedules a refill up to
+    ``refill_target`` (default ``2 * low_watermark``), on a daemon
+    thread when ``refill_async`` (the default) or inline otherwise.
     """
 
     def __init__(self, directory: str | Path | None = None, *,
@@ -125,40 +231,147 @@ class KeyStore:
                  prng: str = "chacha20",
                  base_backend: str = "bitsliced",
                  keygen_spine: str = "auto",
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 low_watermark: int = 0,
+                 refill_target: int | None = None,
+                 refill_async: bool = True) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if low_watermark < 0:
+            raise ValueError("low_watermark must be non-negative")
+        if refill_target is not None and refill_target < low_watermark:
+            raise ValueError("refill_target must be >= low_watermark")
         self.directory = Path(directory) if directory is not None else None
         self.master_seed = master_seed
         self.prng = prng
         self.base_backend = base_backend
         self.keygen_spine = keygen_spine
         self.workers = workers
+        self.low_watermark = low_watermark
+        self.refill_target = (refill_target if refill_target is not None
+                              else 2 * low_watermark)
+        self.refill_async = refill_async
         self._pools: dict[int, deque[_PoolEntry]] = {}
         self._next_index: dict[int, int] = {}
+        self._generation: dict[int, int] = {}
+        self._cohort_start: dict[int, int] = {}
         self._signers: dict[int, SecretKey] = {}
+        self._signer_guards: dict[int, threading.Lock] = {}
         self._stats = KeyStoreStats()
+        self._lock = threading.RLock()
+        self._refilling: set[int] = set()
+        self._refill_threads: list[threading.Thread] = []
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
-            self._index_directory()
+            with self._manifest_lock():
+                self._reload_state()
+                self._index_directory()
 
-    # -- internal ----------------------------------------------------------
+    # -- manifest ----------------------------------------------------------
+
+    #: Process-wide manifest locks keyed by resolved directory — the
+    #: fallback serialization between store *instances* sharing a
+    #: directory when POSIX ``flock`` is unavailable (without it,
+    #: cross-instance claims in one process would interleave and
+    #: re-issue slot seeds).
+    _directory_locks: dict[str, threading.RLock] = {}
+    _directory_locks_guard = threading.Lock()
+
+    def _directory_lock(self) -> threading.RLock:
+        key = str(self.directory.resolve())
+        with KeyStore._directory_locks_guard:
+            return KeyStore._directory_locks.setdefault(
+                key, threading.RLock())
+
+    @contextmanager
+    def _manifest_lock(self):
+        """Exclusive manifest critical section.
+
+        In-process: the store's re-entrant lock plus a process-wide
+        per-directory lock (so two *instances* sharing a directory
+        serialize even where ``flock`` does not exist).  Cross-
+        process: an exclusive ``flock`` on the directory's lock file.
+        Every slot claim re-reads the manifest inside this section, so
+        no two claimants can ever observe the same next-index.  On
+        platforms without ``fcntl``, cross-*process* sharing of one
+        directory is not protected (POSIX-only guarantee).
+        """
+        with self._lock:
+            if self.directory is None:
+                yield
+                return
+            with self._directory_lock():
+                if _fcntl is None:  # pragma: no cover - non-POSIX
+                    yield
+                    return
+                lock_path = self.directory / _LOCK_FILE
+                with open(lock_path, "a+b") as handle:
+                    _fcntl.flock(handle.fileno(), _fcntl.LOCK_EX)
+                    try:
+                        yield
+                    finally:
+                        _fcntl.flock(handle.fileno(), _fcntl.LOCK_UN)
+
+    def _reload_state(self) -> None:
+        """Merge the on-disk manifest into the in-memory counters.
+
+        Counters only ever move forward (``max``): a stale in-memory
+        view can never pull the claimed range backwards, and a manifest
+        advanced by another store instance is always honoured before
+        new slots are claimed.
+        """
+        if self.directory is None:
+            return
+        state_path = self.directory / _STATE_FILE
+        if not state_path.exists():
+            return
+        state = json.loads(state_path.read_text(encoding="utf-8"))
+        for n, next_index in state.get("next_index", {}).items():
+            key = int(n)
+            self._next_index[key] = max(self._next_index.get(key, 0),
+                                        int(next_index))
+        for n, generation in state.get("generation", {}).items():
+            key = int(n)
+            self._generation[key] = max(self._generation.get(key, 0),
+                                        int(generation))
+        for n, start in state.get("cohort_start", {}).items():
+            key = int(n)
+            self._cohort_start[key] = max(self._cohort_start.get(key, 0),
+                                          int(start))
+
+    def _write_state(self) -> None:
+        payload = {
+            "next_index": {str(n): index for n, index in
+                           sorted(self._next_index.items())},
+            "generation": {str(n): generation for n, generation in
+                           sorted(self._generation.items())},
+            "cohort_start": {str(n): start for n, start in
+                             sorted(self._cohort_start.items())},
+        }
+        atomic_write_bytes(self.directory / _STATE_FILE,
+                           json.dumps(payload, indent=1).encode())
 
     def _index_directory(self) -> None:
         """Adopt keys already persisted under ``directory``.
 
-        The next-slot counters come from the state manifest (written
-        whenever indices are claimed), clamped up by any key files on
-        disk — so even a drained-and-restarted store never re-issues a
-        slot whose key was already handed out.
+        Key files below the current cohort start belong to a retired
+        generation: they are removed, never adopted (their slots stay
+        burned — the manifest's next-index is already past them).
+        Live files clamp the next-slot counters up, so even a store
+        whose manifest was deleted never re-issues a slot that still
+        has a key file.  Stale ``.claim-*`` scratch files — a claimant
+        crashed between its rename and unlink — are swept so secret
+        key material never lingers; fresh claims (a live checkout in
+        another process) are left alone.
         """
-        state_path = self.directory / _STATE_FILE
-        if state_path.exists():
-            import json
-
-            state = json.loads(state_path.read_text(encoding="utf-8"))
-            for n, next_index in state.get("next_index", {}).items():
-                self._next_index[int(n)] = int(next_index)
+        for scratch in self.directory.glob(
+                "falcon_n*" + SECRET_KEY_SUFFIX + ".claim-*"):
+            try:
+                age = time.time() - scratch.stat().st_mtime
+            except OSError:  # pragma: no cover - claimant finished
+                continue
+            if age > _STALE_CLAIM_SECONDS:
+                scratch.unlink(missing_ok=True)
         for path in sorted(self.directory.glob("falcon_n*" +
                                                SECRET_KEY_SUFFIX)):
             match = _KEY_FILE_PATTERN.match(path.name)
@@ -166,30 +379,38 @@ class KeyStore:
                 continue
             n = int(match.group("n"))
             index = int(match.group("index"))
-            self._pools.setdefault(n, deque()).append(_PoolEntry(path=path))
+            if index < self._cohort_start.get(n, 0):
+                path.unlink(missing_ok=True)
+                self._stats.retired += 1
+                continue
+            self._pools.setdefault(n, deque()).append(
+                _PoolEntry(path=path, index=index,
+                           generation=self._generation.get(n, 0)))
             self._next_index[n] = max(self._next_index.get(n, 0),
                                       index + 1)
             self._stats.loaded_from_disk += 1
-
-    def _write_state(self) -> None:
-        import json
-
-        payload = {"next_index": {str(n): index
-                                  for n, index in
-                                  sorted(self._next_index.items())}}
-        atomic_write_bytes(self.directory / _STATE_FILE,
-                           json.dumps(payload, indent=1).encode())
 
     def _key_path(self, n: int, index: int) -> Path:
         return self.directory / (f"falcon_n{n:04d}_{index:06d}"
                                  + SECRET_KEY_SUFFIX)
 
     def _claim_indices(self, n: int, count: int) -> list[int]:
-        start = self._next_index.get(n, 0)
-        self._next_index[n] = start + count
-        if self.directory is not None:
-            self._write_state()
-        return list(range(start, start + count))
+        """Claim ``count`` fresh slot indices for degree ``n``.
+
+        The reload-claim-persist cycle runs under the manifest lock:
+        concurrent claimants (other threads, other store instances,
+        other processes) always observe each other's claims and the
+        returned ranges are disjoint.  Claimed indices are persisted
+        *before* any key material exists — a crash mid-generation
+        burns the slots rather than ever re-deriving their seeds.
+        """
+        with self._manifest_lock():
+            self._reload_state()
+            start = self._next_index.get(n, 0)
+            self._next_index[n] = start + count
+            if self.directory is not None:
+                self._write_state()
+            return list(range(start, start + count))
 
     # -- pool management ---------------------------------------------------
 
@@ -203,6 +424,7 @@ class KeyStore:
         if count <= 0:
             return 0
         indices = self._claim_indices(n, count)
+        generation = self._generation.get(n, 0)
         seeds = [derive_key_seed(self.master_seed, n, index)
                  for index in indices]
         if self.workers > 1 and count > 1:
@@ -218,38 +440,95 @@ class KeyStore:
                 generate_encoded_key(n, seed, self.prng,
                                      self.keygen_spine)
                 for seed in seeds]
-        pool = self._pools.setdefault(n, deque())
+        entries = []
         for index, encoded in zip(indices, encoded_keys):
-            entry = _PoolEntry(encoded=encoded)
+            entry = _PoolEntry(encoded=encoded, index=index,
+                               generation=generation)
             if self.directory is not None:
                 entry.path = atomic_write_bytes(
                     self._key_path(n, index), encoded)
-            pool.append(entry)
-        self._stats.generated += count
+            entries.append(entry)
+        with self._lock:
+            # A rotation that ran while these keys were generating
+            # retired their cohort before they ever reached the pool:
+            # admit only indices at or past the (re-read) cohort
+            # start, discarding the rest like any retired key.
+            cohort_start = self._cohort_start.get(n, 0)
+            pool = self._pools.setdefault(n, deque())
+            for entry in entries:
+                if entry.index < cohort_start:
+                    if entry.path is not None:
+                        entry.path.unlink(missing_ok=True)
+                    self._stats.retired += 1
+                    continue
+                pool.append(entry)
+            self._stats.generated += count
         return count
 
     def available(self, n: int) -> int:
         """Ready keys in the degree-``n`` pool (memory or disk)."""
-        return len(self._pools.get(n, ()))
+        with self._lock:
+            return len(self._pools.get(n, ()))
+
+    def _claim_entry(self, entry: _PoolEntry) -> bytes | None:
+        """Take exclusive ownership of a pool entry's key material.
+
+        Disk-backed entries are claimed by atomically *renaming* the
+        key file to a scratch name: exactly one claimant wins the
+        rename, so two stores that adopted the same directory can
+        never both serve the same slot (losing the race returns
+        ``None`` and the caller moves to the next entry).  The scratch
+        name is globally unique (pid + random token) — ``rename``
+        replaces silently, so two claimants must never target the same
+        scratch path.  A purely in-memory entry is exclusively ours
+        already.
+        """
+        if entry.path is None:
+            return entry.encoded
+        import os
+        from uuid import uuid4
+
+        claim = entry.path.with_name(
+            entry.path.name + f".claim-{os.getpid()}-{uuid4().hex}")
+        try:
+            entry.path.rename(claim)
+        except FileNotFoundError:
+            return None  # another store instance checked this slot out
+        try:
+            return entry.encoded if entry.encoded is not None \
+                else claim.read_bytes()
+        finally:
+            claim.unlink(missing_ok=True)
+
+    def _pop_claimed(self, n: int) -> bytes:
+        """Pop pool entries until one is exclusively claimed,
+        generating inline once the pool runs dry."""
+        while True:
+            with self._lock:
+                pool = self._pools.setdefault(n, deque())
+                entry = pool.popleft() if pool else None
+            if entry is None:
+                self.generate_ahead(n, 1)
+                continue
+            encoded = self._claim_entry(entry)
+            if encoded is not None:
+                return encoded
 
     def acquire(self, n: int) -> SecretKey:
         """Check one key out of the pool (generating on a dry pool).
 
         The returned signer went through the full canonical decode; its
         disk copy, if any, is removed — an acquired key is no longer
-        the store's to hand out again.
+        the store's to hand out again.  Checkouts that leave the pool
+        below ``low_watermark`` schedule a background refill.
         """
-        pool = self._pools.setdefault(n, deque())
-        if not pool:
-            self.generate_ahead(n, 1)
-        entry = pool.popleft()
-        encoded = entry.read()
-        if entry.path is not None:
-            entry.path.unlink(missing_ok=True)
+        encoded = self._pop_claimed(n)
         from .serialize import decode_secret_key
         secret_key = decode_secret_key(encoded,
                                        base_backend=self.base_backend)
-        self._stats.served += 1
+        with self._lock:
+            self._stats.served += 1
+        self._maybe_refill(n)
         return secret_key
 
     def peek(self, n: int) -> SecretKey:
@@ -257,35 +536,171 @@ class KeyStore:
 
         The entry (and any disk copy) stays in the pool — this is for
         inspection and reporting; use :meth:`acquire` to take ownership.
-        Generates one key first if the pool is dry.
+        Generates one key first if the pool is dry.  A head entry whose
+        file a concurrent store instance claimed meanwhile is dropped
+        and the next live entry is peeked instead.
         """
-        pool = self._pools.setdefault(n, deque())
-        if not pool:
-            self.generate_ahead(n, 1)
         from .serialize import decode_secret_key
-        return decode_secret_key(pool[0].read(),
-                                 base_backend=self.base_backend)
+
+        while True:
+            with self._lock:
+                pool = self._pools.setdefault(n, deque())
+                head = pool[0] if pool else None
+            if head is None:
+                self.generate_ahead(n, 1)
+                continue
+            try:
+                return decode_secret_key(head.read(),
+                                         base_backend=self.base_backend)
+            except FileNotFoundError:
+                with self._lock:
+                    if pool and pool[0] is head:
+                        pool.popleft()
+
+    # -- watermark refill --------------------------------------------------
+
+    def _maybe_refill(self, n: int) -> None:
+        if self.low_watermark <= 0:
+            return
+        with self._lock:
+            if len(self._pools.get(n, ())) >= self.low_watermark:
+                return
+            if n in self._refilling:
+                return
+            self._refilling.add(n)
+            self._stats.watermark_triggers += 1
+
+        def refill() -> None:
+            try:
+                deficit = self.refill_target - self.available(n)
+                if deficit > 0:
+                    started = time.perf_counter()
+                    self.generate_ahead(n, deficit)
+                    elapsed = time.perf_counter() - started
+                    with self._lock:
+                        self._stats.refills += 1
+                        self._stats.last_refill_seconds = elapsed
+                        self._stats.total_refill_seconds += elapsed
+            finally:
+                with self._lock:
+                    self._refilling.discard(n)
+
+        if self.refill_async:
+            thread = threading.Thread(target=refill, daemon=True,
+                                      name=f"keystore-refill-n{n}")
+            with self._lock:
+                self._refill_threads = [t for t in self._refill_threads
+                                        if t.is_alive()]
+                self._refill_threads.append(thread)
+            thread.start()
+        else:
+            refill()
+
+    def join_refills(self, timeout: float | None = None) -> None:
+        """Block until in-flight background refills finish (tests and
+        orderly shutdown; the serving layer calls this on close)."""
+        with self._lock:
+            threads = list(self._refill_threads)
+        for thread in threads:
+            thread.join(timeout)
+
+    # -- rotation ----------------------------------------------------------
+
+    def rotate(self, n: int, regenerate: int | None = None) -> int:
+        """Retire the degree-``n`` cohort; optionally regenerate.
+
+        Bumps the generation, advances the cohort start past every
+        claimed slot, discards all pooled keys of the old cohort
+        (removing their files) and drops the cached signer so the next
+        :meth:`signer` call checks out a fresh-generation key.  Retired
+        slots are burned — the monotone index sequence guarantees their
+        seeds are never derived again.  Returns the number of retired
+        pool entries; with ``regenerate`` (or a configured
+        ``refill_target``) a fresh cohort is generated immediately.
+        """
+        with self._manifest_lock():
+            self._reload_state()
+            self._generation[n] = self._generation.get(n, 0) + 1
+            self._cohort_start[n] = self._next_index.get(n, 0)
+            if self.directory is not None:
+                self._write_state()
+        with self._lock:
+            pool = self._pools.get(n, deque())
+            retired = len(pool)
+            for entry in pool:
+                if entry.path is not None:
+                    entry.path.unlink(missing_ok=True)
+            pool.clear()
+            self._stats.retired += retired
+            self._signers.pop(n, None)
+        count = (regenerate if regenerate is not None
+                 else self.refill_target)
+        if count > 0:
+            self.generate_ahead(n, count)
+        return retired
+
+    def generation(self, n: int) -> int:
+        """The degree-``n`` cohort generation (0 until first rotation)."""
+        with self._lock:
+            return self._generation.get(n, 0)
 
     # -- serving -----------------------------------------------------------
 
+    def checkout_current(self, n: int) -> tuple[SecretKey, int]:
+        """Acquire a key fenced against concurrent rotation.
+
+        Returns ``(key, generation)`` where the key's checkout began
+        and ended in the same generation: if :meth:`rotate` ran while
+        the (slow) acquire was in flight, the possibly-old-cohort key
+        is discarded — its slot stays burned — and the checkout
+        retries.  The shared primitive under every signer cache (this
+        store's and the sharded layer's), so a rotation can never be
+        undone by a racing checkout re-caching a retired key.
+        """
+        while True:
+            generation = self.generation(n)
+            acquired = self.acquire(n)
+            if self.generation(n) == generation:
+                return acquired, generation
+
     def signer(self, n: int) -> SecretKey:
         """The cached signing key for degree ``n`` (acquired on first
-        use; reused so its ffLDL tree and sampler pools stay warm)."""
-        if n not in self._signers:
-            self._signers[n] = self.acquire(n)
-        return self._signers[n]
+        use; reused so its ffLDL tree and sampler pools stay warm).
+
+        Cold-cache checkouts are serialized per degree (concurrent
+        first users wait for one checkout instead of each generating
+        and discarding a key) and generation-fenced via
+        :meth:`checkout_current`.
+        """
+        return fenced_signer_checkout(self, n, lock=self._lock,
+                                      guards=self._signer_guards,
+                                      cache=self._signers, key=n)
 
     def sign_many(self, n: int, messages: Sequence[bytes],
                   spine: str = "auto") -> list[Signature]:
         """Batch-sign ``messages`` with the cached degree-``n`` signer."""
         return self.signer(n).sign_many(messages, spine=spine)
 
+    def verify_many(self, n: int, messages: Sequence[bytes],
+                    signatures: Sequence[Signature]) -> list[bool]:
+        """Batch-verify against the cached degree-``n`` signer's public
+        key (the cached NTT of ``h`` is reused across rounds)."""
+        return self.signer(n).public_key.verify_many(messages,
+                                                     signatures)
+
     def stats(self) -> KeyStoreStats:
         """A point-in-time snapshot (callers may keep or mutate it
         freely without touching the store's live counters)."""
-        return KeyStoreStats(
-            generated=self._stats.generated,
-            served=self._stats.served,
-            loaded_from_disk=self._stats.loaded_from_disk,
-            available={n: len(pool)
-                       for n, pool in self._pools.items() if pool})
+        with self._lock:
+            return KeyStoreStats(
+                generated=self._stats.generated,
+                served=self._stats.served,
+                loaded_from_disk=self._stats.loaded_from_disk,
+                refills=self._stats.refills,
+                watermark_triggers=self._stats.watermark_triggers,
+                retired=self._stats.retired,
+                last_refill_seconds=self._stats.last_refill_seconds,
+                total_refill_seconds=self._stats.total_refill_seconds,
+                available={n: len(pool)
+                           for n, pool in self._pools.items() if pool},
+                generation=dict(self._generation))

@@ -75,7 +75,9 @@ _MAX_WINDOW_ZOOM = 900
 #: quotient carries ~45 trustworthy bits; rounding at scale 2^44
 #: strips ~44 bits of the quotient per round instead of the sliver
 #: visible at scale 1 when ``bitsize(f)`` is close to the 53-bit
-#: window.
+#: window.  Re-tuned at Level 3 (n=1024, PR 5): sweeping 36..52 bits
+#: moves n=1024 keygen by under 3% (86-95 ms/key on the reference
+#: host) with 44 at the optimum plateau, so the n<=512 tuning stands.
 _QUOTIENT_EXTRA_BITS = 44
 
 #: Keygen spine choices: ``"numpy"`` = bulk CDT + array NTT/FFT batch
@@ -135,6 +137,13 @@ def _block_scaled_floats(values: list[int], drop_bits: int) -> list[float]:
 #: tower levels carry multi-thousand-bit coefficients whose quotients
 #: the 53-bit float window could only peel off a sliver at a time.
 #: Exact big-integer arithmetic is spine-independent by construction.
+#: Re-tuned at Level 3 (n=1024, PR 5): thresholds 8 and 16 tie within
+#: noise (~87 ms/key) while 32 and 64 regress 14%/44% (the exact
+#: resultant chain grows quadratically past degree 16), so the deep-
+#: tower handoff stays at 16 for every supported n.  The knobs only
+#: steer *which route* computes the quotient — every setting converges
+#: to the same reduced basis, so the keygen KATs (now including
+#: n=1024) pin bit-identical keys across the whole tuning range.
 _EXACT_BABAI_MAX_DEGREE = 16
 
 

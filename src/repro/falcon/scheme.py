@@ -302,6 +302,7 @@ class SecretKey:
         self._target_ffts: tuple[list[complex], list[complex]] | None \
             = None
         self._numpy_rows: dict[str, object] | None = None
+        self._public_key: PublicKey | None = None
 
         self.signing_attempts = 0
         self.use_base_sampler(base_backend)
@@ -329,7 +330,11 @@ class SecretKey:
 
     @property
     def public_key(self) -> PublicKey:
-        return PublicKey(self.n, self.keys.h)
+        """The verification key (one cached instance, so serving-layer
+        verify rounds reuse its precomputed ``ntt(h)``)."""
+        if self._public_key is None:
+            self._public_key = PublicKey(self.n, self.keys.h)
+        return self._public_key
 
     def use_base_sampler(self, backend: str,
                          source: RandomSource | None = None,

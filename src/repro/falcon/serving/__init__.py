@@ -1,0 +1,36 @@
+"""Production serving layer over the batched Falcon spine.
+
+Two layers above :class:`~repro.falcon.keystore.KeyStore`:
+
+* :class:`ShardedKeyStore` — consistent-hash tenant→shard mapping over
+  per-shard generate-ahead pools (each shard has its own directory,
+  manifest, lock file and derived master seed), with per-tenant signer
+  checkout and an aggregated metrics snapshot;
+* :class:`SigningService` — an asyncio facade that coalesces
+  concurrent ``sign(tenant, message)`` / ``verify(tenant, message,
+  signature)`` calls into batched ``sign_many`` / ``verify_many``
+  rounds per shard, with max-batch / max-wait knobs and back-pressure
+  through bounded queues.
+
+Round composition is a pure function of arrival *metadata* — see
+:func:`plan_rounds` — never of message or key contents; the dudect-
+style check lives in :mod:`repro.ct.coalesce`.
+"""
+
+from .sharded import ConsistentHashRing, ShardedKeyStore, derive_shard_seed
+from .service import (
+    RoundPlan,
+    ServiceMetrics,
+    SigningService,
+    plan_rounds,
+)
+
+__all__ = [
+    "ConsistentHashRing",
+    "RoundPlan",
+    "ServiceMetrics",
+    "ShardedKeyStore",
+    "SigningService",
+    "derive_shard_seed",
+    "plan_rounds",
+]

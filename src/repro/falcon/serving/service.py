@@ -1,0 +1,358 @@
+"""The asyncio coalescing front: many awaiters, few batched rounds.
+
+PR 3 made one ``sign_many`` call fast; a serving deployment has the
+inverse shape — thousands of independent ``sign(tenant, message)``
+calls that must *become* ``sign_many`` rounds to ride the batched
+spine.  :class:`SigningService` does that coalescing:
+
+* every request enqueues onto its shard's **bounded** asyncio queue
+  (a full queue suspends the caller — back-pressure, not unbounded
+  buffering);
+* one worker per shard drains up to ``max_batch`` requests, waiting
+  at most ``max_wait`` seconds for stragglers once the first request
+  of a round has arrived (the classic batch-window trade: larger
+  windows coalesce more, at latency cost);
+* the drained batch is partitioned into per-``(tenant, kind)`` rounds
+  by :func:`plan_rounds` and each round runs ``sign_many`` /
+  ``verify_many`` under the tenant's checked-out signer on a worker
+  thread, so the event loop stays responsive while the CPU-bound
+  spine runs.
+
+**Byte identity**: a coalesced round calls the exact
+``SecretKey.sign_many`` the direct API exposes, with messages in
+arrival order — signatures are bit-identical to a direct call with
+the same key and message order (pinned by the serving test suite).
+
+**Constant-time discipline**: round composition — how many rounds, of
+what sizes, in what order — is computed by :func:`plan_rounds` from
+arrival *metadata only* (tenant id, request kind, arrival order).
+Message bytes, signature bytes and key material are never inputs to
+the scheduling decision, so the coalescing layer cannot leak secrets
+through batch shape (the GALACTICS lesson); :mod:`repro.ct.coalesce`
+runs a dudect-style two-class pass over exactly this property.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..scheme import Signature
+from .sharded import ShardedKeyStore
+
+#: Request kinds the coalescer schedules.
+KIND_SIGN = "sign"
+KIND_VERIFY = "verify"
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """One batched round: which drained lanes run together.
+
+    ``lanes`` are indices into the drained request batch, in arrival
+    order — a pure function of arrival metadata (see
+    :func:`plan_rounds`).
+    """
+
+    tenant: str
+    kind: str
+    lanes: tuple[int, ...]
+
+
+def plan_rounds(arrivals: Sequence[tuple[str, str]],
+                max_batch: int) -> list[RoundPlan]:
+    """Partition drained requests into per-``(tenant, kind)`` rounds.
+
+    ``arrivals`` is the drained batch's metadata — ``(tenant, kind)``
+    per request, in arrival order.  Requests sharing a tenant and kind
+    coalesce into one round (chunked at ``max_batch``), rounds are
+    emitted in first-arrival order, and lanes within a round keep
+    arrival order — which is what makes coalesced signatures byte-
+    identical to a direct ``sign_many`` over the same message order.
+
+    This function is deliberately *blind*: it receives no message
+    bytes, no signatures, no key material.  Round composition is
+    secret-independent by construction, and the type signature is the
+    contract (checked by :mod:`repro.ct.coalesce`).
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be at least 1")
+    groups: dict[tuple[str, str], list[int]] = {}
+    order: list[tuple[str, str]] = []
+    for lane, (tenant, kind) in enumerate(arrivals):
+        key = (tenant, kind)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(lane)
+    plans: list[RoundPlan] = []
+    for tenant, kind in order:
+        lanes = groups[(tenant, kind)]
+        for start in range(0, len(lanes), max_batch):
+            plans.append(RoundPlan(
+                tenant=tenant, kind=kind,
+                lanes=tuple(lanes[start:start + max_batch])))
+    return plans
+
+
+@dataclass
+class ServiceMetrics:
+    """Live counters of one :class:`SigningService` instance."""
+
+    requests: int = 0
+    signed: int = 0
+    verified: int = 0
+    rounds: int = 0
+    coalesced_max: int = 0
+    queue_high_water: int = 0
+    #: Per-round shape log ``(shard, kind, size)`` — populated only
+    #: with ``record_rounds=True`` (the CT harness reads this).
+    round_log: list[tuple[int, str, int]] = field(default_factory=list)
+
+    @property
+    def coalesced_avg(self) -> float:
+        done = self.signed + self.verified
+        return done / self.rounds if self.rounds else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "signed": self.signed,
+            "verified": self.verified,
+            "rounds": self.rounds,
+            "coalesced_avg": round(self.coalesced_avg, 2),
+            "coalesced_max": self.coalesced_max,
+            "queue_high_water": self.queue_high_water,
+        }
+
+
+@dataclass
+class _Request:
+    tenant: str
+    kind: str
+    message: bytes
+    signature: Signature | None
+    future: asyncio.Future
+
+
+class SigningService:
+    """Async facade coalescing per-request traffic into batched rounds.
+
+    ``store`` is a :class:`~repro.falcon.serving.ShardedKeyStore`
+    (each tenant signs under its own checked-out key).  Use as an
+    async context manager::
+
+        store = ShardedKeyStore(shards=2, master_seed=7)
+        async with SigningService(store, n=256, max_batch=32,
+                                  max_wait=0.002) as service:
+            signature = await service.sign("tenant-a", b"message")
+            assert await service.verify("tenant-a", b"message",
+                                        signature)
+
+    Knobs: ``max_batch`` bounds a round, ``max_wait`` is the batch
+    window (seconds the first request of a round waits for company; 0
+    drains only what is already queued), ``queue_depth`` bounds each
+    shard queue — a full queue suspends callers (back-pressure)
+    instead of buffering without limit.  ``offload=True`` (default)
+    runs each round on a worker thread so the event loop stays
+    responsive while the CPU-bound spine runs; ``offload=False`` runs
+    rounds inline on the loop — on a single-core host the GIL makes
+    the thread hop pure overhead, and inline execution trades loop
+    responsiveness for peak throughput.
+    """
+
+    def __init__(self, store: ShardedKeyStore, *,
+                 n: int = 64,
+                 max_batch: int = 32,
+                 max_wait: float = 0.002,
+                 queue_depth: int = 256,
+                 spine: str = "auto",
+                 offload: bool = True,
+                 record_rounds: bool = False) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+        self.store = store
+        self.n = n
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.queue_depth = queue_depth
+        self.spine = spine
+        self.offload = offload
+        self.metrics = ServiceMetrics()
+        self._record_rounds = record_rounds
+        self._queues: list[asyncio.Queue] = []
+        self._workers: list[asyncio.Task] = []
+        self._started = False
+        self._stopping = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._started:
+            raise RuntimeError("service already started")
+        self._queues = [asyncio.Queue(maxsize=self.queue_depth)
+                        for _ in range(self.store.shards)]
+        self._workers = [
+            asyncio.ensure_future(self._shard_worker(shard))
+            for shard in range(self.store.shards)]
+        self._started = True
+
+    async def stop(self) -> None:
+        """Flush queued work, stop the workers, join refills.
+
+        New submissions are refused the moment stop begins; a request
+        that nonetheless slipped behind the shutdown sentinel gets a
+        ``RuntimeError`` on its future rather than hanging forever.
+        """
+        if not self._started or self._stopping:
+            return
+        self._stopping = True
+        queues = self._queues
+        for queue in queues:
+            await queue.put(None)
+        await asyncio.gather(*self._workers)
+        self._workers = []
+        self._queues = []
+        self._started = False
+        self._stopping = False
+        for queue in queues:  # strand nothing behind the sentinel
+            while True:
+                try:
+                    request = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if request is not None and not request.future.done():
+                    request.future.set_exception(
+                        RuntimeError("service stopped"))
+        await asyncio.to_thread(self.store.join_refills)
+
+    async def __aenter__(self) -> "SigningService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- request surface ---------------------------------------------------
+
+    async def _submit(self, request: _Request):
+        if not self._started or self._stopping:
+            raise RuntimeError("service is not running")
+        shard = self.store.shard_for(request.tenant)
+        queue = self._queues[shard]
+        await queue.put(request)  # suspends when full: back-pressure
+        self.metrics.requests += 1
+        self.metrics.queue_high_water = max(
+            self.metrics.queue_high_water, queue.qsize())
+        return await request.future
+
+    async def sign(self, tenant: str, message: bytes) -> Signature:
+        """Sign ``message`` under ``tenant``'s key; coalesced into the
+        shard's next ``sign_many`` round."""
+        future = asyncio.get_running_loop().create_future()
+        return await self._submit(_Request(
+            tenant=tenant, kind=KIND_SIGN, message=message,
+            signature=None, future=future))
+
+    async def verify(self, tenant: str, message: bytes,
+                     signature: Signature) -> bool:
+        """Verify against ``tenant``'s public key; coalesced into the
+        shard's next ``verify_many`` round."""
+        future = asyncio.get_running_loop().create_future()
+        return await self._submit(_Request(
+            tenant=tenant, kind=KIND_VERIFY, message=message,
+            signature=signature, future=future))
+
+    async def sign_all(self, tenant: str,
+                       messages: Sequence[bytes]) -> list[Signature]:
+        """Concurrent convenience: ``sign`` every message, gathered."""
+        return list(await asyncio.gather(
+            *[self.sign(tenant, message) for message in messages]))
+
+    # -- the coalescing loop -----------------------------------------------
+
+    async def _drain(self, queue: asyncio.Queue,
+                     first: _Request) -> tuple[list[_Request], bool]:
+        """Collect one round's batch: the first request plus whatever
+        arrives within the batch window, up to ``max_batch``."""
+        batch = [first]
+        stopping = False
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.max_wait
+        while len(batch) < self.max_batch:
+            timeout = deadline - loop.time()
+            if timeout <= 0:
+                # Window closed: take only what is already queued.
+                try:
+                    item = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+            else:
+                try:
+                    item = await asyncio.wait_for(queue.get(), timeout)
+                except asyncio.TimeoutError:
+                    break
+            if item is None:
+                stopping = True
+                break
+            batch.append(item)
+        return batch, stopping
+
+    async def _shard_worker(self, shard: int) -> None:
+        queue = self._queues[shard]
+        while True:
+            first = await queue.get()
+            if first is None:
+                return
+            batch, stopping = await self._drain(queue, first)
+            await self._run_rounds(shard, batch)
+            if stopping:
+                return
+
+    async def _run_rounds(self, shard: int,
+                          batch: list[_Request]) -> None:
+        plans = plan_rounds([(r.tenant, r.kind) for r in batch],
+                            self.max_batch)
+        for plan in plans:
+            requests = [batch[lane] for lane in plan.lanes]
+            self.metrics.rounds += 1
+            self.metrics.coalesced_max = max(
+                self.metrics.coalesced_max, len(requests))
+            if self._record_rounds:
+                self.metrics.round_log.append(
+                    (shard, plan.kind, len(requests)))
+            messages = [r.message for r in requests]
+
+            def run_round(plan=plan, messages=messages,
+                          requests=requests):
+                # One worker-thread hop per round: signer checkout
+                # (cached after first use) plus the batched kernel
+                # call together, so the event loop stays free while
+                # the CPU-bound spine runs.
+                signer = self.store.signer(plan.tenant, self.n)
+                if plan.kind == KIND_SIGN:
+                    return signer.sign_many(messages, spine=self.spine)
+                return signer.public_key.verify_many(
+                    messages, [r.signature for r in requests])
+
+            try:
+                if self.offload:
+                    results = await asyncio.to_thread(run_round)
+                else:
+                    results = run_round()
+                if plan.kind == KIND_SIGN:
+                    self.metrics.signed += len(requests)
+                else:
+                    self.metrics.verified += len(requests)
+                for request, result in zip(requests, results):
+                    if not request.future.done():
+                        request.future.set_result(result)
+            except Exception as error:  # propagate to the awaiters
+                for request in requests:
+                    if not request.future.done():
+                        request.future.set_exception(error)

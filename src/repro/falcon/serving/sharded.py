@@ -1,0 +1,210 @@
+"""Sharded key stores: consistent hashing over per-shard pools.
+
+A serving deployment partitions its key pools so provisioning,
+rotation and refill scale horizontally: each shard is a full
+:class:`~repro.falcon.keystore.KeyStore` (its own directory, manifest,
+lock file and watermark refill), and tenants map onto shards through a
+consistent-hash ring, so adding shards moves only ``1/shards`` of the
+tenant space.
+
+Shard master seeds derive from ``(master_seed, shard)`` via SHA-256 —
+two shards of one deployment can never derive the same per-slot seed,
+so no key material is ever duplicated across shards (asserted by the
+serving test suite's duplicate-issuance stress test).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from hashlib import sha256
+from pathlib import Path
+from typing import Sequence
+
+from ..keystore import KeyStore, fenced_signer_checkout
+from ..scheme import SecretKey, Signature
+
+
+def derive_shard_seed(master_seed: int | bytes, shard: int) -> bytes:
+    """Deterministic 32-byte master seed for one shard.
+
+    Distinct from every :func:`~repro.falcon.keystore.derive_key_seed`
+    output domain (different prefix), so shard seeds and slot seeds
+    can never collide either.
+    """
+    if isinstance(master_seed, int):
+        master = b"%d" % master_seed
+    else:
+        master = bytes(master_seed)
+    return sha256(b"falcon-shard|%b|%d" % (master, shard)).digest()
+
+
+def _tenant_bytes(tenant: str | bytes) -> bytes:
+    return tenant.encode() if isinstance(tenant, str) else bytes(tenant)
+
+
+class ConsistentHashRing:
+    """SHA-256 consistent-hash ring with virtual nodes.
+
+    Each shard owns ``replicas`` points on a 64-bit ring; a tenant
+    maps to the first point clockwise of its own hash.  The mapping is
+    a pure function of ``(shards, replicas, tenant)`` — restarts and
+    rebalances are deterministic, and growing the ring from ``s`` to
+    ``s + 1`` shards relocates only the tenants whose arc the new
+    shard's points split.
+    """
+
+    def __init__(self, shards: int, replicas: int = 64) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        if replicas < 1:
+            raise ValueError("need at least one replica per shard")
+        self.shards = shards
+        self.replicas = replicas
+        points: list[tuple[int, int]] = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                digest = sha256(b"falcon-ring|%d|%d"
+                                % (shard, replica)).digest()
+                points.append((int.from_bytes(digest[:8], "big"), shard))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def shard_for(self, tenant: str | bytes) -> int:
+        """The shard owning ``tenant`` (first ring point clockwise)."""
+        digest = sha256(b"falcon-tenant|%b"
+                        % _tenant_bytes(tenant)).digest()
+        point = int.from_bytes(digest[:8], "big")
+        position = bisect_right(self._hashes, point) % len(self._hashes)
+        return self._owners[position]
+
+
+class ShardedKeyStore:
+    """Tenant-facing façade over ``shards`` independent key stores.
+
+    Construction mirrors :class:`~repro.falcon.keystore.KeyStore`
+    (every keyword flows through to the per-shard stores); with a
+    ``directory``, each shard persists under ``directory/shard-NN``.
+
+    Per-tenant signer checkout: :meth:`signer` checks a dedicated key
+    out of the tenant's shard on first use and caches it, so every
+    tenant signs under its own key while sharing the shard's batched
+    pipeline.  :meth:`sign_many` / :meth:`verify_many` are the batch
+    primitives the asyncio coalescing front drives.
+    """
+
+    def __init__(self, directory: str | Path | None = None, *,
+                 shards: int = 2,
+                 replicas: int = 64,
+                 master_seed: int | bytes = 0,
+                 **store_kwargs) -> None:
+        base = Path(directory) if directory is not None else None
+        self.ring = ConsistentHashRing(shards, replicas)
+        self.master_seed = master_seed
+        self.stores = [
+            KeyStore(base / f"shard-{shard:02d}" if base is not None
+                     else None,
+                     master_seed=derive_shard_seed(master_seed, shard),
+                     **store_kwargs)
+            for shard in range(shards)]
+        self._signers: dict[tuple[str, int], SecretKey] = {}
+        self._signer_guards: dict[tuple[str, int], threading.Lock] = {}
+        self._signer_lock = threading.Lock()
+
+    @property
+    def shards(self) -> int:
+        return len(self.stores)
+
+    # -- mapping -----------------------------------------------------------
+
+    def shard_for(self, tenant: str | bytes) -> int:
+        return self.ring.shard_for(tenant)
+
+    def store_for(self, tenant: str | bytes) -> KeyStore:
+        return self.stores[self.shard_for(tenant)]
+
+    # -- provisioning ------------------------------------------------------
+
+    def generate_ahead(self, n: int, count_per_shard: int) -> int:
+        """Provision ``count_per_shard`` keys on every shard."""
+        total = 0
+        for store in self.stores:
+            total += store.generate_ahead(n, count_per_shard)
+        return total
+
+    def available(self, n: int) -> int:
+        """Ready keys across all shards."""
+        return sum(store.available(n) for store in self.stores)
+
+    def rotate(self, n: int, regenerate: int | None = None) -> int:
+        """Rotate the degree-``n`` cohort on every shard; cached
+        per-tenant signers of that degree are dropped so the next
+        checkout serves the fresh generation."""
+        retired = sum(store.rotate(n, regenerate=regenerate)
+                      for store in self.stores)
+        with self._signer_lock:
+            for key in [key for key in self._signers if key[1] == n]:
+                del self._signers[key]
+        return retired
+
+    def join_refills(self, timeout: float | None = None) -> None:
+        for store in self.stores:
+            store.join_refills(timeout)
+
+    # -- serving -----------------------------------------------------------
+
+    def signer(self, tenant: str | bytes, n: int) -> SecretKey:
+        """The tenant's dedicated signing key (checked out of the
+        tenant's shard on first use, cached thereafter).
+
+        Cold-cache checkouts are serialized per ``(tenant, n)`` —
+        concurrent first requests wait for one checkout instead of
+        each burning a slot — and rotation-fenced through
+        :meth:`KeyStore.checkout_current`, so a freshly rotated
+        tenant can never be re-pinned to a retired cohort.
+        """
+        key = (_tenant_bytes(tenant).decode("latin-1"), n)
+        return fenced_signer_checkout(self.store_for(tenant), n,
+                                      lock=self._signer_lock,
+                                      guards=self._signer_guards,
+                                      cache=self._signers, key=key)
+
+    def sign_many(self, tenant: str | bytes, n: int,
+                  messages: Sequence[bytes],
+                  spine: str = "auto") -> list[Signature]:
+        """Batch-sign under the tenant's checked-out key (byte-
+        identical to ``self.signer(tenant, n).sign_many(...)``)."""
+        return self.signer(tenant, n).sign_many(messages, spine=spine)
+
+    def verify_many(self, tenant: str | bytes, n: int,
+                    messages: Sequence[bytes],
+                    signatures: Sequence[Signature]) -> list[bool]:
+        """Batch-verify against the tenant's public key."""
+        return self.signer(tenant, n).public_key.verify_many(
+            messages, signatures)
+
+    # -- metrics -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Aggregated metrics snapshot: per-shard stores plus totals
+        (pool depth, checkout counts, refill latency, generations)."""
+        per_shard = [store.stats() for store in self.stores]
+        totals = {
+            "generated": sum(s.generated for s in per_shard),
+            "served": sum(s.served for s in per_shard),
+            "refills": sum(s.refills for s in per_shard),
+            "watermark_triggers": sum(s.watermark_triggers
+                                      for s in per_shard),
+            "retired": sum(s.retired for s in per_shard),
+            "available": {},
+            "tenants_checked_out": len(self._signers),
+        }
+        for snapshot in per_shard:
+            for n, depth in snapshot.available.items():
+                totals["available"][n] = \
+                    totals["available"].get(n, 0) + depth
+        return {
+            "shards": [s.as_dict() for s in per_shard],
+            "totals": totals,
+        }

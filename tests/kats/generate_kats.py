@@ -30,8 +30,11 @@ KAT_DIR = Path(__file__).parent
 #: Signature KATs: (n, seed) as committed since PR 3.
 SIGN_CASES = [(8, 1001), (64, 1002), (256, 1003)]
 
-#: Keygen KATs: the acceptance grid of this PR's keygen pipeline.
-KEYGEN_CASES = [(8, 2001), (64, 2002), (256, 2003), (512, 2004)]
+#: Keygen KATs: the PR-4 acceptance grid plus the Level-3 ring
+#: (n=1024, added with the PR-5 Babai re-tune; REPRO_FULL-gated in the
+#: test suite like the other large rings).
+KEYGEN_CASES = [(8, 2001), (64, 2002), (256, 2003), (512, 2004),
+                (1024, 2005)]
 
 MESSAGES = [b"kat message 0", b"kat message 1",
             b"kat-msg-2 with a longer body"]

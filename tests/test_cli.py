@@ -135,6 +135,39 @@ def test_bench_serve_from_keystore(capsys, tmp_path):
     assert "all verified: True" in out
 
 
+def test_bench_serve_async_rows(capsys):
+    assert main(["bench-serve", "--n", "16", "--signs", "8",
+                 "--batch", "4", "--async", "--tenants", "2",
+                 "--clients", "4", "--spine", "scalar"]) == 0
+    out = capsys.readouterr().out
+    assert "async coalesced (clients=1, tenants=2)" in out
+    assert "async coalesced (clients=4, tenants=2)" in out
+    assert "all verified: True" in out
+
+
+def test_serve_command(capsys):
+    assert main(["serve", "--n", "8", "--requests", "12",
+                 "--clients", "4", "--tenants", "2", "--shards", "2",
+                 "--watermark", "1", "--verify-share", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "requests/s" in out
+    assert "coalesced rounds" in out
+    assert "signed / verified" in out
+    assert "memory only" in out
+
+
+def test_serve_command_persists(capsys, tmp_path):
+    store_dir = str(tmp_path / "serving")
+    assert main(["serve", "--n", "8", "--requests", "6",
+                 "--clients", "2", "--tenants", "2",
+                 "--provision", "1", "--verify-share", "0",
+                 "--keystore", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert store_dir in out
+    assert (tmp_path / "serving" / "shard-00").is_dir()
+    assert (tmp_path / "serving" / "shard-01").is_dir()
+
+
 def test_parser_rejects_unknown_prng():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["sample", "--prng", "aesni"])

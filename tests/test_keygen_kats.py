@@ -8,7 +8,8 @@ reproducing the exact same (f, g, F, G, h), in both the with-NumPy and
 without-NumPy CI legs.  A divergence here means the two spines no
 longer generate the same keys from the same seed.
 
-The n=256 and n=512 vectors run under ``REPRO_FULL=1``.
+The n=256, n=512 and n=1024 vectors run under ``REPRO_FULL=1`` (the
+slow gate; Level 3 keygen costs ~100 ms vectorized, ~1 s scalar).
 """
 
 import json
@@ -37,7 +38,7 @@ def _kats():
 
 def test_keygen_kat_fixtures_exist():
     names = {path.name for path in KAT_FILES}
-    for n in (8, 64, 256, 512):
+    for n in (8, 64, 256, 512, 1024):
         assert any(f"keygen_n{n}_" in name for name in names), names
 
 

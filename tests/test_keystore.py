@@ -168,3 +168,167 @@ def test_persisted_writes_leave_no_scratch_files(tmp_path):
 def test_workers_validation():
     with pytest.raises(ValueError):
         KeyStore(workers=0)
+    with pytest.raises(ValueError):
+        KeyStore(low_watermark=-1)
+    with pytest.raises(ValueError):
+        KeyStore(low_watermark=3, refill_target=2)
+
+
+def test_concurrent_store_instances_claim_disjoint_slots(tmp_path):
+    """Regression (PR 5): two store instances sharing a directory used
+    to claim overlapping slot indices — the second instance's stale
+    in-memory manifest restarted at the first instance's range and
+    re-derived the same per-slot seeds.  Claims now reload the
+    manifest under the cross-process lock, so ranges are disjoint."""
+    first = KeyStore(tmp_path, master_seed=31)
+    second = KeyStore(tmp_path, master_seed=31)  # stale view of 'first'
+    first.generate_ahead(8, 2)
+    second.generate_ahead(8, 2)  # must advance past first's claims
+    names = sorted(path.name for path in tmp_path.glob("*.skey"))
+    assert names == [f"falcon_n0008_{index:06d}.skey"
+                     for index in range(4)]
+    from repro.falcon import load_secret_key
+
+    issued = [tuple(load_secret_key(tmp_path / name).keys.f)
+              for name in names]
+    assert len(set(issued)) == 4  # four distinct keys, no seed reuse
+
+
+def test_concurrent_checkout_never_serves_a_slot_twice(tmp_path):
+    """Two stores that adopted the same persisted slots race their
+    checkouts through atomic file claims: each slot is served exactly
+    once, and the loser moves on to the next slot."""
+    first = KeyStore(tmp_path, master_seed=32)
+    first.generate_ahead(8, 3)
+    second = KeyStore(tmp_path, master_seed=32)  # adopts the same 3
+    served = [tuple(store.acquire(8).keys.f)
+              for store in (first, second, first, second)]
+    assert len(set(served)) == 4  # 3 pooled slots + 1 fresh, no dupes
+
+
+def test_stale_claim_scratch_files_swept_on_restart(tmp_path):
+    """A claimant that crashed between its rename and unlink leaves
+    key material in a .claim-* scratch file; construction sweeps the
+    stale ones (a fresh claim — a live checkout — is left alone)."""
+    import os
+    import time
+
+    store = KeyStore(tmp_path, master_seed=55)
+    store.generate_ahead(8, 1)
+    stale = tmp_path / "falcon_n0008_000000.skey.claim-999-deadbeef"
+    stale.write_bytes(b"leftover key material")
+    old = time.time() - 3600
+    os.utime(stale, (old, old))
+    fresh = tmp_path / "falcon_n0008_000001.skey.claim-999-cafef00d"
+    fresh.write_bytes(b"live checkout in another process")
+    KeyStore(tmp_path, master_seed=55)
+    assert not stale.exists()
+    assert fresh.exists()
+    fresh.unlink()
+
+
+def test_watermark_refill_inline():
+    store = KeyStore(master_seed=41, low_watermark=2, refill_target=3,
+                     refill_async=False)
+    store.generate_ahead(8, 2)
+    store.acquire(8)  # leaves 1 < watermark: refills inline to 3
+    assert store.available(8) == 3
+    stats = store.stats()
+    assert stats.watermark_triggers == 1
+    assert stats.refills == 1
+    assert stats.last_refill_seconds > 0
+    assert stats.total_refill_seconds >= stats.last_refill_seconds
+
+
+def test_watermark_refill_background():
+    store = KeyStore(master_seed=42, low_watermark=1, refill_target=2)
+    store.acquire(8)  # dry acquire, then pool is 0 < watermark
+    store.join_refills()
+    assert store.available(8) >= 1
+    assert store.stats().refills >= 1
+
+
+def test_rotation_retires_cohort_and_regenerates(tmp_path):
+    store = KeyStore(tmp_path, master_seed=43)
+    store.generate_ahead(8, 2)
+    old_keys = {tuple(store.peek(8).keys.f)}
+    assert store.generation(8) == 0
+    retired = store.rotate(8, regenerate=2)
+    assert retired == 2
+    assert store.generation(8) == 1
+    assert store.available(8) == 2
+    assert tuple(store.peek(8).keys.f) not in old_keys
+    stats = store.stats()
+    assert stats.retired == 2
+    assert stats.generation[8] == 1
+
+
+def test_rotation_drops_cached_signer():
+    store = KeyStore(master_seed=44)
+    old_signer = store.signer(8)
+    store.rotate(8)
+    fresh = store.signer(8)
+    assert fresh is not old_signer
+    assert fresh.keys.f != old_signer.keys.f
+
+
+def test_restart_after_rotation_discards_retired_files(tmp_path):
+    store = KeyStore(tmp_path, master_seed=45)
+    store.generate_ahead(8, 2)
+    # Rotate through a *second* instance: the first instance's files
+    # are now a retired cohort on disk.
+    rotated = KeyStore(tmp_path, master_seed=45)
+    rotated.rotate(8)
+    rotated.generate_ahead(8, 1)
+    restarted = KeyStore(tmp_path, master_seed=45)
+    assert restarted.available(8) == 1  # only the fresh cohort
+    assert restarted.generation(8) == 1
+    stale = [path.name for path in tmp_path.glob("*.skey")
+             if int(path.name.split("_")[2].split(".")[0]) < 2]
+    assert stale == []  # retired cohort files were removed
+
+
+def test_rotation_during_refill_discards_inflight_cohort(tmp_path,
+                                                         monkeypatch):
+    """A refill whose slots were claimed before a rotation must not
+    re-pool its keys afterwards: the in-flight cohort is retired on
+    arrival (pool admission re-checks the cohort start)."""
+    import repro.falcon.keystore as keystore_module
+
+    store = keystore_module.KeyStore(tmp_path, master_seed=51)
+    real_generate = keystore_module.generate_encoded_key
+    fired = []
+
+    def rotate_mid_generation(n, seed, prng="chacha20",
+                              keygen_spine="auto"):
+        encoded = real_generate(n, seed, prng, keygen_spine)
+        if not fired:  # rotation lands while this key is in flight
+            fired.append(True)
+            store.rotate(8)
+        return encoded
+
+    monkeypatch.setattr(keystore_module, "generate_encoded_key",
+                        rotate_mid_generation)
+    store.generate_ahead(8, 1)
+    assert store.available(8) == 0  # retired on arrival, not pooled
+    assert store.stats().retired == 1
+    assert not list(tmp_path.glob("*.skey"))
+    assert store.generation(8) == 1
+
+
+def test_verify_many_through_store():
+    store = KeyStore(master_seed=46)
+    messages = [b"vm-0", b"vm-1"]
+    signatures = store.sign_many(8, messages)
+    assert store.verify_many(8, messages, signatures) == [True, True]
+
+
+def test_stats_as_dict_round_trips_to_json():
+    import json
+
+    store = KeyStore(master_seed=47)
+    store.generate_ahead(8, 1)
+    payload = store.stats().as_dict()
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["generated"] == 1
+    assert payload["available"] == {"8": 1}

@@ -1,0 +1,376 @@
+"""Serving-layer tests: sharding, coalescing, back-pressure, CT.
+
+Pure stdlib asyncio + pytest (no pytest-asyncio): every async test
+drives its own ``asyncio.run``.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.ct import T_THRESHOLD, audit_coalescing, round_shape_trace
+from repro.falcon import KeyStore
+from repro.falcon.serving import (
+    ConsistentHashRing,
+    ShardedKeyStore,
+    SigningService,
+    derive_shard_seed,
+    plan_rounds,
+)
+
+
+# -- consistent hashing ------------------------------------------------------
+
+def test_ring_is_deterministic_across_instances():
+    first = ConsistentHashRing(4)
+    second = ConsistentHashRing(4)
+    for i in range(50):
+        tenant = f"tenant-{i}"
+        assert first.shard_for(tenant) == second.shard_for(tenant)
+
+
+def test_ring_covers_every_shard():
+    ring = ConsistentHashRing(3)
+    owners = {ring.shard_for(f"tenant-{i}") for i in range(200)}
+    assert owners == {0, 1, 2}
+
+
+def test_ring_growth_moves_only_a_fraction():
+    before = ConsistentHashRing(3)
+    after = ConsistentHashRing(4)
+    tenants = [f"tenant-{i}" for i in range(400)]
+    moved = sum(before.shard_for(t) != after.shard_for(t)
+                for t in tenants)
+    # Consistent hashing: growing 3 -> 4 shards should move roughly
+    # 1/4 of tenants, never the bulk of them (modulo hashing would
+    # move ~3/4).
+    assert 0 < moved < len(tenants) // 2
+
+
+def test_ring_validation():
+    with pytest.raises(ValueError):
+        ConsistentHashRing(0)
+    with pytest.raises(ValueError):
+        ConsistentHashRing(2, replicas=0)
+
+
+def test_shard_seeds_distinct_from_each_other_and_key_seeds():
+    from repro.falcon import derive_key_seed
+
+    seeds = {derive_shard_seed(7, shard) for shard in range(8)}
+    assert len(seeds) == 8
+    assert derive_key_seed(7, 8, 0) not in seeds
+
+
+# -- sharded store -----------------------------------------------------------
+
+def test_tenants_route_to_stable_shards():
+    store = ShardedKeyStore(shards=2, master_seed=1)
+    for i in range(20):
+        tenant = f"tenant-{i}"
+        shard = store.shard_for(tenant)
+        assert store.store_for(tenant) is store.stores[shard]
+
+
+def test_per_tenant_signers_are_cached_and_distinct():
+    store = ShardedKeyStore(shards=2, master_seed=2)
+    alpha = store.signer("alpha", 8)
+    beta = store.signer("beta", 8)
+    assert store.signer("alpha", 8) is alpha  # cached checkout
+    assert alpha.keys.f != beta.keys.f        # dedicated keys
+
+
+def test_no_duplicate_key_material_across_shards():
+    store = ShardedKeyStore(shards=3, master_seed=3)
+    store.generate_ahead(8, 2)
+    issued = [tuple(shard_store.acquire(8).keys.f)
+              for shard_store in store.stores for _ in range(2)]
+    assert len(set(issued)) == len(issued)
+
+
+def test_sharded_store_persists_per_shard(tmp_path):
+    store = ShardedKeyStore(tmp_path, shards=2, master_seed=4)
+    store.generate_ahead(8, 1)
+    assert (tmp_path / "shard-00").is_dir()
+    assert (tmp_path / "shard-01").is_dir()
+    restarted = ShardedKeyStore(tmp_path, shards=2, master_seed=4)
+    assert restarted.available(8) == 2
+    # Concurrent instances race their checkouts through atomic file
+    # claims: the same tenant on two live stores gets two DIFFERENT
+    # keys — persisted slots are never double-issued.
+    a = store.signer("tenant-x", 8)
+    b = restarted.signer("tenant-x", 8)
+    assert a.keys.f != b.keys.f
+
+
+def test_sharded_rotate_drops_tenant_signers():
+    store = ShardedKeyStore(shards=2, master_seed=5)
+    old = store.signer("gamma", 8)
+    retired = store.rotate(8)
+    fresh = store.signer("gamma", 8)
+    assert fresh is not old
+    assert fresh.keys.f != old.keys.f
+    assert retired >= 0
+    assert all(s.generation(8) == 1 for s in store.stores)
+
+
+def test_sharded_stats_aggregate():
+    store = ShardedKeyStore(shards=2, master_seed=6)
+    store.generate_ahead(8, 1)
+    store.signer("t0", 8)
+    snapshot = store.stats()
+    assert len(snapshot["shards"]) == 2
+    assert snapshot["totals"]["generated"] >= 2
+    assert snapshot["totals"]["served"] == 1
+    assert snapshot["totals"]["tenants_checked_out"] == 1
+
+
+def test_sign_and_verify_many_through_store():
+    store = ShardedKeyStore(shards=2, master_seed=7)
+    messages = [b"m0", b"m1", b"m2"]
+    signatures = store.sign_many("tenant", 8, messages)
+    assert store.verify_many("tenant", 8, messages, signatures) == \
+        [True, True, True]
+
+
+# -- round planning ----------------------------------------------------------
+
+def test_plan_rounds_groups_by_tenant_and_kind_in_arrival_order():
+    plans = plan_rounds([("a", "sign"), ("b", "sign"), ("a", "sign"),
+                         ("a", "verify"), ("b", "sign")], 8)
+    assert [(p.tenant, p.kind, p.lanes) for p in plans] == [
+        ("a", "sign", (0, 2)),
+        ("b", "sign", (1, 4)),
+        ("a", "verify", (3,)),
+    ]
+
+
+def test_plan_rounds_chunks_at_max_batch():
+    plans = plan_rounds([("a", "sign")] * 5, 2)
+    assert [p.lanes for p in plans] == [(0, 1), (2, 3), (4,)]
+
+
+def test_plan_rounds_validation():
+    with pytest.raises(ValueError):
+        plan_rounds([("a", "sign")], 0)
+
+
+# -- the coalescing service --------------------------------------------------
+
+def _sign_all(service_kwargs, store, messages, tenant="tenant-a"):
+    async def drive():
+        async with SigningService(store, **service_kwargs) as service:
+            return await service.sign_all(tenant, messages)
+    return asyncio.run(drive())
+
+
+def test_service_sign_verify_round_trip():
+    async def drive():
+        store = ShardedKeyStore(shards=2, master_seed=10)
+        messages = [b"round-trip-%d" % i for i in range(5)]
+        async with SigningService(store, n=8, max_batch=8,
+                                  max_wait=0.05) as service:
+            signatures = await service.sign_all("tenant-a", messages)
+            verdicts = await asyncio.gather(
+                *[service.verify("tenant-a", m, s)
+                  for m, s in zip(messages, signatures)])
+        assert verdicts == [True] * 5
+        assert service.metrics.signed == 5
+        assert service.metrics.verified == 5
+        assert service.metrics.rounds >= 2
+    asyncio.run(drive())
+
+
+def test_coalesced_signatures_byte_identical_to_direct_sign_many():
+    """The acceptance criterion: one coalesced round == one direct
+    ``sign_many`` call, byte for byte, for the same key and order."""
+    messages = [b"identity-%d" % i for i in range(6)]
+    store = ShardedKeyStore(shards=2, master_seed=11)
+    coalesced = _sign_all(dict(n=8, max_batch=8, max_wait=0.2),
+                          store, messages)
+    direct_store = ShardedKeyStore(shards=2, master_seed=11)
+    direct = direct_store.signer("tenant-a", 8).sign_many(messages)
+    assert [(s.salt, s.compressed) for s in coalesced] == \
+        [(s.salt, s.compressed) for s in direct]
+
+
+def test_multi_round_coalescing_matches_chunked_direct_calls():
+    """Rounds split at max_batch: replaying the *same* chunking
+    through direct ``sign_many`` calls reproduces the exact bytes."""
+    messages = [b"chunk-%d" % i for i in range(7)]
+    store = ShardedKeyStore(shards=1, master_seed=12)
+
+    async def drive():
+        service = SigningService(store, n=8, max_batch=3,
+                                 max_wait=0.2, record_rounds=True)
+        async with service:
+            signatures = await service.sign_all("tenant-a", messages)
+        return signatures, [size for _, _, size
+                            in service.metrics.round_log]
+
+    coalesced, round_sizes = asyncio.run(drive())
+    assert sum(round_sizes) == len(messages)
+    assert max(round_sizes) <= 3
+    direct_store = ShardedKeyStore(shards=1, master_seed=12)
+    signer = direct_store.signer("tenant-a", 8)
+    direct = []
+    consumed = 0
+    for size in round_sizes:
+        direct.extend(signer.sign_many(messages[consumed:
+                                                consumed + size]))
+        consumed += size
+    assert [(s.salt, s.compressed) for s in coalesced] == \
+        [(s.salt, s.compressed) for s in direct]
+
+
+def test_back_pressure_bounded_queue():
+    """A full shard queue suspends producers instead of buffering:
+    the observed high-water mark never exceeds the configured depth
+    and every request still completes."""
+    async def drive():
+        store = ShardedKeyStore(shards=1, master_seed=13)
+        store.signer("tenant-a", 8)  # pre-checkout: rounds are fast
+        messages = [b"pressure-%d" % i for i in range(24)]
+        async with SigningService(store, n=8, max_batch=4,
+                                  max_wait=0.0,
+                                  queue_depth=3) as service:
+            signatures = await service.sign_all("tenant-a", messages)
+        assert len(signatures) == 24
+        assert service.metrics.queue_high_water <= 3
+        assert service.metrics.requests == 24
+    asyncio.run(drive())
+
+
+def test_service_propagates_round_errors():
+    async def drive():
+        store = ShardedKeyStore(shards=1, master_seed=14)
+        async with SigningService(store, n=7) as service:  # invalid n
+            with pytest.raises(Exception):
+                await service.sign("tenant-a", b"boom")
+    asyncio.run(drive())
+
+
+def test_service_rejects_use_before_start_and_double_start():
+    store = ShardedKeyStore(shards=1, master_seed=15)
+    service = SigningService(store, n=8)
+    with pytest.raises(RuntimeError):
+        asyncio.run(service.sign("tenant-a", b"early"))
+
+    async def double():
+        async with SigningService(store, n=8) as running:
+            with pytest.raises(RuntimeError):
+                await running.start()
+    asyncio.run(double())
+
+
+def test_service_knob_validation():
+    store = ShardedKeyStore(shards=1, master_seed=16)
+    with pytest.raises(ValueError):
+        SigningService(store, max_batch=0)
+    with pytest.raises(ValueError):
+        SigningService(store, max_wait=-1)
+    with pytest.raises(ValueError):
+        SigningService(store, queue_depth=0)
+
+
+def test_concurrency_stress_many_clients_many_tenants():
+    """Satellite stress test: N async clients x M tenants against a
+    2-shard store — every request served, no duplicate key issuance,
+    queue bounded, all signatures valid under the right tenant key."""
+    clients, tenants, per_client = 12, 6, 4
+
+    async def drive():
+        store = ShardedKeyStore(shards=2, master_seed=17,
+                                low_watermark=1, refill_target=2)
+        service = SigningService(store, n=8, max_batch=8,
+                                 max_wait=0.005, queue_depth=8)
+        outcomes: list[tuple[str, bytes, object]] = []
+
+        async def client(which: int) -> None:
+            for i in range(per_client):
+                tenant = f"tenant-{(which + i) % tenants}"
+                message = b"stress-%d-%d" % (which, i)
+                signature = await service.sign(tenant, message)
+                outcomes.append((tenant, message, signature))
+
+        async with service:
+            await asyncio.gather(*[client(c) for c in range(clients)])
+
+        assert len(outcomes) == clients * per_client
+        assert service.metrics.queue_high_water <= 8
+        # No duplicate issuance: every tenant signs under its own key,
+        # and no two tenants ever received the same key material.
+        issued = [tuple(store.signer(f"tenant-{t}", 8).keys.f)
+                  for t in range(tenants)]
+        assert len(set(issued)) == tenants
+        # Every signature verifies under its tenant's key (and the
+        # batched verify path agrees with per-request verdicts).
+        for tenant, message, signature in outcomes:
+            assert store.verify_many(tenant, 8, [message],
+                                     [signature]) == [True]
+        store.join_refills()
+
+    asyncio.run(drive())
+
+
+def test_stress_concurrent_acquires_threaded_store():
+    """Direct store-level issuance race: concurrent threads draining
+    one watermark-refilled store must never receive the same key."""
+    store = KeyStore(master_seed=18, low_watermark=2, refill_target=4)
+    issued: list[tuple] = []
+    lock = threading.Lock()
+
+    def drain():
+        for _ in range(5):
+            key = store.acquire(8)
+            with lock:
+                issued.append(tuple(key.keys.f))
+
+    threads = [threading.Thread(target=drain) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    store.join_refills()
+    assert len(issued) == 15
+    assert len(set(issued)) == 15
+
+
+# -- constant-time batch composition ----------------------------------------
+
+def test_round_shape_trace_ignores_message_bytes():
+    arrivals = [("a", "sign"), ("b", "sign"), ("a", "sign")]
+    zero = round_shape_trace(arrivals, [b"\x00"] * 3, 4)
+    secret = round_shape_trace(arrivals, [b"\xff", b"ab", b"s3"], 4)
+    assert zero == secret == [2.0, 1.0]
+
+
+def test_coalescing_audit_shows_no_leak():
+    result = audit_coalescing()
+    assert not result.leaking
+    assert result.shapes_identical
+    assert result.report.max_abs_t <= T_THRESHOLD
+
+
+def test_live_service_round_shapes_secret_independent():
+    """Two identical arrival patterns with different message contents
+    produce identical round-shape multisets through the live service."""
+    def shapes(fill: bytes) -> list[int]:
+        async def drive():
+            store = ShardedKeyStore(shards=2, master_seed=19)
+            for t in range(3):
+                store.signer(f"tenant-{t}", 8)
+            service = SigningService(store, n=8, max_batch=4,
+                                     max_wait=0.05,
+                                     record_rounds=True)
+            async with service:
+                await asyncio.gather(*[
+                    service.sign(f"tenant-{i % 3}",
+                                 fill + b"-%d" % i)
+                    for i in range(9)])
+            return sorted(size for _, _, size
+                          in service.metrics.round_log)
+        return asyncio.run(drive())
+
+    assert shapes(b"\x00" * 16) == shapes(b"\x7f" * 16)
