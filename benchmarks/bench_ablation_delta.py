@@ -25,7 +25,8 @@ def test_compile_speed(benchmark, use_global):
     params = GaussianParams.from_sigma(2, 32)
     benchmark.pedantic(
         lambda: compile_sampler_circuit(params,
-                                        use_global_delta=use_global),
+                                        use_global_delta=use_global,
+                                        cache=False),
         rounds=1, iterations=1)
 
 

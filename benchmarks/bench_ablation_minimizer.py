@@ -24,7 +24,8 @@ def test_compile_speed(benchmark, minimizer):
     params = GaussianParams.from_sigma(2, 32)
     limit = 14 if minimizer == "qmc-exact" else 0
     benchmark.pedantic(
-        lambda: compile_sampler_circuit(params, qmc_width_limit=limit),
+        lambda: compile_sampler_circuit(params, qmc_width_limit=limit,
+                                        cache=False),
         rounds=1, iterations=1)
 
 

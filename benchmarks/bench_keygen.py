@@ -130,10 +130,16 @@ def _pooled_rate(n: int, keys: int, workers: int) -> float:
     one pool pass, so the one-time fork cost amortizes the way it does
     in a real provisioning run."""
     store = KeyStore(master_seed=1, workers=workers)
-    total = keys * workers
-    started = time.perf_counter()
-    store.generate_ahead(n, total)
-    return total / (time.perf_counter() - started)
+    try:
+        total = keys * workers
+        started = time.perf_counter()
+        store.generate_ahead(n, total)
+        return total / (time.perf_counter() - started)
+    finally:
+        # The store owns a persistent worker pool now; shut it down
+        # deterministically so the next level's pool never races a
+        # garbage-collected one for its pipes.
+        store.close()
 
 
 def run_sweep(degrees=DEGREES, keys: int = 8, seed_base: int = 1,

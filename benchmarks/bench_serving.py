@@ -12,15 +12,29 @@ the coalescing front buys.  Rows per configuration:
   client coroutines submitting requests over a sharded store, batch
   window ``W`` seconds.  Requests/s includes queueing, coalescing and
   the asyncio machinery, so ``direct_sign_many`` bounds it above and
-  ``sync_loop`` is the number to beat.
+  ``sync_loop`` is the number to beat;
+* **mp …** — the same service with a :class:`ShardWorkerPool`: each
+  shard's rounds run in a dedicated worker process with a warm spine
+  (the multi-core path — on a 1-core runner the IPC tax makes these
+  rows *slower*, which the JSON records honestly);
+* **net …** (``--net``) — the full wire: requests travel as
+  length-prefixed frames through :class:`NetServer` /
+  :class:`NetClient` over a real loopback socket.
+
+Every service-level row also records client-observed p50/p99 latency
+in milliseconds (wall time from submit to signature, including queue
+wait and the coalescing window).
 
 The acceptance gate (recorded in the JSON): the best coalesced
 configuration among the concurrency >= 8 rows beats the synchronous
 loop (coalescing needs in-flight requests well past the tenant count
-to fill rounds — the committed sweep passes at 32 clients).  Results
-go to the text report and ``benchmarks/reports/BENCH_serving.json``.
-Runs standalone (``PYTHONPATH=src python benchmarks/bench_serving.py
---quick``) or under pytest like the other benchmarks.
+to fill rounds — the committed sweep passes at 32 clients).  The
+multi-process gate (``mp_beats_inproc``) is judged only on hosts with
+more than one core; on a 1-core runner it is recorded as ``null``.
+Results go to the text report and
+``benchmarks/reports/BENCH_serving.json``.  Runs standalone
+(``PYTHONPATH=src python benchmarks/bench_serving.py --quick``) or
+under pytest like the other benchmarks.
 """
 
 from __future__ import annotations
@@ -37,7 +51,13 @@ import pytest
 
 from repro.analysis import format_table
 from repro.falcon import HAVE_NUMPY
-from repro.falcon.serving import ShardedKeyStore, SigningService
+from repro.falcon.serving import (
+    NetClient,
+    NetServer,
+    ShardedKeyStore,
+    ShardWorkerPool,
+    SigningService,
+)
 
 from _report import REPORT_DIR, once, report
 
@@ -94,32 +114,108 @@ def _direct_batch_rate(store: ShardedKeyStore, n: int,
     return len(messages) / (time.perf_counter() - started)
 
 
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile (values pre-sorted ascending)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1,
+               max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def _latency_summary(latencies: list[float]) -> dict:
+    """Client-observed latency percentiles, milliseconds."""
+    ordered = sorted(latencies)
+    return {"p50_ms": round(1000 * _percentile(ordered, 0.50), 3),
+            "p99_ms": round(1000 * _percentile(ordered, 0.99), 3)}
+
+
 def _service_rate(store: ShardedKeyStore, n: int,
                   messages: list[bytes], tenants: int,
-                  concurrency: int, window: float) -> float:
+                  concurrency: int, window: float,
+                  worker_pool=None) -> tuple[float, list[float]]:
     """Coalesced async throughput: ``concurrency`` client coroutines
-    submit the request stream; requests/s over the full drain."""
+    submit the request stream; returns (requests/s over the full
+    drain, per-request client-observed latencies in seconds)."""
 
-    async def drive() -> float:
+    async def drive() -> tuple[float, list[float]]:
         service = SigningService(store, n=n, max_batch=MAX_BATCH,
                                  max_wait=window,
-                                 queue_depth=max(4 * MAX_BATCH, 16))
+                                 queue_depth=max(4 * MAX_BATCH, 16),
+                                 worker_pool=worker_pool)
+        latencies: list[float] = []
 
         async def client(which: int) -> None:
             for i in range(which, len(messages), concurrency):
+                submitted = time.perf_counter()
                 await service.sign(f"tenant-{i % tenants}", messages[i])
+                latencies.append(time.perf_counter() - submitted)
 
         async with service:
+            if worker_pool is not None:
+                # Warm the worker processes' per-tenant spines so the
+                # timed section measures serving, not first-round
+                # checkout inside the workers.
+                await asyncio.gather(*[
+                    service.sign(f"tenant-{t}", b"warmup")
+                    for t in range(tenants)])
             started = time.perf_counter()
             await asyncio.gather(*[client(which)
                                    for which in range(concurrency)])
-            return len(messages) / (time.perf_counter() - started)
+            rate = len(messages) / (time.perf_counter() - started)
+        return rate, latencies
+
+    return asyncio.run(drive())
+
+
+def _net_rate(store: ShardedKeyStore, n: int, messages: list[bytes],
+              tenants: int, concurrency: int, window: float,
+              worker_pool=None) -> tuple[float, list[float]]:
+    """Over-the-wire throughput: the same request stream, but every
+    request is a length-prefixed frame through a real loopback socket
+    (one :class:`NetClient` connection per client coroutine)."""
+
+    async def drive() -> tuple[float, list[float]]:
+        service = SigningService(store, n=n, max_batch=MAX_BATCH,
+                                 max_wait=window,
+                                 queue_depth=max(4 * MAX_BATCH, 16),
+                                 worker_pool=worker_pool)
+        latencies: list[float] = []
+        async with service:
+            server = NetServer(service)
+            await server.start("127.0.0.1", 0)
+            connections = [
+                await NetClient.connect("127.0.0.1", server.port)
+                for _ in range(concurrency)]
+
+            async def client(which: int) -> None:
+                net = connections[which]
+                for i in range(which, len(messages), concurrency):
+                    submitted = time.perf_counter()
+                    await net.sign(f"tenant-{i % tenants}",
+                                   messages[i])
+                    latencies.append(time.perf_counter() - submitted)
+
+            try:
+                await asyncio.gather(*[
+                    connections[t % concurrency].sign(
+                        f"tenant-{t}", b"warmup")
+                    for t in range(tenants)])
+                started = time.perf_counter()
+                await asyncio.gather(*[
+                    client(which) for which in range(concurrency)])
+                rate = len(messages) / (time.perf_counter() - started)
+            finally:
+                for net in connections:
+                    await net.close()
+                await server.stop(stop_service=False)
+        return rate, latencies
 
     return asyncio.run(drive())
 
 
 def run_sweep(n: int = 256, signs: int = 64, tenants: int = TENANTS,
-              quick: bool = False) -> dict:
+              quick: bool = False, net: bool = False) -> dict:
     if quick:
         n = min(n, 64)
         signs = min(signs, 24)
@@ -131,21 +227,64 @@ def run_sweep(n: int = 256, signs: int = 64, tenants: int = TENANTS,
                                                tenants),
     }
     service_rows: dict[str, float] = {}
+    latency_rows: dict[str, dict] = {}
+
+    def record(label: str, outcome: tuple[float, list[float]]) -> None:
+        rate, latencies = outcome
+        service_rows[label] = rate
+        latency_rows[label] = _latency_summary(latencies)
+
     for window in WINDOWS:
         for concurrency in CONCURRENCY:
             if quick and (window, concurrency) not in (
                     (WINDOWS[0], 1), (WINDOWS[-1], 8)):
                 continue
             label = f"c{concurrency}_w{window * 1000:g}ms"
-            service_rows[label] = _service_rate(
-                store, n, messages, tenants, concurrency, window)
+            record(label, _service_rate(store, n, messages, tenants,
+                                        concurrency, window))
+
+    # Multi-process rows: dedicated worker process per shard.  Each
+    # pool gets a fresh derived key universe in its workers, so the
+    # rows measure warm serving after a tenant warm-up pass.
+    mp_configs = [(CONCURRENCY[-1], WINDOWS[-1])]
+    if quick:
+        mp_configs = [(8, WINDOWS[-1])]
+    for concurrency, window in mp_configs:
+        with ShardWorkerPool(shards=SHARDS, master_seed=1) as pool:
+            label = f"mp_c{concurrency}_w{window * 1000:g}ms"
+            record(label, _service_rate(store, n, messages, tenants,
+                                        concurrency, window,
+                                        worker_pool=pool))
+
+    # Over-the-wire rows: real loopback sockets, framed protocol.
+    if net:
+        net_configs = [(CONCURRENCY[-1], WINDOWS[-1])]
+        if quick:
+            net_configs = [(8, WINDOWS[-1])]
+        for concurrency, window in net_configs:
+            label = f"net_c{concurrency}_w{window * 1000:g}ms"
+            record(label, _net_rate(store, n, messages, tenants,
+                                    concurrency, window))
+
+    def _concurrency_of(label: str) -> int:
+        core = label.split("_")[1] if label.startswith(("mp_", "net_")) \
+            else label.split("_")[0]
+        return int(core[1:])
+
     # The acceptance gate: the best coalesced configuration among the
-    # concurrency >= 8 rows (coalescing needs enough in-flight
-    # requests to fill rounds; the per-concurrency rows are all in
-    # the JSON for readers who want the full curve).
+    # in-process concurrency >= 8 rows (coalescing needs enough
+    # in-flight requests to fill rounds; the per-concurrency rows are
+    # all in the JSON for readers who want the full curve).
     best_coalesced = max(
         (rate for label, rate in service_rows.items()
-         if int(label[1:].split("_")[0]) >= 8), default=0.0)
+         if not label.startswith(("mp_", "net_"))
+         and _concurrency_of(label) >= 8), default=0.0)
+    best_inproc = max(
+        (rate for label, rate in service_rows.items()
+         if not label.startswith(("mp_", "net_"))), default=0.0)
+    best_mp = max((rate for label, rate in service_rows.items()
+                   if label.startswith("mp_")), default=0.0)
+    multi_core = (os.cpu_count() or 1) > 1
     return {
         "benchmark": "serving",
         "quick": quick,
@@ -160,6 +299,7 @@ def run_sweep(n: int = 256, signs: int = 64, tenants: int = TENANTS,
         "requests_per_sec": {label: round(rate, 2)
                              for label, rate in
                              {**rows, **service_rows}.items()},
+        "latency": latency_rows,
         "best_coalesced_c_ge_8": round(best_coalesced, 2),
         "coalesced_speedup_vs_sync_loop":
             round(best_coalesced / rows["sync_loop"], 2)
@@ -167,18 +307,35 @@ def run_sweep(n: int = 256, signs: int = 64, tenants: int = TENANTS,
         "best_coalesced_beats_sync_loop":
             bool(best_coalesced and
                  best_coalesced >= rows["sync_loop"]),
+        "mp_speedup_vs_inproc":
+            round(best_mp / best_inproc, 2)
+            if best_mp and best_inproc else None,
+        # The multi-process gate only means something with real
+        # parallel hardware; on a 1-core host the IPC tax dominates
+        # and the honest answer is "not applicable", recorded as null.
+        "mp_beats_inproc":
+            (bool(best_mp and best_inproc and best_mp >= best_inproc)
+             if multi_core else None),
     }
 
 
 def render_report(payload: dict) -> str:
-    rows = [[label, f"{rate:,.1f}"]
-            for label, rate in payload["requests_per_sec"].items()]
+    latency = payload.get("latency", {})
+    rows = []
+    for label, rate in payload["requests_per_sec"].items():
+        summary = latency.get(label)
+        rows.append([
+            label, f"{rate:,.1f}",
+            f"{summary['p50_ms']:,.1f}" if summary else "-",
+            f"{summary['p99_ms']:,.1f}" if summary else "-",
+        ])
     table = format_table(
-        ["path", "requests/s"], rows,
+        ["path", "requests/s", "p50 ms", "p99 ms"], rows,
         title=f"Falcon-{payload['n']} serving throughput "
               f"({payload['signs']} requests, {payload['tenants']} "
               f"tenants, {payload['shards']} shards, c = concurrent "
-              "clients, w = batch window)")
+              "clients, w = batch window, mp = process shard workers, "
+              "net = loopback wire protocol)")
     lines = [table, ""]
     if payload["coalesced_speedup_vs_sync_loop"]:
         line = (f"coalesced async (c>=8) = "
@@ -193,6 +350,18 @@ def render_report(payload: dict) -> str:
             gate = ("PASS" if payload["best_coalesced_beats_sync_loop"]
                     else "FAIL")
             line += f" (gate: {gate})"
+        lines.append(line)
+    if payload.get("mp_speedup_vs_inproc"):
+        line = (f"process shard workers = "
+                f"{payload['mp_speedup_vs_inproc']:.2f}x the best "
+                f"in-process row on {payload['cpu_count']} core(s)")
+        if payload.get("mp_beats_inproc") is None:
+            line += (" (1-core host: IPC tax without parallelism; "
+                     "gate n/a)")
+        else:
+            line += (" (gate: "
+                     + ("PASS" if payload["mp_beats_inproc"]
+                        else "FAIL") + ")")
         lines.append(line)
     return "\n".join(lines)
 
@@ -240,11 +409,15 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke: n=64, few requests, two "
                              "service configurations")
+    parser.add_argument("--net", action="store_true",
+                        help="add over-the-wire rows (loopback "
+                             "sockets through the framed protocol)")
     parser.add_argument("--no-json", action="store_true",
                         help="skip writing " + JSON_NAME)
     args = parser.parse_args(argv)
     payload = run_sweep(n=args.n, signs=args.signs,
-                        tenants=args.tenants, quick=args.quick)
+                        tenants=args.tenants, quick=args.quick,
+                        net=args.net)
     print(render_report(payload))
     if not args.no_json:
         write_json(payload)

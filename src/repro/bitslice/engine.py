@@ -14,6 +14,7 @@ the same function ~10x slower; a hypothesis test pins the two together.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -89,3 +90,30 @@ class BitslicedKernel:
                 f"kernel needs {self._num_inputs} input words, "
                 f"got {len(inputs)}")
         return self._function(inputs, mask)
+
+
+#: Kernels memoized by the identity of their root expressions.  A
+#: kernel is immutable once built (source, exec'd function, stats —
+#: per-run state lives in the sampler), and ``Expr`` nodes hash by
+#: identity, so the cache hits exactly when callers share a compiled
+#: circuit — which the sampler-circuit cache makes the common case.
+_KERNEL_CACHE: dict[tuple, BitslicedKernel] = {}
+_KERNEL_CACHE_LOCK = threading.Lock()
+
+
+def shared_kernel(roots: Sequence[Expr],
+                  function_name: str = "kernel") -> BitslicedKernel:
+    """A (possibly shared) compiled kernel for ``roots``.
+
+    Topological sort + source generation + ``exec`` costs tens of
+    milliseconds per circuit; samplers built over the same circuit —
+    every signer checkout, every keygen in a warm worker — reuse one
+    kernel instead of re-paying it.
+    """
+    key = (tuple(roots), function_name)
+    with _KERNEL_CACHE_LOCK:
+        kernel = _KERNEL_CACHE.get(key)
+        if kernel is None:
+            kernel = BitslicedKernel(roots, function_name)
+            _KERNEL_CACHE[key] = kernel
+    return kernel

@@ -313,7 +313,8 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
 def _run_service_load(store, *, n: int, tenants: int, clients: int,
                       requests: int, max_batch: int, max_wait: float,
                       queue_depth: int, spine: str,
-                      verify_share: int = 0) -> dict:
+                      verify_share: int = 0,
+                      worker_pool=None) -> dict:
     """Drive ``requests`` sign calls (plus optional verifies) from
     ``clients`` concurrent client coroutines through a
     :class:`~repro.falcon.serving.SigningService`; returns rates and
@@ -326,7 +327,8 @@ def _run_service_load(store, *, n: int, tenants: int, clients: int,
     async def drive() -> dict:
         service = SigningService(store, n=n, max_batch=max_batch,
                                  max_wait=max_wait,
-                                 queue_depth=queue_depth, spine=spine)
+                                 queue_depth=queue_depth, spine=spine,
+                                 worker_pool=worker_pool)
 
         async def client(which: int) -> None:
             for i in range(which, requests, clients):
@@ -353,8 +355,86 @@ def _run_service_load(store, *, n: int, tenants: int, clients: int,
     return asyncio.run(drive())
 
 
+def _parse_endpoint(text: str) -> tuple[str, int]:
+    """``HOST:PORT`` → ``(host, port)`` (IPv4/hostname endpoints)."""
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _parse_token(text: str) -> tuple[str, bytes]:
+    """``TENANT=SECRET`` → ``(tenant, secret_bytes)``."""
+    tenant, sep, secret = text.partition("=")
+    if not sep or not tenant:
+        raise argparse.ArgumentTypeError(
+            f"expected TENANT=SECRET, got {text!r}")
+    return tenant, secret.encode()
+
+
+def _run_net_load(host: str, port: int, *, tokens, tenants: int,
+                  clients: int, requests: int,
+                  verify_share: int = 0) -> dict:
+    """Drive ``requests`` sign calls (plus optional verifies) from
+    ``clients`` concurrent coroutines over the wire protocol; one
+    :class:`~repro.falcon.serving.NetClient` connection per client."""
+    import asyncio
+    import time
+
+    from .falcon.serving import NetClient
+
+    async def drive() -> dict:
+        connections = [await NetClient.connect(host, port,
+                                               tokens=tokens)
+                       for _ in range(clients)]
+
+        async def client(which: int) -> None:
+            net = connections[which]
+            for i in range(which, requests, clients):
+                tenant = f"tenant-{i % tenants}"
+                message = b"serve-%d" % i
+                signature = await net.sign(tenant, message)
+                if verify_share and i % verify_share == 0:
+                    if not await net.verify(tenant, message,
+                                            signature):
+                        raise RuntimeError(
+                            f"verification failed for {tenant}")
+
+        try:
+            started = time.perf_counter()
+            await asyncio.gather(*[client(which)
+                                   for which in range(clients)])
+            elapsed = time.perf_counter() - started
+        finally:
+            for net in connections:
+                await net.close()
+        return {"elapsed": elapsed, "rate": requests / elapsed}
+
+    return asyncio.run(drive())
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .falcon.serving import ShardedKeyStore
+    from .falcon.serving import ShardedKeyStore, ShardWorkerPool
+
+    tokens = dict(args.token) if args.token else None
+
+    if args.connect:
+        # Pure client mode: drive a load against a remote server.
+        host, port = args.connect
+        print(f"client mode: {args.requests} requests to "
+              f"{host}:{port} ({args.clients} connection(s), "
+              f"{args.tenants} tenant(s)) ...")
+        outcome = _run_net_load(
+            host, port, tokens=tokens, tenants=args.tenants,
+            clients=args.clients, requests=args.requests,
+            verify_share=args.verify_share)
+        print(format_table(
+            ["metric", "value"],
+            [["requests/s", f"{outcome['rate']:,.1f}"],
+             ["elapsed", f"{outcome['elapsed']:.3f}s"]],
+            title="network client load"))
+        return 0
 
     store = ShardedKeyStore(
         args.keystore, shards=args.shards, master_seed=args.seed,
@@ -365,14 +445,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"provisioning {args.provision} Falcon-{args.n} keys "
               f"per shard ...")
         store.generate_ahead(args.n, args.provision)
+    pool = None
+    if args.process_workers:
+        pool = ShardWorkerPool(
+            shards=args.shards, master_seed=args.seed,
+            directory=args.keystore, prng=args.prng,
+            keygen_spine=args.spine)
+        pool.start()
+        print(f"shard workers: {args.shards} dedicated process(es)")
     print(f"serving Falcon-{args.n}: {args.shards} shard(s), "
           f"{args.tenants} tenant(s), {args.clients} client(s), "
           f"{args.requests} requests ...")
-    outcome = _run_service_load(
-        store, n=args.n, tenants=args.tenants, clients=args.clients,
-        requests=args.requests, max_batch=args.max_batch,
-        max_wait=args.max_wait, queue_depth=args.queue_depth,
-        spine="auto", verify_share=args.verify_share)
+    try:
+        if args.listen:
+            outcome = _serve_networked(args, store, pool, tokens)
+        else:
+            outcome = _run_service_load(
+                store, n=args.n, tenants=args.tenants,
+                clients=args.clients, requests=args.requests,
+                max_batch=args.max_batch, max_wait=args.max_wait,
+                queue_depth=args.queue_depth, spine="auto",
+                verify_share=args.verify_share, worker_pool=pool)
+    finally:
+        if pool is not None:
+            pool.stop()
+        store.close()
     metrics = outcome["metrics"]
     totals = store.stats()["totals"]
     rows = [
@@ -384,6 +481,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ["avg / max round", f"{metrics['coalesced_avg']} / "
                             f"{metrics['coalesced_max']}"],
         ["queue high water", metrics["queue_high_water"]],
+        ["shard worker processes",
+         args.shards if args.process_workers else 0],
         ["keys generated", totals["generated"]],
         ["keys checked out", totals["served"]],
         ["watermark refills", totals["refills"]],
@@ -391,9 +490,93 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ["tenants checked out", totals["tenants_checked_out"]],
         ["persisted to", args.keystore or "(memory only)"],
     ]
+    if "net" in outcome:
+        net = outcome["net"]
+        rows[6:6] = [
+            ["listen address", outcome["address"]],
+            ["net frames / served",
+             f"{net['frames']} / {net['served']}"],
+            ["net rejected", str(net["rejected"] or {})],
+        ]
     print(format_table(["metric", "value"], rows,
                        title="coalescing signing service"))
     return 0
+
+
+def _serve_networked(args: argparse.Namespace, store, pool,
+                     tokens) -> dict:
+    """Run the wire-protocol server and drive the demo load over a
+    real socket (loopback clients of our own server), then drain."""
+    import asyncio
+    import time
+
+    from .falcon.serving import NetClient, NetServer, SigningService
+
+    host, port = args.listen
+
+    async def drive() -> dict:
+        service = SigningService(
+            store, n=args.n, max_batch=args.max_batch,
+            max_wait=args.max_wait, queue_depth=args.queue_depth,
+            worker_pool=pool)
+        async with service:
+            server = NetServer(service, tokens=tokens,
+                               rate_limit=args.rate_limit or None)
+            await server.start(host, port)
+            address = f"{host}:{server.port}"
+            print(f"listening on {address}")
+            if not args.requests:
+                # No self-driven load: serve until interrupted, then
+                # drain gracefully.
+                try:
+                    await asyncio.Event().wait()
+                except (KeyboardInterrupt, asyncio.CancelledError):
+                    pass
+                finally:
+                    await server.stop(stop_service=False)
+                return {
+                    "elapsed": 0.0,
+                    "rate": 0.0,
+                    "metrics": service.metrics.as_dict(),
+                    "net": server.metrics.as_dict(),
+                    "address": address,
+                }
+            connections = [
+                await NetClient.connect(host, server.port,
+                                        tokens=tokens)
+                for _ in range(args.clients)]
+
+            async def client(which: int) -> None:
+                net = connections[which]
+                for i in range(which, args.requests, args.clients):
+                    tenant = f"tenant-{i % args.tenants}"
+                    message = b"serve-%d" % i
+                    signature = await net.sign(tenant, message)
+                    if args.verify_share and \
+                            i % args.verify_share == 0:
+                        if not await net.verify(tenant, message,
+                                                signature):
+                            raise RuntimeError(
+                                f"verification failed for {tenant}")
+
+            try:
+                started = time.perf_counter()
+                await asyncio.gather(*[
+                    client(which) for which in range(args.clients)])
+                elapsed = time.perf_counter() - started
+            finally:
+                for net in connections:
+                    await net.close()
+                await server.stop(stop_service=False)
+            return {
+                "elapsed": elapsed,
+                "rate": args.requests / elapsed,
+                "metrics": service.metrics.as_dict(),
+                "net": server.metrics.as_dict(),
+                "address": address,
+            }
+
+    return asyncio.run(drive())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -573,6 +756,28 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--spine", default="auto", choices=["auto", "numpy", "scalar"],
         help="keygen numeric spine for provisioning")
+    run_p.add_argument("--listen", type=_parse_endpoint, default=None,
+                       metavar="HOST:PORT",
+                       help="expose the service over the wire protocol "
+                            "and drive the client load through real "
+                            "sockets (port 0 picks a free port)")
+    run_p.add_argument("--connect", type=_parse_endpoint, default=None,
+                       metavar="HOST:PORT",
+                       help="client mode: drive the load against an "
+                            "already-running server instead of "
+                            "starting one")
+    run_p.add_argument("--process-workers", action="store_true",
+                       help="run each shard's rounds in a dedicated "
+                            "worker process (warm spines, true "
+                            "multi-core parallelism)")
+    run_p.add_argument("--token", type=_parse_token, action="append",
+                       metavar="TENANT=SECRET",
+                       help="per-tenant auth token for the wire "
+                            "protocol (repeatable; default: open "
+                            "server, empty tokens accepted)")
+    run_p.add_argument("--rate-limit", type=float, default=0.0,
+                       help="per-tenant token-bucket rate limit in "
+                            "frames/s (0 disables)")
     _add_prng_option(run_p)
     run_p.set_defaults(func=_cmd_serve)
     return parser

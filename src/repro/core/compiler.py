@@ -22,6 +22,7 @@ restart in Algorithm 1).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -243,12 +244,22 @@ def _compile_simple(builder: ExprBuilder, matrix: ProbabilityMatrix,
     return outputs, valid
 
 
+#: Compiled circuits memoized by their full compile configuration.
+#: Compilation is a pure function of that configuration, the result is
+#: immutable once built, and the QMC/espresso pass costs hundreds of
+#: milliseconds — without this cache every ``SecretKey`` construction
+#: (keygen worker, signer checkout) re-pays it from scratch.
+_CIRCUIT_CACHE: dict[tuple, SamplerCircuit] = {}
+_CIRCUIT_CACHE_LOCK = threading.Lock()
+
+
 def compile_sampler_circuit(params: GaussianParams,
                             method: str = "efficient",
                             combiner: str = "onehot",
                             use_global_delta: bool = False,
                             qmc_width_limit: int = DEFAULT_QMC_WIDTH_LIMIT,
                             espresso_iterations: int = 2,
+                            cache: bool = True,
                             ) -> SamplerCircuit:
     """Compile a constant-time sampler circuit for ``params``.
 
@@ -263,11 +274,23 @@ def compile_sampler_circuit(params: GaussianParams,
         Pad every sublist to the global ``Delta`` (the paper's framing)
         instead of the per-sublist ``Delta_k``; the ablation benchmark
         measures the cost difference.
+    cache:
+        Reuse a previously compiled circuit for the same configuration
+        (default).  Pass ``False`` to force a fresh compile — e.g. when
+        timing compilation itself.
     """
     if method not in COMPILATION_METHODS:
         raise ValueError(f"unknown method {method!r}")
     if combiner not in COMBINER_MODES:
         raise ValueError(f"unknown combiner {combiner!r}")
+
+    cache_key = (params, method, combiner, use_global_delta,
+                 qmc_width_limit, espresso_iterations)
+    if cache:
+        with _CIRCUIT_CACHE_LOCK:
+            hit = _CIRCUIT_CACHE.get(cache_key)
+        if hit is not None:
+            return hit
 
     started = time.perf_counter()
     matrix = probability_matrix(params)
@@ -285,8 +308,12 @@ def compile_sampler_circuit(params: GaussianParams,
         output_bits, valid = _compile_simple(
             builder, matrix, num_bits, espresso_iterations, reports)
 
-    return SamplerCircuit(
+    circuit = SamplerCircuit(
         params=params, matrix=matrix, method=method, combiner=combiner,
         builder=builder, output_bits=list(output_bits), valid=valid,
         partition=partition, reports=reports,
         compile_seconds=time.perf_counter() - started)
+    if cache:
+        with _CIRCUIT_CACHE_LOCK:
+            _CIRCUIT_CACHE.setdefault(cache_key, circuit)
+    return circuit

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from ..bitslice.engine import BitslicedKernel
+from ..bitslice.engine import shared_kernel
 from ..bitslice.wordengine import WordEngine, get_engine
 from ..rng.source import CountingSource, RandomSource, default_source
 from .compiler import SamplerCircuit, compile_sampler_circuit
@@ -118,7 +118,7 @@ class BitslicedSampler:
         if max_fused_batches < 1:
             raise ValueError("max_fused_batches must be positive")
         self.circuit = circuit
-        self.kernel = BitslicedKernel(circuit.roots)
+        self.kernel = shared_kernel(circuit.roots)
         self.source = CountingSource(
             source if source is not None else default_source())
         self.batch_width = batch_width

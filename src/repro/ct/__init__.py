@@ -3,6 +3,7 @@
 from .coalesce import (
     CoalesceAuditResult,
     audit_coalescing,
+    frame_shape_trace,
     round_shape_trace,
 )
 from .dudect import (
@@ -29,6 +30,7 @@ __all__ = [
     "CROP_PERCENTILES",
     "CoalesceAuditResult",
     "audit_coalescing",
+    "frame_shape_trace",
     "round_shape_trace",
     "DudectReport",
     "TTestResult",

@@ -17,6 +17,17 @@ under identical arrival patterns, and compare the resulting
 round-shape traces with the dudect Welch t-test.  A secret-dependent
 composition shows up as differing traces (|t| > 4.5 or shape
 mismatch); the honest planner yields bit-identical traces and t = 0.
+
+With the networked signing plane the same discipline extends one
+layer further out: **wire-frame shapes**.  A passive observer of the
+socket sees frame headers and sizes; if those depended on secret
+content, traffic analysis would leak what the coalescer protects.
+The two-class pass therefore also runs both request classes through
+the real frame encoder (:mod:`repro.falcon.serving.net`) and compares
+the observable shape traces — kind, request id, tenant/token/payload
+lengths — which must be bit-identical (response frames are fixed-size
+per ring degree by the padded signature encoding, so they add no
+secret-dependent axis).
 """
 
 from __future__ import annotations
@@ -56,36 +67,83 @@ def round_shape_trace(arrivals: Sequence[tuple[str, str]],
     return [float(len(plan.lanes)) for plan in plans]
 
 
+def frame_shape_trace(arrivals: Sequence[tuple[str, str]],
+                      messages: Sequence[bytes],
+                      n: int = 64) -> list[float]:
+    """The wire-frame shape trace for one request sequence.
+
+    Encodes every arrival through the real request-frame encoder —
+    sign frames carry the message, verify frames carry a fixed
+    placeholder signature of the degree-``n`` padded width plus the
+    message — and flattens each frame's externally observable shape
+    (kind, request id, tenant length, token length, payload length)
+    into the measurement dudect compares.  Message *bytes* may differ
+    between audit classes; the shapes must not.
+    """
+    from ..falcon.params import falcon_params
+    from ..falcon.scheme import Signature
+    from ..falcon.serving.net import (
+        FRAME_SIGN,
+        FRAME_VERIFY,
+        encode_request_frame,
+        encode_verify_payload,
+        frame_shape,
+    )
+
+    assert len(arrivals) == len(messages)
+    width = (falcon_params(n).sig_payload_bits + 7) // 8
+    placeholder = Signature(salt=b"\x00" * 40,
+                            compressed=b"\x00" * width)
+    trace: list[float] = []
+    for req_id, ((tenant, kind), message) in enumerate(
+            zip(arrivals, messages)):
+        if kind == "verify":
+            frame = encode_request_frame(
+                FRAME_VERIFY, req_id, tenant, b"token",
+                encode_verify_payload(placeholder, n, message))
+        else:
+            frame = encode_request_frame(FRAME_SIGN, req_id, tenant,
+                                         b"token", message)
+        trace.extend(float(value) for value in frame_shape(frame))
+        trace.append(float(len(frame)))
+    return trace
+
+
 @dataclass(frozen=True)
 class CoalesceAuditResult:
     """Outcome of the two-class batch-composition audit."""
 
     report: DudectReport
     shapes_identical: bool
+    frame_shapes_identical: bool = True
 
     @property
     def leaking(self) -> bool:
-        return self.report.leaking or not self.shapes_identical
+        return (self.report.leaking or not self.shapes_identical
+                or not self.frame_shapes_identical)
 
 
 def audit_coalescing(tenants: int = 3, requests: int = 64,
                      max_batch: int = 8,
-                     verify_share: int = 4) -> CoalesceAuditResult:
-    """Two-class dudect pass over the coalescing path.
+                     verify_share: int = 4,
+                     n: int = 64) -> CoalesceAuditResult:
+    """Two-class dudect pass over the coalescing path AND the wire.
 
     Both classes submit the identical arrival pattern — ``requests``
     requests round-robin across ``tenants`` tenants, every
     ``verify_share``-th request a verify — but class 0 carries
     all-zero messages while class 1 carries pseudorandom ("secret")
     messages.  The round planner must produce *identical* round-shape
+    traces, and the frame encoder must produce *identical* frame-shape
     traces: any divergence (shape mismatch or |t| > 4.5) means batch
-    composition depends on secret content.
+    composition or wire framing depends on secret content.
     """
     arrivals = [(f"tenant-{i % tenants}",
                  "verify" if verify_share and i % verify_share == 0
                  else "sign")
                 for i in range(requests)]
-    traces = []
+    round_traces = []
+    frame_traces = []
     for secret in (False, True):
         messages = _class_messages(b"class", requests, secret)
         # A live worker drains in windows; replay the same windowing
@@ -96,8 +154,13 @@ def audit_coalescing(tenants: int = 3, requests: int = 64,
             window_messages = messages[start:start + max_batch]
             trace.extend(round_shape_trace(window, window_messages,
                                            max_batch))
-        traces.append(trace)
-    report = two_class_report("serving-coalescer", "round-shape",
-                              traces[0], traces[1])
-    return CoalesceAuditResult(report=report,
-                               shapes_identical=traces[0] == traces[1])
+        round_traces.append(trace)
+        frame_traces.append(frame_shape_trace(arrivals, messages, n=n))
+    report = two_class_report(
+        "serving-coalescer", "round+frame-shape",
+        round_traces[0] + frame_traces[0],
+        round_traces[1] + frame_traces[1])
+    return CoalesceAuditResult(
+        report=report,
+        shapes_identical=round_traces[0] == round_traces[1],
+        frame_shapes_identical=frame_traces[0] == frame_traces[1])

@@ -91,7 +91,15 @@ _LOCK_FILE = "keystore.lock"
 #: Claim scratch files older than this are crash leftovers (a live
 #: claim exists for milliseconds between rename and unlink) and are
 #: swept at store construction — secret key material must not linger
-#: in orphaned scratch files.
+#: in orphaned scratch files.  Ages are clamped at zero before the
+#: comparison: a scratch whose mtime sits in the *future* (clock skew
+#: between NFS client and server, coarse filesystem timestamp
+#: granularity) is by definition fresh, never stale — the naive
+#: ``now - mtime`` difference going negative must not be allowed to
+#: wrap into "very old" through any later arithmetic, and a racing
+#: process's live claim must never be swept out from under it.  The
+#: threshold is per-store configurable (``stale_claim_seconds``) so
+#: deployments on high-skew shared filesystems can widen it.
 _STALE_CLAIM_SECONDS = 60.0
 
 
@@ -122,6 +130,24 @@ def generate_encoded_key(n: int, seed: bytes, prng: str = "chacha20",
                                     keygen_spine=keygen_spine)
     from .serialize import encode_secret_key
     return encode_secret_key(secret_key)
+
+
+def generate_encoded_key_block(n: int, seeds: Sequence[bytes],
+                               prng: str = "chacha20",
+                               keygen_spine: str = "auto") -> list[bytes]:
+    """Generate a whole block of keys in one process-pool task.
+
+    One-slot-per-task submission pays the per-task costs — pickling,
+    pool dispatch, and above all the worker's one-time warmup (CDT
+    table construction, NumPy kernel caches) — once *per key*, which
+    is exactly why the pooled keygen row regressed to 0.08–0.93x
+    single-process.  A block task pays them once per *worker*: the
+    first key in the block warms the worker's caches and every later
+    key in the block (and in any later block the warm worker picks up)
+    rides them.
+    """
+    return [generate_encoded_key(n, seed, prng, keygen_spine)
+            for seed in seeds]
 
 
 @dataclass
@@ -234,13 +260,17 @@ class KeyStore:
                  workers: int = 1,
                  low_watermark: int = 0,
                  refill_target: int | None = None,
-                 refill_async: bool = True) -> None:
+                 refill_async: bool = True,
+                 stale_claim_seconds: float = _STALE_CLAIM_SECONDS
+                 ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if low_watermark < 0:
             raise ValueError("low_watermark must be non-negative")
         if refill_target is not None and refill_target < low_watermark:
             raise ValueError("refill_target must be >= low_watermark")
+        if stale_claim_seconds <= 0:
+            raise ValueError("stale_claim_seconds must be positive")
         self.directory = Path(directory) if directory is not None else None
         self.master_seed = master_seed
         self.prng = prng
@@ -251,6 +281,9 @@ class KeyStore:
         self.refill_target = (refill_target if refill_target is not None
                               else 2 * low_watermark)
         self.refill_async = refill_async
+        self.stale_claim_seconds = stale_claim_seconds
+        self._executor = None  # lazy, persistent (warm workers)
+        self._executor_guard = threading.Lock()
         self._pools: dict[int, deque[_PoolEntry]] = {}
         self._next_index: dict[int, int] = {}
         self._generation: dict[int, int] = {}
@@ -367,10 +400,15 @@ class KeyStore:
         for scratch in self.directory.glob(
                 "falcon_n*" + SECRET_KEY_SUFFIX + ".claim-*"):
             try:
-                age = time.time() - scratch.stat().st_mtime
+                mtime = scratch.stat().st_mtime
             except OSError:  # pragma: no cover - claimant finished
                 continue
-            if age > _STALE_CLAIM_SECONDS:
+            # Clamp at zero: a future mtime (clock skew, NFS timestamp
+            # granularity) means "fresh", and must never be able to
+            # read as ancient — sweeping a racing process's live claim
+            # would destroy the one copy of that slot's key material.
+            age = max(0.0, time.time() - mtime)
+            if age > self.stale_claim_seconds:
                 scratch.unlink(missing_ok=True)
         for path in sorted(self.directory.glob("falcon_n*" +
                                                SECRET_KEY_SUFFIX)):
@@ -414,12 +452,33 @@ class KeyStore:
 
     # -- pool management ---------------------------------------------------
 
+    def _process_pool(self):
+        """The store's persistent process pool (created on first use).
+
+        Persistent on purpose: a fresh ``ProcessPoolExecutor`` per
+        refill re-pays worker startup *and* worker warmup (CDT tables,
+        NumPy kernel caches) on every pass, which is a large slice of
+        why the old pooled row lost to single-process.  Warm workers
+        amortize that across every later refill; :meth:`close` (or
+        interpreter exit) shuts the pool down.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        with self._executor_guard:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers)
+            return self._executor
+
     def generate_ahead(self, n: int, count: int) -> int:
         """Add ``count`` fresh keys to the degree-``n`` pool.
 
         Seeds derive from ``(master_seed, n, index)``; with
-        ``workers > 1`` generation fans out over a process pool (each
-        worker ships back the canonical encoding).  Returns ``count``.
+        ``workers > 1`` generation fans out over the store's persistent
+        process pool in contiguous slot *blocks* — one task per worker,
+        not one task per slot, so per-task dispatch and worker warmup
+        amortize over the block (each worker ships back the canonical
+        encodings).  Returns ``count``.
         """
         if count <= 0:
             return 0
@@ -428,13 +487,19 @@ class KeyStore:
         seeds = [derive_key_seed(self.master_seed, n, index)
                  for index in indices]
         if self.workers > 1 and count > 1:
-            from concurrent.futures import ProcessPoolExecutor
-
-            with ProcessPoolExecutor(
-                    max_workers=min(self.workers, count)) as executor:
-                encoded_keys = list(executor.map(
-                    generate_encoded_key, [n] * count, seeds,
-                    [self.prng] * count, [self.keygen_spine] * count))
+            executor = self._process_pool()
+            # ceil-split into at most `workers` contiguous blocks:
+            # every worker gets one task, slot order is preserved by
+            # gathering block results in submission order.
+            block = -(-count // min(self.workers, count))
+            blocks = [seeds[start:start + block]
+                      for start in range(0, count, block)]
+            encoded_keys = [
+                encoded
+                for task in [executor.submit(
+                    generate_encoded_key_block, n, chunk, self.prng,
+                    self.keygen_spine) for chunk in blocks]
+                for encoded in task.result()]
         else:
             encoded_keys = [
                 generate_encoded_key(n, seed, self.prng,
@@ -603,6 +668,18 @@ class KeyStore:
             threads = list(self._refill_threads)
         for thread in threads:
             thread.join(timeout)
+
+    def close(self) -> None:
+        """Orderly shutdown: join refills, stop the warm process pool.
+
+        Idempotent; the store remains usable afterwards (the pool is
+        recreated lazily if another pooled refill runs).
+        """
+        self.join_refills()
+        with self._executor_guard:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     # -- rotation ----------------------------------------------------------
 

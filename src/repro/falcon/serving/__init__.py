@@ -1,6 +1,6 @@
 """Production serving layer over the batched Falcon spine.
 
-Two layers above :class:`~repro.falcon.keystore.KeyStore`:
+Four layers above :class:`~repro.falcon.keystore.KeyStore`:
 
 * :class:`ShardedKeyStore` — consistent-hash tenant→shard mapping over
   per-shard generate-ahead pools (each shard has its own directory,
@@ -10,13 +10,30 @@ Two layers above :class:`~repro.falcon.keystore.KeyStore`:
   concurrent ``sign(tenant, message)`` / ``verify(tenant, message,
   signature)`` calls into batched ``sign_many`` / ``verify_many``
   rounds per shard, with max-batch / max-wait knobs and back-pressure
-  through bounded queues.
+  through bounded queues;
+* :class:`ShardWorkerPool` — one dedicated worker *process* per shard
+  with warm per-tenant spines, so rounds escape the GIL and a
+  multi-core host signs truly in parallel (plug into
+  ``SigningService(worker_pool=...)``);
+* :class:`NetServer` / :class:`NetClient` — the wire: length-prefixed
+  asyncio socket frames (``MAGIC | version | kind | req-id | body``)
+  with per-tenant authentication tokens, token-bucket rate limits and
+  graceful drain.
 
 Round composition is a pure function of arrival *metadata* — see
-:func:`plan_rounds` — never of message or key contents; the dudect-
-style check lives in :mod:`repro.ct.coalesce`.
+:func:`plan_rounds` — and wire-frame shapes are a pure function of
+request metadata, never of message or key contents; the dudect-style
+two-class check over both lives in :mod:`repro.ct.coalesce`.
 """
 
+from .net import (
+    FrameError,
+    NetClient,
+    NetServer,
+    TokenBucket,
+    encode_request_frame,
+    frame_shape,
+)
 from .sharded import ConsistentHashRing, ShardedKeyStore, derive_shard_seed
 from .service import (
     RoundPlan,
@@ -24,13 +41,22 @@ from .service import (
     SigningService,
     plan_rounds,
 )
+from .workers import ShardWorkerError, ShardWorkerPool
 
 __all__ = [
     "ConsistentHashRing",
+    "FrameError",
+    "NetClient",
+    "NetServer",
     "RoundPlan",
     "ServiceMetrics",
+    "ShardWorkerError",
+    "ShardWorkerPool",
     "ShardedKeyStore",
     "SigningService",
+    "TokenBucket",
     "derive_shard_seed",
+    "encode_request_frame",
+    "frame_shape",
     "plan_rounds",
 ]

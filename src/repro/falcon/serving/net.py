@@ -1,0 +1,578 @@
+"""The wire protocol: length-prefixed asyncio socket frames.
+
+Everything below this module coalesces and signs; this module puts a
+**network** in front of it.  The protocol is deliberately minimal —
+binary frames over a stream socket, no external dependencies:
+
+Frame layout (all integers big-endian)::
+
+    MAGIC(4) | VERSION(1) | KIND(1) | REQ_ID(4) | BODY_LEN(4) | body
+    body := TENANT_LEN(2) tenant | TOKEN_LEN(2) token | payload
+
+* ``MAGIC`` = ``b"FLCN"`` and ``VERSION`` = 1: a peer speaking
+  anything else is cut off after one error frame — the stream cannot
+  be trusted to stay frame-aligned.
+* ``KIND`` selects the operation: ``sign`` (payload = message) and
+  ``verify`` (payload = ``SIG_LEN(4) | encoded signature | message``)
+  requests; ``sign-ok`` (payload = the canonical
+  :func:`~repro.falcon.serialize.encode_signature` bytes — **fixed
+  length per ring degree**, so response sizes cannot leak signature
+  content), ``verify-ok`` and ``error`` responses.
+* ``REQ_ID`` correlates responses with requests: a client may keep
+  many requests in flight on one connection and responses return in
+  completion order.
+* ``BODY_LEN`` is capped (``max_frame_bytes``): an adversarial length
+  prefix is rejected with one error frame and a clean close instead
+  of an unbounded allocation.
+
+**Authentication** is per tenant: the server holds a ``tenant →
+token`` map and every request carries the tenant's token, compared
+with :func:`hmac.compare_digest` (no early-exit byte comparison).
+**Rate limiting** is a per-tenant token bucket refilled at
+``rate_limit`` frames/second with ``burst`` capacity — an exhausted
+bucket earns an ``error`` frame, not a closed connection.
+
+**Graceful drain**: :meth:`NetServer.stop` stops accepting
+connections and refuses new request frames (``draining`` errors),
+waits for every in-flight request to finish its round, then stops the
+:class:`~repro.falcon.serving.SigningService` underneath — which
+flushes queued rounds and fails anything stranded, so no awaiter ever
+hangs on a stopping server.
+
+**Constant-time discipline**: frame shapes — kind, tenant length,
+token length, payload length — are a pure function of request
+*metadata*, never of message bytes, signature bytes or key material
+(responses are fixed-size per degree by the padded signature
+encoding).  :func:`repro.ct.coalesce.audit_coalescing` includes frame
+shapes alongside round shapes in its two-class dudect pass.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hmac
+import struct
+import time
+from dataclasses import dataclass, field
+
+from ..scheme import Signature
+from ..serialize import SerializeError, decode_signature, encode_signature
+
+MAGIC = b"FLCN"
+VERSION = 1
+
+#: Request kinds.
+FRAME_SIGN = 0x01
+FRAME_VERIFY = 0x02
+#: Response kinds.
+FRAME_SIGN_OK = 0x81
+FRAME_VERIFY_OK = 0x82
+FRAME_ERROR = 0xEE
+
+_REQUEST_KINDS = (FRAME_SIGN, FRAME_VERIFY)
+
+#: Error codes carried in the first two bytes of an error payload.
+ERR_BAD_FRAME = 1
+ERR_UNSUPPORTED = 2
+ERR_AUTH = 3
+ERR_RATE_LIMITED = 4
+ERR_DRAINING = 5
+ERR_ROUND_FAILED = 6
+ERR_TOO_LARGE = 7
+
+ERROR_NAMES = {
+    ERR_BAD_FRAME: "bad-frame",
+    ERR_UNSUPPORTED: "unsupported",
+    ERR_AUTH: "auth-failed",
+    ERR_RATE_LIMITED: "rate-limited",
+    ERR_DRAINING: "draining",
+    ERR_ROUND_FAILED: "round-failed",
+    ERR_TOO_LARGE: "frame-too-large",
+}
+
+_HEADER = struct.Struct(">4sBBII")
+HEADER_BYTES = _HEADER.size
+
+#: Default cap on one frame's body.  Generous for any sane message,
+#: tiny against a hostile 4 GiB length prefix.
+MAX_FRAME_BYTES = 1 << 20
+
+
+class FrameError(Exception):
+    """A protocol-level failure (carries the wire error code)."""
+
+    def __init__(self, code: int, detail: str = "") -> None:
+        name = ERROR_NAMES.get(code, str(code))
+        super().__init__(f"{name}: {detail}" if detail else name)
+        self.code = code
+        self.detail = detail
+
+
+def encode_frame(kind: int, req_id: int, tenant: bytes, token: bytes,
+                 payload: bytes) -> bytes:
+    """Serialize one frame (the single encoder both ends share)."""
+    body = (len(tenant).to_bytes(2, "big") + tenant
+            + len(token).to_bytes(2, "big") + token + payload)
+    return _HEADER.pack(MAGIC, VERSION, kind, req_id, len(body)) + body
+
+
+def encode_request_frame(kind: int, req_id: int, tenant: str,
+                         token: bytes, payload: bytes) -> bytes:
+    """Serialize a request frame (tenant as text, like clients send)."""
+    return encode_frame(kind, req_id, tenant.encode(), token, payload)
+
+
+def decode_body(body: bytes) -> tuple[bytes, bytes, bytes]:
+    """Split a frame body into ``(tenant, token, payload)``."""
+    if len(body) < 2:
+        raise FrameError(ERR_BAD_FRAME, "truncated tenant length")
+    tenant_len = int.from_bytes(body[:2], "big")
+    offset = 2 + tenant_len
+    if len(body) < offset + 2:
+        raise FrameError(ERR_BAD_FRAME, "truncated tenant/token")
+    token_len = int.from_bytes(body[offset:offset + 2], "big")
+    tenant = body[2:offset]
+    offset += 2
+    if len(body) < offset + token_len:
+        raise FrameError(ERR_BAD_FRAME, "truncated token")
+    token = body[offset:offset + token_len]
+    return tenant, token, body[offset + token_len:]
+
+
+def frame_shape(frame: bytes) -> tuple[int, int, int, int, int]:
+    """The externally observable shape of one encoded frame.
+
+    ``(kind, req_id, tenant_len, token_len, payload_len)`` — exactly
+    what a passive observer learns from sizes and headers.  The CT
+    audit feeds two secret-differing request classes through the real
+    encoder and requires identical shape traces.
+    """
+    magic, version, kind, req_id, body_len = _HEADER.unpack_from(frame)
+    if magic != MAGIC or version != VERSION:
+        raise FrameError(ERR_BAD_FRAME, "not a frame")
+    tenant, token, payload = decode_body(frame[HEADER_BYTES:])
+    return kind, req_id, len(tenant), len(token), len(payload)
+
+
+def encode_verify_payload(signature: Signature, n: int,
+                          message: bytes) -> bytes:
+    encoded = encode_signature(signature, n)
+    return len(encoded).to_bytes(4, "big") + encoded + message
+
+
+def decode_verify_payload(payload: bytes) -> tuple[Signature, int, bytes]:
+    if len(payload) < 4:
+        raise FrameError(ERR_BAD_FRAME, "truncated signature length")
+    sig_len = int.from_bytes(payload[:4], "big")
+    if len(payload) < 4 + sig_len:
+        raise FrameError(ERR_BAD_FRAME, "truncated signature")
+    try:
+        signature, n = decode_signature(payload[4:4 + sig_len])
+    except SerializeError as error:
+        raise FrameError(ERR_BAD_FRAME, str(error)) from error
+    return signature, n, payload[4 + sig_len:]
+
+
+class TokenBucket:
+    """Per-tenant rate limiter: ``rate`` tokens/s, ``burst`` capacity.
+
+    Deterministic and injectable (``clock``) so tests do not sleep.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock=time.monotonic) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._stamp = clock()
+
+    def try_take(self, amount: float = 1.0) -> bool:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+
+@dataclass
+class NetServerMetrics:
+    """Live counters of one :class:`NetServer`."""
+
+    connections: int = 0
+    frames: int = 0
+    served: int = 0
+    rejected: dict[str, int] = field(default_factory=dict)
+
+    def reject(self, code: int) -> None:
+        name = ERROR_NAMES.get(code, str(code))
+        self.rejected[name] = self.rejected.get(name, 0) + 1
+
+    def as_dict(self) -> dict:
+        return {
+            "connections": self.connections,
+            "frames": self.frames,
+            "served": self.served,
+            "rejected": dict(self.rejected),
+        }
+
+
+class NetServer:
+    """Asyncio socket front for a :class:`SigningService`.
+
+    ``tokens`` maps tenant name to its authentication token; when
+    provided, every request frame must carry the matching token
+    (unknown tenants are refused with the same ``auth-failed`` error
+    as wrong tokens — the error does not reveal which).  ``None``
+    disables authentication (loopback demos).  ``rate_limit`` arms a
+    per-tenant token bucket (``burst`` defaults to twice the rate).
+
+    Lifecycle::
+
+        async with SigningService(store, n=64) as service:
+            server = NetServer(service, tokens={"tenant-a": b"s3cret"})
+            await server.start()          # 127.0.0.1, ephemeral port
+            ...                           # clients connect to server.port
+            await server.stop()           # graceful drain
+
+    :meth:`stop` drains: the listener closes, request frames arriving
+    on live connections are refused with ``draining``, in-flight
+    requests finish their rounds, then the service underneath stops
+    (flushing its queues and failing anything stranded).
+    """
+
+    def __init__(self, service, *,
+                 tokens: dict[str, bytes] | None = None,
+                 rate_limit: float | None = None,
+                 burst: float | None = None,
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 clock=time.monotonic) -> None:
+        if max_frame_bytes < HEADER_BYTES:
+            raise ValueError("max_frame_bytes too small to frame")
+        if burst is not None and rate_limit is None:
+            raise ValueError("burst needs rate_limit")
+        self.service = service
+        self.tokens = ({tenant: bytes(token)
+                        for tenant, token in tokens.items()}
+                       if tokens is not None else None)
+        self.rate_limit = rate_limit
+        self.burst = (burst if burst is not None
+                      else (2.0 * rate_limit if rate_limit else None))
+        self.max_frame_bytes = max_frame_bytes
+        self.metrics = NetServerMetrics()
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+        self._inflight: set[asyncio.Task] = set()
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> None:
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, host, port)
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with the ephemeral default)."""
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self, stop_service: bool = True) -> None:
+        """Graceful drain (idempotent).
+
+        New connections and new request frames are refused from the
+        first moment; every request already dispatched runs its round
+        to completion and sends its response; then the listener and
+        all connections close, and (by default) the coalescing
+        service underneath is stopped too — its own stop flushes
+        queued rounds and fails stranded futures, so nothing hangs.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._inflight:
+            await asyncio.gather(*tuple(self._inflight),
+                                 return_exceptions=True)
+        for writer in tuple(self._connections):
+            writer.close()
+        self._connections.clear()
+        if stop_service:
+            await self.service.stop()
+
+    # -- the connection loop -----------------------------------------------
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    lock: asyncio.Lock, frame: bytes) -> None:
+        async with lock:
+            writer.write(frame)
+            await writer.drain()
+
+    async def _send_error(self, writer, lock, req_id: int, code: int,
+                          detail: str = "") -> None:
+        self.metrics.reject(code)
+        payload = code.to_bytes(2, "big") + detail.encode()
+        await self._send(writer, lock, encode_frame(
+            FRAME_ERROR, req_id, b"", b"", payload))
+
+    def _authorize(self, tenant: str, token: bytes) -> bool:
+        if self.tokens is None:
+            return True
+        expected = self.tokens.get(tenant)
+        # Compare against a dummy for unknown tenants too: one code
+        # path, one error, no tenant-existence oracle.
+        reference = expected if expected is not None else b"\x00"
+        valid = hmac.compare_digest(reference, token)
+        return valid and expected is not None
+
+    def _rate_ok(self, tenant: str) -> bool:
+        if self.rate_limit is None:
+            return True
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets.setdefault(
+                tenant, TokenBucket(self.rate_limit, self.burst,
+                                    clock=self._clock))
+        return bucket.try_take()
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self.metrics.connections += 1
+        self._connections.add(writer)
+        lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(HEADER_BYTES)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # clean EOF or mid-frame disconnect
+                magic, version, kind, req_id, body_len = \
+                    _HEADER.unpack(header)
+                if magic != MAGIC:
+                    # The stream is not frame-aligned: one error,
+                    # then cut the peer off.
+                    await self._send_error(writer, lock, req_id,
+                                           ERR_BAD_FRAME, "bad magic")
+                    return
+                if version != VERSION:
+                    await self._send_error(writer, lock, req_id,
+                                           ERR_UNSUPPORTED,
+                                           f"version {version}")
+                    return
+                if body_len > self.max_frame_bytes:
+                    # An adversarial length prefix: refuse before
+                    # buffering a byte of it.
+                    await self._send_error(writer, lock, req_id,
+                                           ERR_TOO_LARGE,
+                                           f"{body_len} bytes")
+                    return
+                try:
+                    body = await reader.readexactly(body_len)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # disconnected mid-frame: nothing partial
+                self.metrics.frames += 1
+                if kind not in _REQUEST_KINDS:
+                    await self._send_error(writer, lock, req_id,
+                                           ERR_BAD_FRAME,
+                                           f"kind 0x{kind:02x}")
+                    continue
+                try:
+                    tenant_raw, token, payload = decode_body(body)
+                    tenant = tenant_raw.decode("utf-8")
+                except (FrameError, UnicodeDecodeError) as error:
+                    await self._send_error(writer, lock, req_id,
+                                           ERR_BAD_FRAME, str(error))
+                    continue
+                if self._draining:
+                    await self._send_error(writer, lock, req_id,
+                                           ERR_DRAINING)
+                    continue
+                if not self._authorize(tenant, token):
+                    await self._send_error(writer, lock, req_id,
+                                           ERR_AUTH)
+                    continue
+                if not self._rate_ok(tenant):
+                    await self._send_error(writer, lock, req_id,
+                                           ERR_RATE_LIMITED)
+                    continue
+                task = asyncio.ensure_future(self._dispatch(
+                    writer, lock, kind, req_id, tenant, payload))
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+
+    async def _dispatch(self, writer, lock, kind: int, req_id: int,
+                        tenant: str, payload: bytes) -> None:
+        """Run one authorized request through the coalescing service
+        and send its response frame.  Any failure answers with an
+        error frame — a poison request never takes the connection
+        (let alone the server) down with it."""
+        try:
+            if kind == FRAME_SIGN:
+                signature = await self.service.sign(tenant, payload)
+                response = encode_frame(
+                    FRAME_SIGN_OK, req_id, b"", b"",
+                    encode_signature(signature, self.service.n))
+            else:
+                signature, _n, message = decode_verify_payload(payload)
+                verdict = await self.service.verify(tenant, message,
+                                                    signature)
+                response = encode_frame(FRAME_VERIFY_OK, req_id, b"",
+                                        b"", b"\x01" if verdict
+                                        else b"\x00")
+            await self._send(writer, lock, response)
+            self.metrics.served += 1
+        except FrameError as error:
+            await self._send_error(writer, lock, req_id, error.code,
+                                   error.detail)
+        except ConnectionError:  # peer vanished awaiting the round
+            pass
+        except Exception as error:
+            await self._send_error(writer, lock, req_id,
+                                   ERR_ROUND_FAILED, repr(error))
+
+
+class NetClient:
+    """Async client for :class:`NetServer` (one connection, many
+    in-flight requests, responses correlated by request id).
+
+    ``tokens`` maps tenant to its auth token (missing tenants send an
+    empty token).  Usable as an async context manager::
+
+        async with await NetClient.connect("127.0.0.1", port,
+                                           tokens=tokens) as client:
+            signature = await client.sign("tenant-a", b"message")
+            assert await client.verify("tenant-a", b"message",
+                                       signature)
+
+    Server-side refusals raise :class:`FrameError` with the wire code
+    (``auth-failed``, ``rate-limited``, ``draining``, ...); a dropped
+    connection fails every pending request with ``ConnectionError``.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, *,
+                 tokens: dict[str, bytes] | None = None) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._tokens = dict(tokens) if tokens else {}
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int, *,
+                      tokens: dict[str, bytes] | None = None
+                      ) -> "NetClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, tokens=tokens)
+
+    async def __aenter__(self) -> "NetClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        self._fail_pending(ConnectionError("client closed"))
+
+    def _fail_pending(self, error: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                header = await self._reader.readexactly(HEADER_BYTES)
+                magic, version, kind, req_id, body_len = \
+                    _HEADER.unpack(header)
+                if magic != MAGIC or version != VERSION:
+                    raise FrameError(ERR_BAD_FRAME,
+                                     "garbled response stream")
+                body = await self._reader.readexactly(body_len)
+                future = self._pending.pop(req_id, None)
+                if future is None or future.done():
+                    continue  # response to a forgotten request
+                _tenant, _token, payload = decode_body(body)
+                if kind == FRAME_SIGN_OK:
+                    signature, _n = decode_signature(payload)
+                    future.set_result(signature)
+                elif kind == FRAME_VERIFY_OK:
+                    future.set_result(payload == b"\x01")
+                elif kind == FRAME_ERROR:
+                    code = int.from_bytes(payload[:2], "big")
+                    future.set_exception(FrameError(
+                        code, payload[2:].decode("utf-8", "replace")))
+                else:
+                    future.set_exception(FrameError(
+                        ERR_BAD_FRAME, f"response kind 0x{kind:02x}"))
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.CancelledError):
+            self._fail_pending(ConnectionError("connection lost"))
+        except Exception as error:  # pragma: no cover - defensive
+            self._fail_pending(error)
+
+    async def _request(self, kind: int, tenant: str,
+                       payload: bytes):
+        req_id = self._next_id
+        self._next_id = (self._next_id + 1) & 0xFFFFFFFF
+        future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = future
+        token = self._tokens.get(tenant, b"")
+        frame = encode_request_frame(kind, req_id, tenant, token,
+                                     payload)
+        async with self._write_lock:
+            self._writer.write(frame)
+            await self._writer.drain()
+        return await future
+
+    async def sign(self, tenant: str, message: bytes) -> Signature:
+        """Sign ``message`` under ``tenant``'s key, over the wire."""
+        return await self._request(FRAME_SIGN, tenant, message)
+
+    async def verify(self, tenant: str, message: bytes,
+                     signature: Signature, n: int | None = None) -> bool:
+        """Verify over the wire (``n`` defaults to the signature's
+        natural degree as carried by its encoding header)."""
+        if n is None:
+            n = _degree_from_signature(signature)
+        payload = encode_verify_payload(signature, n, message)
+        return await self._request(FRAME_VERIFY, tenant, payload)
+
+
+def _degree_from_signature(signature: Signature) -> int:
+    """Infer the ring degree from a signature's padded payload width
+    (``sig_payload_bits`` is strictly monotone in ``n``, so the
+    fixed-size compressed field identifies the parameter set)."""
+    from ..params import falcon_params
+
+    width = len(signature.compressed)
+    for exponent in range(2, 11):  # supported degrees: 4 .. 1024
+        n = 1 << exponent
+        if (falcon_params(n).sig_payload_bits + 7) // 8 == width:
+            return n
+    raise ValueError(f"no parameter set pads signatures to {width} "
+                     "bytes; pass n explicitly")

@@ -160,6 +160,15 @@ class SigningService:
     rounds inline on the loop — on a single-core host the GIL makes
     the thread hop pure overhead, and inline execution trades loop
     responsiveness for peak throughput.
+
+    ``worker_pool`` escapes the GIL entirely: rounds are submitted to
+    a :class:`~repro.falcon.serving.ShardWorkerPool` — one dedicated
+    worker *process* per shard, with warm per-tenant spines — so a
+    multi-core host runs one round per shard truly in parallel.  The
+    pool must be built over the same ``shards`` / ``master_seed`` /
+    ``directory`` deployment as ``store`` (the store keeps doing the
+    tenant→shard routing); the service does not own the pool's
+    lifecycle — start it before and stop it after the service.
     """
 
     def __init__(self, store: ShardedKeyStore, *,
@@ -169,6 +178,7 @@ class SigningService:
                  queue_depth: int = 256,
                  spine: str = "auto",
                  offload: bool = True,
+                 worker_pool=None,
                  record_rounds: bool = False) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -183,6 +193,7 @@ class SigningService:
         self.queue_depth = queue_depth
         self.spine = spine
         self.offload = offload
+        self.worker_pool = worker_pool
         self.metrics = ServiceMetrics()
         self._record_rounds = record_rounds
         self._queues: list[asyncio.Queue] = []
@@ -304,13 +315,24 @@ class SigningService:
         return batch, stopping
 
     async def _shard_worker(self, shard: int) -> None:
+        """The shard's drain loop.  It must outlive any round failure:
+        a raising round fails only its own futures (isolated in
+        :meth:`_run_one_round`), and even an unexpected error escaping
+        the round machinery fails only the drained batch — never the
+        loop, which would strand every later submission to this shard
+        on a dead queue."""
         queue = self._queues[shard]
         while True:
             first = await queue.get()
             if first is None:
                 return
             batch, stopping = await self._drain(queue, first)
-            await self._run_rounds(shard, batch)
+            try:
+                await self._run_rounds(shard, batch)
+            except Exception as error:
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(error)
             if stopping:
                 return
 
@@ -326,33 +348,56 @@ class SigningService:
             if self._record_rounds:
                 self.metrics.round_log.append(
                     (shard, plan.kind, len(requests)))
-            messages = [r.message for r in requests]
+            await self._run_one_round(shard, plan, requests)
 
-            def run_round(plan=plan, messages=messages,
-                          requests=requests):
-                # One worker-thread hop per round: signer checkout
-                # (cached after first use) plus the batched kernel
-                # call together, so the event loop stays free while
-                # the CPU-bound spine runs.
-                signer = self.store.signer(plan.tenant, self.n)
-                if plan.kind == KIND_SIGN:
-                    return signer.sign_many(messages, spine=self.spine)
-                return signer.public_key.verify_many(
-                    messages, [r.signature for r in requests])
+    async def _run_one_round(self, shard: int, plan: RoundPlan,
+                             requests: list[_Request]) -> None:
+        """Execute one round with full failure isolation.
 
-            try:
-                if self.offload:
-                    results = await asyncio.to_thread(run_round)
-                else:
-                    results = run_round()
-                if plan.kind == KIND_SIGN:
-                    self.metrics.signed += len(requests)
-                else:
-                    self.metrics.verified += len(requests)
-                for request, result in zip(requests, results):
-                    if not request.future.done():
-                        request.future.set_result(result)
-            except Exception as error:  # propagate to the awaiters
-                for request in requests:
-                    if not request.future.done():
-                        request.future.set_exception(error)
+        Everything that can raise — signer checkout, the batched
+        kernel, worker-pool IPC, even result fan-out — is confined to
+        this round: a poison round fails exactly its own awaiters'
+        futures and returns, so the rest of the drained batch keeps
+        draining and the shard worker keeps serving (regression-tested
+        with one poisoned round among healthy ones).
+        """
+        messages = [r.message for r in requests]
+
+        def run_round():
+            if self.worker_pool is not None:
+                # One IPC round-trip per round: the shard's dedicated
+                # worker process signs/verifies with its warm spines.
+                return self.worker_pool.run_round(
+                    shard, plan.tenant, plan.kind, self.n, messages,
+                    signatures=([r.signature for r in requests]
+                                if plan.kind == KIND_VERIFY else None))
+            # One worker-thread hop per round: signer checkout
+            # (cached after first use) plus the batched kernel
+            # call together, so the event loop stays free while
+            # the CPU-bound spine runs.
+            signer = self.store.signer(plan.tenant, self.n)
+            if plan.kind == KIND_SIGN:
+                return signer.sign_many(messages, spine=self.spine)
+            return signer.public_key.verify_many(
+                messages, [r.signature for r in requests])
+
+        try:
+            if self.offload or self.worker_pool is not None:
+                results = await asyncio.to_thread(run_round)
+            else:
+                results = run_round()
+            if len(results) != len(requests):  # a broken backend
+                raise RuntimeError(
+                    f"round returned {len(results)} results for "
+                    f"{len(requests)} requests")
+            if plan.kind == KIND_SIGN:
+                self.metrics.signed += len(requests)
+            else:
+                self.metrics.verified += len(requests)
+            for request, result in zip(requests, results):
+                if not request.future.done():
+                    request.future.set_result(result)
+        except Exception as error:  # fail THIS round's awaiters only
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(error)

@@ -152,6 +152,12 @@ class ShardedKeyStore:
         for store in self.stores:
             store.join_refills(timeout)
 
+    def close(self) -> None:
+        """Orderly shutdown of every shard store (refills joined,
+        warm keygen process pools stopped)."""
+        for store in self.stores:
+            store.close()
+
     # -- serving -----------------------------------------------------------
 
     def signer(self, tenant: str | bytes, n: int) -> SecretKey:

@@ -1,0 +1,263 @@
+"""Multi-process shard workers: real parallelism for the signing plane.
+
+The asyncio :class:`~repro.falcon.serving.SigningService` coalesces
+well, but every round still executes under one CPython GIL — every
+committed benchmark before this layer ran on one core, and offloading
+rounds to *threads* cannot change that.  :class:`ShardWorkerPool`
+fans the shards out over **processes**: each shard gets a dedicated,
+long-lived worker process that owns the shard's key material and runs
+its ``sign_many`` / ``verify_many`` rounds, so a multi-core host runs
+as many rounds truly in parallel as it has shards.
+
+Design points:
+
+* **One worker per shard, for the shard's lifetime.**  The worker
+  builds its shard's :class:`~repro.falcon.keystore.KeyStore` once
+  (same derived master seed and directory layout as
+  :class:`~repro.falcon.serving.ShardedKeyStore` — the flock'ed slot
+  manifests already make concurrent instances safe) and keeps its
+  per-tenant signers checked out across rounds: the ffLDL trees,
+  sampler pools and cached NTT transforms stay **warm**, exactly the
+  amortization that made one-task-per-key process pools lose to
+  single-process keygen.
+* **Batched task submission.**  The unit of IPC is a whole coalesced
+  round — one pickled ``(tenant, kind, messages)`` message per round,
+  one reply with the round's results — never one task per request.
+* **Byte identity.**  A worker signs with the very key the in-process
+  path would have checked out for that tenant (same derived shard
+  seed, same checkout order), through the very same ``sign_many``;
+  signatures travel back as raw ``(salt, compressed)`` bytes.  The
+  loopback test suite pins over-the-wire bytes == direct bytes.
+* **Failure isolation.**  A raising round travels back as an error
+  reply and re-raises in the submitting process for that round only;
+  the worker's loop keeps serving.  A *dead* worker (killed process)
+  surfaces as :class:`ShardWorkerError` on submission.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+from pathlib import Path
+from typing import Sequence
+
+from ..scheme import Signature
+
+#: Round kinds a worker executes (mirrors the service's constants;
+#: re-declared here so worker processes do not import the asyncio
+#: layer).
+_KIND_SIGN = "sign"
+_KIND_VERIFY = "verify"
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker process failed outside a round (died, refused)."""
+
+
+def _worker_main(connection, shard: int, config: dict) -> None:
+    """A shard worker process: build the shard store, serve rounds.
+
+    Runs until the parent sends ``None`` (orderly drain) or the pipe
+    breaks (parent died).  Per-tenant signers are checked out on first
+    use and cached for the lifetime of the process — warm spines.
+    """
+    from ..keystore import KeyStore
+    from .sharded import derive_shard_seed
+
+    directory = config.get("directory")
+    store = KeyStore(
+        directory,
+        master_seed=derive_shard_seed(config["master_seed"], shard),
+        prng=config.get("prng", "chacha20"),
+        base_backend=config.get("base_backend", "bitsliced"),
+        keygen_spine=config.get("keygen_spine", "auto"))
+    spine = config.get("spine", "auto")
+    signers = {}
+
+    def signer(tenant: str, n: int):
+        key = (tenant, n)
+        if key not in signers:
+            signers[key] = store.checkout_current(n)[0]
+        return signers[key]
+
+    while True:
+        try:
+            task = connection.recv()
+        except (EOFError, OSError):  # parent went away
+            break
+        if task is None:
+            break
+        tenant, kind, n, messages, signatures = task
+        try:
+            if kind == _KIND_SIGN:
+                signed = signer(tenant, n).sign_many(messages,
+                                                     spine=spine)
+                reply = ("ok", [(s.salt, s.compressed) for s in signed])
+            elif kind == _KIND_VERIFY:
+                rebuilt = [Signature(salt=salt, compressed=compressed)
+                           for salt, compressed in signatures]
+                verdicts = signer(tenant, n).public_key.verify_many(
+                    messages, rebuilt)
+                reply = ("ok", list(verdicts))
+            else:
+                raise ValueError(f"unknown round kind {kind!r}")
+        except Exception as error:
+            try:  # most exceptions pickle; fall back to their repr
+                import pickle
+                pickle.dumps(error)
+                reply = ("error", error)
+            except Exception:
+                reply = ("error", RuntimeError(repr(error)))
+        try:
+            connection.send(reply)
+        except (BrokenPipeError, OSError):  # parent went away
+            break
+    store.close()
+    connection.close()
+
+
+class ShardWorkerPool:
+    """One dedicated worker process per shard, rounds as batched tasks.
+
+    Construction mirrors :class:`~repro.falcon.serving
+    .ShardedKeyStore` — same ``shards`` / ``master_seed`` /
+    ``directory`` triple, so a pool and a sharded store describe the
+    same deployment (with a shared directory the flock'ed manifests
+    keep their slot claims disjoint; memory-only, the deterministic
+    seed derivation makes worker checkouts reproduce the in-process
+    checkout sequence).  Use as a context manager, or call
+    :meth:`start` / :meth:`stop`::
+
+        with ShardWorkerPool(shards=2, master_seed=7) as pool:
+            signatures = pool.run_round(
+                shard=0, tenant="tenant-a", kind="sign", n=64,
+                messages=[b"hello"])
+
+    ``run_round`` is thread-safe per shard (a per-shard lock
+    serializes the pipe round-trip — rounds for one shard are
+    sequential by design, matching the service's one-worker-per-shard
+    drain loop) and blocking: the asyncio layer calls it through
+    ``asyncio.to_thread``, so N shards run N rounds truly in parallel
+    on a multi-core host.
+    """
+
+    def __init__(self, *, shards: int = 2,
+                 master_seed: int | bytes = 0,
+                 directory: str | Path | None = None,
+                 prng: str = "chacha20",
+                 base_backend: str = "bitsliced",
+                 keygen_spine: str = "auto",
+                 spine: str = "auto",
+                 mp_context: str | None = None) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.shards = shards
+        self._config_base = {
+            "master_seed": master_seed,
+            "prng": prng,
+            "base_backend": base_backend,
+            "keygen_spine": keygen_spine,
+            "spine": spine,
+        }
+        self._directory = Path(directory) if directory is not None \
+            else None
+        self._context = (mp.get_context(mp_context) if mp_context
+                         else mp.get_context())
+        self._processes: list = []
+        self._connections: list = []
+        self._locks = [threading.Lock() for _ in range(shards)]
+        self._started = False
+        self._stopped = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("pool already started")
+        for shard in range(self.shards):
+            config = dict(self._config_base)
+            config["directory"] = (
+                str(self._directory / f"shard-{shard:02d}")
+                if self._directory is not None else None)
+            parent_end, worker_end = self._context.Pipe()
+            process = self._context.Process(
+                target=_worker_main, args=(worker_end, shard, config),
+                daemon=True, name=f"falcon-shard-worker-{shard}")
+            process.start()
+            worker_end.close()  # the worker holds its own copy
+            self._processes.append(process)
+            self._connections.append(parent_end)
+        self._started = True
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain and stop every worker (idempotent).
+
+        Sends each worker the orderly-shutdown sentinel, joins with
+        ``timeout``, and terminates stragglers — in-flight rounds
+        complete first because the sentinel queues behind them on the
+        pipe.
+        """
+        if not self._started or self._stopped:
+            return
+        self._stopped = True
+        for connection, lock in zip(self._connections, self._locks):
+            with lock:
+                try:
+                    connection.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        for process in self._processes:
+            process.join(timeout)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout)
+        for connection in self._connections:
+            connection.close()
+
+    def __enter__(self) -> "ShardWorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return (self._started and not self._stopped
+                and all(p.is_alive() for p in self._processes))
+
+    # -- round execution ---------------------------------------------------
+
+    def run_round(self, shard: int, tenant: str, kind: str, n: int,
+                  messages: Sequence[bytes],
+                  signatures: Sequence[Signature] | None = None):
+        """Run one coalesced round on ``shard``'s worker process.
+
+        Blocking (call from a thread); returns what the in-process
+        round would have — a ``Signature`` list for sign rounds, a
+        bool list for verify rounds.  A round that raised in the
+        worker re-raises here; a dead worker raises
+        :class:`ShardWorkerError`.
+        """
+        if not self._started or self._stopped:
+            raise ShardWorkerError("worker pool is not running")
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"no such shard {shard}")
+        payload = ([(s.salt, s.compressed) for s in signatures]
+                   if signatures is not None else None)
+        connection = self._connections[shard]
+        with self._locks[shard]:
+            try:
+                connection.send((tenant, kind, n, list(messages),
+                                 payload))
+                reply = connection.recv()
+            except (EOFError, BrokenPipeError, OSError) as error:
+                raise ShardWorkerError(
+                    f"shard {shard} worker died mid-round") from error
+        status, result = reply
+        if status == "error":
+            raise result
+        if kind == _KIND_SIGN:
+            return [Signature(salt=salt, compressed=compressed)
+                    for salt, compressed in result]
+        return result

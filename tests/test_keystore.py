@@ -227,6 +227,82 @@ def test_stale_claim_scratch_files_swept_on_restart(tmp_path):
     fresh.unlink()
 
 
+def test_future_mtime_scratch_survives_sweep(tmp_path):
+    """Satellite regression: clock skew (NFS, a stepped clock) can
+    stamp a live claim's scratch file *in the future*.  The old sweep
+    compared a signed age against the threshold, so a huge negative
+    age could never look stale — but the clamped age must also never
+    go the other way and delete a live claim.  A future-mtime scratch
+    is at most zero seconds old: it stays."""
+    import os
+    import time
+
+    store = KeyStore(tmp_path, master_seed=56)
+    store.generate_ahead(8, 1)
+    skewed = tmp_path / "falcon_n0008_000000.skey.claim-999-5kew5kew"
+    skewed.write_bytes(b"live checkout, skewed clock")
+    future = time.time() + 7200
+    os.utime(skewed, (future, future))
+    KeyStore(tmp_path, master_seed=56)
+    assert skewed.exists()  # age clamps to 0, never "older than" any
+    skewed.unlink()
+
+
+def test_stale_claim_threshold_is_configurable(tmp_path):
+    import os
+    import time
+
+    store = KeyStore(tmp_path, master_seed=57)
+    store.generate_ahead(8, 1)
+    scratch = tmp_path / "falcon_n0008_000000.skey.claim-999-0ddba11"
+    scratch.write_bytes(b"claim from 30 seconds ago")
+    old = time.time() - 30
+    os.utime(scratch, (old, old))
+    # Under the default 60-second threshold it is a live checkout...
+    KeyStore(tmp_path, master_seed=57)
+    assert scratch.exists()
+    # ...under a 10-second threshold it is garbage.
+    KeyStore(tmp_path, master_seed=57, stale_claim_seconds=10)
+    assert not scratch.exists()
+    with pytest.raises(ValueError):
+        KeyStore(tmp_path, master_seed=57, stale_claim_seconds=0)
+
+
+def test_pooled_generation_submits_blocks_to_warm_workers():
+    """Satellite regression for the pooled-keygen fix: ``generate_ahead``
+    submits contiguous slot *blocks* (one task per worker, preserving
+    slot order — the block boundary must not perturb key bytes), and
+    the store's process pool persists across refills instead of being
+    rebuilt (re-paying fork + warmup) each time."""
+    pooled = KeyStore(master_seed=58, workers=2)
+    try:
+        pooled.generate_ahead(8, 5)  # ceil(5/2)=3: blocks of 3 and 2
+        executor = pooled._executor
+        assert executor is not None
+        pooled.generate_ahead(8, 3)
+        assert pooled._executor is executor  # same warm pool reused
+    finally:
+        pooled.close()
+    assert pooled._executor is None
+    inline = KeyStore(master_seed=58, workers=1)
+    inline.generate_ahead(8, 8)
+    for _ in range(8):
+        a = inline.acquire(8)
+        b = pooled.acquire(8)
+        assert a.keys.f == b.keys.f and a.keys.F == b.keys.F
+
+
+def test_close_is_idempotent_and_store_survives_it():
+    store = KeyStore(master_seed=59, workers=2)
+    store.generate_ahead(8, 2)
+    store.close()
+    store.close()
+    # A closed store still serves; the pool lazily rebuilds on demand.
+    store.generate_ahead(8, 2)
+    assert store.stats().available[8] == 4
+    store.close()
+
+
 def test_watermark_refill_inline():
     store = KeyStore(master_seed=41, low_watermark=2, refill_target=3,
                      refill_async=False)

@@ -251,6 +251,65 @@ def test_service_propagates_round_errors():
     asyncio.run(drive())
 
 
+def test_poisoned_round_fails_only_its_own_futures():
+    """Satellite regression: one poisoned round among healthy ones in
+    the same drained batch.  The poison tenant's signer checkout
+    raises; exactly its awaiters see the error, every other round in
+    the batch completes, and the shard worker keeps serving."""
+    async def drive():
+        store = ShardedKeyStore(shards=1, master_seed=41)
+        real_signer = store.signer
+
+        def signer(tenant, n):
+            if tenant == "tenant-poison":
+                raise RuntimeError("poisoned checkout")
+            return real_signer(tenant, n)
+
+        store.signer = signer
+        async with SigningService(store, n=8, max_batch=16,
+                                  max_wait=0.2) as service:
+            tenants = ["tenant-poison" if i % 3 == 0
+                       else f"tenant-{i % 2}" for i in range(9)]
+            results = await asyncio.gather(
+                *[service.sign(tenant, b"mix-%d" % i)
+                  for i, tenant in enumerate(tenants)],
+                return_exceptions=True)
+            for tenant, result in zip(tenants, results):
+                if tenant == "tenant-poison":
+                    assert isinstance(result, RuntimeError)
+                else:
+                    assert result.salt  # a real signature
+            # The shard worker survived the poison round.
+            follow_up = await service.sign("tenant-0", b"after")
+            assert follow_up.salt
+        assert service.metrics.signed == 7  # 6 healthy + follow-up
+    asyncio.run(drive())
+
+
+def test_shard_worker_survives_round_machinery_failure():
+    """Even an error escaping the round planner itself fails only the
+    drained batch — the drain loop keeps serving later submissions."""
+    async def drive():
+        store = ShardedKeyStore(shards=1, master_seed=42)
+        async with SigningService(store, n=8,
+                                  max_wait=0.0) as service:
+            real_run_rounds = service._run_rounds
+            blown = {"count": 0}
+
+            async def flaky(shard, batch):
+                if not blown["count"]:
+                    blown["count"] += 1
+                    raise RuntimeError("round machinery blew up")
+                await real_run_rounds(shard, batch)
+
+            service._run_rounds = flaky
+            with pytest.raises(RuntimeError):
+                await service.sign("tenant-a", b"doomed")
+            signature = await service.sign("tenant-a", b"alive")
+            assert signature.salt
+    asyncio.run(drive())
+
+
 def test_service_rejects_use_before_start_and_double_start():
     store = ShardedKeyStore(shards=1, master_seed=15)
     service = SigningService(store, n=8)

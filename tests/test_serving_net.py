@@ -1,0 +1,448 @@
+"""The networked signing plane: wire protocol, auth, rate limits,
+drain, adversarial framing, and the multi-process shard workers.
+
+The adversarial cases pin the server's failure discipline: a hostile
+or broken peer earns one clean error frame (or a silent close), never
+a traceback, never a wedged server, and never a partially signed
+round — the next well-formed connection is served as if nothing
+happened.
+"""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.falcon.serving import (
+    FrameError,
+    NetClient,
+    NetServer,
+    ShardedKeyStore,
+    ShardWorkerError,
+    ShardWorkerPool,
+    SigningService,
+    TokenBucket,
+    encode_request_frame,
+    frame_shape,
+)
+from repro.falcon.serving.net import (
+    ERR_AUTH,
+    ERR_BAD_FRAME,
+    ERR_DRAINING,
+    ERR_RATE_LIMITED,
+    ERR_TOO_LARGE,
+    ERR_UNSUPPORTED,
+    FRAME_ERROR,
+    FRAME_SIGN,
+    HEADER_BYTES,
+    MAGIC,
+    VERSION,
+    _HEADER,
+    decode_body,
+)
+
+
+# -- frame codec -------------------------------------------------------------
+
+def test_frame_round_trip_and_shape():
+    frame = encode_request_frame(FRAME_SIGN, 7, "tenant-a", b"tok",
+                                 b"payload")
+    kind, req_id, tenant_len, token_len, payload_len = \
+        frame_shape(frame)
+    assert (kind, req_id) == (FRAME_SIGN, 7)
+    assert (tenant_len, token_len, payload_len) == (8, 3, 7)
+    tenant, token, payload = decode_body(frame[HEADER_BYTES:])
+    assert (tenant, token, payload) == (b"tenant-a", b"tok", b"payload")
+
+
+def test_decode_body_rejects_truncations():
+    frame = encode_request_frame(FRAME_SIGN, 0, "tenant-a", b"tok",
+                                 b"payload")
+    body = frame[HEADER_BYTES:]
+    for cut in (0, 1, 3, len(body) - len(b"payload") - 1):
+        with pytest.raises(FrameError):
+            decode_body(body[:cut])
+
+
+def test_token_bucket_refills_on_injected_clock():
+    now = [0.0]
+    bucket = TokenBucket(rate=2.0, burst=2.0, clock=lambda: now[0])
+    assert bucket.try_take() and bucket.try_take()
+    assert not bucket.try_take()  # burst exhausted
+    now[0] += 0.5                 # one token refilled
+    assert bucket.try_take()
+    assert not bucket.try_take()
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=1.0)
+
+
+# -- loopback helpers --------------------------------------------------------
+
+def _serve(test_body, *, master_seed=21, n=8, tokens=None,
+           rate_limit=None, clock=None, worker_pool=None,
+           max_batch=8, max_wait=0.01):
+    """Run ``await test_body(service, server)`` against a live
+    loopback server, then drain everything."""
+
+    async def drive():
+        store = ShardedKeyStore(shards=2, master_seed=master_seed)
+        service = SigningService(store, n=n, max_batch=max_batch,
+                                 max_wait=max_wait,
+                                 worker_pool=worker_pool)
+        async with service:
+            kwargs = {"tokens": tokens, "rate_limit": rate_limit}
+            if clock is not None:
+                kwargs["clock"] = clock
+            server = NetServer(service, **kwargs)
+            await server.start("127.0.0.1", 0)
+            try:
+                return await test_body(service, server)
+            finally:
+                await server.stop(stop_service=False)
+
+    return asyncio.run(drive())
+
+
+async def _raw_exchange(port: int, blob: bytes,
+                        expect_reply: bool = True) -> bytes | None:
+    """Write raw bytes, read one reply frame (or None on close)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(blob)
+        await writer.drain()
+        if not expect_reply:
+            writer.write_eof()
+            return None
+        header = await reader.readexactly(HEADER_BYTES)
+        _magic, _version, _kind, _req_id, body_len = \
+            _HEADER.unpack(header)
+        return header + await reader.readexactly(body_len)
+    finally:
+        writer.close()
+
+
+def _error_code(frame: bytes) -> int:
+    kind, _req_id, _t, _tok, _p = frame_shape(frame)
+    assert kind == FRAME_ERROR
+    _tenant, _token, payload = decode_body(frame[HEADER_BYTES:])
+    return int.from_bytes(payload[:2], "big")
+
+
+# -- happy path over real sockets --------------------------------------------
+
+def test_loopback_round_trip_and_byte_identity():
+    """The tentpole acceptance criterion: signatures that travelled
+    the wire are byte-identical to a direct ``sign_many`` over the
+    same deployment seed.  Signatures are chunking-faithful (a round
+    of six is not six rounds of one), so the frames are pipelined and
+    the batch window held open until all six coalesce into one round
+    — the direct call's exact shape."""
+    messages = [b"wire-%d" % i for i in range(6)]
+
+    async def body(service, server):
+        async with await NetClient.connect(
+                "127.0.0.1", server.port) as client:
+            signatures = await asyncio.gather(
+                *[client.sign("tenant-a", m) for m in messages])
+            verdicts = await asyncio.gather(
+                *[client.verify("tenant-a", m, s)
+                  for m, s in zip(messages, signatures)])
+        return signatures, verdicts
+
+    signatures, verdicts = _serve(body, master_seed=22,
+                                  max_wait=0.3)
+    assert verdicts == [True] * len(messages)
+    direct = ShardedKeyStore(shards=2, master_seed=22) \
+        .signer("tenant-a", 8).sign_many(messages)
+    assert [(s.salt, s.compressed) for s in signatures] == \
+        [(s.salt, s.compressed) for s in direct]
+
+
+def test_pipelined_requests_correlate_by_req_id():
+    async def body(service, server):
+        async with await NetClient.connect(
+                "127.0.0.1", server.port) as client:
+            messages = [b"pipeline-%d" % i for i in range(10)]
+            signatures = await asyncio.gather(
+                *[client.sign(f"tenant-{i % 3}", m)
+                  for i, m in enumerate(messages)])
+            verdicts = await asyncio.gather(
+                *[client.verify(f"tenant-{i % 3}", m, s)
+                  for i, (m, s) in enumerate(zip(messages,
+                                                 signatures))])
+        assert verdicts == [True] * 10
+        assert server.metrics.served == 20
+
+    _serve(body)
+
+
+# -- authentication and rate limiting ----------------------------------------
+
+def test_auth_rejects_wrong_token_and_unknown_tenant_identically():
+    tokens = {"tenant-a": b"s3cret"}
+
+    async def body(service, server):
+        port = server.port
+        async with await NetClient.connect(
+                "127.0.0.1", port, tokens=tokens) as good:
+            assert await good.sign("tenant-a", b"hello")
+        async with await NetClient.connect(
+                "127.0.0.1", port,
+                tokens={"tenant-a": b"wrong"}) as bad:
+            with pytest.raises(FrameError) as wrong_token:
+                await bad.sign("tenant-a", b"hello")
+            with pytest.raises(FrameError) as unknown_tenant:
+                await bad.sign("tenant-zz", b"hello")
+        # Same error either way: no tenant-existence oracle.
+        assert wrong_token.value.code == ERR_AUTH
+        assert unknown_tenant.value.code == ERR_AUTH
+        assert str(wrong_token.value) == str(unknown_tenant.value)
+        assert server.metrics.rejected["auth-failed"] == 2
+
+    _serve(body, tokens=tokens)
+
+
+def test_rate_limit_refuses_then_recovers():
+    now = [0.0]
+
+    async def body(service, server):
+        async with await NetClient.connect(
+                "127.0.0.1", server.port) as client:
+            for _ in range(4):  # burst = 2 * rate
+                await client.sign("tenant-a", b"burst")
+            with pytest.raises(FrameError) as refused:
+                await client.sign("tenant-a", b"over")
+            assert refused.value.code == ERR_RATE_LIMITED
+            now[0] += 1.0  # refill: 2 tokens/s
+            await client.sign("tenant-a", b"recovered")
+        assert server.metrics.rejected["rate-limited"] == 1
+
+    _serve(body, rate_limit=2.0, clock=lambda: now[0])
+
+
+# -- adversarial framing -----------------------------------------------------
+
+def test_bad_magic_earns_error_and_close_then_server_survives():
+    async def body(service, server):
+        blob = b"HTTP/1.1 GET /\r\n" + b"\x00" * HEADER_BYTES
+        reply = await _raw_exchange(server.port, blob)
+        assert _error_code(reply) == ERR_BAD_FRAME
+        # The connection is cut off; a well-formed client still works.
+        async with await NetClient.connect(
+                "127.0.0.1", server.port) as client:
+            assert await client.sign("tenant-a", b"after-garbage")
+
+    _serve(body)
+
+
+def test_unsupported_version_is_refused():
+    async def body(service, server):
+        frame = encode_request_frame(FRAME_SIGN, 1, "tenant-a", b"",
+                                     b"msg")
+        blob = (MAGIC + bytes([VERSION + 1]) + frame[5:])
+        reply = await _raw_exchange(server.port, blob)
+        assert _error_code(reply) == ERR_UNSUPPORTED
+
+    _serve(body)
+
+
+def test_oversized_length_prefix_refused_before_buffering():
+    async def body(service, server):
+        hostile = _HEADER.pack(MAGIC, VERSION, FRAME_SIGN, 1,
+                               0xFFFFFFFF)
+        reply = await _raw_exchange(server.port, hostile)
+        assert _error_code(reply) == ERR_TOO_LARGE
+
+    _serve(body)
+
+
+def test_truncated_body_and_mid_frame_disconnect_leave_server_clean():
+    async def body(service, server):
+        frame = encode_request_frame(FRAME_SIGN, 1, "tenant-a", b"",
+                                     b"message")
+        # Send only half the promised body, then disconnect.
+        await _raw_exchange(server.port, frame[:HEADER_BYTES + 4],
+                            expect_reply=False)
+        # Header only, then disconnect.
+        await _raw_exchange(server.port, frame[:HEADER_BYTES],
+                            expect_reply=False)
+        await asyncio.sleep(0.05)
+        # Nothing partial leaked into the service...
+        assert service.metrics.requests == 0
+        # ...and the server still serves.
+        async with await NetClient.connect(
+                "127.0.0.1", server.port) as client:
+            assert await client.sign("tenant-a", b"still-alive")
+
+    _serve(body)
+
+
+def test_garbled_body_lengths_earn_bad_frame_not_crash():
+    async def body(service, server):
+        # tenant_len that runs past the body.
+        body_bytes = (1000).to_bytes(2, "big") + b"short"
+        blob = _HEADER.pack(MAGIC, VERSION, FRAME_SIGN, 9,
+                            len(body_bytes)) + body_bytes
+        reply = await _raw_exchange(server.port, blob)
+        assert _error_code(reply) == ERR_BAD_FRAME
+
+    _serve(body)
+
+
+def test_unknown_kind_is_an_error_but_keeps_the_connection():
+    async def body(service, server):
+        bad = encode_request_frame(0x55, 3, "tenant-a", b"", b"x")
+        good = encode_request_frame(FRAME_SIGN, 4, "tenant-a", b"",
+                                    b"msg")
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.port)
+        try:
+            writer.write(bad + good)
+            await writer.drain()
+            replies = []
+            for _ in range(2):
+                header = await reader.readexactly(HEADER_BYTES)
+                *_rest, body_len = _HEADER.unpack(header)
+                replies.append(header
+                               + await reader.readexactly(body_len))
+        finally:
+            writer.close()
+        codes = [frame_shape(reply)[0] for reply in replies]
+        assert FRAME_ERROR in codes  # the unknown kind
+        assert any(code != FRAME_ERROR for code in codes)  # the sign
+
+    _serve(body)
+
+
+# -- graceful drain ----------------------------------------------------------
+
+def test_drain_refuses_new_frames_and_completes_in_flight():
+    async def body(service, server):
+        client = await NetClient.connect("127.0.0.1", server.port)
+        try:
+            in_flight = asyncio.ensure_future(
+                client.sign("tenant-a", b"in-flight"))
+            while not server.metrics.frames:  # frame is dispatched
+                await asyncio.sleep(0.001)
+            stop = asyncio.ensure_future(
+                server.stop(stop_service=False))
+            await asyncio.sleep(0)
+            # The in-flight request completes with a real signature.
+            assert (await in_flight).salt
+            await stop
+            # New frames on a live connection are refused as draining
+            # (the listener itself is closed, so reuse the socket).
+            with pytest.raises((FrameError, ConnectionError)) as err:
+                await client.sign("tenant-a", b"late")
+            if isinstance(err.value, FrameError):
+                assert err.value.code == ERR_DRAINING
+        finally:
+            await client.close()
+
+    _serve(body)
+
+
+def test_client_close_fails_pending_cleanly():
+    async def drive():
+        store = ShardedKeyStore(shards=1, master_seed=23)
+        async with SigningService(store, n=8, max_wait=0.2) as service:
+            server = NetServer(service)
+            await server.start("127.0.0.1", 0)
+            client = await NetClient.connect("127.0.0.1", server.port)
+            pending = asyncio.ensure_future(
+                client.sign("tenant-a", b"doomed"))
+            await asyncio.sleep(0)
+            await client.close()
+            with pytest.raises(ConnectionError):
+                await pending
+            await server.stop(stop_service=False)
+
+    asyncio.run(drive())
+
+
+# -- multi-process shard workers ---------------------------------------------
+
+def test_worker_pool_signatures_byte_identical_to_direct():
+    """Two real worker processes; the bytes coming back across the
+    process boundary match a direct in-process ``sign_many`` over the
+    same deployment seed."""
+    messages = [b"mp-%d" % i for i in range(4)]
+    with ShardWorkerPool(shards=2, master_seed=31) as pool:
+        store = ShardedKeyStore(shards=2, master_seed=31)
+        shard = store.shard_for("tenant-a")
+        outcome = pool.run_round(shard, "tenant-a", "sign", 8,
+                                 messages)
+        verdicts = pool.run_round(shard, "tenant-a", "verify", 8,
+                                  messages, signatures=outcome)
+    assert verdicts == [True] * len(messages)
+    direct = ShardedKeyStore(shards=2, master_seed=31) \
+        .signer("tenant-a", 8).sign_many(messages)
+    assert [(s.salt, s.compressed) for s in outcome] == \
+        [(s.salt, s.compressed) for s in direct]
+
+
+def test_worker_pool_round_errors_propagate_and_pool_survives():
+    with ShardWorkerPool(shards=1, master_seed=32) as pool:
+        with pytest.raises(Exception):
+            pool.run_round(0, "tenant-a", "sign", 7, [b"bad-n"])
+        # The worker survives the failed round.
+        outcome = pool.run_round(0, "tenant-a", "sign", 8, [b"ok"])
+        assert len(outcome) == 1
+        assert pool.running
+
+
+def test_worker_pool_lifecycle_guards():
+    pool = ShardWorkerPool(shards=1, master_seed=33)
+    with pytest.raises(ShardWorkerError):
+        pool.run_round(0, "tenant-a", "sign", 8, [b"not-started"])
+    pool.start()
+    try:
+        with pytest.raises(ValueError):
+            pool.run_round(5, "tenant-a", "sign", 8, [b"no-shard"])
+    finally:
+        pool.stop()
+    assert not pool.running
+    pool.stop()  # idempotent
+
+
+def test_service_over_worker_pool_end_to_end():
+    """SigningService → ShardWorkerPool → worker processes: coalesced
+    rounds run out-of-process and still verify in-process.  One round
+    of five (window held open, max_batch above the count) replays the
+    direct call's chunking, so the bytes must match exactly."""
+    messages = [b"svc-mp-%d" % i for i in range(5)]
+
+    async def drive():
+        store = ShardedKeyStore(shards=2, master_seed=34)
+        with ShardWorkerPool(shards=2, master_seed=34) as pool:
+            async with SigningService(store, n=8, max_batch=8,
+                                      max_wait=0.3,
+                                      worker_pool=pool) as service:
+                signatures = await service.sign_all("tenant-a",
+                                                    messages)
+                verdicts = await asyncio.gather(
+                    *[service.verify("tenant-a", m, s)
+                      for m, s in zip(messages, signatures)])
+        return signatures, verdicts
+
+    signatures, verdicts = asyncio.run(drive())
+    assert verdicts == [True] * len(messages)
+    direct = ShardedKeyStore(shards=2, master_seed=34) \
+        .signer("tenant-a", 8).sign_many(messages)
+    assert [(s.salt, s.compressed) for s in signatures] == \
+        [(s.salt, s.compressed) for s in direct]
+
+
+def test_wire_over_worker_pool_full_stack():
+    """The whole plane at once: client frames → NetServer →
+    coalescer → worker processes → frames back."""
+
+    async def body(service, server):
+        async with await NetClient.connect(
+                "127.0.0.1", server.port) as client:
+            signature = await client.sign("tenant-a", b"full-stack")
+            assert await client.verify("tenant-a", b"full-stack",
+                                       signature)
+
+    with ShardWorkerPool(shards=2, master_seed=35) as pool:
+        _serve(body, master_seed=35, worker_pool=pool)
