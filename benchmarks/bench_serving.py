@@ -23,7 +23,12 @@ the coalescing front buys.  Rows per configuration:
 
 Every service-level row also records client-observed p50/p99 latency
 in milliseconds (wall time from submit to signature, including queue
-wait and the coalescing window).
+wait and the coalescing window), plus availability and error rate —
+the share of requests that completed vs failed.  Fault-free rows are
+100% by construction; the ``--chaos`` rows inject a pinned, seeded
+:class:`FaultPlan` (dropped response frames at the wire, failed
+keystore claims) and record what the retry/dedup/supervision machinery
+actually delivers under it.
 
 The acceptance gate (recorded in the JSON): the best coalesced
 configuration among the concurrency >= 8 rows beats the synchronous
@@ -52,6 +57,7 @@ import pytest
 from repro.analysis import format_table
 from repro.falcon import HAVE_NUMPY
 from repro.falcon.serving import (
+    FaultPlan,
     NetClient,
     NetServer,
     ShardedKeyStore,
@@ -77,14 +83,23 @@ TENANTS = 2
 SHARDS = 2
 MAX_BATCH = 32
 
+#: The pinned fault plan the ``--chaos`` rows run under.  Seeded, so
+#: every run of the same build injects the identical fault sequence:
+#: ~5% of response frames dropped at the wire (retry + server dedup
+#: must recover them) and ~25% of keystore claims failing (the round
+#: fails, the client survives it).
+CHAOS_PLAN = FaultPlan(seed=7, drop_frame=0.05, fail_claim=0.25)
+
 
 def _messages(count: int) -> list[bytes]:
     return [b"serving-%d" % i for i in range(count)]
 
 
 def _fresh_store(master_seed: int, n: int, tenants: int,
-                 prewarm: bool = True) -> ShardedKeyStore:
-    store = ShardedKeyStore(shards=SHARDS, master_seed=master_seed)
+                 prewarm: bool = True,
+                 fault_plan: FaultPlan | None = None) -> ShardedKeyStore:
+    store = ShardedKeyStore(shards=SHARDS, master_seed=master_seed,
+                            fault_plan=fault_plan)
     if prewarm:
         # Check the per-tenant signers out up front: every row then
         # measures serving, not first-request keygen.
@@ -133,22 +148,34 @@ def _latency_summary(latencies: list[float]) -> dict:
 def _service_rate(store: ShardedKeyStore, n: int,
                   messages: list[bytes], tenants: int,
                   concurrency: int, window: float,
-                  worker_pool=None) -> tuple[float, list[float]]:
+                  worker_pool=None,
+                  tolerate_failures: bool = False
+                  ) -> tuple[float, list[float], int]:
     """Coalesced async throughput: ``concurrency`` client coroutines
     submit the request stream; returns (requests/s over the full
-    drain, per-request client-observed latencies in seconds)."""
+    drain, per-request client-observed latencies in seconds, failed
+    request count).  With ``tolerate_failures`` (chaos rows) a failed
+    request is counted instead of aborting the row."""
 
-    async def drive() -> tuple[float, list[float]]:
+    async def drive() -> tuple[float, list[float], int]:
         service = SigningService(store, n=n, max_batch=MAX_BATCH,
                                  max_wait=window,
                                  queue_depth=max(4 * MAX_BATCH, 16),
                                  worker_pool=worker_pool)
         latencies: list[float] = []
+        failed = 0
 
         async def client(which: int) -> None:
+            nonlocal failed
             for i in range(which, len(messages), concurrency):
                 submitted = time.perf_counter()
-                await service.sign(f"tenant-{i % tenants}", messages[i])
+                try:
+                    await service.sign(f"tenant-{i % tenants}",
+                                       messages[i])
+                except Exception:
+                    if not tolerate_failures:
+                        raise
+                    failed += 1
                 latencies.append(time.perf_counter() - submitted)
 
         async with service:
@@ -163,37 +190,50 @@ def _service_rate(store: ShardedKeyStore, n: int,
             await asyncio.gather(*[client(which)
                                    for which in range(concurrency)])
             rate = len(messages) / (time.perf_counter() - started)
-        return rate, latencies
+        return rate, latencies, failed
 
     return asyncio.run(drive())
 
 
 def _net_rate(store: ShardedKeyStore, n: int, messages: list[bytes],
               tenants: int, concurrency: int, window: float,
-              worker_pool=None) -> tuple[float, list[float]]:
+              worker_pool=None, fault_plan: FaultPlan | None = None,
+              tolerate_failures: bool = False
+              ) -> tuple[float, list[float], int]:
     """Over-the-wire throughput: the same request stream, but every
     request is a length-prefixed frame through a real loopback socket
     (one :class:`NetClient` connection per client coroutine)."""
 
-    async def drive() -> tuple[float, list[float]]:
+    async def drive() -> tuple[float, list[float], int]:
         service = SigningService(store, n=n, max_batch=MAX_BATCH,
                                  max_wait=window,
                                  queue_depth=max(4 * MAX_BATCH, 16),
                                  worker_pool=worker_pool)
         latencies: list[float] = []
+        failed = 0
         async with service:
-            server = NetServer(service)
+            server = NetServer(service, fault_plan=fault_plan)
             await server.start("127.0.0.1", 0)
             connections = [
-                await NetClient.connect("127.0.0.1", server.port)
+                await NetClient.connect(
+                    "127.0.0.1", server.port,
+                    # Short enough that a dropped response frame
+                    # retries quickly instead of stalling the row.
+                    request_timeout=1.0 if fault_plan else None)
                 for _ in range(concurrency)]
 
             async def client(which: int) -> None:
+                nonlocal failed
                 net = connections[which]
                 for i in range(which, len(messages), concurrency):
                     submitted = time.perf_counter()
-                    await net.sign(f"tenant-{i % tenants}",
-                                   messages[i])
+                    try:
+                        await net.sign(f"tenant-{i % tenants}",
+                                       messages[i])
+                    except Exception:
+                        if not tolerate_failures:
+                            raise
+                        failed += 1
                     latencies.append(time.perf_counter() - submitted)
 
             try:
@@ -209,13 +249,14 @@ def _net_rate(store: ShardedKeyStore, n: int, messages: list[bytes],
                 for net in connections:
                     await net.close()
                 await server.stop(stop_service=False)
-        return rate, latencies
+        return rate, latencies, failed
 
     return asyncio.run(drive())
 
 
 def run_sweep(n: int = 256, signs: int = 64, tenants: int = TENANTS,
-              quick: bool = False, net: bool = False) -> dict:
+              quick: bool = False, net: bool = False,
+              chaos: bool = False) -> dict:
     if quick:
         n = min(n, 64)
         signs = min(signs, 24)
@@ -228,11 +269,19 @@ def run_sweep(n: int = 256, signs: int = 64, tenants: int = TENANTS,
     }
     service_rows: dict[str, float] = {}
     latency_rows: dict[str, dict] = {}
+    availability_rows: dict[str, dict] = {}
 
-    def record(label: str, outcome: tuple[float, list[float]]) -> None:
-        rate, latencies = outcome
+    def record(label: str,
+               outcome: tuple[float, list[float], int]) -> None:
+        rate, latencies, failed = outcome
         service_rows[label] = rate
         latency_rows[label] = _latency_summary(latencies)
+        availability_rows[label] = {
+            "failed": failed,
+            "availability": round((signs - failed) / signs, 4)
+            if signs else 1.0,
+            "error_rate": round(failed / signs, 4) if signs else 0.0,
+        }
 
     for window in WINDOWS:
         for concurrency in CONCURRENCY:
@@ -266,22 +315,43 @@ def run_sweep(n: int = 256, signs: int = 64, tenants: int = TENANTS,
             record(label, _net_rate(store, n, messages, tenants,
                                     concurrency, window))
 
+    # Chaos rows: the same workloads under the pinned fault plan.
+    # The wire row drops ~5% of response frames (retry + server-side
+    # dedup must recover them); the claims row serves from a store
+    # whose keystore claims fail ~10% of the time (signers are checked
+    # out during serving, not prewarmed, so the faults actually land).
+    if chaos:
+        concurrency, window = (8, WINDOWS[-1]) if quick \
+            else (CONCURRENCY[-1], WINDOWS[-1])
+        record(f"chaos_net_c{concurrency}_w{window * 1000:g}ms",
+               _net_rate(store, n, messages, tenants, concurrency,
+                         window, fault_plan=CHAOS_PLAN,
+                         tolerate_failures=True))
+        chaos_store = _fresh_store(3, n, tenants, prewarm=False,
+                                   fault_plan=CHAOS_PLAN)
+        record(f"chaos_claims_c{concurrency}_w{window * 1000:g}ms",
+               _service_rate(chaos_store, n, messages, tenants,
+                             concurrency, window,
+                             tolerate_failures=True))
+
     def _concurrency_of(label: str) -> int:
-        core = label.split("_")[1] if label.startswith(("mp_", "net_")) \
-            else label.split("_")[0]
+        core = next(part for part in label.split("_")
+                    if part[:1] == "c" and part[1:].isdigit())
         return int(core[1:])
 
     # The acceptance gate: the best coalesced configuration among the
     # in-process concurrency >= 8 rows (coalescing needs enough
     # in-flight requests to fill rounds; the per-concurrency rows are
-    # all in the JSON for readers who want the full curve).
+    # all in the JSON for readers who want the full curve).  Chaos
+    # rows measure survival, not throughput, and stay out of the
+    # gates.
     best_coalesced = max(
         (rate for label, rate in service_rows.items()
-         if not label.startswith(("mp_", "net_"))
+         if not label.startswith(("mp_", "net_", "chaos_"))
          and _concurrency_of(label) >= 8), default=0.0)
     best_inproc = max(
         (rate for label, rate in service_rows.items()
-         if not label.startswith(("mp_", "net_"))), default=0.0)
+         if not label.startswith(("mp_", "net_", "chaos_"))), default=0.0)
     best_mp = max((rate for label, rate in service_rows.items()
                    if label.startswith("mp_")), default=0.0)
     multi_core = (os.cpu_count() or 1) > 1
@@ -300,6 +370,12 @@ def run_sweep(n: int = 256, signs: int = 64, tenants: int = TENANTS,
                              for label, rate in
                              {**rows, **service_rows}.items()},
         "latency": latency_rows,
+        "availability": availability_rows,
+        "chaos": chaos,
+        "chaos_plan": ({"seed": CHAOS_PLAN.seed,
+                        "drop_frame": CHAOS_PLAN.drop_frame,
+                        "fail_claim": CHAOS_PLAN.fail_claim}
+                       if chaos else None),
         "best_coalesced_c_ge_8": round(best_coalesced, 2),
         "coalesced_speedup_vs_sync_loop":
             round(best_coalesced / rows["sync_loop"], 2)
@@ -321,22 +397,36 @@ def run_sweep(n: int = 256, signs: int = 64, tenants: int = TENANTS,
 
 def render_report(payload: dict) -> str:
     latency = payload.get("latency", {})
+    availability = payload.get("availability", {})
     rows = []
     for label, rate in payload["requests_per_sec"].items():
         summary = latency.get(label)
+        avail = availability.get(label)
         rows.append([
             label, f"{rate:,.1f}",
             f"{summary['p50_ms']:,.1f}" if summary else "-",
             f"{summary['p99_ms']:,.1f}" if summary else "-",
+            f"{avail['availability']:.2%}" if avail else "-",
+            f"{avail['error_rate']:.2%}" if avail else "-",
         ])
     table = format_table(
-        ["path", "requests/s", "p50 ms", "p99 ms"], rows,
+        ["path", "requests/s", "p50 ms", "p99 ms", "avail", "errors"],
+        rows,
         title=f"Falcon-{payload['n']} serving throughput "
               f"({payload['signs']} requests, {payload['tenants']} "
               f"tenants, {payload['shards']} shards, c = concurrent "
               "clients, w = batch window, mp = process shard workers, "
-              "net = loopback wire protocol)")
+              "net = loopback wire protocol, chaos = seeded fault "
+              "plan)")
     lines = [table, ""]
+    if payload.get("chaos"):
+        chaos_avail = min(
+            (entry["availability"]
+             for label, entry in availability.items()
+             if label.startswith("chaos_")), default=1.0)
+        lines.append(f"chaos rows: pinned fault plan "
+                     f"{payload['chaos_plan']}, worst availability "
+                     f"{chaos_avail:.2%}")
     if payload["coalesced_speedup_vs_sync_loop"]:
         line = (f"coalesced async (c>=8) = "
                 f"{payload['coalesced_speedup_vs_sync_loop']:.2f}x "
@@ -412,12 +502,17 @@ def main(argv=None) -> int:
     parser.add_argument("--net", action="store_true",
                         help="add over-the-wire rows (loopback "
                              "sockets through the framed protocol)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="add rows measured under the pinned "
+                             "seeded fault plan (dropped frames, "
+                             "failed claims) with availability and "
+                             "error-rate columns")
     parser.add_argument("--no-json", action="store_true",
                         help="skip writing " + JSON_NAME)
     args = parser.parse_args(argv)
     payload = run_sweep(n=args.n, signs=args.signs,
                         tenants=args.tenants, quick=args.quick,
-                        net=args.net)
+                        net=args.net, chaos=args.chaos)
     print(render_report(payload))
     if not args.no_json:
         write_json(payload)

@@ -314,15 +314,21 @@ def _run_service_load(store, *, n: int, tenants: int, clients: int,
                       requests: int, max_batch: int, max_wait: float,
                       queue_depth: int, spine: str,
                       verify_share: int = 0,
-                      worker_pool=None) -> dict:
+                      worker_pool=None,
+                      deadline: float = 0.0,
+                      tolerate_failures: bool = False) -> dict:
     """Drive ``requests`` sign calls (plus optional verifies) from
     ``clients`` concurrent client coroutines through a
     :class:`~repro.falcon.serving.SigningService`; returns rates and
-    the service metrics snapshot."""
+    the service metrics snapshot.  With ``tolerate_failures`` (chaos
+    runs) per-request errors are counted instead of raised, and the
+    returned dict carries availability."""
     import asyncio
     import time
 
     from .falcon.serving import SigningService
+
+    failed = [0]
 
     async def drive() -> dict:
         service = SigningService(store, n=n, max_batch=max_batch,
@@ -331,15 +337,26 @@ def _run_service_load(store, *, n: int, tenants: int, clients: int,
                                  worker_pool=worker_pool)
 
         async def client(which: int) -> None:
+            loop = asyncio.get_running_loop()
             for i in range(which, requests, clients):
                 tenant = f"tenant-{i % tenants}"
                 message = b"serve-%d" % i
-                signature = await service.sign(tenant, message)
-                if verify_share and i % verify_share == 0:
-                    if not await service.verify(tenant, message,
-                                                signature):
-                        raise RuntimeError(
-                            f"verification failed for {tenant}")
+                try:
+                    request_deadline = (loop.time() + deadline
+                                        if deadline else None)
+                    signature = await service.sign(
+                        tenant, message, deadline=request_deadline)
+                    if verify_share and i % verify_share == 0:
+                        if not await service.verify(
+                                tenant, message, signature,
+                                deadline=(loop.time() + deadline
+                                          if deadline else None)):
+                            raise RuntimeError(
+                                f"verification failed for {tenant}")
+                except Exception:
+                    if not tolerate_failures:
+                        raise
+                    failed[0] += 1
 
         async with service:
             started = time.perf_counter()
@@ -350,6 +367,9 @@ def _run_service_load(store, *, n: int, tenants: int, clients: int,
             "elapsed": elapsed,
             "rate": requests / elapsed,
             "metrics": service.metrics.as_dict(),
+            "failed": failed[0],
+            "availability": (requests - failed[0]) / requests
+            if requests else 1.0,
         }
 
     return asyncio.run(drive())
@@ -375,7 +395,9 @@ def _parse_token(text: str) -> tuple[str, bytes]:
 
 def _run_net_load(host: str, port: int, *, tokens, tenants: int,
                   clients: int, requests: int,
-                  verify_share: int = 0) -> dict:
+                  verify_share: int = 0,
+                  deadline: float = 0.0,
+                  tolerate_failures: bool = False) -> dict:
     """Drive ``requests`` sign calls (plus optional verifies) from
     ``clients`` concurrent coroutines over the wire protocol; one
     :class:`~repro.falcon.serving.NetClient` connection per client."""
@@ -384,6 +406,8 @@ def _run_net_load(host: str, port: int, *, tokens, tenants: int,
 
     from .falcon.serving import NetClient
 
+    failed = [0]
+
     async def drive() -> dict:
         connections = [await NetClient.connect(host, port,
                                                tokens=tokens)
@@ -391,15 +415,26 @@ def _run_net_load(host: str, port: int, *, tokens, tenants: int,
 
         async def client(which: int) -> None:
             net = connections[which]
+            loop = asyncio.get_running_loop()
             for i in range(which, requests, clients):
                 tenant = f"tenant-{i % tenants}"
                 message = b"serve-%d" % i
-                signature = await net.sign(tenant, message)
-                if verify_share and i % verify_share == 0:
-                    if not await net.verify(tenant, message,
-                                            signature):
-                        raise RuntimeError(
-                            f"verification failed for {tenant}")
+                try:
+                    request_deadline = (loop.time() + deadline
+                                        if deadline else None)
+                    signature = await net.sign(
+                        tenant, message, deadline=request_deadline)
+                    if verify_share and i % verify_share == 0:
+                        if not await net.verify(
+                                tenant, message, signature,
+                                deadline=(loop.time() + deadline
+                                          if deadline else None)):
+                            raise RuntimeError(
+                                f"verification failed for {tenant}")
+                except Exception:
+                    if not tolerate_failures:
+                        raise
+                    failed[0] += 1
 
         try:
             started = time.perf_counter()
@@ -409,15 +444,40 @@ def _run_net_load(host: str, port: int, *, tokens, tenants: int,
         finally:
             for net in connections:
                 await net.close()
-        return {"elapsed": elapsed, "rate": requests / elapsed}
+        return {
+            "elapsed": elapsed,
+            "rate": requests / elapsed,
+            "failed": failed[0],
+            "availability": (requests - failed[0]) / requests
+            if requests else 1.0,
+        }
 
     return asyncio.run(drive())
+
+
+def _chaos_plan(args: argparse.Namespace):
+    """The seeded fault plan a ``serve --chaos`` run injects."""
+    from .falcon.serving import FaultPlan
+
+    return FaultPlan(
+        seed=args.chaos_seed,
+        kill_worker=args.chaos_kill_rate,
+        drop_frame=args.chaos_drop_rate,
+        fail_claim=args.chaos_claim_rate,
+        fail_refill=args.chaos_refill_rate,
+        max_per_site=args.chaos_max_per_site)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .falcon.serving import ShardedKeyStore, ShardWorkerPool
 
     tokens = dict(args.token) if args.token else None
+    chaos = _chaos_plan(args) if args.chaos else None
+    if chaos is not None:
+        print(f"chaos: seeded fault plan (seed {args.chaos_seed}, "
+              f"kill {chaos.kill_worker}, drop {chaos.drop_frame}, "
+              f"claim-fail {chaos.fail_claim}, "
+              f"refill-fail {chaos.fail_refill})")
 
     if args.connect:
         # Pure client mode: drive a load against a remote server.
@@ -428,10 +488,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         outcome = _run_net_load(
             host, port, tokens=tokens, tenants=args.tenants,
             clients=args.clients, requests=args.requests,
-            verify_share=args.verify_share)
+            verify_share=args.verify_share, deadline=args.deadline,
+            tolerate_failures=chaos is not None)
         print(format_table(
             ["metric", "value"],
             [["requests/s", f"{outcome['rate']:,.1f}"],
+             ["availability", f"{outcome['availability']:.3%}"],
+             ["failed requests", outcome["failed"]],
              ["elapsed", f"{outcome['elapsed']:.3f}s"]],
             title="network client load"))
         return 0
@@ -440,7 +503,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.keystore, shards=args.shards, master_seed=args.seed,
         prng=args.prng, keygen_spine=args.spine,
         low_watermark=args.watermark,
-        refill_target=(2 * args.watermark if args.watermark else None))
+        refill_target=(2 * args.watermark if args.watermark else None),
+        fault_plan=chaos)
     if args.provision:
         print(f"provisioning {args.provision} Falcon-{args.n} keys "
               f"per shard ...")
@@ -450,7 +514,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pool = ShardWorkerPool(
             shards=args.shards, master_seed=args.seed,
             directory=args.keystore, prng=args.prng,
-            keygen_spine=args.spine)
+            keygen_spine=args.spine, fault_plan=chaos)
         pool.start()
         print(f"shard workers: {args.shards} dedicated process(es)")
     print(f"serving Falcon-{args.n}: {args.shards} shard(s), "
@@ -458,14 +522,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"{args.requests} requests ...")
     try:
         if args.listen:
-            outcome = _serve_networked(args, store, pool, tokens)
+            outcome = _serve_networked(args, store, pool, tokens,
+                                       chaos)
         else:
             outcome = _run_service_load(
                 store, n=args.n, tenants=args.tenants,
                 clients=args.clients, requests=args.requests,
                 max_batch=args.max_batch, max_wait=args.max_wait,
                 queue_depth=args.queue_depth, spine="auto",
-                verify_share=args.verify_share, worker_pool=pool)
+                verify_share=args.verify_share, worker_pool=pool,
+                deadline=args.deadline,
+                tolerate_failures=chaos is not None)
     finally:
         if pool is not None:
             pool.stop()
@@ -475,6 +542,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     rows = [
         ["requests/s", f"{outcome['rate']:,.1f}"],
         ["requests", metrics["requests"]],
+        ["availability",
+         f"{outcome.get('availability', 1.0):.3%}"],
+        ["failed requests", outcome.get("failed", 0)],
         ["signed / verified",
          f"{metrics['signed']} / {metrics['verified']}"],
         ["coalesced rounds", metrics["rounds"]],
@@ -492,7 +562,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ]
     if "net" in outcome:
         net = outcome["net"]
-        rows[6:6] = [
+        rows[8:8] = [
             ["listen address", outcome["address"]],
             ["net frames / served",
              f"{net['frames']} / {net['served']}"],
@@ -504,7 +574,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _serve_networked(args: argparse.Namespace, store, pool,
-                     tokens) -> dict:
+                     tokens, chaos=None) -> dict:
     """Run the wire-protocol server and drive the demo load over a
     real socket (loopback clients of our own server), then drain."""
     import asyncio
@@ -513,6 +583,8 @@ def _serve_networked(args: argparse.Namespace, store, pool,
     from .falcon.serving import NetClient, NetServer, SigningService
 
     host, port = args.listen
+    tolerate = chaos is not None
+    deadline = args.deadline
 
     async def drive() -> dict:
         service = SigningService(
@@ -521,7 +593,8 @@ def _serve_networked(args: argparse.Namespace, store, pool,
             worker_pool=pool)
         async with service:
             server = NetServer(service, tokens=tokens,
-                               rate_limit=args.rate_limit or None)
+                               rate_limit=args.rate_limit or None,
+                               fault_plan=chaos)
             await server.start(host, port)
             address = f"{host}:{server.port}"
             print(f"listening on {address}")
@@ -540,24 +613,40 @@ def _serve_networked(args: argparse.Namespace, store, pool,
                     "metrics": service.metrics.as_dict(),
                     "net": server.metrics.as_dict(),
                     "address": address,
+                    "failed": 0,
+                    "availability": 1.0,
                 }
             connections = [
                 await NetClient.connect(host, server.port,
                                         tokens=tokens)
                 for _ in range(args.clients)]
 
+            loop = asyncio.get_running_loop()
+            failed = [0]
+
             async def client(which: int) -> None:
                 net = connections[which]
                 for i in range(which, args.requests, args.clients):
                     tenant = f"tenant-{i % args.tenants}"
                     message = b"serve-%d" % i
-                    signature = await net.sign(tenant, message)
-                    if args.verify_share and \
-                            i % args.verify_share == 0:
-                        if not await net.verify(tenant, message,
-                                                signature):
-                            raise RuntimeError(
-                                f"verification failed for {tenant}")
+                    try:
+                        signature = await net.sign(
+                            tenant, message,
+                            deadline=(loop.time() + deadline
+                                      if deadline else None))
+                        if args.verify_share and \
+                                i % args.verify_share == 0:
+                            if not await net.verify(
+                                    tenant, message, signature,
+                                    deadline=(loop.time() + deadline
+                                              if deadline else None)):
+                                raise RuntimeError(
+                                    f"verification failed for "
+                                    f"{tenant}")
+                    except Exception:
+                        if not tolerate:
+                            raise
+                        failed[0] += 1
 
             try:
                 started = time.perf_counter()
@@ -574,6 +663,10 @@ def _serve_networked(args: argparse.Namespace, store, pool,
                 "metrics": service.metrics.as_dict(),
                 "net": server.metrics.as_dict(),
                 "address": address,
+                "failed": failed[0],
+                "availability": ((args.requests - failed[0])
+                                 / args.requests
+                                 if args.requests else 1.0),
             }
 
     return asyncio.run(drive())
@@ -778,6 +871,30 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--rate-limit", type=float, default=0.0,
                        help="per-tenant token-bucket rate limit in "
                             "frames/s (0 disables)")
+    run_p.add_argument("--deadline", type=float, default=0.0,
+                       help="per-request deadline in seconds "
+                            "(0 disables; expired requests fail with "
+                            "DeadlineExceeded)")
+    run_p.add_argument("--chaos", action="store_true",
+                       help="inject a seeded fault plan (worker "
+                            "kills, dropped frames, failed claims "
+                            "and refills) and report availability "
+                            "under it")
+    run_p.add_argument("--chaos-seed", type=int, default=7,
+                       help="fault-plan seed (same seed, same "
+                            "faults)")
+    run_p.add_argument("--chaos-kill-rate", type=float, default=0.02,
+                       help="per-round worker SIGKILL probability")
+    run_p.add_argument("--chaos-drop-rate", type=float, default=0.05,
+                       help="per-frame drop probability at the wire")
+    run_p.add_argument("--chaos-claim-rate", type=float, default=0.02,
+                       help="per-claim keystore failure probability")
+    run_p.add_argument("--chaos-refill-rate", type=float,
+                       default=0.25,
+                       help="per-refill background failure "
+                            "probability")
+    run_p.add_argument("--chaos-max-per-site", type=int, default=0,
+                       help="cap faults per site (0 = unlimited)")
     _add_prng_option(run_p)
     run_p.set_defaults(func=_cmd_serve)
     return parser

@@ -3,6 +3,7 @@
 from .coalesce import (
     CoalesceAuditResult,
     audit_coalescing,
+    failure_frame_shape_trace,
     frame_shape_trace,
     round_shape_trace,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "CROP_PERCENTILES",
     "CoalesceAuditResult",
     "audit_coalescing",
+    "failure_frame_shape_trace",
     "frame_shape_trace",
     "round_shape_trace",
     "DudectReport",

@@ -109,6 +109,54 @@ def frame_shape_trace(arrivals: Sequence[tuple[str, str]],
     return trace
 
 
+def failure_frame_shape_trace(arrivals: Sequence[tuple[str, str]],
+                              messages: Sequence[bytes]) -> list[float]:
+    """The shape trace of the FAILURE path: error-response frames.
+
+    Recovery paths are observable channels too (the GALACTICS lesson
+    applied to operations): when a round fails, the server answers
+    with an error frame whose detail is the exception *class name
+    only* — never ``str(error)``, which can embed message-derived
+    state.  This trace encodes the error frame each arrival would earn
+    under every failure code the server can speak, with the canonical
+    class-name details the failure paths produce, and flattens the
+    observable shapes.  Two classes differing only in secret message
+    bytes must produce bit-identical failure-frame shape traces.
+    """
+    from ..falcon.serving.net import (
+        ERR_AUTH,
+        ERR_DRAINING,
+        ERR_RATE_LIMITED,
+        ERR_ROUND_FAILED,
+        FRAME_ERROR,
+        encode_frame,
+        frame_shape,
+    )
+
+    assert len(arrivals) == len(messages)
+    # (code, detail) pairs as the server's failure paths emit them:
+    # operational refusals carry no detail; a failed round carries the
+    # exception class name (a function of the failure class, not of
+    # the request content).
+    failures = [
+        (ERR_AUTH, ""),
+        (ERR_RATE_LIMITED, ""),
+        (ERR_DRAINING, ""),
+        (ERR_ROUND_FAILED, "ShardWorkerError"),
+        (ERR_ROUND_FAILED, "ServingUnavailable"),
+        (ERR_ROUND_FAILED, "InjectedFault"),
+    ]
+    trace: list[float] = []
+    for req_id, (_arrival, _message) in enumerate(zip(arrivals,
+                                                      messages)):
+        code, detail = failures[req_id % len(failures)]
+        payload = code.to_bytes(2, "big") + detail.encode()
+        frame = encode_frame(FRAME_ERROR, req_id, b"", b"", payload)
+        trace.extend(float(value) for value in frame_shape(frame))
+        trace.append(float(len(frame)))
+    return trace
+
+
 @dataclass(frozen=True)
 class CoalesceAuditResult:
     """Outcome of the two-class batch-composition audit."""
@@ -116,11 +164,13 @@ class CoalesceAuditResult:
     report: DudectReport
     shapes_identical: bool
     frame_shapes_identical: bool = True
+    failure_shapes_identical: bool = True
 
     @property
     def leaking(self) -> bool:
         return (self.report.leaking or not self.shapes_identical
-                or not self.frame_shapes_identical)
+                or not self.frame_shapes_identical
+                or not self.failure_shapes_identical)
 
 
 def audit_coalescing(tenants: int = 3, requests: int = 64,
@@ -144,6 +194,7 @@ def audit_coalescing(tenants: int = 3, requests: int = 64,
                 for i in range(requests)]
     round_traces = []
     frame_traces = []
+    failure_traces = []
     for secret in (False, True):
         messages = _class_messages(b"class", requests, secret)
         # A live worker drains in windows; replay the same windowing
@@ -156,11 +207,15 @@ def audit_coalescing(tenants: int = 3, requests: int = 64,
                                            max_batch))
         round_traces.append(trace)
         frame_traces.append(frame_shape_trace(arrivals, messages, n=n))
+        failure_traces.append(failure_frame_shape_trace(arrivals,
+                                                        messages))
     report = two_class_report(
         "serving-coalescer", "round+frame-shape",
-        round_traces[0] + frame_traces[0],
-        round_traces[1] + frame_traces[1])
+        round_traces[0] + frame_traces[0] + failure_traces[0],
+        round_traces[1] + frame_traces[1] + failure_traces[1])
     return CoalesceAuditResult(
         report=report,
         shapes_identical=round_traces[0] == round_traces[1],
-        frame_shapes_identical=frame_traces[0] == frame_traces[1])
+        frame_shapes_identical=frame_traces[0] == frame_traces[1],
+        failure_shapes_identical=(failure_traces[0]
+                                  == failure_traces[1]))

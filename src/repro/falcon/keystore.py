@@ -88,6 +88,18 @@ _STATE_FILE = "keystore-state.json"
 #: processes (and across store instances within one process).
 _LOCK_FILE = "keystore.lock"
 
+#: Claim journal: one JSON line per claim transition (``claimed`` when
+#: a slot's key file is renamed to its claim scratch, ``served`` once
+#: the material has been read into the claimant's memory).  A crash
+#: between rename and serve leaves a ``claimed`` entry whose scratch
+#: still exists — restart recovery rolls it BACK into the pool (the
+#: caller never saw the key, so the slot is still the store's to
+#: serve).  A crash between serve and unlink leaves a ``served`` entry
+#: — recovery rolls it FORWARD (unlinks the scratch; re-pooling it
+#: would double-serve the slot).  Either way no slot is double-served
+#: or leaked.
+_JOURNAL_FILE = "keystore-claims.jsonl"
+
 #: Claim scratch files older than this are crash leftovers (a live
 #: claim exists for milliseconds between rename and unlink) and are
 #: swept at store construction — secret key material must not linger
@@ -183,6 +195,17 @@ class KeyStoreStats:
     retired: int = 0
     last_refill_seconds: float = 0.0
     total_refill_seconds: float = 0.0
+    #: Background refill passes that raised (the exception is recorded
+    #: in ``last_refill_error``, the watermark trigger re-armed, and
+    #: the next below-watermark checkout tries again — a refill death
+    #: is never silent and never permanent).
+    refill_errors: int = 0
+    last_refill_error: str = ""
+    #: Claim-journal recovery outcomes at store construction: slots
+    #: rolled back into the pool (crash before serve) and scratches
+    #: rolled forward (crash after serve, before unlink).
+    claims_recovered: int = 0
+    claims_rolled_forward: int = 0
     available: dict[int, int] = field(default_factory=dict)
     generation: dict[int, int] = field(default_factory=dict)
 
@@ -197,6 +220,10 @@ class KeyStoreStats:
             "retired": self.retired,
             "last_refill_seconds": round(self.last_refill_seconds, 6),
             "total_refill_seconds": round(self.total_refill_seconds, 6),
+            "refill_errors": self.refill_errors,
+            "last_refill_error": self.last_refill_error,
+            "claims_recovered": self.claims_recovered,
+            "claims_rolled_forward": self.claims_rolled_forward,
             "available": {str(n): depth
                           for n, depth in self.available.items()},
             "generation": {str(n): generation
@@ -261,8 +288,8 @@ class KeyStore:
                  low_watermark: int = 0,
                  refill_target: int | None = None,
                  refill_async: bool = True,
-                 stale_claim_seconds: float = _STALE_CLAIM_SECONDS
-                 ) -> None:
+                 stale_claim_seconds: float = _STALE_CLAIM_SECONDS,
+                 fault_plan=None) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if low_watermark < 0:
@@ -282,6 +309,12 @@ class KeyStore:
                               else 2 * low_watermark)
         self.refill_async = refill_async
         self.stale_claim_seconds = stale_claim_seconds
+        # Fault injection (duck-typed: anything with an ``injector()``
+        # returning claim_action/refill_should_fail/refill_stall/error
+        # — in practice a serving.faults.FaultPlan; the keystore never
+        # imports the serving package, avoiding an import cycle).
+        self._faults = (fault_plan.injector()
+                        if fault_plan is not None else None)
         self._executor = None  # lazy, persistent (warm workers)
         self._executor_guard = threading.Lock()
         self._pools: dict[int, deque[_PoolEntry]] = {}
@@ -384,6 +417,84 @@ class KeyStore:
         atomic_write_bytes(self.directory / _STATE_FILE,
                            json.dumps(payload, indent=1).encode())
 
+    def _journal_append(self, record: dict) -> None:
+        """Append one claim transition to the journal (no-op for
+        memory-only stores).  One short JSON line per append — small
+        enough that concurrent appenders' lines never interleave."""
+        if self.directory is None:
+            return
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with open(self.directory / _JOURNAL_FILE, "a",
+                  encoding="utf-8") as handle:
+            handle.write(line)
+
+    def _recover_journal(self) -> None:
+        """Resolve claims a crashed claimant left behind (called at
+        construction, under the manifest lock).
+
+        Per journaled scratch, the LAST recorded state wins:
+
+        * ``served`` + scratch still on disk → the key reached its
+          caller; crash happened before the unlink.  Roll FORWARD:
+          unlink the scratch (re-pooling would double-serve).
+        * ``claimed`` + scratch on disk and *stale* → crash between
+          rename and serve; the caller never saw the key.  Roll BACK:
+          rename the scratch to its original slot name so the
+          adoption pass re-pools it (no slot leaked).  Fresh scratches
+          are live claims in another process and are left alone (same
+          age rule, same clamped-at-zero skew handling, as the
+          journal-less sweep).
+        * scratch gone → the claim resolved itself; drop the entry.
+
+        The journal is compacted afterwards: only still-live claims
+        keep their entries.
+        """
+        journal_path = self.directory / _JOURNAL_FILE
+        if not journal_path.exists():
+            return
+        states: dict[str, dict] = {}
+        for line in journal_path.read_text(
+                encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn final write at crash: ignore
+            scratch_name = record.get("scratch")
+            if scratch_name:
+                states[scratch_name] = record
+        keep: list[dict] = []
+        for scratch_name, record in states.items():
+            scratch = self.directory / scratch_name
+            if not scratch.exists():
+                continue
+            if record.get("state") == "served":
+                scratch.unlink(missing_ok=True)
+                self._stats.claims_rolled_forward += 1
+                continue
+            slot_name = record.get("slot")
+            if not slot_name:  # pragma: no cover - malformed entry
+                keep.append(record)
+                continue
+            try:
+                age = max(0.0, time.time() - scratch.stat().st_mtime)
+            except OSError:  # pragma: no cover - claimant finished
+                continue
+            if age <= self.stale_claim_seconds:
+                keep.append(record)  # live claim elsewhere: hands off
+                continue
+            slot = self.directory / slot_name
+            if slot.exists():  # pragma: no cover - duplicate material
+                scratch.unlink(missing_ok=True)
+            else:
+                scratch.rename(slot)
+                self._stats.claims_recovered += 1
+        payload = "".join(json.dumps(record, separators=(",", ":"))
+                          + "\n" for record in keep)
+        atomic_write_bytes(journal_path, payload.encode())
+
     def _index_directory(self) -> None:
         """Adopt keys already persisted under ``directory``.
 
@@ -392,11 +503,15 @@ class KeyStore:
         burned — the manifest's next-index is already past them).
         Live files clamp the next-slot counters up, so even a store
         whose manifest was deleted never re-issues a slot that still
-        has a key file.  Stale ``.claim-*`` scratch files — a claimant
-        crashed between its rename and unlink — are swept so secret
-        key material never lingers; fresh claims (a live checkout in
-        another process) are left alone.
+        has a key file.  Journaled claims are recovered first (rolled
+        forward or back — see :meth:`_recover_journal`); stale
+        ``.claim-*`` scratch files with no journal entry — a claimant
+        crashed between its rename and unlink before the journal
+        existed — are swept so secret key material never lingers;
+        fresh claims (a live checkout in another process) are left
+        alone.
         """
+        self._recover_journal()
         for scratch in self.directory.glob(
                 "falcon_n*" + SECRET_KEY_SUFFIX + ".claim-*"):
             try:
@@ -547,8 +662,21 @@ class KeyStore:
         replaces silently, so two claimants must never target the same
         scratch path.  A purely in-memory entry is exclusively ours
         already.
+
+        Every transition is journaled (``claimed`` after the rename,
+        ``served`` once the bytes are in memory), so a crash anywhere
+        in between is recoverable at the next construction — rolled
+        back into the pool if the caller never saw the key, rolled
+        forward (scratch unlinked) if it did.
         """
+        fault = (self._faults.claim_action()
+                 if self._faults is not None else None)
+        if fault == "fail":
+            raise self._faults.error("injected claim failure")
         if entry.path is None:
+            if fault == "crash":
+                raise self._faults.error(
+                    "injected claim crash (memory entry)")
             return entry.encoded
         import os
         from uuid import uuid4
@@ -559,11 +687,19 @@ class KeyStore:
             entry.path.rename(claim)
         except FileNotFoundError:
             return None  # another store instance checked this slot out
-        try:
-            return entry.encoded if entry.encoded is not None \
-                else claim.read_bytes()
-        finally:
-            claim.unlink(missing_ok=True)
+        self._journal_append({"state": "claimed", "scratch": claim.name,
+                              "slot": entry.path.name})
+        if fault == "crash":
+            # Simulate dying between claim-rename and serve: the
+            # scratch file and its "claimed" journal entry stay on
+            # disk for the next construction to roll back.
+            raise self._faults.error(
+                "injected crash between claim and serve")
+        encoded = entry.encoded if entry.encoded is not None \
+            else claim.read_bytes()
+        self._journal_append({"state": "served", "scratch": claim.name})
+        claim.unlink(missing_ok=True)
+        return encoded
 
     def _pop_claimed(self, n: int) -> bytes:
         """Pop pool entries until one is exclusively claimed,
@@ -637,6 +773,13 @@ class KeyStore:
 
         def refill() -> None:
             try:
+                if self._faults is not None:
+                    stall = self._faults.refill_stall()
+                    if stall > 0:
+                        time.sleep(stall)
+                    if self._faults.refill_should_fail():
+                        raise self._faults.error(
+                            "injected refill failure")
                 deficit = self.refill_target - self.available(n)
                 if deficit > 0:
                     started = time.perf_counter()
@@ -646,6 +789,19 @@ class KeyStore:
                         self._stats.refills += 1
                         self._stats.last_refill_seconds = elapsed
                         self._stats.total_refill_seconds += elapsed
+                with self._lock:
+                    self._stats.last_refill_error = ""
+            except BaseException as error:
+                # A refill death is NEVER silent: record it where
+                # stats() and as_dict() surface it.  The finally
+                # below re-arms the watermark trigger either way, so
+                # the next below-watermark checkout retries.
+                with self._lock:
+                    self._stats.refill_errors += 1
+                    self._stats.last_refill_error = (
+                        f"{type(error).__name__}: {error}")
+                if not self.refill_async:
+                    raise
             finally:
                 with self._lock:
                     self._refilling.discard(n)
@@ -778,6 +934,10 @@ class KeyStore:
                 retired=self._stats.retired,
                 last_refill_seconds=self._stats.last_refill_seconds,
                 total_refill_seconds=self._stats.total_refill_seconds,
+                refill_errors=self._stats.refill_errors,
+                last_refill_error=self._stats.last_refill_error,
+                claims_recovered=self._stats.claims_recovered,
+                claims_rolled_forward=self._stats.claims_rolled_forward,
                 available={n: len(pool)
                            for n, pool in self._pools.items() if pool},
                 generation=dict(self._generation))

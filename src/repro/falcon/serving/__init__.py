@@ -24,18 +24,32 @@ Round composition is a pure function of arrival *metadata* — see
 :func:`plan_rounds` — and wire-frame shapes are a pure function of
 request metadata, never of message or key contents; the dudect-style
 two-class check over both lives in :mod:`repro.ct.coalesce`.
+
+The failure story is first-class: :class:`FaultPlan` injects seeded,
+reproducible faults (worker kills, dropped/truncated/delayed frames,
+failed claims, stalled refills) and the plane survives them — worker
+supervision with bounded restarts (:class:`ShardWorkerPool`), per-shard
+circuit breakers shedding to ring neighbours (:class:`CircuitBreaker`),
+deadline propagation and retry-with-dedup on the wire
+(:class:`RetryPolicy`, :class:`NetClient`), and a crash-safe claim
+journal in the keystore.  :class:`ServingUnavailable` /
+:class:`DeadlineExceeded` are the two errors every layer speaks.
 """
 
+from .errors import DeadlineExceeded, ServingUnavailable
+from .faults import FaultInjector, FaultPlan, FaultStats, InjectedFault
 from .net import (
     FrameError,
     NetClient,
     NetServer,
+    RetryPolicy,
     TokenBucket,
     encode_request_frame,
     frame_shape,
 )
 from .sharded import ConsistentHashRing, ShardedKeyStore, derive_shard_seed
 from .service import (
+    CircuitBreaker,
     RoundPlan,
     ServiceMetrics,
     SigningService,
@@ -44,12 +58,20 @@ from .service import (
 from .workers import ShardWorkerError, ShardWorkerPool
 
 __all__ = [
+    "CircuitBreaker",
     "ConsistentHashRing",
+    "DeadlineExceeded",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
     "FrameError",
+    "InjectedFault",
     "NetClient",
     "NetServer",
+    "RetryPolicy",
     "RoundPlan",
     "ServiceMetrics",
+    "ServingUnavailable",
     "ShardWorkerError",
     "ShardWorkerPool",
     "ShardedKeyStore",

@@ -1,0 +1,35 @@
+"""Failure vocabulary of the serving plane.
+
+Recovery code is only as good as the error types it can branch on.
+Two conditions recur at every layer of the plane — the keystore, the
+coalescing service, the worker pool, the wire — and both get one
+canonical type here so callers (and tests) can catch them without
+knowing which layer failed:
+
+* :class:`ServingUnavailable` — the request could not be served *right
+  now*: a dead connection, a timed-out round-trip, a shard whose
+  circuit breaker is open, a worker pool past its restart budget.  It
+  subclasses :class:`ConnectionError` so pre-existing callers that
+  caught connection loss keep working, and it is the signal the
+  retry-with-backoff path treats as retryable.
+* :class:`DeadlineExceeded` — the caller's deadline passed before a
+  result existed.  Subclasses :class:`TimeoutError`; never retried
+  (the budget is spent by definition).
+"""
+
+from __future__ import annotations
+
+
+class ServingUnavailable(ConnectionError):
+    """The serving plane cannot take (or finish) this request now.
+
+    Raised for dead peers, request timeouts, exhausted worker restart
+    budgets and open circuit breakers.  Retryable by policy.
+    """
+
+
+class DeadlineExceeded(TimeoutError):
+    """The caller's deadline passed before the request completed.
+
+    Not retryable: the time budget the deadline expressed is gone.
+    """

@@ -50,13 +50,16 @@ shapes alongside round shapes in its two-class dudect pass.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import hmac
 import struct
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..scheme import Signature
 from ..serialize import SerializeError, decode_signature, encode_signature
+from .errors import DeadlineExceeded, ServingUnavailable
 
 MAGIC = b"FLCN"
 VERSION = 1
@@ -173,6 +176,34 @@ def decode_verify_payload(payload: bytes) -> tuple[Signature, int, bytes]:
     return signature, n, payload[4 + sig_len:]
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential retry backoff, deterministic under a seed.
+
+    ``delay(attempt, token)`` grows ``backoff * multiplier**attempt``
+    and spreads it by ±``jitter`` (a fraction of the base), with the
+    jitter drawn from SHA-256 over ``(seed, token, attempt)`` — so two
+    clients retrying the same outage de-synchronize (no thundering
+    herd) yet every run of the chaos suite sleeps the same schedule.
+    """
+
+    attempts: int = 3
+    backoff: float = 0.05
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        base = self.backoff * self.multiplier ** attempt
+        if self.jitter <= 0.0:
+            return base
+        material = b"falcon-retry|%d|%s|%d" % (
+            self.seed, token.encode("utf-8"), attempt)
+        draw = int.from_bytes(
+            hashlib.sha256(material).digest()[:8], "big") / 2.0**64
+        return base * (1.0 + self.jitter * (2.0 * draw - 1.0))
+
+
 class TokenBucket:
     """Per-tenant rate limiter: ``rate`` tokens/s, ``burst`` capacity.
 
@@ -207,6 +238,9 @@ class NetServerMetrics:
     connections: int = 0
     frames: int = 0
     served: int = 0
+    #: Sign requests answered from the req_id dedup cache (a retry of
+    #: a request whose response was lost on the wire).
+    deduped: int = 0
     rejected: dict[str, int] = field(default_factory=dict)
 
     def reject(self, code: int) -> None:
@@ -218,6 +252,7 @@ class NetServerMetrics:
             "connections": self.connections,
             "frames": self.frames,
             "served": self.served,
+            "deduped": self.deduped,
             "rejected": dict(self.rejected),
         }
 
@@ -251,7 +286,9 @@ class NetServer:
                  rate_limit: float | None = None,
                  burst: float | None = None,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
-                 clock=time.monotonic) -> None:
+                 clock=time.monotonic,
+                 fault_plan=None,
+                 dedup_cache: int = 1024) -> None:
         if max_frame_bytes < HEADER_BYTES:
             raise ValueError("max_frame_bytes too small to frame")
         if burst is not None and rate_limit is None:
@@ -271,6 +308,18 @@ class NetServer:
         self._draining = False
         self._inflight: set[asyncio.Task] = set()
         self._connections: set[asyncio.StreamWriter] = set()
+        # Wire-level fault injection (outbound frames only — the
+        # request path is the client's to break).
+        self._faults = (fault_plan.injector()
+                        if fault_plan is not None else None)
+        # req_id dedup: what makes sign retries safe.  A retried sign
+        # whose first attempt DID execute (the response frame was
+        # lost) replays the cached response bytes instead of signing
+        # again — exactly-once effect over an at-least-once wire.
+        # Keyed by (tenant, req_id, payload hash) so one client's
+        # req_ids cannot collide with another's for different work.
+        self._dedup_cap = dedup_cache
+        self._dedup: OrderedDict = OrderedDict()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -316,6 +365,23 @@ class NetServer:
 
     async def _send(self, writer: asyncio.StreamWriter,
                     lock: asyncio.Lock, frame: bytes) -> None:
+        if self._faults is not None:
+            action = self._faults.frame_action()
+            if action == "drop":
+                return  # the response vanishes on the wire
+            if action == "truncate":
+                # Half a frame, then cut the connection: the client
+                # must treat the stream as unframed from here on.
+                async with lock:
+                    writer.write(frame[:max(1, len(frame) // 2)])
+                    try:
+                        await writer.drain()
+                    except ConnectionError:
+                        pass
+                    writer.close()
+                return
+            if isinstance(action, tuple):  # ("delay", seconds)
+                await asyncio.sleep(action[1])
         async with lock:
             writer.write(frame)
             await writer.drain()
@@ -421,12 +487,31 @@ class NetServer:
         and send its response frame.  Any failure answers with an
         error frame — a poison request never takes the connection
         (let alone the server) down with it."""
+        dedup_key = None
+        if kind == FRAME_SIGN and self._dedup_cap > 0:
+            dedup_key = (tenant, req_id,
+                         hashlib.sha256(payload).digest()[:8])
+            cached = self._dedup.get(dedup_key)
+            if cached is not None:
+                # A retry of work already done: replay the exact
+                # response bytes, sign nothing twice.
+                self._dedup.move_to_end(dedup_key)
+                self.metrics.deduped += 1
+                await self._send(writer, lock, cached)
+                self.metrics.served += 1
+                return
         try:
             if kind == FRAME_SIGN:
                 signature = await self.service.sign(tenant, payload)
                 response = encode_frame(
                     FRAME_SIGN_OK, req_id, b"", b"",
                     encode_signature(signature, self.service.n))
+                if dedup_key is not None:
+                    # Cache BEFORE sending: a response lost on the
+                    # wire must still be replayable.
+                    self._dedup[dedup_key] = response
+                    while len(self._dedup) > self._dedup_cap:
+                        self._dedup.popitem(last=False)
             else:
                 signature, _n, message = decode_verify_payload(payload)
                 verdict = await self.service.verify(tenant, message,
@@ -442,8 +527,14 @@ class NetServer:
         except ConnectionError:  # peer vanished awaiting the round
             pass
         except Exception as error:
+            # The detail is the exception CLASS only: failure-path
+            # frames must not vary with request content (str(error)
+            # can embed message-derived state), so error frames stay
+            # a pure function of the failure class — audited in
+            # repro.ct.coalesce alongside the success shapes.
             await self._send_error(writer, lock, req_id,
-                                   ERR_ROUND_FAILED, repr(error))
+                                   ERR_ROUND_FAILED,
+                                   type(error).__name__)
 
 
 class NetClient:
@@ -461,26 +552,68 @@ class NetClient:
 
     Server-side refusals raise :class:`FrameError` with the wire code
     (``auth-failed``, ``rate-limited``, ``draining``, ...); a dropped
-    connection fails every pending request with ``ConnectionError``.
+    connection fails every pending request with
+    :class:`ServingUnavailable` (a ``ConnectionError``) — a client
+    never hangs on a dead peer.
+
+    **Timeouts and retries.**  ``connect_timeout`` bounds dialing,
+    ``request_timeout`` bounds each round-trip; on transport failure
+    (connection lost, truncated stream, timeout) the client reconnects
+    and retries under ``retry`` (a :class:`RetryPolicy`; attempts=1
+    disables).  Retries reuse the SAME req_id, so a sign whose first
+    attempt executed — only the response was lost — is answered from
+    the server's dedup cache, never signed twice.  Every ``sign`` /
+    ``verify`` takes ``deadline=`` (absolute event-loop time): the
+    call raises :class:`DeadlineExceeded` rather than outlive it.
     """
 
     def __init__(self, reader: asyncio.StreamReader,
                  writer: asyncio.StreamWriter, *,
-                 tokens: dict[str, bytes] | None = None) -> None:
+                 tokens: dict[str, bytes] | None = None,
+                 host: str | None = None,
+                 port: int | None = None,
+                 connect_timeout: float = 5.0,
+                 request_timeout: float | None = None,
+                 retry: RetryPolicy | None = None) -> None:
         self._reader = reader
         self._writer = writer
         self._tokens = dict(tokens) if tokens else {}
+        self._host = host
+        self._port = port
+        self._connect_timeout = connect_timeout
+        self._request_timeout = request_timeout
+        self._retry = retry if retry is not None else RetryPolicy()
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._write_lock = asyncio.Lock()
+        self._closed = False
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
     async def connect(cls, host: str, port: int, *,
-                      tokens: dict[str, bytes] | None = None
+                      tokens: dict[str, bytes] | None = None,
+                      connect_timeout: float = 5.0,
+                      request_timeout: float | None = None,
+                      retry: RetryPolicy | None = None
                       ) -> "NetClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, tokens=tokens)
+        reader, writer = await cls._dial(host, port, connect_timeout)
+        return cls(reader, writer, tokens=tokens, host=host,
+                   port=port, connect_timeout=connect_timeout,
+                   request_timeout=request_timeout, retry=retry)
+
+    @staticmethod
+    async def _dial(host: str, port: int, timeout: float):
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout)
+        except asyncio.TimeoutError:
+            raise ServingUnavailable(
+                f"connect to {host}:{port} timed out after "
+                f"{timeout}s") from None
+        except OSError as error:
+            raise ServingUnavailable(
+                f"cannot connect to {host}:{port}: {error}"
+            ) from error
 
     async def __aenter__(self) -> "NetClient":
         return self
@@ -489,13 +622,14 @@ class NetClient:
         await self.close()
 
     async def close(self) -> None:
+        self._closed = True
         self._reader_task.cancel()
         try:
             await self._reader_task
         except (asyncio.CancelledError, Exception):
             pass
         self._writer.close()
-        self._fail_pending(ConnectionError("client closed"))
+        self._fail_pending(ServingUnavailable("client closed"))
 
     def _fail_pending(self, error: Exception) -> None:
         pending, self._pending = self._pending, {}
@@ -503,7 +637,28 @@ class NetClient:
             if not future.done():
                 future.set_exception(error)
 
+    async def _ensure_connected(self) -> None:
+        """Reconnect after a transport failure (retry support).
+
+        Only clients built through :meth:`connect` know their
+        endpoint; a raw reader/writer pair cannot be re-dialed and
+        stays failed.
+        """
+        if self._closed:
+            raise ServingUnavailable("client closed")
+        if not self._writer.is_closing():
+            return
+        if self._host is None or self._port is None:
+            raise ServingUnavailable(
+                "connection lost (no endpoint to reconnect)")
+        reader, writer = await self._dial(self._host, self._port,
+                                          self._connect_timeout)
+        self._reader = reader
+        self._writer = writer
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
     async def _read_loop(self) -> None:
+        writer = self._writer
         try:
             while True:
                 header = await self._reader.readexactly(HEADER_BYTES)
@@ -530,37 +685,96 @@ class NetClient:
                     future.set_exception(FrameError(
                         ERR_BAD_FRAME, f"response kind 0x{kind:02x}"))
         except (asyncio.IncompleteReadError, ConnectionError,
-                asyncio.CancelledError):
-            self._fail_pending(ConnectionError("connection lost"))
+                asyncio.CancelledError, FrameError):
+            writer.close()
+            self._fail_pending(ServingUnavailable("connection lost"))
         except Exception as error:  # pragma: no cover - defensive
+            writer.close()
             self._fail_pending(error)
 
-    async def _request(self, kind: int, tenant: str,
-                       payload: bytes):
-        req_id = self._next_id
-        self._next_id = (self._next_id + 1) & 0xFFFFFFFF
-        future = asyncio.get_running_loop().create_future()
+    async def _attempt(self, kind: int, req_id: int, tenant: str,
+                       payload: bytes, deadline: float | None):
+        """One request round-trip, bounded by the request timeout and
+        the caller's deadline.  Transport failures surface as
+        :class:`ServingUnavailable` (retryable); a passed deadline as
+        :class:`DeadlineExceeded` (not)."""
+        loop = asyncio.get_running_loop()
+        await self._ensure_connected()
+        future = loop.create_future()
         self._pending[req_id] = future
         token = self._tokens.get(tenant, b"")
         frame = encode_request_frame(kind, req_id, tenant, token,
                                      payload)
-        async with self._write_lock:
-            self._writer.write(frame)
-            await self._writer.drain()
-        return await future
+        try:
+            async with self._write_lock:
+                self._writer.write(frame)
+                await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            self._pending.pop(req_id, None)
+            raise ServingUnavailable(
+                f"connection lost sending request: {error}"
+            ) from error
+        timeout = self._request_timeout
+        if deadline is not None:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                self._pending.pop(req_id, None)
+                raise DeadlineExceeded("deadline passed")
+            timeout = (remaining if timeout is None
+                       else min(timeout, remaining))
+        if timeout is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(req_id, None)
+            if deadline is not None and loop.time() >= deadline:
+                raise DeadlineExceeded(
+                    "deadline passed awaiting response") from None
+            raise ServingUnavailable(
+                f"request timed out after {timeout:.3f}s") from None
 
-    async def sign(self, tenant: str, message: bytes) -> Signature:
+    async def _request(self, kind: int, tenant: str, payload: bytes,
+                       deadline: float | None = None):
+        req_id = self._next_id
+        self._next_id = (self._next_id + 1) & 0xFFFFFFFF
+        loop = asyncio.get_running_loop()
+        attempts = max(1, self._retry.attempts)
+        for attempt in range(attempts):
+            try:
+                return await self._attempt(kind, req_id, tenant,
+                                           payload, deadline)
+            except ServingUnavailable:
+                # Transport failure: retrying is safe — verify is
+                # idempotent and sign replays the SAME req_id, which
+                # the server's dedup cache answers without signing
+                # twice.  Server-spoken refusals (FrameError) and
+                # passed deadlines are NOT retried.
+                if attempt + 1 >= attempts:
+                    raise
+                delay = self._retry.delay(attempt,
+                                          token=f"{tenant}|{req_id}")
+                if (deadline is not None
+                        and loop.time() + delay >= deadline):
+                    raise
+                await asyncio.sleep(delay)
+
+    async def sign(self, tenant: str, message: bytes, *,
+                   deadline: float | None = None) -> Signature:
         """Sign ``message`` under ``tenant``'s key, over the wire."""
-        return await self._request(FRAME_SIGN, tenant, message)
+        return await self._request(FRAME_SIGN, tenant, message,
+                                   deadline)
 
     async def verify(self, tenant: str, message: bytes,
-                     signature: Signature, n: int | None = None) -> bool:
+                     signature: Signature, n: int | None = None, *,
+                     deadline: float | None = None) -> bool:
         """Verify over the wire (``n`` defaults to the signature's
         natural degree as carried by its encoding header)."""
         if n is None:
             n = _degree_from_signature(signature)
         payload = encode_verify_payload(signature, n, message)
-        return await self._request(FRAME_VERIFY, tenant, payload)
+        return await self._request(FRAME_VERIFY, tenant, payload,
+                                   deadline)
 
 
 def _degree_from_signature(signature: Signature) -> int:

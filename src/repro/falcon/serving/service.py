@@ -35,15 +35,77 @@ runs a dudect-style two-class pass over exactly this property.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..scheme import Signature
+from .errors import DeadlineExceeded, ServingUnavailable
 from .sharded import ShardedKeyStore
 
 #: Request kinds the coalescer schedules.
 KIND_SIGN = "sign"
 KIND_VERIFY = "verify"
+
+
+class CircuitBreaker:
+    """Per-shard circuit breaker: closed → open → half-open → closed.
+
+    ``failures`` consecutive round failures trip the breaker open;
+    while open, :meth:`allow` refuses traffic (the service sheds it to
+    the next shard on the consistent-hash ring).  After ``reset_after``
+    seconds one probe round is allowed through (half-open): success
+    closes the breaker, failure re-opens it for another full cooldown.
+    """
+
+    def __init__(self, failures: int = 5, reset_after: float = 1.0,
+                 clock=time.monotonic) -> None:
+        if failures < 1:
+            raise ValueError("failure threshold must be at least 1")
+        self.failure_threshold = failures
+        self.reset_after = reset_after
+        self._clock = clock
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+        self.opens = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request route to this shard right now?  The first
+        allow after the cooldown is the half-open probe."""
+        if self._state == "closed":
+            return True
+        if self._state == "open":
+            if self._clock() - self._opened_at >= self.reset_after:
+                self._state = "half-open"
+                return True
+            return False
+        # half-open: one probe is already in flight; hold the rest.
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._state = "closed"
+
+    def record_failure(self) -> None:
+        if self._state == "open":
+            return  # a straggler round; don't extend the cooldown
+        if self._state == "half-open":
+            self._trip()
+            return
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        self._failures = 0
+        self.opens += 1
 
 
 @dataclass(frozen=True)
@@ -106,6 +168,12 @@ class ServiceMetrics:
     rounds: int = 0
     coalesced_max: int = 0
     queue_high_water: int = 0
+    #: Rounds that raised (their awaiters saw the exception).
+    failed_rounds: int = 0
+    #: Requests routed off their home shard by an open breaker.
+    shed_requests: int = 0
+    #: Requests whose deadline passed before a result existed.
+    deadline_expired: int = 0
     #: Per-round shape log ``(shard, kind, size)`` — populated only
     #: with ``record_rounds=True`` (the CT harness reads this).
     round_log: list[tuple[int, str, int]] = field(default_factory=list)
@@ -124,6 +192,9 @@ class ServiceMetrics:
             "coalesced_avg": round(self.coalesced_avg, 2),
             "coalesced_max": self.coalesced_max,
             "queue_high_water": self.queue_high_water,
+            "failed_rounds": self.failed_rounds,
+            "shed_requests": self.shed_requests,
+            "deadline_expired": self.deadline_expired,
         }
 
 
@@ -134,6 +205,9 @@ class _Request:
     message: bytes
     signature: Signature | None
     future: asyncio.Future
+    #: Absolute loop-time instant after which the caller no longer
+    #: wants the result (None = no deadline).
+    deadline: float | None = None
 
 
 class SigningService:
@@ -179,7 +253,9 @@ class SigningService:
                  spine: str = "auto",
                  offload: bool = True,
                  worker_pool=None,
-                 record_rounds: bool = False) -> None:
+                 record_rounds: bool = False,
+                 breaker_failures: int = 5,
+                 breaker_reset: float = 1.0) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if max_wait < 0:
@@ -196,6 +272,12 @@ class SigningService:
         self.worker_pool = worker_pool
         self.metrics = ServiceMetrics()
         self._record_rounds = record_rounds
+        # Per-shard circuit breakers (breaker_failures=0 disables
+        # breaking entirely — every request stays on its home shard).
+        self.breakers: list[CircuitBreaker] = (
+            [CircuitBreaker(breaker_failures, breaker_reset)
+             for _ in range(store.shards)]
+            if breaker_failures > 0 else [])
         self._queues: list[asyncio.Queue] = []
         self._workers: list[asyncio.Task] = []
         self._started = False
@@ -251,39 +333,89 @@ class SigningService:
 
     # -- request surface ---------------------------------------------------
 
+    def _route(self, tenant: str) -> int:
+        """Pick the shard for one request: the home shard unless its
+        circuit breaker refuses, then the first healthy shard along
+        the tenant's ring preference (shedding), else fail fast."""
+        if not self.breakers:
+            return self.store.shard_for(tenant)
+        preference = self.store.shard_preference(tenant)
+        if self.breakers[preference[0]].allow():
+            return preference[0]
+        for shard in preference[1:]:
+            if self.breakers[shard].allow():
+                self.metrics.shed_requests += 1
+                return shard
+        raise ServingUnavailable(
+            "every shard's circuit breaker is open")
+
     async def _submit(self, request: _Request):
         if not self._started or self._stopping:
             raise RuntimeError("service is not running")
-        shard = self.store.shard_for(request.tenant)
+        shard = self._route(request.tenant)
         queue = self._queues[shard]
-        await queue.put(request)  # suspends when full: back-pressure
+        if request.deadline is None:
+            await queue.put(request)  # suspends when full:
+            #                           back-pressure
+            self.metrics.requests += 1
+            self.metrics.queue_high_water = max(
+                self.metrics.queue_high_water, queue.qsize())
+            return await request.future
+        loop = asyncio.get_running_loop()
+        budget = request.deadline - loop.time()
+        if budget <= 0:
+            self.metrics.deadline_expired += 1
+            raise DeadlineExceeded("deadline passed before submission")
+        try:
+            await asyncio.wait_for(queue.put(request), budget)
+        except asyncio.TimeoutError:
+            self.metrics.deadline_expired += 1
+            raise DeadlineExceeded(
+                "deadline passed waiting for queue space") from None
         self.metrics.requests += 1
         self.metrics.queue_high_water = max(
             self.metrics.queue_high_water, queue.qsize())
-        return await request.future
+        try:
+            # wait_for cancels the future on timeout, so the round
+            # fan-out (which checks future.done()) skips it cleanly.
+            return await asyncio.wait_for(
+                request.future, request.deadline - loop.time())
+        except asyncio.TimeoutError:
+            self.metrics.deadline_expired += 1
+            raise DeadlineExceeded(
+                "deadline passed before the round completed") from None
 
-    async def sign(self, tenant: str, message: bytes) -> Signature:
+    async def sign(self, tenant: str, message: bytes, *,
+                   deadline: float | None = None) -> Signature:
         """Sign ``message`` under ``tenant``'s key; coalesced into the
-        shard's next ``sign_many`` round."""
+        shard's next ``sign_many`` round.  ``deadline`` is an absolute
+        event-loop instant (``loop.time() + budget``); a request whose
+        deadline passes before its round completes raises
+        :class:`DeadlineExceeded` — never later than the deadline plus
+        scheduler jitter, and never with a half-delivered result."""
         future = asyncio.get_running_loop().create_future()
         return await self._submit(_Request(
             tenant=tenant, kind=KIND_SIGN, message=message,
-            signature=None, future=future))
+            signature=None, future=future, deadline=deadline))
 
     async def verify(self, tenant: str, message: bytes,
-                     signature: Signature) -> bool:
+                     signature: Signature, *,
+                     deadline: float | None = None) -> bool:
         """Verify against ``tenant``'s public key; coalesced into the
         shard's next ``verify_many`` round."""
         future = asyncio.get_running_loop().create_future()
         return await self._submit(_Request(
             tenant=tenant, kind=KIND_VERIFY, message=message,
-            signature=signature, future=future))
+            signature=signature, future=future, deadline=deadline))
 
     async def sign_all(self, tenant: str,
-                       messages: Sequence[bytes]) -> list[Signature]:
+                       messages: Sequence[bytes], *,
+                       deadline: float | None = None
+                       ) -> list[Signature]:
         """Concurrent convenience: ``sign`` every message, gathered."""
         return list(await asyncio.gather(
-            *[self.sign(tenant, message) for message in messages]))
+            *[self.sign(tenant, message, deadline=deadline)
+              for message in messages]))
 
     # -- the coalescing loop -----------------------------------------------
 
@@ -338,6 +470,25 @@ class SigningService:
 
     async def _run_rounds(self, shard: int,
                           batch: list[_Request]) -> None:
+        # Prune lanes that no longer want a result: futures already
+        # done (deadline cancellation, shutdown) and deadlines that
+        # passed while queued.  Pruning happens BEFORE planning, so
+        # round shapes stay a pure function of the surviving arrival
+        # metadata — the CT audit covers this path too.
+        now = asyncio.get_running_loop().time()
+        live: list[_Request] = []
+        for request in batch:
+            if request.future.done():
+                continue
+            if request.deadline is not None and request.deadline <= now:
+                self.metrics.deadline_expired += 1
+                request.future.set_exception(DeadlineExceeded(
+                    "deadline passed while queued"))
+                continue
+            live.append(request)
+        batch = live
+        if not batch:
+            return
         plans = plan_rounds([(r.tenant, r.kind) for r in batch],
                             self.max_batch)
         for plan in plans:
@@ -374,13 +525,20 @@ class SigningService:
             # One worker-thread hop per round: signer checkout
             # (cached after first use) plus the batched kernel
             # call together, so the event loop stays free while
-            # the CPU-bound spine runs.
-            signer = self.store.signer(plan.tenant, self.n)
+            # the CPU-bound spine runs.  A shed round (routed off the
+            # tenant's home shard by an open breaker) checks out of
+            # the fallback shard explicitly.
+            if shard == self.store.shard_for(plan.tenant):
+                signer = self.store.signer(plan.tenant, self.n)
+            else:
+                signer = self.store.signer_on(shard, plan.tenant,
+                                              self.n)
             if plan.kind == KIND_SIGN:
                 return signer.sign_many(messages, spine=self.spine)
             return signer.public_key.verify_many(
                 messages, [r.signature for r in requests])
 
+        breaker = self.breakers[shard] if self.breakers else None
         try:
             if self.offload or self.worker_pool is not None:
                 results = await asyncio.to_thread(run_round)
@@ -390,6 +548,8 @@ class SigningService:
                 raise RuntimeError(
                     f"round returned {len(results)} results for "
                     f"{len(requests)} requests")
+            if breaker is not None:
+                breaker.record_success()
             if plan.kind == KIND_SIGN:
                 self.metrics.signed += len(requests)
             else:
@@ -398,6 +558,9 @@ class SigningService:
                 if not request.future.done():
                     request.future.set_result(result)
         except Exception as error:  # fail THIS round's awaiters only
+            if breaker is not None:
+                breaker.record_failure()
+            self.metrics.failed_rounds += 1
             for request in requests:
                 if not request.future.done():
                     request.future.set_exception(error)

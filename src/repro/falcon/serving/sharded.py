@@ -73,11 +73,30 @@ class ConsistentHashRing:
 
     def shard_for(self, tenant: str | bytes) -> int:
         """The shard owning ``tenant`` (first ring point clockwise)."""
+        return self.preference(tenant)[0]
+
+    def preference(self, tenant: str | bytes) -> list[int]:
+        """All shards in failover order for ``tenant``.
+
+        The home shard first, then each further shard in the order its
+        first ring point appears clockwise — the standard consistent-
+        hash replica walk, so failover targets are as stable under
+        ring growth as primary ownership is.
+        """
         digest = sha256(b"falcon-tenant|%b"
                         % _tenant_bytes(tenant)).digest()
         point = int.from_bytes(digest[:8], "big")
-        position = bisect_right(self._hashes, point) % len(self._hashes)
-        return self._owners[position]
+        start = bisect_right(self._hashes, point) % len(self._hashes)
+        order: list[int] = []
+        seen: set[int] = set()
+        for step in range(len(self._owners)):
+            owner = self._owners[(start + step) % len(self._owners)]
+            if owner not in seen:
+                seen.add(owner)
+                order.append(owner)
+                if len(order) == self.shards:
+                    break
+        return order
 
 
 class ShardedKeyStore:
@@ -108,8 +127,9 @@ class ShardedKeyStore:
                      master_seed=derive_shard_seed(master_seed, shard),
                      **store_kwargs)
             for shard in range(shards)]
-        self._signers: dict[tuple[str, int], SecretKey] = {}
-        self._signer_guards: dict[tuple[str, int], threading.Lock] = {}
+        self._signers: dict[tuple[str, int, int], SecretKey] = {}
+        self._signer_guards: dict[tuple[str, int, int],
+                                  threading.Lock] = {}
         self._signer_lock = threading.Lock()
 
     @property
@@ -120,6 +140,10 @@ class ShardedKeyStore:
 
     def shard_for(self, tenant: str | bytes) -> int:
         return self.ring.shard_for(tenant)
+
+    def shard_preference(self, tenant: str | bytes) -> list[int]:
+        """Failover order for ``tenant`` (home shard first)."""
+        return self.ring.preference(tenant)
 
     def store_for(self, tenant: str | bytes) -> KeyStore:
         return self.stores[self.shard_for(tenant)]
@@ -170,8 +194,19 @@ class ShardedKeyStore:
         :meth:`KeyStore.checkout_current`, so a freshly rotated
         tenant can never be re-pinned to a retired cohort.
         """
-        key = (_tenant_bytes(tenant).decode("latin-1"), n)
-        return fenced_signer_checkout(self.store_for(tenant), n,
+        return self.signer_on(self.shard_for(tenant), tenant, n)
+
+    def signer_on(self, shard: int, tenant: str | bytes,
+                  n: int) -> SecretKey:
+        """The tenant's signing key on an explicit shard.
+
+        Failover routing (a circuit breaker shedding a tenant off its
+        home shard) checks a key out of the fallback shard the first
+        time the tenant lands there; the cache is keyed per shard so a
+        recovered home shard serves the tenant's original key again.
+        """
+        key = (_tenant_bytes(tenant).decode("latin-1"), n, shard)
+        return fenced_signer_checkout(self.stores[shard], n,
                                       lock=self._signer_lock,
                                       guards=self._signer_guards,
                                       cache=self._signers, key=key)

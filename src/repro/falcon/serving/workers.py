@@ -28,29 +28,52 @@ Design points:
   seed, same checkout order), through the very same ``sign_many``;
   signatures travel back as raw ``(salt, compressed)`` bytes.  The
   loopback test suite pins over-the-wire bytes == direct bytes.
-* **Failure isolation.**  A raising round travels back as an error
-  reply and re-raises in the submitting process for that round only;
-  the worker's loop keeps serving.  A *dead* worker (killed process)
-  surfaces as :class:`ShardWorkerError` on submission.
+* **Failure isolation and supervision.**  A raising round travels back
+  as an error reply and re-raises in the submitting process for that
+  round only; the worker's loop keeps serving.  A *dead* worker
+  (SIGKILL, crash, pipe EOF) fails only the in-flight round with
+  :class:`ShardWorkerError`; the pool then **respawns** the shard's
+  worker on the next round — within a bounded restart budget with
+  exponential backoff — and re-warms it by replaying every
+  ``(tenant, n)`` signer checkout in first-seen order, so a memory-only
+  deployment's respawned worker re-derives byte-identical keys (slot
+  seeds are a pure function of the shard seed and checkout order).  A
+  shard past its restart budget raises
+  :class:`~repro.falcon.serving.errors.ServingUnavailable`-compatible
+  errors until the pool is restarted.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import threading
+import time
 from pathlib import Path
 from typing import Sequence
 
 from ..scheme import Signature
+from .errors import ServingUnavailable
 
 #: Round kinds a worker executes (mirrors the service's constants;
 #: re-declared here so worker processes do not import the asyncio
-#: layer).
+#: layer).  ``warm`` is supervision-internal: it checks a tenant's
+#: signer out without signing, used to replay checkout order into a
+#: respawned worker.  ``die`` is fault-injection-internal: the worker
+#: hard-exits on receipt (the parent's injector decides the kills, so
+#: one counter survives respawns and ``max_per_site`` means what it
+#: says).
 _KIND_SIGN = "sign"
 _KIND_VERIFY = "verify"
+_KIND_WARM = "warm"
+_KIND_DIE = "die"
+
+#: Exit status a fault-injected worker dies with (visible in
+#: ``Process.exitcode`` — tests assert the crash was the planned one).
+FAULT_EXIT_CODE = 17
 
 
-class ShardWorkerError(RuntimeError):
+class ShardWorkerError(ServingUnavailable):
     """A shard worker process failed outside a round (died, refused)."""
 
 
@@ -88,8 +111,15 @@ def _worker_main(connection, shard: int, config: dict) -> None:
         if task is None:
             break
         tenant, kind, n, messages, signatures = task
+        if kind == _KIND_DIE:
+            # Simulate SIGKILL: no reply, no cleanup, no atexit — the
+            # parent sees pipe EOF with the round still in flight.
+            os._exit(FAULT_EXIT_CODE)
         try:
-            if kind == _KIND_SIGN:
+            if kind == _KIND_WARM:
+                signer(tenant, n)
+                reply = ("ok", None)
+            elif kind == _KIND_SIGN:
                 signed = signer(tenant, n).sign_many(messages,
                                                      spine=spine)
                 reply = ("ok", [(s.salt, s.compressed) for s in signed])
@@ -148,7 +178,10 @@ class ShardWorkerPool:
                  base_backend: str = "bitsliced",
                  keygen_spine: str = "auto",
                  spine: str = "auto",
-                 mp_context: str | None = None) -> None:
+                 mp_context: str | None = None,
+                 fault_plan=None,
+                 max_restarts: int = 3,
+                 restart_backoff: float = 0.05) -> None:
         if shards < 1:
             raise ValueError("need at least one shard")
         self.shards = shards
@@ -159,6 +192,12 @@ class ShardWorkerPool:
             "keygen_spine": keygen_spine,
             "spine": spine,
         }
+        # The PARENT owns the kill schedule: one injector whose
+        # counters survive worker respawns, so a plan's max_per_site
+        # caps total kills — a respawned worker building its own
+        # injector would replay the same coin and die forever.
+        self._faults = (fault_plan.injector()
+                        if fault_plan is not None else None)
         self._directory = Path(directory) if directory is not None \
             else None
         self._context = (mp.get_context(mp_context) if mp_context
@@ -168,25 +207,48 @@ class ShardWorkerPool:
         self._locks = [threading.Lock() for _ in range(shards)]
         self._started = False
         self._stopped = False
+        # Supervision state, all per shard and guarded by the shard
+        # lock: restart counters against the budget, the earliest
+        # monotonic instant the next respawn may happen (exponential
+        # backoff), and the warm list — every (tenant, n) this shard
+        # has checked out, in first-seen order, replayed into a
+        # respawned worker so checkout order (hence key bytes, for
+        # memory-only stores) is preserved.
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
+        self._restarts = [0] * shards
+        self._next_restart = [0.0] * shards
+        self._warm_order: list[list[tuple[str, int]]] = [
+            [] for _ in range(shards)]
+        self._warm_seen: list[set] = [set() for _ in range(shards)]
+        self._rounds_failed = [0] * shards
 
     # -- lifecycle ---------------------------------------------------------
+
+    def _spawn(self, shard: int) -> None:
+        """Create shard's worker process + pipe at its slot."""
+        config = dict(self._config_base)
+        config["directory"] = (
+            str(self._directory / f"shard-{shard:02d}")
+            if self._directory is not None else None)
+        parent_end, worker_end = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main, args=(worker_end, shard, config),
+            daemon=True, name=f"falcon-shard-worker-{shard}")
+        process.start()
+        worker_end.close()  # the worker holds its own copy
+        if shard < len(self._processes):
+            self._processes[shard] = process
+            self._connections[shard] = parent_end
+        else:
+            self._processes.append(process)
+            self._connections.append(parent_end)
 
     def start(self) -> None:
         if self._started:
             raise RuntimeError("pool already started")
         for shard in range(self.shards):
-            config = dict(self._config_base)
-            config["directory"] = (
-                str(self._directory / f"shard-{shard:02d}")
-                if self._directory is not None else None)
-            parent_end, worker_end = self._context.Pipe()
-            process = self._context.Process(
-                target=_worker_main, args=(worker_end, shard, config),
-                daemon=True, name=f"falcon-shard-worker-{shard}")
-            process.start()
-            worker_end.close()  # the worker holds its own copy
-            self._processes.append(process)
-            self._connections.append(parent_end)
+            self._spawn(shard)
         self._started = True
 
     def stop(self, timeout: float = 10.0) -> None:
@@ -226,6 +288,72 @@ class ShardWorkerPool:
         return (self._started and not self._stopped
                 and all(p.is_alive() for p in self._processes))
 
+    # -- supervision -------------------------------------------------------
+
+    def _reap_locked(self, shard: int) -> None:
+        """Acknowledge a dead worker (shard lock held): reap the
+        process and close the now-useless parent pipe end."""
+        process = self._processes[shard]
+        if process.is_alive():  # kill a wedged worker outright
+            process.terminate()
+        process.join(1.0)
+        try:
+            self._connections[shard].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def _ensure_worker_locked(self, shard: int) -> None:
+        """Respawn shard's worker if it died (shard lock held).
+
+        Enforces the restart budget, waits out the exponential
+        backoff window, and replays the shard's warm list so the new
+        worker checks tenants out in the original first-seen order.
+        """
+        if self._processes[shard].is_alive():
+            return
+        self._reap_locked(shard)
+        if self._restarts[shard] >= self.max_restarts:
+            raise ShardWorkerError(
+                f"shard {shard} worker restart budget exhausted "
+                f"({self.max_restarts} restarts)")
+        delay = self._next_restart[shard] - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        self._restarts[shard] += 1
+        self._next_restart[shard] = (
+            time.monotonic()
+            + self.restart_backoff * 2.0 ** (self._restarts[shard] - 1))
+        self._spawn(shard)
+        self._rewarm_locked(shard)
+
+    def _rewarm_locked(self, shard: int) -> None:
+        """Replay the shard's (tenant, n) checkouts into a fresh
+        worker, in first-seen order (shard lock held)."""
+        connection = self._connections[shard]
+        for tenant, n in self._warm_order[shard]:
+            try:
+                connection.send((tenant, _KIND_WARM, n, None, None))
+                status, _ = connection.recv()
+            except (EOFError, BrokenPipeError, OSError) as error:
+                raise ShardWorkerError(
+                    f"shard {shard} worker died during re-warm"
+                ) from error
+            if status != "ok":
+                raise ShardWorkerError(
+                    f"shard {shard} re-warm of ({tenant!r}, {n}) "
+                    f"failed")
+
+    def stats(self) -> dict:
+        """Supervision snapshot: restart/failure counters per shard."""
+        return {
+            "restarts": list(self._restarts),
+            "rounds_failed": list(self._rounds_failed),
+            "alive": [p.is_alive() for p in self._processes],
+            "warm_tenants": [len(order)
+                             for order in self._warm_order],
+            "max_restarts": self.max_restarts,
+        }
+
     # -- round execution ---------------------------------------------------
 
     def run_round(self, shard: int, tenant: str, kind: str, n: int,
@@ -236,8 +364,10 @@ class ShardWorkerPool:
         Blocking (call from a thread); returns what the in-process
         round would have — a ``Signature`` list for sign rounds, a
         bool list for verify rounds.  A round that raised in the
-        worker re-raises here; a dead worker raises
-        :class:`ShardWorkerError`.
+        worker re-raises here; a worker that died mid-round raises
+        :class:`ShardWorkerError` for **this round only** — the next
+        round respawns the worker (warm re-derivation, bounded restart
+        budget, exponential backoff).
         """
         if not self._started or self._stopped:
             raise ShardWorkerError("worker pool is not running")
@@ -245,15 +375,31 @@ class ShardWorkerPool:
             raise ValueError(f"no such shard {shard}")
         payload = ([(s.salt, s.compressed) for s in signatures]
                    if signatures is not None else None)
-        connection = self._connections[shard]
         with self._locks[shard]:
+            self._ensure_worker_locked(shard)
+            connection = self._connections[shard]
+            if (self._faults is not None
+                    and kind in (_KIND_SIGN, _KIND_VERIFY)
+                    and self._faults.kill_worker(shard)):
+                # Queue the kill ahead of the round: the worker
+                # hard-exits on it, and the round below dies with a
+                # pipe EOF — exactly a SIGKILL landing mid-round.
+                try:
+                    connection.send((tenant, _KIND_DIE, n, None, None))
+                except (BrokenPipeError, OSError):
+                    pass
             try:
                 connection.send((tenant, kind, n, list(messages),
                                  payload))
                 reply = connection.recv()
             except (EOFError, BrokenPipeError, OSError) as error:
+                self._rounds_failed[shard] += 1
+                self._reap_locked(shard)
                 raise ShardWorkerError(
                     f"shard {shard} worker died mid-round") from error
+            if (tenant, n) not in self._warm_seen[shard]:
+                self._warm_seen[shard].add((tenant, n))
+                self._warm_order[shard].append((tenant, n))
         status, result = reply
         if status == "error":
             raise result
