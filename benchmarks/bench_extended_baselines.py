@@ -14,6 +14,7 @@ import pytest
 from repro.analysis import format_table
 from repro.baselines import (
     BernoulliSampler,
+    BisectionCdtSampler,
     ByteScanCdtSampler,
     CdtBinarySearchSampler,
     KnuthYaoIntegerSampler,
@@ -33,6 +34,7 @@ BACKENDS = {
     "cdt-byte-scan": (ByteScanCdtSampler, None),
     "cdt-binary": (CdtBinarySearchSampler, None),
     "cdt-linear": (LinearScanCdtSampler, None),
+    "cdt-bisection (Bi-SamplerZ)": (BisectionCdtSampler, None),
 }
 
 

@@ -23,7 +23,8 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import format_table
-from repro.core import BitslicedSampler
+from repro.baselines import BisectionCdtSampler
+from repro.core import BitslicedSampler, GaussianParams
 from repro.rng import ChaChaSource
 
 from _report import once, report
@@ -65,6 +66,22 @@ def test_table2_report(benchmark, table2_circuits):
                 f"(paper: {paper['improvement']}%"
                 + ("; the paper's [21] baseline was hand-optimized"
                    if sigma != 2 else "") + ")")
+            # Constant-time comparison point outside the bitsliced
+            # family: the Bi-SamplerZ-style fixed-iteration bisection
+            # CDT, modeled cycles per 64 samples, PRNG excluded to
+            # match the paper's accounting.
+            bisection = BisectionCdtSampler(
+                GaussianParams.from_sigma(sigma, bundle["n"]),
+                source=ChaChaSource(2))
+            draws = 2000
+            for _ in range(draws):
+                bisection.sample_magnitude()
+            per_batch = bisection.counter.counts.modeled_cycles(
+                include_rng=False) / draws * 64
+            claims.append(
+                f"sigma={sigma}: cdt-bisection (Bi-SamplerZ, CT "
+                f"fixed-iteration search) ~{per_batch:.0f} modeled "
+                f"cycles per 64-sample batch")
         table = format_table(
             ["sigma", "n", "simple gates", "efficient gates",
              "improvement", "paper simple cyc", "paper eff cyc",

@@ -10,6 +10,7 @@ from .api import (
     register_backend,
 )
 from .bernoulli import SIGMA_BIN, BernoulliSampler
+from .bisection import BisectionCdtSampler
 from .byte_scan import ByteScanCdtSampler
 from .cdt import CdtBinarySearchSampler, CdtTable, make_cdt_table
 from .convolution import (
@@ -22,6 +23,7 @@ from .linear_scan import LinearScanCdtSampler
 
 __all__ = [
     "BernoulliSampler",
+    "BisectionCdtSampler",
     "BitslicedIntegerSampler",
     "ByteScanCdtSampler",
     "CdtBinarySearchSampler",

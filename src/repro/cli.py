@@ -130,6 +130,20 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 1 if report.leaking else 0
 
 
+def _cmd_ct_leakage(args: argparse.Namespace) -> int:
+    from .ct.leakage import audit as leakage_audit
+
+    report = leakage_audit(profile=args.profile, seed=args.seed,
+                           targets=args.target or None,
+                           engine=args.engine, margin=args.margin)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"wrote {args.json}")
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def _cmd_falcon(args: argparse.Namespace) -> int:
     from .falcon import SecretKey
     from .falcon.serialize import encode_public_key, encode_signature
@@ -716,12 +730,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_option(audit_p)
     audit_p.set_defaults(func=_cmd_audit)
 
+    leakage_p = sub.add_parser(
+        "ct-leakage",
+        help="ML leakage-regression audit (logistic probe vs "
+             "permutation null) over sampler, ffSampling and serving "
+             "traces")
+    leakage_p.add_argument("--profile", default="quick",
+                           choices=["quick", "full"])
+    leakage_p.add_argument("--seed", type=int, default=2026)
+    leakage_p.add_argument(
+        "--target", action="append",
+        choices=["batched-sampler", "samplerz", "ffsampling",
+                 "serving-rounds", "serving-frames"],
+        help="restrict to specific targets (repeatable); the positive "
+             "control always runs")
+    leakage_p.add_argument("--margin", type=float, default=0.03,
+                           help="accuracy margin over the permutation-"
+                                "null maximum before flagging")
+    leakage_p.add_argument("--json", metavar="PATH",
+                           help="also write the full report as JSON")
+    _add_engine_option(leakage_p)
+    leakage_p.set_defaults(func=_cmd_ct_leakage)
+
     falcon_p = sub.add_parser("falcon", help="sign/verify round trip")
     falcon_p.add_argument("--n", type=int, default=64)
     falcon_p.add_argument("--seed", type=int, default=0)
     falcon_p.add_argument("--backend", default="bitsliced",
                           choices=["bitsliced", "cdt-byte-scan",
-                                   "cdt-binary", "cdt-linear"])
+                                   "cdt-binary", "cdt-linear",
+                                   "cdt-bisection"])
     falcon_p.add_argument("--message", default="repro")
     falcon_p.add_argument(
         "--spine", default="legacy",
@@ -780,7 +817,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="messages per sign_many call")
     serve_p.add_argument("--backend", default="bitsliced",
                          choices=["bitsliced", "cdt-byte-scan",
-                                  "cdt-binary", "cdt-linear"])
+                                  "cdt-binary", "cdt-linear",
+                                  "cdt-bisection"])
     serve_p.add_argument("--prefetch-batches", type=int, default=32,
                          help="base-sampler pool refill size "
                               "(bitsliced backend)")

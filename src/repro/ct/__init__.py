@@ -1,4 +1,5 @@
-"""Constant-time analysis: operation counting and dudect leakage tests."""
+"""Constant-time analysis: operation counting, dudect tests, and the
+ML leakage-regression harness."""
 
 from .coalesce import (
     CoalesceAuditResult,
@@ -27,6 +28,42 @@ from .opcount import (
     OpCounts,
 )
 
+# leakage/traces re-exports are lazy: baselines.api imports ct.opcount
+# during its own init, and traces needs a fully-built baselines —
+# eager imports here would close that cycle.
+_LAZY_EXPORTS = {
+    "DEFAULT_MARGIN": "leakage",
+    "PROFILES": "leakage",
+    "LeakageAuditReport": "leakage",
+    "LeakageProbeReport": "leakage",
+    "audit": "leakage",
+    "kfold_accuracy": "leakage",
+    "permutation_null": "leakage",
+    "probe_trace_set": "leakage",
+    "train_logistic": "leakage",
+    "OP_FEATURES": "traces",
+    "LeakyControlSampler": "traces",
+    "TraceSet": "traces",
+    "batch_sampler_traces": "traces",
+    "ffsampling_traces": "traces",
+    "sampler_traces": "traces",
+    "samplerz_traces": "traces",
+    "serving_shape_traces": "traces",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module("." + module_name, __name__), name)
+    globals()[name] = value
+    return value
+
+
 __all__ = [
     "CROP_PERCENTILES",
     "CoalesceAuditResult",
@@ -48,4 +85,21 @@ __all__ = [
     "PRNG_CYCLES_PER_BYTE",
     "OpCounter",
     "OpCounts",
+    "DEFAULT_MARGIN",
+    "PROFILES",
+    "LeakageAuditReport",
+    "LeakageProbeReport",
+    "audit",
+    "kfold_accuracy",
+    "permutation_null",
+    "probe_trace_set",
+    "train_logistic",
+    "OP_FEATURES",
+    "LeakyControlSampler",
+    "TraceSet",
+    "batch_sampler_traces",
+    "ffsampling_traces",
+    "sampler_traces",
+    "samplerz_traces",
+    "serving_shape_traces",
 ]

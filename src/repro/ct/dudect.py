@@ -77,6 +77,8 @@ def crop_below_percentile(values: Sequence[float],
     """Keep the smallest ``fraction`` of the measurements (tail crop)."""
     if not 0 < fraction <= 1:
         raise ValueError("fraction must be in (0, 1]")
+    if not values:
+        raise ValueError("cannot crop an empty measurement list")
     ordered = sorted(values)
     keep = max(2, int(len(ordered) * fraction))
     return ordered[:keep]
@@ -114,6 +116,11 @@ def two_class_report(backend: str, measure: str,
                      class0: Sequence[float], class1: Sequence[float],
                      ) -> DudectReport:
     """Full dudect analysis (plain + cropped Welch tests)."""
+    if len(class0) < 2 or len(class1) < 2:
+        raise ValueError(
+            f"dudect needs >= 2 measurements per class, got "
+            f"{len(class0)}/{len(class1)} for {backend!r} — the "
+            f"classifier split is degenerate (single-class or empty)")
     results: dict[float, TTestResult] = {}
     for fraction in CROP_PERCENTILES:
         if fraction == 1.0:
@@ -137,6 +144,8 @@ def collect_opcount_traces(sampler, classifier: Callable[[int], bool],
     classifier receives the signed sample and routes the measurement to
     class 0 (True) or class 1 (False).
     """
+    if calls < 4:
+        raise ValueError("need at least 4 calls to form two classes")
     class0: list[float] = []
     class1: list[float] = []
     for _ in range(calls):
@@ -152,6 +161,8 @@ def collect_walltime_traces(sampler, classifier: Callable[[int], bool],
                             calls: int,
                             ) -> tuple[list[float], list[float]]:
     """Per-call wall-clock traces (nanoseconds) split by classifier."""
+    if calls < 4:
+        raise ValueError("need at least 4 calls to form two classes")
     class0: list[float] = []
     class1: list[float] = []
     for _ in range(calls):
@@ -177,6 +188,8 @@ def audit_batch_sampler(batch_sampler, batches: int = 300,
 
     ``batch_sampler`` is a :class:`~repro.core.sampler.BitslicedSampler`.
     """
+    if batches < 4:
+        raise ValueError("need at least 4 batches to form two classes")
     if classifier is None:
         sigma = batch_sampler.circuit.params.sigma
 

@@ -85,13 +85,27 @@ class OpCounts:
     def modeled_cycles(self, prng: str = "chacha20",
                        weights: dict[str, float] | None = None,
                        include_rng: bool = True) -> float:
-        """Weighted cycle estimate for these counts."""
+        """Weighted cycle estimate for these counts.
+
+        Raises :class:`ValueError` for an unknown PRNG backend or a
+        custom ``weights`` dict missing any operation class — silent
+        KeyErrors here used to surface deep inside audit loops.
+        """
         w = DEFAULT_CYCLE_WEIGHTS if weights is None else weights
+        missing = [key for key in DEFAULT_CYCLE_WEIGHTS if key not in w]
+        if missing:
+            raise ValueError(
+                f"cycle weights missing {missing}; need all of "
+                f"{sorted(DEFAULT_CYCLE_WEIGHTS)}")
         cycles = (self.word_ops * w["word_ops"]
                   + self.compares * w["compares"]
                   + self.loads * w["loads"]
                   + self.branches * w["branches"])
         if include_rng:
+            if prng not in PRNG_CYCLES_PER_BYTE:
+                raise ValueError(
+                    f"unknown PRNG backend {prng!r}; choose from "
+                    f"{sorted(PRNG_CYCLES_PER_BYTE)}")
             cycles += self.rng_bytes * PRNG_CYCLES_PER_BYTE[prng]
         return cycles
 

@@ -27,6 +27,7 @@ from hashlib import shake_256 as _hashlib_shake_256
 from typing import Sequence
 
 from ..baselines.adapters import BitslicedIntegerSampler
+from ..baselines.bisection import BisectionCdtSampler
 from ..baselines.byte_scan import ByteScanCdtSampler
 from ..baselines.cdt import CdtBinarySearchSampler
 from ..baselines.linear_scan import LinearScanCdtSampler
@@ -94,6 +95,7 @@ BASE_SAMPLER_BACKENDS = {
     "cdt-byte-scan": ByteScanCdtSampler,
     "cdt-binary": CdtBinarySearchSampler,
     "cdt-linear": LinearScanCdtSampler,
+    "cdt-bisection": BisectionCdtSampler,
     "bitsliced": BitslicedIntegerSampler,
 }
 

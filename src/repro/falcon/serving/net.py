@@ -149,10 +149,21 @@ def frame_shape(frame: bytes) -> tuple[int, int, int, int, int]:
     what a passive observer learns from sizes and headers.  The CT
     audit feeds two secret-differing request classes through the real
     encoder and requires identical shape traces.
+
+    Any malformed input — truncated header, wrong magic/version, a
+    ``BODY_LEN`` that disagrees with the bytes present — raises
+    :class:`FrameError`, never a bare :class:`struct.error`.
     """
+    if len(frame) < HEADER_BYTES:
+        raise FrameError(ERR_BAD_FRAME, "truncated header")
     magic, version, kind, req_id, body_len = _HEADER.unpack_from(frame)
     if magic != MAGIC or version != VERSION:
         raise FrameError(ERR_BAD_FRAME, "not a frame")
+    if body_len != len(frame) - HEADER_BYTES:
+        raise FrameError(
+            ERR_BAD_FRAME,
+            f"body length {body_len} != {len(frame) - HEADER_BYTES} "
+            f"bytes present")
     tenant, token, payload = decode_body(frame[HEADER_BYTES:])
     return kind, req_id, len(tenant), len(token), len(payload)
 

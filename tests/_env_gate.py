@@ -1,0 +1,12 @@
+"""The REPRO_FULL environment gate, in one place.
+
+Lives in its own module (not conftest.py) because a bare ``pytest``
+run from the repo root also loads ``benchmarks/conftest.py``, and two
+``conftest`` modules fight over the same ``sys.modules`` slot —
+``from conftest import ...`` would resolve to whichever loaded first.
+"""
+
+import os
+
+#: Truthy for any value of ``REPRO_FULL`` other than unset/empty/"0".
+REPRO_FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")

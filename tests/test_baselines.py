@@ -11,6 +11,7 @@ from collections import Counter
 import pytest
 
 from repro.baselines import (
+    BisectionCdtSampler,
     BitslicedIntegerSampler,
     ByteScanCdtSampler,
     CdtBinarySearchSampler,
@@ -31,6 +32,7 @@ ALL_BACKENDS = [
     ByteScanCdtSampler,
     LinearScanCdtSampler,
     KnuthYaoIntegerSampler,
+    BisectionCdtSampler,
 ]
 
 
@@ -186,10 +188,55 @@ def test_bitsliced_adapter_books_batch_costs():
     assert counts.rng_bytes == sampler.inner.random_bytes_per_batch
 
 
+def test_bisection_rank_matches_bisect_right_exhaustively():
+    """The branchless fixed-iteration bisection must rank every
+    possible uniform draw exactly like ``bisect_right`` over the
+    shifted CDT entries — the property that makes it a drop-in,
+    distribution-identical replacement for the early-exit search."""
+    import bisect
+
+    sampler = BisectionCdtSampler(PARAMS_LOW, source=ChaChaSource(11))
+    entries = sampler.table.shifted_entries
+    bits = 8 * sampler.table.num_bytes
+    for r in range(1 << bits):
+        assert sampler._rank(r) == bisect.bisect_right(entries, r), r
+
+
+def test_bisection_trace_constant_per_attempt():
+    """Fixed-iteration search: every attempt books the identical op
+    vector (log2(size)+1 probes), independent of the sampled value."""
+    sampler = BisectionCdtSampler(PARAMS, source=ChaChaSource(12))
+    deltas = set()
+    for _ in range(500):
+        before = sampler.counter.snapshot()
+        sampler.sample_magnitude()
+        delta = sampler.counter.delta(before)
+        attempts = delta.branches + 1
+        deltas.add((delta.word_ops // attempts,
+                    delta.compares // attempts,
+                    delta.loads // attempts,
+                    delta.rng_bytes // attempts))
+    assert len(deltas) == 1, deltas
+    word_ops, compares, loads, _rng = next(iter(deltas))
+    probes = sampler.probes_per_attempt
+    assert compares == probes * sampler.words_per_entry
+    assert loads == probes * sampler.words_per_entry
+
+
+def test_bisection_registered_in_zoo():
+    from repro.baselines import available_backends, make_sampler
+
+    assert "cdt-bisection" in available_backends()
+    sampler = make_sampler("cdt-bisection", PARAMS,
+                           source=ChaChaSource(13))
+    assert isinstance(sampler, BisectionCdtSampler)
+    assert sampler.constant_time
+
+
 def test_restart_on_truncation_gap():
     """At n=6 the gap is 3/64; restarts must occur and stay correct."""
     for backend in (CdtBinarySearchSampler, ByteScanCdtSampler,
-                    LinearScanCdtSampler):
+                    LinearScanCdtSampler, BisectionCdtSampler):
         sampler = backend(GaussianParams.from_sigma(2, precision=6),
                           source=ChaChaSource(10))
         values = [sampler.sample_magnitude() for _ in range(3000)]

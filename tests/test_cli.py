@@ -70,6 +70,36 @@ def test_falcon_command(capsys):
     assert "verified   : True" in out
 
 
+def test_audit_bisection_passes(capsys):
+    code = main(["audit", "--backend", "cdt-bisection",
+                 "--calls", "1500", "--precision", "16"])
+    assert code == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_falcon_command_bisection_backend(capsys):
+    code = main(["falcon", "--n", "32", "--seed", "4",
+                 "--message", "cli test", "--backend", "cdt-bisection"])
+    assert code == 0
+    assert "verified   : True" in capsys.readouterr().out
+
+
+def test_ct_leakage_command(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "leakage.json"
+    code = main(["ct-leakage", "--profile", "quick", "--seed", "2026",
+                 "--target", "serving-rounds",
+                 "--json", str(out_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out and "positive control" in out
+    decoded = json.loads(out_path.read_text())
+    assert decoded["passed"] is True
+    assert decoded["control_caught"] is True
+    assert set(decoded["targets"]) == {"serving-rounds"}
+
+
 def test_sample_prng_and_auto_width(capsys):
     assert main(["sample", "--count", "12", "--seed", "2",
                  "--precision", "16", "--prng", "chacha8",

@@ -60,6 +60,40 @@ def test_crop_below_percentile():
         crop_below_percentile(values, 0)
 
 
+def test_crop_empty_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        crop_below_percentile([], 0.5)
+
+
+def test_two_class_report_degenerate_split_rejected():
+    """Empty or single-class splits fail loudly, not inside welch_t."""
+    with pytest.raises(ValueError, match="degenerate"):
+        two_class_report("demo", "opcount", [], [1.0, 2.0, 3.0])
+    with pytest.raises(ValueError, match="degenerate"):
+        two_class_report("demo", "opcount", [1.0], [1.0, 2.0, 3.0])
+
+
+def test_constant_trace_verdicts():
+    """Documented degenerate behavior: equal constant classes are
+    perfectly constant-time (t = 0), different constant classes are a
+    deterministic leak (t = +/-inf)."""
+    clean = two_class_report("demo", "opcount", [7.0] * 8, [7.0] * 8)
+    assert clean.max_abs_t == 0.0 and not clean.leaking
+    leaky = two_class_report("demo", "opcount", [7.0] * 8, [9.0] * 8)
+    assert math.isinf(leaky.max_abs_t) and leaky.leaking
+
+
+def test_audit_call_floors():
+    sampler = LinearScanCdtSampler(PARAMS, source=ChaChaSource(6))
+    with pytest.raises(ValueError, match="at least 4"):
+        audit_sampler(sampler, calls=2)
+    with pytest.raises(ValueError, match="at least 4"):
+        audit_sampler(sampler, calls=2, measure="walltime")
+    batch = compile_sampler(2, 16, source=ChaChaSource(7))
+    with pytest.raises(ValueError, match="at least 4"):
+        audit_batch_sampler(batch, batches=1)
+
+
 def test_report_rendering():
     report = two_class_report("demo", "opcount",
                               [1.0, 2.0, 3.0] * 10, [1.0, 2.0, 3.0] * 10)
@@ -85,6 +119,17 @@ def test_linear_scan_passes():
     report = audit_sampler(sampler, calls=3000)
     # Not leaking: the only trace variation is the sign-byte refill
     # every 8th call, which is public and uncorrelated with the class.
+    assert not report.leaking, report.render()
+    assert report.max_abs_t < T_THRESHOLD
+
+
+def test_bisection_passes():
+    from repro.baselines import BisectionCdtSampler
+
+    sampler = BisectionCdtSampler(PARAMS, source=ChaChaSource(9))
+    report = audit_sampler(sampler, calls=3000)
+    # Fixed-iteration bisection: log2(size)+1 probes per attempt,
+    # independent of the sampled value.
     assert not report.leaking, report.render()
     assert report.max_abs_t < T_THRESHOLD
 

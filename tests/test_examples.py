@@ -27,9 +27,7 @@ FAST = ["compile_and_export.py", "hardware_export.py"]
 SLOW = ["quickstart.py", "constant_time_audit.py",
         "sampler_comparison.py", "large_sigma_convolution.py"]
 
-slow = pytest.mark.skipif(
-    os.environ.get("REPRO_FULL", "") in ("", "0"),
-    reason="slower example; set REPRO_FULL=1")
+slow = pytest.mark.repro_full
 
 
 def _run(name: str, tmp_path, timeout=420) -> str:

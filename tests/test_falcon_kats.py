@@ -11,15 +11,15 @@ The n=256 vector costs a keygen of ~1s and runs under ``REPRO_FULL=1``.
 """
 
 import json
-import os
 from pathlib import Path
 
 import pytest
+from _env_gate import REPRO_FULL
 
 from repro.falcon import HAVE_NUMPY, SecretKey
 
 KAT_DIR = Path(__file__).parent / "kats"
-FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+FULL = REPRO_FULL
 
 KAT_FILES = sorted(KAT_DIR.glob("falcon_*.json"))
 

@@ -11,10 +11,10 @@ paper levels are exercised under ``REPRO_FULL=1`` (keygen cost).
 """
 
 import importlib
-import os
 import random
 
 import pytest
+from _env_gate import REPRO_FULL
 
 # ``from .fft import fft`` rebinds the package attributes to the
 # functions, so the submodules are fetched through importlib.
@@ -38,7 +38,7 @@ from repro.rng.keccak import Shake256
 numpy_only = pytest.mark.skipif(not HAVE_NUMPY,
                                 reason="NumPy not installed")
 
-FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+FULL = REPRO_FULL
 
 #: Transform-level differentials are cheap at every size.
 TRANSFORM_SIZES = (8, 64, 256, 512, 1024)

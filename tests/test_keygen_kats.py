@@ -13,16 +13,16 @@ slow gate; Level 3 keygen costs ~100 ms vectorized, ~1 s scalar).
 """
 
 import json
-import os
 from pathlib import Path
 
 import pytest
+from _env_gate import REPRO_FULL
 
 from repro.falcon import HAVE_NUMPY, generate_keys
 from repro.rng import ChaChaSource
 
 KAT_DIR = Path(__file__).parent / "kats"
-FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+FULL = REPRO_FULL
 
 KAT_FILES = sorted(KAT_DIR.glob("keygen_*.json"))
 

@@ -1,0 +1,200 @@
+"""The leakage-regression gate: the ML distinguisher, run like a KAT.
+
+This file is executed by BOTH CI legs (with and without NumPy).  The
+features are bit-identical across legs; probe accuracies could drift in
+the last float digits between summation orders, so every assertion here
+is about *verdicts* (booleans with margins), never exact accuracies.
+
+The committed baseline ``benchmarks/reports/LEAKAGE_report.json`` pins
+the audit's shape: same targets, same verdicts, control caught.
+Regenerate with::
+
+    PYTHONPATH=src python -m repro.cli ct-leakage --profile quick \
+        --seed 2026 --json benchmarks/reports/LEAKAGE_report.json
+"""
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.ct.leakage import (
+    audit,
+    kfold_accuracy,
+    permutation_null,
+    probe_trace_set,
+    train_logistic,
+)
+from repro.ct.traces import TraceSet
+
+AUDIT_SEED = 2026
+BASELINE = (Path(__file__).resolve().parent.parent
+            / "benchmarks" / "reports" / "LEAKAGE_report.json")
+
+
+@pytest.fixture(scope="module")
+def quick_audit():
+    """One quick-profile audit shared by the gating assertions."""
+    return audit(profile="quick", seed=AUDIT_SEED)
+
+
+# -- the gate -------------------------------------------------------------
+
+def test_audit_passes(quick_audit):
+    """THE regression gate: no honest target may be distinguishable."""
+    assert quick_audit.leaking_targets == [], quick_audit.render()
+
+
+def test_positive_control_caught(quick_audit):
+    """The planted leak MUST be flagged — an unflagged control means
+    the harness went blind, which is a failure of the harness, not a
+    success of the code."""
+    control = quick_audit.positive_control
+    assert control.flagged, quick_audit.render()
+    # The separation is decisive, not marginal: the leaky sampler's
+    # value-correlated loads push the probe far above its null.
+    assert control.accuracy > control.null_max + 0.15
+
+
+def test_audit_verdict(quick_audit):
+    assert quick_audit.passed
+    assert quick_audit.control_caught
+
+
+def test_audit_covers_every_layer(quick_audit):
+    assert set(quick_audit.targets) == {
+        "batched-sampler", "samplerz", "ffsampling",
+        "serving-rounds", "serving-frames"}
+
+
+def test_matches_committed_baseline(quick_audit):
+    """Verdict-for-verdict agreement with the committed report."""
+    baseline = json.loads(BASELINE.read_text())
+    assert baseline["passed"] is True
+    assert baseline["seed"] == AUDIT_SEED
+    assert set(baseline["targets"]) == set(quick_audit.targets)
+    for name, report in quick_audit.targets.items():
+        assert report.flagged == baseline["targets"][name]["flagged"], \
+            name
+    assert quick_audit.positive_control.flagged \
+        == baseline["positive_control"]["flagged"]
+
+
+def test_report_json_round_trip(quick_audit):
+    decoded = json.loads(quick_audit.to_json())
+    assert decoded["passed"] is True
+    assert decoded["profile"] == "quick"
+    for name in quick_audit.targets:
+        assert decoded["targets"][name]["n_traces"] > 0
+
+
+# -- the probe on synthetic data ------------------------------------------
+
+def _synthetic(separation: float, n: int = 120,
+               seed: int = 5) -> TraceSet:
+    """Two-class Gaussian blobs ``separation`` apart in one feature."""
+    rng = random.Random(seed)
+    traces = TraceSet("synthetic", ("f0", "f1", "f2"))
+    for index in range(n):
+        label = index & 1
+        traces.append([rng.gauss(label * separation, 1.0),
+                       rng.gauss(0.0, 1.0),
+                       rng.gauss(0.0, 1.0)], label)
+    return traces
+
+
+def test_probe_flags_separable_classes():
+    report = probe_trace_set(_synthetic(6.0), folds=3,
+                             permutations=8, seed=1)
+    assert report.flagged
+    assert report.accuracy > 0.95
+
+
+def test_probe_passes_unlearnable_classes():
+    report = probe_trace_set(_synthetic(0.0), folds=3,
+                             permutations=8, seed=1)
+    assert not report.flagged
+
+
+def test_probe_passes_constant_features():
+    """Zero-variance features carry no signal; standardization zeroes
+    them instead of dividing by zero, and the verdict is clean."""
+    traces = TraceSet("constant", ("a", "b"))
+    for index in range(40):
+        traces.append([7.0, 3.0], index & 1)
+    report = probe_trace_set(traces, folds=3, permutations=8, seed=2)
+    assert not report.flagged
+    assert report.accuracy <= report.null_bound
+
+
+def test_probe_deterministic():
+    first = probe_trace_set(_synthetic(1.0), folds=3,
+                            permutations=6, seed=9)
+    second = probe_trace_set(_synthetic(1.0), folds=3,
+                             permutations=6, seed=9)
+    assert first.accuracy == second.accuracy
+    assert first.null_accuracies == second.null_accuracies
+
+
+# -- edge cases and clear errors ------------------------------------------
+
+def test_empty_trace_set_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        probe_trace_set(TraceSet("empty", ("a",)))
+
+
+def test_single_class_rejected():
+    traces = TraceSet("mono", ("a",))
+    for _ in range(20):
+        traces.append([1.0], 1)
+    with pytest.raises(ValueError, match="single-class"):
+        probe_trace_set(traces)
+
+
+def test_ragged_features_rejected():
+    traces = TraceSet("ragged", ("a", "b"))
+    traces.append([1.0, 2.0], 0)
+    traces.features.append([1.0])
+    traces.labels.append(1)
+    with pytest.raises(ValueError, match="ragged"):
+        probe_trace_set(traces)
+
+
+def test_kfold_needs_members_per_class():
+    features = [[0.0], [1.0], [0.5], [0.25]]
+    with pytest.raises(ValueError, match="folds"):
+        kfold_accuracy(features, [0, 1, 1, 1], folds=3, seed=0)
+
+
+def test_kfold_rejects_single_fold():
+    with pytest.raises(ValueError, match="2 folds"):
+        kfold_accuracy([[0.0]] * 8, [0, 1] * 4, folds=1, seed=0)
+
+
+def test_permutation_null_needs_permutations():
+    with pytest.raises(ValueError, match="permutation"):
+        permutation_null([[0.0]] * 12, [0, 1] * 6, folds=2,
+                         permutations=0, seed=0)
+
+
+def test_train_logistic_rejects_empty():
+    with pytest.raises(ValueError):
+        train_logistic([], [])
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(ValueError, match="profile"):
+        audit(profile="overnight")
+
+
+def test_unknown_target_rejected():
+    with pytest.raises(ValueError, match="unknown audit targets"):
+        audit(profile="quick", targets=["samplerz", "tls-handshake"])
+
+
+def test_targets_subset_runs():
+    report = audit(profile="quick", seed=AUDIT_SEED,
+                   targets=["serving-rounds"])
+    assert set(report.targets) == {"serving-rounds"}
+    assert report.control_caught  # the control always runs

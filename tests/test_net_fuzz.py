@@ -1,0 +1,182 @@
+"""Hypothesis-free fuzzing of the wire-protocol codec.
+
+Contract under test: for ANY byte string, the frame parsers either
+decode successfully or raise :class:`FrameError` — no ``struct.error``,
+``IndexError``, ``UnicodeDecodeError`` or other exception ever escapes.
+A server feeding attacker-controlled bytes into these functions must
+get a typed protocol error it can answer on the wire, not a crash.
+
+All randomness is ``random.Random(seed)``-driven: every failure
+reproduces from the printed seed and case index.
+"""
+
+import random
+
+import pytest
+
+from repro.falcon.serving.net import (
+    FRAME_SIGN,
+    FRAME_VERIFY,
+    HEADER_BYTES,
+    FrameError,
+    decode_body,
+    decode_verify_payload,
+    encode_frame,
+    encode_request_frame,
+    frame_shape,
+)
+
+SEED = 20260807
+ROUND_TRIPS = 200
+MUTATIONS_PER_FRAME = 12
+
+
+def _random_frame(rng: random.Random) -> tuple[bytes, tuple]:
+    """One well-formed frame with randomized metadata and payload."""
+    kind = rng.choice((FRAME_SIGN, FRAME_VERIFY))
+    req_id = rng.randrange(1 << 32)
+    tenant = bytes(rng.randrange(256)
+                   for _ in range(rng.randrange(0, 33)))
+    token = bytes(rng.randrange(256)
+                  for _ in range(rng.randrange(0, 65)))
+    payload = bytes(rng.randrange(256)
+                    for _ in range(rng.randrange(0, 257)))
+    frame = encode_frame(kind, req_id, tenant, token, payload)
+    return frame, (kind, req_id, tenant, token, payload)
+
+
+def test_random_round_trips():
+    """encode -> (frame_shape, decode_body) recovers every field."""
+    rng = random.Random(SEED)
+    for case in range(ROUND_TRIPS):
+        frame, (kind, req_id, tenant, token, payload) = \
+            _random_frame(rng)
+        shape = frame_shape(frame)
+        assert shape == (kind, req_id, len(tenant), len(token),
+                         len(payload)), f"case {case}"
+        decoded = decode_body(frame[HEADER_BYTES:])
+        assert decoded == (tenant, token, payload), f"case {case}"
+
+
+def test_request_frame_encodes_tenant_text():
+    rng = random.Random(SEED + 1)
+    for case in range(50):
+        tenant = "tenant-%d" % rng.randrange(1000)
+        token = bytes(rng.randrange(256) for _ in range(16))
+        payload = bytes(rng.randrange(256)
+                        for _ in range(rng.randrange(64)))
+        frame = encode_request_frame(FRAME_SIGN, case, tenant, token,
+                                     payload)
+        decoded_tenant, decoded_token, decoded_payload = \
+            decode_body(frame[HEADER_BYTES:])
+        assert decoded_tenant.decode() == tenant
+        assert (decoded_token, decoded_payload) == (token, payload)
+
+
+def _assert_decodes_or_frame_error(mutant: bytes, context: str) -> None:
+    try:
+        frame_shape(mutant)
+    except FrameError:
+        pass
+    except Exception as error:  # pragma: no cover - the failure mode
+        pytest.fail(f"{context}: frame_shape leaked "
+                    f"{type(error).__name__}: {error}")
+    try:
+        decode_body(mutant[HEADER_BYTES:])
+    except FrameError:
+        pass
+    except Exception as error:  # pragma: no cover - the failure mode
+        pytest.fail(f"{context}: decode_body leaked "
+                    f"{type(error).__name__}: {error}")
+
+
+def test_single_byte_mutations_never_escape():
+    """Flip one byte anywhere in a valid frame: the parsers must
+    decode or raise FrameError, nothing else."""
+    rng = random.Random(SEED + 2)
+    for case in range(60):
+        frame, _fields = _random_frame(rng)
+        for mutation in range(MUTATIONS_PER_FRAME):
+            position = rng.randrange(len(frame))
+            flip = 1 + rng.randrange(255)
+            mutant = bytearray(frame)
+            mutant[position] ^= flip
+            _assert_decodes_or_frame_error(
+                bytes(mutant),
+                f"case {case} mutation {mutation} "
+                f"(byte {position} ^ 0x{flip:02x})")
+
+
+def test_truncations_never_escape():
+    """Every prefix of a valid frame decodes or raises FrameError."""
+    rng = random.Random(SEED + 3)
+    frame, _fields = _random_frame(rng)
+    for cut in range(len(frame)):
+        _assert_decodes_or_frame_error(frame[:cut], f"cut at {cut}")
+
+
+def test_random_garbage_never_escapes():
+    rng = random.Random(SEED + 4)
+    for case in range(120):
+        garbage = bytes(rng.randrange(256)
+                        for _ in range(rng.randrange(0, 96)))
+        _assert_decodes_or_frame_error(garbage, f"garbage case {case}")
+
+
+def test_body_length_mismatch_rejected():
+    """A frame whose BODY_LEN lies about the bytes present is a
+    protocol error, not a silently mis-measured shape."""
+    frame, _fields = _random_frame(random.Random(SEED + 5))
+    with pytest.raises(FrameError, match="body length"):
+        frame_shape(frame + b"\x00")
+    with pytest.raises(FrameError, match="body length|truncated"):
+        frame_shape(frame[:-1])
+
+
+def test_short_header_rejected():
+    with pytest.raises(FrameError, match="truncated header"):
+        frame_shape(b"FLCN")
+    with pytest.raises(FrameError):
+        frame_shape(b"")
+
+
+def test_verify_payload_fuzz():
+    """decode_verify_payload: truncations, garbage and mutated
+    signature blobs all raise FrameError (SerializeError is wrapped)."""
+    rng = random.Random(SEED + 6)
+    for case in range(120):
+        payload = bytes(rng.randrange(256)
+                        for _ in range(rng.randrange(0, 80)))
+        try:
+            decode_verify_payload(payload)
+        except FrameError:
+            pass
+        except Exception as error:  # pragma: no cover
+            pytest.fail(f"verify case {case}: leaked "
+                        f"{type(error).__name__}: {error}")
+
+
+def test_verify_payload_round_trip():
+    from repro.falcon import SecretKey
+    from repro.falcon.serving.net import encode_verify_payload
+
+    sk = SecretKey.generate(n=8, seed=3)
+    message = b"fuzz-verify"
+    signature = sk.sign(message)
+    payload = encode_verify_payload(signature, sk.n, message)
+    decoded_sig, n, decoded_message = decode_verify_payload(payload)
+    assert n == sk.n and decoded_message == message
+    assert decoded_sig.compressed == signature.compressed
+    # Mutating any single byte must still yield decode-or-FrameError.
+    rng = random.Random(SEED + 7)
+    for _ in range(40):
+        position = rng.randrange(len(payload))
+        mutant = bytearray(payload)
+        mutant[position] ^= 1 + rng.randrange(255)
+        try:
+            decode_verify_payload(bytes(mutant))
+        except FrameError:
+            pass
+        except Exception as error:  # pragma: no cover
+            pytest.fail(f"byte {position}: leaked "
+                        f"{type(error).__name__}: {error}")

@@ -79,8 +79,20 @@ def test_prng_backend_ordering():
 
 
 def test_unknown_prng_raises():
-    with pytest.raises(KeyError):
+    with pytest.raises(ValueError, match="unknown PRNG backend"):
         OpCounts(rng_bytes=1).modeled_cycles(prng="rdrand")
+
+
+def test_unknown_prng_ignored_without_rng():
+    """The PRNG table is only consulted when RNG cost is included."""
+    assert OpCounts(word_ops=2).modeled_cycles(
+        prng="rdrand", include_rng=False) == 2.0
+
+
+def test_incomplete_weights_raise():
+    with pytest.raises(ValueError, match="missing"):
+        OpCounts(word_ops=1).modeled_cycles(
+            weights={"word_ops": 1.0}, include_rng=False)
 
 
 def test_add_and_copy():

@@ -5,13 +5,9 @@ behaviour at the sizes the paper actually used — n = 128 precision for
 the sampler, Falcon at the Table 1 ring degrees.
 """
 
-import os
-
 import pytest
 
-slow = pytest.mark.skipif(
-    os.environ.get("REPRO_FULL", "") in ("", "0"),
-    reason="paper-scale test; set REPRO_FULL=1")
+slow = pytest.mark.repro_full
 
 
 @slow
