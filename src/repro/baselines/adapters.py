@@ -49,6 +49,7 @@ class KnuthYaoIntegerSampler(IntegerSampler):
             self.counter.compare(result.rows_scanned)
             # Bit stream pulls bytes; attribute them at bit granularity.
             self.counter.rng((consumed + 7) // 8)
+            # ct: vartime(secret-early-exit): the walk terminates at the sampled leaf — Algorithm 1's per-bit column scan is the leak under study
             if not result.failed:
                 return result.value
             self.counter.branch()
@@ -105,6 +106,7 @@ class BitslicedIntegerSampler(IntegerSampler):
         return abs(self.sample())
 
     def sample(self) -> int:
+        # ct: allow(secret-loop): pool emptiness is the public batch fill rate, not a function of the sampled values
         while not self._buffer:
             self._buffer = self._refill(self.inner.prefetch_batches)
         return self._buffer.pop()
@@ -136,6 +138,7 @@ class BitslicedIntegerSampler(IntegerSampler):
         """
         out: list[int] = []
         while count > 0:
+            # ct: allow(secret-branch): refill on pool exhaustion — fill state is public (a length, not a value)
             if not self._buffer:
                 self._buffer = self._refill(self.inner.prefetch_batches)
             grab = min(count, len(self._buffer))

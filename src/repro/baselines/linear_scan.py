@@ -47,7 +47,8 @@ class LinearScanCdtSampler(IntegerSampler):
                 self.counter.load(self.words_per_entry)
                 self.counter.compare(self.words_per_entry)
                 self.counter.word_op(1)  # accumulate the predicate
-                index += 1 if r >= entry else 0
+                index += r >= entry
+            # ct: allow(secret-early-exit): restart on the truncation gap — a public event of probability ~2^-n, identical across backends
             if index < len(table):
                 return index
             # Truncation gap (public event, probability ~2^-n): redraw.

@@ -110,6 +110,7 @@ def _cmd_sample(args: argparse.Namespace) -> int:
                               batch_width=args.batch_width,
                               engine=args.engine)
     values = sampler.sample_many(args.count)
+    # ct: allow(vartime-str): printing the requested samples IS this command's output — nothing here feeds a signing path
     print(" ".join(str(v) for v in values))
     return 0
 
@@ -142,6 +143,56 @@ def _cmd_ct_leakage(args: argparse.Namespace) -> int:
         print(f"wrote {args.json}")
     print(report.render())
     return 0 if report.passed else 1
+
+
+def _cmd_ct_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .ctlint import RULES, LintReport, lint_paths
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.id:28s} [{rule.pack:5s}] {rule.title}")
+        return 0
+
+    if args.paths:
+        targets = [Path(p) for p in args.paths]
+    else:
+        # Default target: the installed repro package itself, so the
+        # gate is independent of the caller's working directory.
+        targets = [Path(__file__).resolve().parent]
+
+    packs = tuple(args.pack) if args.pack else ("ct", "async")
+
+    baseline_entries = None
+    baseline_path = None
+    baseline_file = Path(args.baseline) if args.baseline else None
+    if baseline_file is not None and baseline_file.exists() and not args.write_baseline:
+        baseline_entries = LintReport.load_baseline(baseline_file)
+        baseline_path = str(baseline_file)
+
+    report = lint_paths(targets, packs=packs,
+                        baseline=baseline_entries,
+                        baseline_path=baseline_path)
+
+    if args.write_baseline:
+        if baseline_file is None:
+            print("error: --write-baseline requires --baseline PATH")
+            return 2
+        baseline_file.parent.mkdir(parents=True, exist_ok=True)
+        report.write_baseline(baseline_file)
+        print(f"wrote {len(report.baseline_entries())} baseline entries "
+              f"to {baseline_file}")
+        return 0
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    print(report.render())
+    return 0 if report.gate_ok else 1
 
 
 def _cmd_falcon(args: argparse.Namespace) -> int:
@@ -751,6 +802,33 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also write the full report as JSON")
     _add_engine_option(leakage_p)
     leakage_p.set_defaults(func=_cmd_ct_leakage)
+
+    ctlint_p = sub.add_parser(
+        "ct-lint",
+        help="static constant-time taint lint + serving-plane "
+             "concurrency lint (AST pass, CI-gated like a KAT)")
+    ctlint_p.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the installed "
+             "repro package)")
+    ctlint_p.add_argument(
+        "--baseline", metavar="PATH",
+        default="benchmarks/reports/CTLINT_baseline.json",
+        help="committed findings baseline; comparison is skipped when "
+             "the file does not exist")
+    ctlint_p.add_argument(
+        "--write-baseline", action="store_true",
+        help="refresh the baseline from the current open findings "
+             "instead of gating")
+    ctlint_p.add_argument(
+        "--pack", action="append", choices=["ct", "async"],
+        help="restrict to one rule pack (repeatable; default: both)")
+    ctlint_p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    ctlint_p.add_argument("--json", metavar="PATH",
+                          help="also write the full report as JSON")
+    ctlint_p.set_defaults(func=_cmd_ct_lint)
 
     falcon_p = sub.add_parser("falcon", help="sign/verify round trip")
     falcon_p.add_argument("--n", type=int, default=64)

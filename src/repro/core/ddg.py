@@ -79,7 +79,9 @@ class DDGTree:
         child_base = 0  # the root's children sit at positions 0 and 1
         for level in self.levels:
             bit = bits.take_bit()
+            # ct: vartime(secret-index): the walk follows the secret path through the materialized tree — the DDG traversal leak (Fig. 1)
             node = level[child_base + bit]
+            # ct: vartime(secret-early-exit): termination depth equals the sampled leaf's level
             if node.is_leaf:
                 return node.value, bits.bits_consumed
             child_base = node.child_base

@@ -54,6 +54,7 @@ def knuth_yao_walk(matrix: ProbabilityMatrix, bits: BitStream) -> WalkResult:
         for row in range(max_row, -1, -1):
             rows_scanned += 1
             d -= matrix.bit(row, col)
+            # ct: vartime(secret-early-exit): Algorithm 1 stops the column scan at the sampled leaf — the distance-to-leaf leak the paper's circuit removes
             if d == -1:
                 return WalkResult(value=row,
                                   bits_used=bits.bits_consumed - start,
@@ -97,6 +98,7 @@ class KnuthYaoSampler:
         while True:
             result = knuth_yao_walk(self.matrix, self.bits)
             self.last_walk = result
+            # ct: vartime(secret-early-exit): walk termination time is the sampled value's leaf depth (restart itself is public, the depth is not)
             if not result.failed:
                 return result.value
             self.restarts += 1
@@ -111,7 +113,9 @@ class KnuthYaoSampler:
         """
         magnitude = self.sample()
         sign = self.bits.take_bit()
-        return -magnitude if sign else magnitude
+        # Branchless negate (sign is 0/1): same values as the ternary
+        # without a secret-selected arm.
+        return (magnitude ^ -sign) + sign
 
     def sample_many(self, count: int) -> list[int]:
         """Draw ``count`` signed samples."""

@@ -234,6 +234,7 @@ class BitslicedSampler:
         as one fused kernel pass, so pointwise consumers (Falcon's
         rejection wrapper) still get super-batch throughput.
         """
+        # ct: allow(secret-loop): refill cadence is the public batch fill rate — every batch costs the same fixed kernel pass regardless of the values produced
         while not self._buffer:
             if self.prefetch_batches > 1:
                 self._buffer = self._sample_block(self.prefetch_batches)

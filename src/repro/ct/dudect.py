@@ -18,6 +18,8 @@ correlation a timing attacker exploits.  Measurements come from either
   reported for completeness, asserted only loosely).
 """
 
+# ct: exempt(ct): measurement harness — classifies secret-labeled draws offline by construction; it is the instrument, not a signing path
+
 from __future__ import annotations
 
 import math

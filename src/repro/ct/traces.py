@@ -26,11 +26,17 @@ Capture surfaces (the three layers the audit gates):
 * :func:`serving_shape_traces` — the serving plane's round and wire
   frame shapes, two-class (all-zero vs secret messages).
 
+.. note:: the module carries a ``ct: exempt`` pragma below — trace
+   capture branches on secret labels *by construction* (that is its
+   job); it runs offline and never inside a signing path.
+
 :class:`LeakyControlSampler` is the harness's positive control: a
 deliberately leaky variant (value-correlated table loads, an
 early-exit-style access pattern) that the probe MUST flag — if it ever
 stops being flagged, the harness has gone blind, not the code clean.
 """
+
+# ct: exempt(ct): trace capture classifies secret-labeled events offline by construction — the instrument for the leakage probe, not a signing path
 
 from __future__ import annotations
 

@@ -1,0 +1,36 @@
+"""Static constant-time + concurrency linter (``repro ct-lint``).
+
+Complements the dynamic CT machinery (dudect op-count audits, the ML
+leakage harness) with a review-time pass: an AST taint engine seeded by
+``@secret_params`` annotations and an explicit registry, a CT rule pack
+for secret-dependent control flow / variable-time operations, and an
+async rule pack for event-loop hygiene in the serving plane.
+
+Production code should import only :mod:`repro.ctlint.annotations`
+(re-exported here as :func:`secret_params`); the analyzer itself is
+pure stdlib and never imports the code under lint.
+"""
+
+from .annotations import secret_params
+from .linter import collect_files, lint_paths, lint_source
+from .registry import DEFAULT_REGISTRY, LintRegistry
+from .report import Finding, LintReport, normalize_path, scope_verdict
+from .rules import ASYNC_RULES, CT_RULES, META_RULES, RULES, Rule
+
+__all__ = [
+    "secret_params",
+    "lint_source",
+    "lint_paths",
+    "collect_files",
+    "LintRegistry",
+    "DEFAULT_REGISTRY",
+    "Finding",
+    "LintReport",
+    "normalize_path",
+    "scope_verdict",
+    "Rule",
+    "RULES",
+    "CT_RULES",
+    "ASYNC_RULES",
+    "META_RULES",
+]

@@ -1,0 +1,37 @@
+"""Runtime annotations read (statically) by the constant-time linter.
+
+Production modules import only this module from ``repro.ctlint`` so that
+annotating a sampler or the signing scheme never drags the analyzer —
+or anything heavier than the stdlib — into the hot path.  The decorator
+is deliberately trivial at runtime: it records the declared secret
+parameter names on the function object and returns the function
+unchanged.  The linter does not import the annotated code at all; it
+recognises ``@secret_params("center", "sigma")`` in the AST by name.
+"""
+
+from __future__ import annotations
+
+__all__ = ["secret_params"]
+
+
+def secret_params(*names: str):
+    """Mark parameters of a function as secret taint sources.
+
+    ``@secret_params("center", "sigma")`` declares that the named
+    parameters carry secret-dependent values (sampler centers, key
+    material, secret seeds).  The static linter seeds its taint engine
+    from these declarations; at runtime the decorator only attaches the
+    tuple as ``__ct_secret_params__`` for introspection.
+    """
+    if not names:
+        raise ValueError("secret_params requires at least one parameter name")
+    for name in names:
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"secret_params expects non-empty strings, got {name!r}")
+
+    def mark(func):
+        existing = getattr(func, "__ct_secret_params__", ())
+        func.__ct_secret_params__ = tuple(dict.fromkeys(existing + names))
+        return func
+
+    return mark

@@ -1,0 +1,175 @@
+"""Async/concurrency rule pack for the serving plane.
+
+Two rules, both scoped strictly to ``async def`` bodies (a
+``time.sleep`` in a worker-process backoff loop is fine; the same call
+on the event loop stalls every coalesced signing round):
+
+* ``async-blocking-call`` — a known-blocking callee (registry:
+  ``blocking_calls`` dotted names, ``blocking_builtins`` bare names,
+  ``blocking_methods`` terminal attributes such as ``.recv`` /
+  ``.recv_bytes`` / ``.acquire``) appears without an ``await`` directly
+  on it and outside ``asyncio.to_thread`` / ``run_in_executor``
+  offloading.
+* ``async-lock-across-await`` — a synchronous ``with`` over a
+  lock-like context manager (name matches the registry's
+  ``lock_name_hints``, or a ``Lock()``/``RLock()``/``Semaphore()``
+  constructor) whose body contains an ``await``; ``async with`` is the
+  correct form and is never flagged.
+
+Nested synchronous ``def``s inside an async function are skipped — they
+run wherever they are called, which the taint pack's caller analyses
+cover — and nested ``async def``s are visited as their own roots.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from .registry import LintRegistry
+from .report import Finding
+from .taint import _dotted, _terminal, _unparse
+
+__all__ = ["lint_module_async"]
+
+_LOCK_CONSTRUCTORS = {"Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition"}
+
+
+def _is_lock_like(expr: ast.AST, registry: LintRegistry) -> bool:
+    if isinstance(expr, ast.Call):
+        ctor = _terminal(_dotted(expr.func))
+        if ctor in _LOCK_CONSTRUCTORS:
+            return True
+        return False
+    dotted = _dotted(expr) or ""
+    lowered = dotted.lower()
+    return any(hint in lowered for hint in registry.lock_name_hints)
+
+
+def _contains_await(stmts) -> bool:
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, (ast.Await, ast.AsyncFor, ast.AsyncWith)):
+                return True
+    return False
+
+
+class _AsyncScope(ast.NodeVisitor):
+    """Scan one ``async def`` body (excluding nested function defs)."""
+
+    def __init__(
+        self,
+        qualname: str,
+        registry: LintRegistry,
+        path: str,
+        lines: List[str],
+        findings: Dict[Tuple[str, int, int], Finding],
+    ) -> None:
+        self.qualname = qualname
+        self.registry = registry
+        self.path = path
+        self.lines = lines
+        self.findings = findings
+
+    def emit(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        key = (rule, line, col)
+        if key in self.findings:
+            return
+        snippet = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        self.findings[key] = Finding(
+            rule=rule,
+            path=self.path,
+            line=line,
+            col=col,
+            scope=self.qualname,
+            message=message,
+            snippet=snippet,
+        )
+
+    # nested defs get their own scope (async) or are out of scope (sync)
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+    def visit_Await(self, node: ast.Await) -> None:
+        # An awaited call is, by definition, not blocking the loop;
+        # its arguments still are ordinary expressions.
+        value = node.value
+        if isinstance(value, ast.Call):
+            for arg in value.args:
+                self.visit(arg)
+            for kw in value.keywords:
+                self.visit(kw.value)
+            self.visit(value.func)
+        else:
+            self.visit(value)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        terminal = _terminal(dotted)
+        registry = self.registry
+        blocking = (
+            (dotted and dotted in registry.blocking_calls)
+            or terminal in registry.blocking_calls
+            or (isinstance(node.func, ast.Name) and terminal in registry.blocking_builtins)
+            or (isinstance(node.func, ast.Attribute) and terminal in registry.blocking_methods)
+        )
+        if blocking:
+            self.emit(
+                "async-blocking-call",
+                node,
+                f"blocking call `{_unparse(node)}` on the event loop "
+                "(await it, or offload via asyncio.to_thread)",
+            )
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        lockish = any(
+            _is_lock_like(item.context_expr, self.registry) for item in node.items
+        )
+        if lockish and _contains_await(node.body):
+            self.emit(
+                "async-lock-across-await",
+                node,
+                "synchronous lock held across await "
+                "(use asyncio primitives and `async with`)",
+            )
+        self.generic_visit(node)
+
+
+def lint_module_async(
+    tree: ast.Module,
+    path: str,
+    source: str,
+    registry: LintRegistry,
+) -> List[Finding]:
+    lines = source.splitlines()
+    findings: Dict[Tuple[str, int, int], Finding] = {}
+
+    def qual_walk(body, prefix: str) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.AsyncFunctionDef):
+                qual = f"{prefix}.{stmt.name}" if prefix else stmt.name
+                scope = _AsyncScope(qual, registry, path, lines, findings)
+                for inner in stmt.body:
+                    scope.visit(inner)
+                qual_walk(stmt.body, qual)
+            elif isinstance(stmt, (ast.FunctionDef, ast.ClassDef)):
+                qual = f"{prefix}.{stmt.name}" if prefix else stmt.name
+                qual_walk(stmt.body, qual)
+            else:
+                # async defs can hide inside conditionals etc.
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qual_walk([child], prefix)
+    qual_walk(tree.body, "")
+    return list(findings.values())

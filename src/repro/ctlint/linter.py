@@ -1,0 +1,96 @@
+"""Orchestration: lint sources, apply suppressions, build reports."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .asynclint import lint_module_async
+from .registry import DEFAULT_REGISTRY, LintRegistry
+from .report import (
+    Finding,
+    LintReport,
+    apply_suppressions,
+    parse_suppressions,
+)
+from .taint import lint_module_ct
+
+__all__ = ["lint_source", "lint_paths", "collect_files"]
+
+_PACKS = ("ct", "async")
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    registry: LintRegistry = DEFAULT_REGISTRY,
+    packs: Sequence[str] = _PACKS,
+) -> List[Finding]:
+    """Lint one module's source text; returns findings with statuses."""
+    tree = ast.parse(source, filename=path)
+    suppressions, exemptions = parse_suppressions(source, path)
+    exempt_packs = {e.pack for e in exemptions if e.reason}
+    findings: List[Finding] = []
+    if "ct" in packs and "ct" not in exempt_packs:
+        findings.extend(lint_module_ct(tree, path, source, registry))
+    if "async" in packs and "async" not in exempt_packs:
+        findings.extend(lint_module_async(tree, path, source, registry))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    meta = apply_suppressions(findings, suppressions)
+    # An exemption pragma without a reason is itself a missing-reason
+    # finding — a silent whole-module waiver is the worst kind.
+    for exemption in exemptions:
+        if not exemption.reason:
+            meta.append(
+                Finding(
+                    rule="suppression-missing-reason",
+                    path=path,
+                    line=exemption.line,
+                    col=0,
+                    scope="<module>",
+                    message=f"ct: exempt({exemption.pack}) has no reason",
+                )
+            )
+    findings.extend(meta)
+    return findings
+
+
+def collect_files(paths: Iterable[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    # de-dup while preserving order
+    seen = set()
+    unique = []
+    for file in files:
+        key = file.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(file)
+    return unique
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    registry: LintRegistry = DEFAULT_REGISTRY,
+    packs: Sequence[str] = _PACKS,
+    baseline: Optional[Sequence[dict]] = None,
+    baseline_path: Optional[str] = None,
+) -> LintReport:
+    report = LintReport(baseline_path=baseline_path)
+    for file in collect_files(paths):
+        source = file.read_text()
+        report.paths.append(str(file))
+        _, exemptions = parse_suppressions(source, str(file))
+        report.exemptions.extend(e for e in exemptions if e.reason)
+        report.findings.extend(
+            lint_source(source, str(file), registry, packs)
+        )
+    if baseline is not None:
+        report.apply_baseline(baseline)
+    return report

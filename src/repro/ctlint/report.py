@@ -1,0 +1,344 @@
+"""Findings, suppressions, baselines and report rendering for ct-lint.
+
+Suppression grammar (one comment, same line as the finding or the line
+directly above it):
+
+* ``# ct: allow(<rules>): <reason>`` — reviewed and accepted as
+  constant-time (an arithmetic mux the rule cannot see through, a
+  branch on a genuinely public event such as a rejection restart).
+* ``# ct: vartime(<rules>): <reason>`` — acknowledged variable-time by
+  design (the leaky baseline samplers).  The finding stops gating CI
+  but the enclosing scope is still reported as variable-time, which is
+  what the lint-vs-dudect agreement test checks.
+* ``# ct: exempt(<pack>): <reason>`` — module-level opt-out from a
+  whole pack (``ct`` or ``async``), for analysis tooling that consumes
+  secret-labeled data offline by construction.
+
+``<rules>`` is a comma-separated list of rule ids, or ``*``.  A reason
+is mandatory; a stale suppression that matches nothing is itself a
+gating finding.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .rules import CT_RULES, RULES
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "ModuleExemption",
+    "LintReport",
+    "parse_suppressions",
+    "normalize_path",
+    "scope_verdict",
+]
+
+BASELINE_VERSION = 1
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*ct:\s*(allow|vartime)\(\s*([\w\s,*-]+?)\s*\)\s*:?\s*(.*)$"
+)
+_EXEMPT_RE = re.compile(r"#\s*ct:\s*exempt\(\s*(ct|async)\s*\)\s*:?\s*(.*)$")
+
+
+def normalize_path(path: str) -> str:
+    """Stable repo-relative key for baseline entries.
+
+    Absolute install paths differ across machines; everything from the
+    last ``repro``/``tests``/``benchmarks`` component on is stable.
+    """
+    parts = PurePosixPath(Path(path).as_posix()).parts
+    for anchor in ("repro", "tests", "benchmarks"):
+        if anchor in parts:
+            idx = len(parts) - 1 - parts[::-1].index(anchor)
+            return "/".join(parts[idx:])
+    return parts[-1] if parts else path
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    col: int
+    scope: str
+    message: str
+    snippet: str = ""
+    status: str = "open"  # open | allowed | vartime | baselined
+    reason: str = ""
+
+    @property
+    def pack(self) -> str:
+        rule = RULES.get(self.rule)
+        return rule.pack if rule else "ct"
+
+    def baseline_key(self) -> Tuple[str, str, str, str]:
+        # Line numbers shift on every edit; (path, rule, scope, snippet)
+        # survives reflows while still pinning the construct.
+        return (normalize_path(self.path), self.rule, self.scope, self.snippet)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "pack": self.pack,
+            "path": normalize_path(self.path),
+            "line": self.line,
+            "col": self.col,
+            "scope": self.scope,
+            "message": self.message,
+            "snippet": self.snippet,
+            "status": self.status,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Suppression:
+    path: str
+    line: int
+    kind: str  # allow | vartime
+    rules: Tuple[str, ...]
+    reason: str
+    used: bool = False
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.line not in (self.line, self.line + 1):
+            return False
+        return "*" in self.rules or finding.rule in self.rules
+
+
+@dataclass
+class ModuleExemption:
+    path: str
+    line: int
+    pack: str
+    reason: str
+
+
+def parse_suppressions(
+    source: str, path: str
+) -> Tuple[List[Suppression], List[ModuleExemption]]:
+    suppressions: List[Suppression] = []
+    exemptions: List[ModuleExemption] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match:
+            kind, raw_rules, reason = match.groups()
+            rules = tuple(
+                part.strip() for part in raw_rules.split(",") if part.strip()
+            )
+            suppressions.append(
+                Suppression(path, lineno, kind, rules, reason.strip())
+            )
+            continue
+        match = _EXEMPT_RE.search(text)
+        if match:
+            pack, reason = match.groups()
+            exemptions.append(
+                ModuleExemption(path, lineno, pack, reason.strip())
+            )
+    return suppressions, exemptions
+
+
+def apply_suppressions(
+    findings: List[Finding], suppressions: Sequence[Suppression]
+) -> List[Finding]:
+    """Mark findings covered by suppressions; emit meta findings.
+
+    Returns the extra meta findings (missing reasons, stale waivers) so
+    suppression hygiene gates CI exactly like a leak would.
+    """
+    meta: List[Finding] = []
+    for finding in findings:
+        for sup in suppressions:
+            if sup.path == finding.path and sup.matches(finding):
+                finding.status = "allowed" if sup.kind == "allow" else "vartime"
+                finding.reason = sup.reason
+                sup.used = True
+                break
+    for sup in suppressions:
+        scope = "<module>"
+        if not sup.reason:
+            meta.append(
+                Finding(
+                    rule="suppression-missing-reason",
+                    path=sup.path,
+                    line=sup.line,
+                    col=0,
+                    scope=scope,
+                    message=f"ct: {sup.kind}({', '.join(sup.rules)}) has no reason",
+                )
+            )
+        if not sup.used:
+            meta.append(
+                Finding(
+                    rule="unused-suppression",
+                    path=sup.path,
+                    line=sup.line,
+                    col=0,
+                    scope=scope,
+                    message=(
+                        f"ct: {sup.kind}({', '.join(sup.rules)}) matches no "
+                        "finding; delete the stale waiver"
+                    ),
+                )
+            )
+    return meta
+
+
+def scope_verdict(
+    findings: Iterable[Finding],
+    path_suffix: str,
+    scope_prefix: Optional[str] = None,
+) -> str:
+    """Lint verdict for a module (or a class within it).
+
+    ``variable-time`` iff any ct-pack finding in scope is still open or
+    acknowledged as variable-time by design; ``allow`` waivers and the
+    async pack do not count against constant-timeness.
+    """
+    for finding in findings:
+        if finding.rule not in CT_RULES:
+            continue
+        if not normalize_path(finding.path).endswith(path_suffix):
+            continue
+        if scope_prefix is not None and not finding.scope.startswith(scope_prefix):
+            continue
+        if finding.status in ("open", "vartime", "baselined"):
+            return "variable-time"
+    return "constant-time"
+
+
+@dataclass
+class LintReport:
+    findings: List[Finding] = field(default_factory=list)
+    paths: List[str] = field(default_factory=list)
+    exemptions: List[ModuleExemption] = field(default_factory=list)
+    stale_baseline: List[dict] = field(default_factory=list)
+    baseline_path: Optional[str] = None
+
+    @property
+    def open_findings(self) -> List[Finding]:
+        return [f for f in self.findings if f.status == "open"]
+
+    @property
+    def gate_ok(self) -> bool:
+        return not self.open_findings
+
+    def counts(self) -> Dict[str, int]:
+        out = {"open": 0, "allowed": 0, "vartime": 0, "baselined": 0}
+        for finding in self.findings:
+            out[finding.status] = out.get(finding.status, 0) + 1
+        return out
+
+    # --- baseline ----------------------------------------------------
+
+    def baseline_entries(self) -> List[dict]:
+        entries = []
+        for finding in sorted(
+            self.open_findings, key=lambda f: f.baseline_key()
+        ):
+            path, rule, scope, snippet = finding.baseline_key()
+            entries.append(
+                {
+                    "path": path,
+                    "rule": rule,
+                    "scope": scope,
+                    "snippet": snippet,
+                    "reason": finding.reason or "accepted pending fix",
+                }
+            )
+        return entries
+
+    def apply_baseline(self, entries: Sequence[dict]) -> None:
+        """Match open findings against committed entries (as a multiset)."""
+        budget: Dict[Tuple[str, str, str, str], List[dict]] = {}
+        for entry in entries:
+            key = (
+                entry.get("path", ""),
+                entry.get("rule", ""),
+                entry.get("scope", ""),
+                entry.get("snippet", ""),
+            )
+            budget.setdefault(key, []).append(entry)
+        for finding in self.findings:
+            if finding.status != "open":
+                continue
+            queue = budget.get(finding.baseline_key())
+            if queue:
+                entry = queue.pop(0)
+                finding.status = "baselined"
+                finding.reason = entry.get("reason", "")
+        self.stale_baseline = [
+            entry for queue in budget.values() for entry in queue
+        ]
+
+    @staticmethod
+    def load_baseline(path: Path) -> List[dict]:
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported ct-lint baseline version: {data.get('version')!r}"
+            )
+        return list(data.get("entries", []))
+
+    def write_baseline(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "tool": "repro ct-lint",
+            "entries": self.baseline_entries(),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # --- output ------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "version": 1,
+            "paths": [normalize_path(p) for p in self.paths],
+            "counts": self.counts(),
+            "gate_ok": self.gate_ok,
+            "baseline": self.baseline_path,
+            "stale_baseline": self.stale_baseline,
+            "exemptions": [
+                {
+                    "path": normalize_path(e.path),
+                    "pack": e.pack,
+                    "reason": e.reason,
+                }
+                for e in self.exemptions
+            ],
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def render(self) -> str:
+        lines = []
+        counts = self.counts()
+        for finding in sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+        ):
+            if finding.status != "open":
+                continue
+            lines.append(
+                f"{normalize_path(finding.path)}:{finding.line}:{finding.col} "
+                f"[{finding.rule}] {finding.scope}: {finding.message}"
+            )
+        lines.append(
+            "ct-lint: {open} open, {allowed} allowed, {vartime} vartime-"
+            "acknowledged, {baselined} baselined ({files} files)".format(
+                files=len(self.paths), **counts
+            )
+        )
+        if self.stale_baseline:
+            lines.append(
+                f"warning: {len(self.stale_baseline)} stale baseline entries "
+                "no longer match any finding (refresh with --write-baseline)"
+            )
+        lines.append("gate: " + ("PASS" if self.gate_ok else "FAIL"))
+        return "\n".join(lines)

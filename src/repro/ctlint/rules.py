@@ -1,0 +1,161 @@
+"""Rule catalogue for the constant-time linter.
+
+Three packs:
+
+* ``ct`` — secret-dependent control flow and variable-time operations
+  on tainted values (the GALACTICS class of bugs: a branch or a
+  data-dependent-latency instruction keyed on secret data);
+* ``async`` — event-loop hygiene for the serving plane (blocking calls
+  inside ``async def``, locks held across ``await``);
+* ``meta`` — hygiene of the suppression mechanism itself, so waivers
+  cannot silently rot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Rule", "RULES", "CT_RULES", "ASYNC_RULES", "META_RULES"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    id: str
+    pack: str
+    title: str
+    description: str
+
+
+_ALL = [
+    # --- ct pack -----------------------------------------------------
+    Rule(
+        "secret-branch",
+        "ct",
+        "secret-dependent branch",
+        "An if/elif/assert condition (or comprehension filter) depends "
+        "on a tainted value; the taken path is observable in time.",
+    ),
+    Rule(
+        "secret-early-exit",
+        "ct",
+        "secret-dependent early exit",
+        "A tainted condition guards a return/break/continue/raise — the "
+        "classic early-exit comparison leak (Table 1 of the paper).",
+    ),
+    Rule(
+        "secret-loop",
+        "ct",
+        "secret-dependent loop bound",
+        "A while-loop condition depends on a tainted value, so the "
+        "iteration count leaks.",
+    ),
+    Rule(
+        "secret-ternary",
+        "ct",
+        "secret-dependent conditional expression",
+        "A ternary selects between values on a tainted test; unlike an "
+        "arithmetic mux, CPython evaluates only the taken arm.",
+    ),
+    Rule(
+        "secret-shortcircuit",
+        "ct",
+        "secret-dependent short-circuit",
+        "An and/or chain short-circuits on a tainted operand, skipping "
+        "evaluation of the rest in secret-dependent time.",
+    ),
+    Rule(
+        "vartime-div",
+        "ct",
+        "variable-time division/modulo on a secret",
+        "Division, floor-division and modulo have operand-dependent "
+        "latency on most cores (and arbitrary-precision cost in "
+        "CPython).",
+    ),
+    Rule(
+        "vartime-pow",
+        "ct",
+        "variable-time exponentiation on a secret",
+        "** and pow() run square-and-multiply loops whose length "
+        "depends on operand values.",
+    ),
+    Rule(
+        "vartime-bitlength",
+        "ct",
+        "bit_length() of a secret",
+        "int.bit_length is a value-dependent normalisation — exactly "
+        "the quantity a sampler must not leak.",
+    ),
+    Rule(
+        "vartime-call",
+        "ct",
+        "variable-latency call on a secret",
+        "A registered variable-time callee (math.exp/log, bisect, pow) "
+        "received a tainted argument; transcendental latency is "
+        "argument-dependent (the GALACTICS attack vector).",
+    ),
+    Rule(
+        "vartime-range",
+        "ct",
+        "range() over a secret bound",
+        "Looping range(secret) makes the trip count itself the leak.",
+    ),
+    Rule(
+        "vartime-str",
+        "ct",
+        "string formatting of a secret",
+        "str/repr/format/f-strings/%-formatting of a tainted value take "
+        "value-dependent time and tend to reach logs.",
+    ),
+    Rule(
+        "secret-index",
+        "ct",
+        "secret-dependent table index",
+        "Subscripting with a tainted index is a data-dependent memory "
+        "access (cache-timing channel) unless the table is a "
+        "sentinel-padded single-cycle structure.",
+    ),
+    Rule(
+        "secret-membership",
+        "ct",
+        "secret-dependent membership test",
+        "`in`/`not in` walks hash buckets or scans in value-dependent "
+        "time.",
+    ),
+    # --- async pack --------------------------------------------------
+    Rule(
+        "async-blocking-call",
+        "async",
+        "blocking call inside async def",
+        "A known-blocking call (time.sleep, sync pipe/socket/file I/O, "
+        "sync lock acquire) runs on the event loop without await/"
+        "to_thread, stalling every coalesced round behind it.",
+    ),
+    Rule(
+        "async-lock-across-await",
+        "async",
+        "sync lock held across await",
+        "A synchronous lock/semaphore context manager contains an "
+        "await: the lock is held while the coroutine is suspended, "
+        "inviting loop-wide deadlock.",
+    ),
+    # --- meta pack ---------------------------------------------------
+    Rule(
+        "suppression-missing-reason",
+        "meta",
+        "suppression without a reason",
+        "`# ct: allow(...)`/`# ct: vartime(...)` requires a non-empty "
+        "justification after the colon.",
+    ),
+    Rule(
+        "unused-suppression",
+        "meta",
+        "suppression matches no finding",
+        "A suppression comment no longer matches any finding — stale "
+        "waivers must be deleted, not accumulated.",
+    ),
+]
+
+RULES = {rule.id: rule for rule in _ALL}
+CT_RULES = frozenset(r.id for r in _ALL if r.pack == "ct")
+ASYNC_RULES = frozenset(r.id for r in _ALL if r.pack == "async")
+META_RULES = frozenset(r.id for r in _ALL if r.pack == "meta")

@@ -1,0 +1,539 @@
+"""Intraprocedural taint engine + constant-time rule pack.
+
+Each function is analysed on its own.  Taint enters through
+``@secret_params`` decorators, registry ``seed_params``, registry
+``secret_attributes`` suffixes (``self.keys.f``) and calls to
+``secret_returning`` names; it propagates through assignments,
+augmented assignments, tuple unpacking, comprehensions, f-strings and
+arbitrary calls (any call with a tainted argument or receiver returns
+taint, unless the callee is a declassifier).
+
+The analysis is flow-insensitive and monotone: once a name is tainted
+in a function it stays tainted, and the engine iterates the body to a
+fixpoint so taint flows backwards through ``while`` loops and forward
+through any assignment order.  Implicit flows (``flag = 1`` inside a
+secret branch) are *not* tracked — that is exactly the residual class
+the dynamic dudect/ML harnesses cover.
+
+Findings are emitted while evaluating expressions; because taint only
+grows between passes, a finding from an early pass remains valid at the
+fixpoint, and duplicates are collapsed by (rule, line, col).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .registry import LintRegistry
+from .report import Finding
+
+__all__ = ["lint_module_ct"]
+
+_MAX_PASSES = 10
+_EXIT_NODES = (ast.Return, ast.Break, ast.Continue, ast.Raise)
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def _terminal(dotted: Optional[str]) -> str:
+    return dotted.rsplit(".", 1)[-1] if dotted else ""
+
+
+def _unparse(node: ast.AST, limit: int = 60) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is best-effort context
+        return "<expr>"
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def _has_exit(stmts) -> bool:
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, _EXIT_NODES):
+                return True
+    return False
+
+
+class _FunctionAnalysis:
+    """Fixpoint taint analysis of one function body."""
+
+    def __init__(
+        self,
+        fn: ast.AST,
+        qualname: str,
+        registry: LintRegistry,
+        path: str,
+        lines: List[str],
+        findings: Dict[Tuple[str, int, int], Finding],
+        inherited: Set[str],
+    ) -> None:
+        self.fn = fn
+        self.qualname = qualname
+        self.registry = registry
+        self.path = path
+        self.lines = lines
+        self.findings = findings
+        self.tainted: Set[str] = set(inherited)
+        # Local aliases of secret-returning / variable-time callables
+        # (``base_sample = self.base.sample``, ``exp = math.exp``).
+        self.fn_aliases: Dict[str, str] = {}
+        self.nested: List[Tuple[ast.AST, str]] = []
+
+    # -- plumbing -----------------------------------------------------
+
+    def emit(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        key = (rule, line, col)
+        if key in self.findings:
+            return
+        snippet = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        self.findings[key] = Finding(
+            rule=rule,
+            path=self.path,
+            line=line,
+            col=col,
+            scope=self.qualname,
+            message=message,
+            snippet=snippet,
+        )
+
+    def _seed_params(self) -> None:
+        declared: Set[str] = set()
+        for deco in getattr(self.fn, "decorator_list", []):
+            if isinstance(deco, ast.Call) and _terminal(_dotted(deco.func)) == "secret_params":
+                for arg in deco.args:
+                    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                        declared.add(arg.value)
+        for key in (self.qualname, getattr(self.fn, "name", "")):
+            declared.update(self.registry.seed_params.get(key, ()))
+        args = self.fn.args
+        all_args = [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *( [args.vararg] if args.vararg else [] ),
+            *( [args.kwarg] if args.kwarg else [] ),
+        ]
+        for arg in all_args:
+            if arg.arg in declared:
+                self.tainted.add(arg.arg)
+
+    def run(self) -> None:
+        self._seed_params()
+        for _ in range(_MAX_PASSES):
+            before = (len(self.tainted), len(self.fn_aliases))
+            for stmt in self.fn.body:
+                self.exec_stmt(stmt)
+            if (len(self.tainted), len(self.fn_aliases)) == before:
+                break
+
+    # -- binding ------------------------------------------------------
+
+    def bind(self, target: ast.AST, tainted: bool) -> None:
+        if isinstance(target, ast.Name):
+            if tainted:
+                self.tainted.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            dotted = _dotted(target)
+            if tainted and dotted:
+                self.tainted.add(dotted)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.bind(elt, tainted)
+        elif isinstance(target, ast.Starred):
+            self.bind(target.value, tainted)
+        elif isinstance(target, ast.Subscript):
+            # storing a secret poisons the container; a secret index is
+            # a data-dependent store either way
+            if self.eval(target.slice):
+                self.emit(
+                    "secret-index",
+                    target,
+                    f"store at secret-dependent index `{_unparse(target)}`",
+                )
+            base = _dotted(target.value)
+            if tainted and base:
+                self.tainted.add(base)
+
+    def _record_alias(self, target: ast.AST, value: ast.AST) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        # direct alias: exp = math.exp / base_sample = self.base.sample
+        terminal = _terminal(_dotted(value))
+        # getattr alias: fn = getattr(obj, "sample_lanes", None)
+        if (
+            isinstance(value, ast.Call)
+            and _terminal(_dotted(value.func)) == "getattr"
+            and len(value.args) >= 2
+            and isinstance(value.args[1], ast.Constant)
+            and isinstance(value.args[1].value, str)
+        ):
+            terminal = value.args[1].value
+        if terminal and (
+            terminal in self.registry.secret_returning
+            or terminal in self.registry.vartime_calls
+        ):
+            self.fn_aliases[target.id] = terminal
+
+    # -- statements ---------------------------------------------------
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.nested.append((stmt, f"{self.qualname}.{stmt.name}"))
+            return
+        if isinstance(stmt, ast.ClassDef):
+            for inner in stmt.body:
+                self.exec_stmt(inner)
+            return
+        if isinstance(stmt, ast.Assign):
+            tainted = self.eval(stmt.value)
+            for target in stmt.targets:
+                self.bind(target, tainted)
+                self._record_alias(target, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                tainted = self.eval(stmt.value)
+                self.bind(stmt.target, tainted)
+                self._record_alias(stmt.target, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            value_t = self.eval(stmt.value)
+            target_t = self.eval(stmt.target)
+            tainted = value_t or target_t
+            if tainted:
+                self._binop_finding(stmt.op, stmt)
+            self.bind(stmt.target, tainted)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.eval(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            if self.eval(stmt.test):
+                if _has_exit(stmt.body) or _has_exit(stmt.orelse):
+                    self.emit(
+                        "secret-early-exit",
+                        stmt,
+                        f"secret-dependent exit guarded by `{_unparse(stmt.test)}`",
+                    )
+                else:
+                    self.emit(
+                        "secret-branch",
+                        stmt,
+                        f"branch on tainted condition `{_unparse(stmt.test)}`",
+                    )
+            for body in (stmt.body, stmt.orelse):
+                for inner in body:
+                    self.exec_stmt(inner)
+        elif isinstance(stmt, ast.While):
+            if self.eval(stmt.test):
+                self.emit(
+                    "secret-loop",
+                    stmt,
+                    f"loop count depends on tainted `{_unparse(stmt.test)}`",
+                )
+            for body in (stmt.body, stmt.orelse):
+                for inner in body:
+                    self.exec_stmt(inner)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_t = self.eval(stmt.iter)
+            self.bind(stmt.target, iter_t)
+            for body in (stmt.body, stmt.orelse):
+                for inner in body:
+                    self.exec_stmt(inner)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                item_t = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.bind(item.optional_vars, item_t)
+            for inner in stmt.body:
+                self.exec_stmt(inner)
+        elif isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, getattr(ast, "TryStar"))
+        ):
+            for block in (stmt.body, stmt.orelse, stmt.finalbody):
+                for inner in block:
+                    self.exec_stmt(inner)
+            for handler in stmt.handlers:
+                for inner in handler.body:
+                    self.exec_stmt(inner)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc)
+        elif isinstance(stmt, ast.Assert):
+            if self.eval(stmt.test):
+                self.emit(
+                    "secret-branch",
+                    stmt,
+                    f"assert on tainted condition `{_unparse(stmt.test)}`",
+                )
+            if stmt.msg is not None:
+                self.eval(stmt.msg)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self.eval(target)
+        elif hasattr(ast, "Match") and isinstance(stmt, getattr(ast, "Match")):
+            if self.eval(stmt.subject):
+                self.emit(
+                    "secret-branch",
+                    stmt,
+                    f"match on tainted subject `{_unparse(stmt.subject)}`",
+                )
+            for case in stmt.cases:
+                for inner in case.body:
+                    self.exec_stmt(inner)
+        # Import/Global/Nonlocal/Pass: no dataflow
+
+    # -- expressions --------------------------------------------------
+
+    def _binop_finding(self, op: ast.operator, node: ast.AST, left: ast.AST = None) -> None:
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            self.emit("vartime-div", node, f"division on secret: `{_unparse(node)}`")
+        elif isinstance(op, ast.Mod):
+            if isinstance(left, ast.Constant) and isinstance(left.value, (str, bytes)):
+                self.emit(
+                    "vartime-str", node, f"%-format of secret: `{_unparse(node)}`"
+                )
+            else:
+                self.emit("vartime-div", node, f"modulo on secret: `{_unparse(node)}`")
+        elif isinstance(op, ast.Pow):
+            self.emit("vartime-pow", node, f"exponentiation on secret: `{_unparse(node)}`")
+
+    def eval(self, node: ast.AST) -> bool:
+        """Taint of an expression; emits findings as a side effect."""
+        if node is None or isinstance(node, ast.Constant):
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted
+        if isinstance(node, ast.Attribute):
+            base_t = self.eval(node.value)
+            dotted = _dotted(node)
+            if dotted and dotted in self.tainted:
+                return True
+            if dotted and any(
+                dotted == suffix or dotted.endswith("." + suffix)
+                for suffix in self.registry.secret_attributes
+            ):
+                return True
+            return base_t
+        if isinstance(node, ast.Subscript):
+            value_t = self.eval(node.value)
+            index_t = self._eval_slice(node.slice)
+            if index_t:
+                self.emit(
+                    "secret-index",
+                    node,
+                    f"table lookup at secret-dependent index `{_unparse(node)}`",
+                )
+            return value_t or index_t
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            left_t = self.eval(node.left)
+            right_t = self.eval(node.right)
+            if left_t or right_t:
+                self._binop_finding(node.op, node, node.left)
+            return left_t or right_t
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.BoolOp):
+            taints = [self.eval(value) for value in node.values]
+            if any(taints[:-1]):
+                self.emit(
+                    "secret-shortcircuit",
+                    node,
+                    f"short-circuit on secret operand: `{_unparse(node)}`",
+                )
+            return any(taints)
+        if isinstance(node, ast.Compare):
+            taints = [self.eval(node.left)]
+            taints.extend(self.eval(comp) for comp in node.comparators)
+            if any(taints) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+            ):
+                self.emit(
+                    "secret-membership",
+                    node,
+                    f"membership test on secret: `{_unparse(node)}`",
+                )
+            return any(taints)
+        if isinstance(node, ast.IfExp):
+            test_t = self.eval(node.test)
+            body_t = self.eval(node.body)
+            orelse_t = self.eval(node.orelse)
+            if test_t:
+                self.emit(
+                    "secret-ternary",
+                    node,
+                    f"conditional expression on secret test: `{_unparse(node)}`",
+                )
+            return test_t or body_t or orelse_t
+        if isinstance(node, ast.Lambda):
+            self.eval(node.body)
+            return False
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            return any(self.eval(elt) for elt in node.elts)
+        if isinstance(node, ast.Dict):
+            key_t = any(self.eval(k) for k in node.keys if k is not None)
+            value_t = any(self.eval(v) for v in node.values)
+            return key_t or value_t
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            return self._eval_comprehension(node)
+        if isinstance(node, ast.JoinedStr):
+            tainted = any(
+                self.eval(value.value)
+                for value in node.values
+                if isinstance(value, ast.FormattedValue)
+            )
+            if tainted:
+                self.emit(
+                    "vartime-str",
+                    node,
+                    f"f-string interpolates a secret: `{_unparse(node)}`",
+                )
+            return tainted
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value)
+        if isinstance(node, ast.Await):
+            return self.eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            tainted = self.eval(node.value)
+            self.bind(node.target, tainted)
+            return tainted
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                self.eval(node.value)
+            return False
+        if isinstance(node, ast.Slice):
+            return self._eval_slice(node)
+        return False
+
+    def _eval_slice(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Slice):
+            return any(
+                self.eval(part)
+                for part in (node.lower, node.upper, node.step)
+                if part is not None
+            )
+        return self.eval(node)
+
+    def _eval_comprehension(self, node: ast.AST) -> bool:
+        iter_t = False
+        for gen in node.generators:
+            gen_t = self.eval(gen.iter)
+            self.bind(gen.target, gen_t)
+            iter_t = iter_t or gen_t
+            for cond in gen.ifs:
+                if self.eval(cond):
+                    self.emit(
+                        "secret-branch",
+                        cond,
+                        f"comprehension filter on secret: `{_unparse(cond)}`",
+                    )
+        if isinstance(node, ast.DictComp):
+            elt_t = self.eval(node.key) or self.eval(node.value)
+        else:
+            elt_t = self.eval(node.elt)
+        return elt_t or iter_t
+
+    def _eval_call(self, node: ast.Call) -> bool:
+        registry = self.registry
+        dotted = _dotted(node.func)
+        terminal = _terminal(dotted)
+        if isinstance(node.func, ast.Name):
+            terminal = self.fn_aliases.get(node.func.id, terminal)
+            dotted = terminal if node.func.id in self.fn_aliases else dotted
+
+        arg_taints = [self.eval(arg) for arg in node.args]
+        arg_taints.extend(self.eval(kw.value) for kw in node.keywords)
+        any_arg = any(arg_taints)
+
+        receiver_t = False
+        if isinstance(node.func, ast.Attribute):
+            receiver_t = self.eval(node.func.value)
+        elif isinstance(node.func, ast.Name):
+            receiver_t = node.func.id in self.tainted
+        else:
+            receiver_t = self.eval(node.func)
+
+        if terminal in registry.declassifiers:
+            return False
+        if terminal == "range":
+            if any_arg:
+                self.emit(
+                    "vartime-range",
+                    node,
+                    f"range over secret bound: `{_unparse(node)}`",
+                )
+            return any_arg
+        if terminal in registry.str_calls and any_arg:
+            self.emit(
+                "vartime-str",
+                node,
+                f"string conversion of secret: `{_unparse(node)}`",
+            )
+        if terminal == "bit_length" and receiver_t:
+            self.emit(
+                "vartime-bitlength",
+                node,
+                f"bit_length of secret: `{_unparse(node)}`",
+            )
+        if (any_arg or receiver_t) and (
+            (dotted and dotted in registry.vartime_calls)
+            or terminal in registry.vartime_calls
+        ):
+            self.emit(
+                "vartime-call",
+                node,
+                f"variable-latency call on secret: `{_unparse(node)}`",
+            )
+
+        if terminal in registry.secret_returning:
+            return True
+        return any_arg or receiver_t
+
+
+def lint_module_ct(
+    tree: ast.Module,
+    path: str,
+    source: str,
+    registry: LintRegistry,
+) -> List[Finding]:
+    """Run the taint engine + CT rule pack over one module."""
+    lines = source.splitlines()
+    findings: Dict[Tuple[str, int, int], Finding] = {}
+
+    def analyse(fn: ast.AST, qualname: str, inherited: Set[str]) -> None:
+        analysis = _FunctionAnalysis(
+            fn, qualname, registry, path, lines, findings, inherited
+        )
+        analysis.run()
+        # Nested defs (closures) see the enclosing function's final
+        # taint: a tainted free variable stays tainted inside.
+        for nested_fn, nested_qual in analysis.nested:
+            analyse(nested_fn, nested_qual, set(analysis.tainted))
+
+    def walk_body(body, prefix: str) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{stmt.name}" if prefix else stmt.name
+                analyse(stmt, qual, set())
+            elif isinstance(stmt, ast.ClassDef):
+                qual = f"{prefix}.{stmt.name}" if prefix else stmt.name
+                walk_body(stmt.body, qual)
+
+    walk_body(tree.body, "")
+    return list(findings.values())

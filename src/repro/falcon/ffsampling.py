@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from ..ctlint.annotations import secret_params
 from .fft import (
     HAVE_NUMPY,
     add_fft,
@@ -133,6 +134,7 @@ def tree_leaf_sigmas(tree: LdlNode | LdlLeaf) -> list[float]:
     return tree_leaf_sigmas(tree.child0) + tree_leaf_sigmas(tree.child1)
 
 
+@secret_params("t0", "t1")
 def ff_sampling(t0: list[complex], t1: list[complex],
                 tree: LdlNode | LdlLeaf,
                 sampler_z: SamplerZ) -> tuple[list[complex],
@@ -330,6 +332,7 @@ class _ScalarLanes:
         return [[v] for v in values]
 
 
+@secret_params("t0", "t1")
 def _walk_batch(ops, tree: FlatLdlTree, level: int, node: int,
                 t0, t1, sample_one, sample_lanes):
     if level == tree.depth:
@@ -371,6 +374,7 @@ def _walk_batch(ops, tree: FlatLdlTree, level: int, node: int,
     return z0, z1
 
 
+@secret_params("t0", "t1")
 def ff_sampling_batch(t0, t1, tree: FlatLdlTree, sampler_z):
     """Batched ffSampling over a flat tree.
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 
+from ..ctlint.annotations import secret_params
 from ..rng.source import RandomSource, default_source
 from .params import SIGMA_MAX
 
@@ -111,6 +112,7 @@ class RejectionSamplerZ:
             self._book_rng(7)
         return self._uniform_queue.pop()
 
+    @secret_params("center", "sigma")
     def sample(self, center: float, sigma: float) -> int:
         """One draw from ``D_{Z, sigma, center}``.
 
@@ -119,15 +121,20 @@ class RejectionSamplerZ:
         operations as the straightforward form, so the sample stream
         for a given seed is unchanged.
         """
+        # ct: allow(secret-early-exit): validation against the public parameter-set bound (0, base_sigma) — rejects misconfiguration, not key-dependent values
         if not 0 < sigma < self.base_sigma:
             raise ValueError(
-                f"sigma must lie in (0, {self.base_sigma}); got {sigma}")
+                # ct: allow(vartime-str): renders the rejected sigma only on the misconfiguration path, never on an accepted draw
+                f"sigma must lie in (0, {self.base_sigma}); "
+                f"got {sigma}")
+        # ct: vartime(vartime-div): IEEE double division on the leaf sigma — the reference implementation's arithmetic; the paper's fixed-point spine is the planned fix
         inv_target = 1.0 / (2.0 * sigma * sigma)
         inv_base = self._inv_base
         center_round = round(center)
         fractional = center - center_round  # in [-0.5, 0.5]
         # log-ratio g(u) = -(u - d)^2 * inv_target + u^2 * inv_base is a
         # downward parabola (inv_base < inv_target); its real maximum:
+        # ct: vartime(vartime-div): double division on the secret center's fractional part (reference arithmetic, see above)
         peak = fractional * inv_target / (inv_target - inv_base)
         offset = peak - fractional
         # Squares are written as explicit products (not ``** 2``) so
@@ -151,6 +158,7 @@ class RejectionSamplerZ:
                 queue = self._uniform_queue
             if book_rng is not None:
                 book_rng(7)
+            # ct: vartime(secret-early-exit, vartime-call): the acceptance test — rejection count is public by the smoothing argument, but math.exp latency on the secret log-ratio is the GALACTICS vector; fixed-point spline tracked in ROADMAP
             if queue.pop() < exp(log_ratio - log_m):
                 self.base_draws += draws
                 self.accepted += 1
@@ -180,6 +188,7 @@ class RejectionSamplerZ:
             self._book_rng(7 * count)
         return out
 
+    @secret_params("centers", "sigma")
     def sample_lanes(self, centers: list[float],
                      sigma: float) -> list[int]:
         """One draw per center from ``D_{Z, sigma, center_i}``.
@@ -193,12 +202,16 @@ class RejectionSamplerZ:
         :meth:`sample`'s, in pure Python floats, so results are
         identical whether or not NumPy is installed.
         """
+        # ct: allow(secret-early-exit): validation against the public parameter-set bound (0, base_sigma), as in sample()
         if not 0 < sigma < self.base_sigma:
             raise ValueError(
-                f"sigma must lie in (0, {self.base_sigma}); got {sigma}")
+                # ct: allow(vartime-str): renders the rejected sigma only on the misconfiguration path, never on an accepted draw
+                f"sigma must lie in (0, {self.base_sigma}); "
+                f"got {sigma}")
         count = len(centers)
         if count == 0:
             return []
+        # ct: vartime(vartime-div): IEEE double division on the leaf sigma (reference arithmetic, as in sample())
         inv_target = 1.0 / (2.0 * sigma * sigma)
         inv_base = self._inv_base
         if _np is not None and count >= 8:
@@ -209,6 +222,7 @@ class RejectionSamplerZ:
             center_arr = _np.asarray(centers, dtype=_np.float64)
             round_arr = _np.rint(center_arr)
             fractional = center_arr - round_arr
+            # ct: vartime(vartime-div): double division on the secret centers' fractional parts (vectorized prep, bit-identical to the scalar loop)
             peak = fractional * inv_target / (inv_target - inv_base)
             offset = peak - fractional
             log_ms = (-(offset * offset) * inv_target
@@ -220,6 +234,7 @@ class RejectionSamplerZ:
             for center in centers:
                 center_round = round(center)
                 fractional = center - center_round
+                # ct: vartime(vartime-div): double division on the secret center's fractional part (scalar prep)
                 peak = fractional * inv_target / (inv_target - inv_base)
                 offset = peak - fractional
                 rounds.append(center_round)
@@ -247,6 +262,7 @@ class RejectionSamplerZ:
                 dz = z - centers[lane]
                 log_ratio = -(dz * dz) * inv_target + x * x * inv_base
                 attempts[lane] += 1
+                # ct: vartime(secret-branch, vartime-call): per-lane acceptance test — same reviewed pair as sample(): public rejection count, GALACTICS-exposed exp latency
                 if uniforms[slot] < exp(log_ratio - log_ms[lane]):
                     results[lane] = z
                     accepted += 1
@@ -290,13 +306,16 @@ class ReferenceSamplerZ:
         raw = int.from_bytes(self.source.read_bytes(7), "little")
         return (raw >> 3) * (2.0 ** -53)
 
+    @secret_params("center", "sigma")
     def sample(self, center: float, sigma: float) -> int:
         span = math.ceil(self.tail_cut * sigma) + 1
         center_round = round(center)
         width = 2 * span + 1
         while True:
             z = center_round - span + self._uniform_below(width)
+            # ct: vartime(vartime-pow, vartime-div, vartime-call): textbook rho evaluation — test-only reference sampler, transparently variable-time
             rho = math.exp(-(z - center) ** 2 / (2 * sigma * sigma))
+            # ct: vartime(secret-early-exit): uniform-interval rejection — test-only reference, acceptance depends on the drawn value
             if self._uniform01() < rho:
                 return z
 

@@ -396,6 +396,7 @@ class SecretKey:
                                     mul_fft(d1, self._b11)))
 
             norm_sq = sum(c * c for c in s1) + sum(c * c for c in s2)
+            # ct: allow(secret-early-exit): norm-bound restart — signature rejection is a public event with a by-design public rate (the spec's retry loop)
             if norm_sq > self.params.sig_bound:
                 continue
             try:
@@ -436,6 +437,7 @@ class SecretKey:
 
     def _key_target_ffts(self) -> tuple[list[complex], list[complex]]:
         """FFTs of (f, F) used to build signing targets (cached)."""
+        # ct: allow(secret-branch): memoization presence check — whether the cache is warm is public, its contents are not
         if self._target_ffts is None:
             self._target_ffts = (fft_of_int_poly(self.keys.f),
                                  fft_of_int_poly(self.keys.F))
@@ -443,6 +445,7 @@ class SecretKey:
 
     def _key_rows(self) -> dict:
         """NumPy mirrors of the key transforms (exact copies, cached)."""
+        # ct: allow(secret-branch): memoization presence check, as in _key_target_ffts
         if self._numpy_rows is None:
             f_fft, big_f_fft = self._key_target_ffts()
             self._numpy_rows = {
@@ -486,6 +489,7 @@ class SecretKey:
                               + cmul(d1, rows["b11"]))
         norms = (s1 * s1).sum(axis=1) + (s2 * s2).sum(axis=1)
         bound = self.params.sig_bound
+        # ct: allow(secret-ternary): norm-bound restart selection — the public rejection event, batched
         return [s2[lane].tolist() if norms[lane] <= bound else None
                 for lane in range(len(hashed))]
 
@@ -515,6 +519,7 @@ class SecretKey:
             s2 = round_ifft(add_fft(mul_fft(d0, self._b01),
                                     mul_fft(d1, self._b11)))
             norm_sq = sum(c * c for c in s1) + sum(c * c for c in s2)
+            # ct: allow(secret-ternary): norm-bound restart selection — the public rejection event, batched
             out.append(s2 if norm_sq <= bound else None)
         return out
 
@@ -559,6 +564,7 @@ class SecretKey:
             still_pending = []
             for lane, (i, salt) in enumerate(zip(pending, salts)):
                 s2 = results[lane]
+                # ct: allow(secret-early-exit): lane retry on the public norm-bound rejection
                 if s2 is None:
                     still_pending.append(i)
                     continue

@@ -153,7 +153,9 @@ def encode_secret_key(secret_key: SecretKey) -> bytes:
     packer.put(0x50 | _log2_checked(n), 8)
     width = _fg_width(n)
     largest = max((abs(c) for c in secret_key.keys.F), default=0)
+    # ct: vartime(vartime-bitlength): the stored F width quantizes max|F| — a deliberate storage-format tradeoff for keys at rest, not a signing-path value
     f_width = max(_MIN_F_WIDTH, largest.bit_length() + 1)
+    # ct: allow(secret-early-exit): encode abort on an out-of-range key — failure is public
     if f_width > _MAX_F_WIDTH:
         raise SerializeError("F coefficients unexpectedly large")
     packer.put(f_width, 8)
@@ -195,10 +197,12 @@ def decode_secret_key(data: bytes,
     from . import poly as poly_ops
 
     gf_product = mul_ntt(g, big_f)
+    # ct: allow(secret-ternary): selects on the public coefficient position (index 0 holds the ring constant q), not on key values
     numerator = [(Q if index == 0 else 0) + value
                  for index, value in enumerate(gf_product)]
     big_g = [center_mod_q(c) for c in div_ntt(numerator, f)]
     keys = NtruKeys(f=f, g=g, F=big_f, G=big_g, h=div_ntt(g, f))
+    # ct: allow(secret-early-exit): decode integrity check — a corrupted key file failing canonically is a public event
     if not keys.verify_ntru_equation():
         raise SerializeError("decoded key fails the NTRU equation")
     return SecretKey(keys, base_backend=base_backend)

@@ -1,0 +1,44 @@
+"""Clean twin of :mod:`async_planted`: the legal async shapes.
+
+Offloaded blocking work, awaited calls, async locks and sync helper
+functions must all produce zero async-pack findings.
+"""
+
+import asyncio
+import threading
+import time
+
+_STATE_LOCK = threading.Lock()
+
+
+def sync_helper():
+    time.sleep(0.01)  # sync function: the async pack does not apply
+    return True
+
+
+async def clean_offloaded():
+    return await asyncio.to_thread(sync_helper)
+
+
+async def clean_awaited(queue):
+    return await queue.get()
+
+
+async def clean_async_lock(queue):
+    lock = asyncio.Lock()
+    async with lock:
+        return await queue.get()
+
+
+async def clean_lock_no_await():
+    with _STATE_LOCK:
+        counter = 1 + 1
+    return counter
+
+
+async def clean_nested_sync_def():
+    def worker():
+        time.sleep(0.01)
+        return 1
+
+    return await asyncio.to_thread(worker)

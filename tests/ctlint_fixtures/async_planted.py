@@ -1,0 +1,33 @@
+"""Planted async/concurrency violations — positive controls.
+
+Each coroutine violates one async-pack rule on its ``PLANT:`` line.
+"""
+
+import threading
+import time
+
+_STATE_LOCK = threading.Lock()
+
+
+async def planted_blocking_sleep():
+    time.sleep(0.01)  # PLANT: async-blocking-call (dotted)
+    return True
+
+
+async def planted_blocking_open(path):
+    with open(path, "rb") as handle:  # PLANT: async-blocking-call (builtin)
+        return handle.read()
+
+
+async def planted_blocking_recv(connection):
+    return connection.recv(4096)  # PLANT: async-blocking-call (method)
+
+
+async def planted_lock_across_await(queue):
+    with _STATE_LOCK:  # PLANT: async-lock-across-await
+        return await queue.get()
+
+
+async def planted_constructed_lock(queue):
+    with threading.Lock():  # PLANT: async-lock-across-await
+        return await queue.get()

@@ -1,0 +1,77 @@
+"""Clean twin of :mod:`ct_planted`: same shapes, no secrets.
+
+No parameter carries a ``@secret_params`` decorator and nothing calls
+a registry-seeded draw, so the exact constructs that fire in the
+planted module must produce zero findings here — the tests pin the
+linter's false-positive rate on these shapes to nothing.
+"""
+
+import math
+
+
+def clean_branch(public, table):
+    if public > 0:
+        chosen = table[0]
+    else:
+        chosen = table[1]
+    return chosen
+
+
+def clean_early_exit(public):
+    if public == 0:
+        return 0
+    return 1
+
+
+def clean_loop(public):
+    total = 0
+    while public:
+        total += public & 1
+        public >>= 1
+    return total
+
+
+def clean_ternary(public):
+    return 1 if public > 0 else 0
+
+
+def clean_division(public):
+    return public / 3
+
+
+def clean_power(public):
+    return public ** 3
+
+
+def clean_bitlength(public):
+    return public.bit_length()
+
+
+def clean_exp_call(public):
+    return math.exp(public)
+
+
+def clean_range(public):
+    total = 0
+    for _ in range(public):
+        total += 1
+    return total
+
+
+def clean_stringify(public):
+    return str(public)
+
+
+def clean_index(public, table):
+    return table[public]
+
+
+def clean_membership(public, table):
+    return public in table
+
+
+def clean_declassified(secret_buffer):
+    size = len(secret_buffer)
+    if size > 16:
+        return size / 2
+    return size

@@ -1,0 +1,98 @@
+"""Planted constant-time violations — positive controls for ct-lint.
+
+Every function violates exactly one CT rule on the line tagged with a
+``PLANT:`` comment.  The tests assert each rule fires here and stays
+silent on the clean twin (:mod:`ct_clean`), so a linter regression
+that stops detecting a rule breaks the suite, not just the gate.
+"""
+
+import math
+
+from repro.ctlint.annotations import secret_params
+
+
+@secret_params("secret")
+def planted_branch(secret, table):
+    if secret > 0:  # PLANT: secret-branch
+        chosen = table[0]
+    else:
+        chosen = table[1]
+    return chosen
+
+
+@secret_params("secret")
+def planted_early_exit(secret):
+    if secret == 0:  # PLANT: secret-early-exit
+        return 0
+    return 1
+
+
+@secret_params("secret")
+def planted_loop(secret):
+    total = 0
+    while secret:  # PLANT: secret-loop
+        total += secret & 1
+        secret >>= 1
+    return total
+
+
+@secret_params("secret")
+def planted_ternary(secret):
+    return 1 if secret > 0 else 0  # PLANT: secret-ternary
+
+
+@secret_params("secret")
+def planted_shortcircuit(secret, flag):
+    return bool(secret > 0 and flag)  # PLANT: secret-shortcircuit
+
+
+@secret_params("secret")
+def planted_division(secret):
+    return secret / 3  # PLANT: vartime-div
+
+
+@secret_params("secret")
+def planted_power(secret):
+    return secret ** 3  # PLANT: vartime-pow
+
+
+@secret_params("secret")
+def planted_bitlength(secret):
+    return secret.bit_length()  # PLANT: vartime-bitlength
+
+
+@secret_params("secret")
+def planted_exp_call(secret):
+    return math.exp(secret)  # PLANT: vartime-call
+
+
+@secret_params("secret")
+def planted_range(secret):
+    total = 0
+    for _ in range(secret):  # PLANT: vartime-range
+        total += 1
+    return total
+
+
+@secret_params("secret")
+def planted_stringify(secret):
+    return str(secret)  # PLANT: vartime-str
+
+
+@secret_params("secret")
+def planted_index(secret, table):
+    return table[secret]  # PLANT: secret-index
+
+
+@secret_params("secret")
+def planted_membership(secret, table):
+    return secret in table  # PLANT: secret-membership
+
+
+def planted_via_registry(sampler, table):
+    draw = sampler.sample()
+    if draw > 0:  # PLANT: secret-branch (registry-seeded, no decorator)
+        chosen = table[0]
+    else:
+        chosen = table[1]
+    return chosen

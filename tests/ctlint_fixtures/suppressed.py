@@ -1,0 +1,36 @@
+"""Suppression-semantics fixture: waivers, acks, and their meta rules.
+
+``planted_waived``/``planted_acknowledged`` carry valid suppressions
+(statuses allowed/vartime, gate-clean); ``planted_missing_reason``
+carries a reasonless waiver (gating meta finding); ``unused_waiver``
+suppresses nothing (gating meta finding).
+"""
+
+from repro.ctlint.annotations import secret_params
+
+
+@secret_params("secret")
+def planted_waived(secret, table):
+    # ct: allow(secret-branch): fixture waiver carrying a reviewed reason
+    if secret > 0:
+        chosen = table[0]
+    else:
+        chosen = table[1]
+    return chosen
+
+
+@secret_params("secret")
+def planted_acknowledged(secret):
+    # ct: vartime(vartime-div): fixture acknowledgement of variable-time work
+    return secret / 3
+
+
+@secret_params("secret")
+def planted_missing_reason(secret):
+    # ct: allow(secret-ternary):
+    return 1 if secret > 0 else 0
+
+
+def unused_waiver(public):
+    # ct: allow(vartime-pow): nothing on the next line triggers this rule
+    return public + 1
