@@ -19,7 +19,17 @@ the coalescing front buys.  Rows per configuration:
   rows *slower*, which the JSON records honestly);
 * **net …** (``--net``) — the full wire: requests travel as
   length-prefixed frames through :class:`NetServer` /
-  :class:`NetClient` over a real loopback socket.
+  :class:`NetClient` over a real loopback socket;
+* **verify … / net_verify …** — the verify plane: every request
+  pre-signed, then verified through the service's cross-tenant
+  coalesced verify rounds (no signer checkout on the hot path —
+  verify rounds run off the public-key cache and merge across
+  tenants into maximal cross-key batches), in-process and over the
+  wire;
+* **ledger …** — the signed-ledger pipeline over the same keys:
+  pre-signed records through the bounded mempool into batch-verified,
+  hash-chained committed blocks; its p50/p99 column is per-*commit*
+  (block) latency.
 
 Every service-level row also records client-observed p50/p99 latency
 in milliseconds (wall time from submit to signature, including queue
@@ -55,7 +65,7 @@ import time
 import pytest
 
 from repro.analysis import format_table
-from repro.falcon import HAVE_NUMPY
+from repro.falcon import HAVE_NUMPY, Ledger
 from repro.falcon.serving import (
     FaultPlan,
     NetClient,
@@ -89,6 +99,9 @@ MAX_BATCH = 32
 #: must recover them) and ~25% of keystore claims failing (the round
 #: fails, the client survives it).
 CHAOS_PLAN = FaultPlan(seed=7, drop_frame=0.05, fail_claim=0.25)
+
+#: Ledger row: records per committed block.
+LEDGER_BLOCK = 32
 
 
 def _messages(count: int) -> list[bytes]:
@@ -254,6 +267,128 @@ def _net_rate(store: ShardedKeyStore, n: int, messages: list[bytes],
     return asyncio.run(drive())
 
 
+def _presigned(store: ShardedKeyStore, n: int, messages: list[bytes],
+               tenants: int) -> list[tuple]:
+    """(tenant, public_key, message, signature) for every message,
+    signed outside any timed section with the tenant split the sign
+    rows use (message ``i`` belongs to tenant ``i % tenants``)."""
+    records = []
+    for tenant in range(tenants):
+        name = f"tenant-{tenant}"
+        public_key = store.signer(name, n).public_key
+        share = messages[tenant::tenants]
+        for message, signature in zip(share,
+                                      store.sign_many(name, n, share)):
+            records.append((name, public_key, message, signature))
+    return records
+
+
+def _verify_rate(store: ShardedKeyStore, n: int,
+                 messages: list[bytes], tenants: int,
+                 concurrency: int, window: float
+                 ) -> tuple[float, list[float], int]:
+    """Verify-plane throughput: pre-signed requests through the
+    service's cross-tenant coalesced verify rounds (public-key cache,
+    no signer checkout, tenants merged into maximal batches)."""
+    records = _presigned(store, n, messages, tenants)
+
+    async def drive() -> tuple[float, list[float], int]:
+        service = SigningService(store, n=n, max_batch=MAX_BATCH,
+                                 max_wait=window,
+                                 queue_depth=max(4 * MAX_BATCH, 16))
+        latencies: list[float] = []
+        failed = 0
+
+        async def client(which: int) -> None:
+            nonlocal failed
+            for i in range(which, len(records), concurrency):
+                tenant, _pk, message, signature = records[i]
+                submitted = time.perf_counter()
+                if not await service.verify(tenant, message, signature):
+                    failed += 1
+                latencies.append(time.perf_counter() - submitted)
+
+        async with service:
+            started = time.perf_counter()
+            await asyncio.gather(*[client(which)
+                                   for which in range(concurrency)])
+            rate = len(records) / (time.perf_counter() - started)
+        return rate, latencies, failed
+
+    return asyncio.run(drive())
+
+
+def _net_verify_rate(store: ShardedKeyStore, n: int,
+                     messages: list[bytes], tenants: int,
+                     concurrency: int, window: float
+                     ) -> tuple[float, list[float], int]:
+    """The verify plane over the wire: the same pre-signed stream as
+    length-prefixed frames through a real loopback socket."""
+    records = _presigned(store, n, messages, tenants)
+
+    async def drive() -> tuple[float, list[float], int]:
+        service = SigningService(store, n=n, max_batch=MAX_BATCH,
+                                 max_wait=window,
+                                 queue_depth=max(4 * MAX_BATCH, 16))
+        latencies: list[float] = []
+        failed = 0
+        async with service:
+            server = NetServer(service)
+            await server.start("127.0.0.1", 0)
+            connections = [
+                await NetClient.connect("127.0.0.1", server.port)
+                for _ in range(concurrency)]
+
+            async def client(which: int) -> None:
+                nonlocal failed
+                net = connections[which]
+                for i in range(which, len(records), concurrency):
+                    tenant, _pk, message, signature = records[i]
+                    submitted = time.perf_counter()
+                    if not await net.verify(tenant, message, signature):
+                        failed += 1
+                    latencies.append(time.perf_counter() - submitted)
+
+            try:
+                started = time.perf_counter()
+                await asyncio.gather(*[
+                    client(which) for which in range(concurrency)])
+                rate = len(records) / (time.perf_counter() - started)
+            finally:
+                for net in connections:
+                    await net.close()
+                await server.stop(stop_service=False)
+        return rate, latencies, failed
+
+    return asyncio.run(drive())
+
+
+def _ledger_rate(store: ShardedKeyStore, n: int, messages: list[bytes],
+                 tenants: int) -> tuple[float, list[float], int]:
+    """The signed-ledger pipeline over the serving store's keys:
+    pre-signed records through the bounded mempool into cross-key
+    batch-verified, hash-chained blocks.  The latency list is per
+    committed *block*, so this row's p50/p99 column reads as commit
+    latency."""
+    records = _presigned(store, n, messages, tenants)
+    ledger = Ledger(max_block_records=LEDGER_BLOCK,
+                    capacity=max(len(records), LEDGER_BLOCK))
+    latencies: list[float] = []
+    started = time.perf_counter()
+    for _tenant, public_key, message, signature in records:
+        ledger.submit_signed(public_key, message, signature)
+        if len(ledger.mempool) >= LEDGER_BLOCK:
+            commit_start = time.perf_counter()
+            ledger.commit()
+            latencies.append(time.perf_counter() - commit_start)
+    while len(ledger.mempool):
+        commit_start = time.perf_counter()
+        ledger.commit()
+        latencies.append(time.perf_counter() - commit_start)
+    rate = len(records) / (time.perf_counter() - started)
+    return rate, latencies, 0
+
+
 def run_sweep(n: int = 256, signs: int = 64, tenants: int = TENANTS,
               quick: bool = False, net: bool = False,
               chaos: bool = False) -> dict:
@@ -315,6 +450,23 @@ def run_sweep(n: int = 256, signs: int = 64, tenants: int = TENANTS,
             record(label, _net_rate(store, n, messages, tenants,
                                     concurrency, window))
 
+    # Verify-plane and ledger rows: pre-signed records through the
+    # cross-tenant coalesced verify path (in-process, and over the
+    # wire with --net) and through the signed-ledger commit pipeline.
+    verify_concurrency, verify_window = (8, WINDOWS[-1]) if quick \
+        else (CONCURRENCY[-1], WINDOWS[-1])
+    verify_label = (f"c{verify_concurrency}"
+                    f"_w{verify_window * 1000:g}ms")
+    record(f"verify_{verify_label}",
+           _verify_rate(store, n, messages, tenants,
+                        verify_concurrency, verify_window))
+    if net:
+        record(f"net_verify_{verify_label}",
+               _net_verify_rate(store, n, messages, tenants,
+                                verify_concurrency, verify_window))
+    record(f"ledger_b{LEDGER_BLOCK}",
+           _ledger_rate(store, n, messages, tenants))
+
     # Chaos rows: the same workloads under the pinned fault plan.
     # The wire row drops ~5% of response frames (retry + server-side
     # dedup must recover them); the claims row serves from a store
@@ -345,13 +497,14 @@ def run_sweep(n: int = 256, signs: int = 64, tenants: int = TENANTS,
     # all in the JSON for readers who want the full curve).  Chaos
     # rows measure survival, not throughput, and stay out of the
     # gates.
+    sign_path_only = ("mp_", "net_", "chaos_", "verify_", "ledger_")
     best_coalesced = max(
         (rate for label, rate in service_rows.items()
-         if not label.startswith(("mp_", "net_", "chaos_"))
+         if not label.startswith(sign_path_only)
          and _concurrency_of(label) >= 8), default=0.0)
     best_inproc = max(
         (rate for label, rate in service_rows.items()
-         if not label.startswith(("mp_", "net_", "chaos_"))), default=0.0)
+         if not label.startswith(sign_path_only)), default=0.0)
     best_mp = max((rate for label, rate in service_rows.items()
                    if label.startswith("mp_")), default=0.0)
     multi_core = (os.cpu_count() or 1) > 1
@@ -417,7 +570,9 @@ def render_report(payload: dict) -> str:
               f"tenants, {payload['shards']} shards, c = concurrent "
               "clients, w = batch window, mp = process shard workers, "
               "net = loopback wire protocol, chaos = seeded fault "
-              "plan)")
+              "plan, verify = coalesced cross-tenant verify plane, "
+              "ledger = signed-record commit pipeline with per-block "
+              "p50/p99)")
     lines = [table, ""]
     if payload.get("chaos"):
         chaos_avail = min(

@@ -737,6 +737,160 @@ def _serve_networked(args: argparse.Namespace, store, pool,
     return asyncio.run(drive())
 
 
+def _ledger_signers(n: int, keys: int, seed: int) -> list:
+    from .falcon.scheme import SecretKey
+
+    return [SecretKey.generate(n, seed=seed + index)
+            for index in range(keys)]
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    import time
+
+    from .falcon.ledger import Ledger
+
+    ledger = Ledger(args.dir, capacity=args.capacity,
+                    max_block_records=args.block_size,
+                    expand=not args.no_expand, spine=args.spine)
+
+    if args.action == "append":
+        print(f"generating {args.keys} Falcon-{args.n} signing keys "
+              f"(seed {args.seed}) ...")
+        signers = _ledger_signers(args.n, args.keys, args.seed)
+        committed = rejected = 0
+        begun = time.perf_counter()
+
+        def commit_now() -> None:
+            nonlocal committed, rejected
+            result = ledger.commit(
+                timestamp_us=int(time.time() * 1e6))
+            committed += len(result.accepted)
+            rejected += len(result.rejected)
+
+        for i in range(args.records):
+            signer = signers[i % len(signers)]
+            message = b"ledger|%d|%d" % (args.seed, i)
+            ledger.submit_signed(signer.public_key, message,
+                                 signer.sign(message))
+            if len(ledger.mempool) >= args.block_size:
+                commit_now()
+        while len(ledger.mempool):
+            commit_now()
+        elapsed = time.perf_counter() - begun
+        stats = ledger.stats()
+        print(format_table(
+            ["metric", "value"],
+            [["records submitted", args.records],
+             ["records committed", committed],
+             ["records rejected", rejected],
+             ["records/s (sign+commit)",
+              f"{args.records / elapsed:,.1f}"],
+             ["chain height", stats["height"]],
+             ["chain tip", stats["tip_hash"][:16] + "…"],
+             ["ledger file", stats["path"]]],
+            title=f"ledger append (mixed keys, n={args.n})"))
+        return 0
+
+    if args.action == "verify":
+        begun = time.perf_counter()
+        audit = ledger.verify_chain(args.mode, rounds=args.rounds)
+        elapsed = time.perf_counter() - begun
+        rate = audit.records / elapsed if elapsed and audit.records \
+            else 0.0
+        print(format_table(
+            ["metric", "value"],
+            [["mode", audit.mode],
+             ["blocks", audit.blocks],
+             ["records", audit.records],
+             ["aggregate fast-path blocks", audit.aggregate_fastpath],
+             ["records/s", f"{rate:,.1f}"],
+             ["failures", len(audit.failures)],
+             ["verdict", "OK" if audit.ok else "FAIL"]],
+            title="ledger chain audit"))
+        for block_index, record_id, reason in audit.failures[:20]:
+            where = record_id[:16] + "…" if record_id else "(header)"
+            print(f"  block {block_index} {where}: {reason}")
+        return 0 if audit.ok else 1
+
+    stats = ledger.stats()
+    print(format_table(
+        ["metric", "value"],
+        [[key, str(value)] for key, value in stats.items()],
+        title="ledger stats"))
+    return 0
+
+
+def _cmd_bench_ledger(args: argparse.Namespace) -> int:
+    import time
+
+    from .falcon.batchverify import verify_batch
+    from .falcon.ledger import Ledger
+
+    print(f"generating {args.keys} Falcon-{args.n} signing keys "
+          f"(seed {args.seed}) ...")
+    signers = _ledger_signers(args.n, args.keys, args.seed)
+    lanes = []
+    for i in range(args.records):
+        signer = signers[i % len(signers)]
+        message = b"bench-ledger|%d" % i
+        lanes.append((signer.public_key, message,
+                      signer.sign(message)))
+
+    # Per-key loop: what verify_many can do without the cross-key
+    # engine — one small batch per distinct key.
+    by_key: dict[int, list] = {}
+    for index, lane in enumerate(lanes):
+        by_key.setdefault(index % len(signers), []).append(lane)
+    begun = time.perf_counter()
+    for group in by_key.values():
+        public_key = group[0][0]
+        public_key.verify_many([m for _, m, _ in group],
+                               [s for _, _, s in group])
+    per_key_rate = len(lanes) / (time.perf_counter() - begun)
+
+    begun = time.perf_counter()
+    verdicts = verify_batch(lanes, spine=args.spine)
+    cross_key_rate = len(lanes) / (time.perf_counter() - begun)
+
+    # Ledger pipeline: mempool -> batch-verify -> committed block,
+    # with per-commit latency.
+    ledger = Ledger(expand=True, spine=args.spine,
+                    max_block_records=args.block_size,
+                    capacity=max(args.records, args.block_size))
+    latencies = []
+    begun = time.perf_counter()
+    for public_key, message, signature in lanes:
+        ledger.submit_signed(public_key, message, signature)
+        if len(ledger.mempool) >= args.block_size:
+            commit_start = time.perf_counter()
+            ledger.commit()
+            latencies.append(time.perf_counter() - commit_start)
+    while len(ledger.mempool):
+        commit_start = time.perf_counter()
+        ledger.commit()
+        latencies.append(time.perf_counter() - commit_start)
+    ledger_rate = len(lanes) / (time.perf_counter() - begun)
+    latencies.sort()
+
+    def pct(q: float) -> float:
+        return latencies[min(len(latencies) - 1,
+                             int(q * len(latencies)))] * 1000
+
+    rows = [
+        ["per-key verify_many loop", f"{per_key_rate:,.1f}"],
+        ["cross-key verify_batch", f"{cross_key_rate:,.1f}"],
+        ["cross-key / per-key",
+         f"{cross_key_rate / per_key_rate:.2f}x"],
+        ["ledger commit pipeline", f"{ledger_rate:,.1f}"],
+        ["commit p50 / p99 (ms)", f"{pct(0.50):.2f} / {pct(0.99):.2f}"],
+    ]
+    print(format_table(
+        ["path", "records/s"], rows,
+        title=f"ledger verification throughput ({args.records} "
+              f"records, {args.keys} distinct keys, n={args.n})"))
+    return 0 if all(verdicts) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -882,6 +1036,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="'auto' benchmarks every available spine")
     _add_prng_option(bench_keygen_p)
     bench_keygen_p.set_defaults(func=_cmd_bench_keygen)
+
+    ledger_p = sub.add_parser(
+        "ledger",
+        help="append-only signed-record ledger: append / verify / "
+             "stats over cross-key batch-verified blocks")
+    ledger_p.add_argument("action",
+                          choices=["append", "verify", "stats"])
+    ledger_p.add_argument("--dir", required=True,
+                          help="ledger directory (blocks persist to "
+                               "ledger.jsonl inside)")
+    ledger_p.add_argument("--n", type=int, default=64)
+    ledger_p.add_argument("--keys", type=int, default=8,
+                          help="distinct signing keys for append")
+    ledger_p.add_argument("--records", type=int, default=64,
+                          help="records to sign and submit on append")
+    ledger_p.add_argument("--seed", type=int, default=0)
+    ledger_p.add_argument("--block-size", type=int, default=64,
+                          dest="block_size",
+                          help="max records per committed block")
+    ledger_p.add_argument("--capacity", type=int, default=4096,
+                          help="mempool bound")
+    ledger_p.add_argument("--mode", default="full",
+                          choices=["full", "aggregate"],
+                          help="verify: full engine pass per block, "
+                               "or the RLC aggregate fast path over "
+                               "expanded blocks")
+    ledger_p.add_argument("--rounds", type=int, default=1,
+                          help="independent RLC rounds (soundness "
+                               "error < q^-rounds)")
+    ledger_p.add_argument("--no-expand", action="store_true",
+                          help="do not store s1 expansion rows in "
+                               "committed blocks")
+    ledger_p.add_argument("--spine", default="auto",
+                          choices=["auto", "numpy", "scalar"])
+    ledger_p.set_defaults(func=_cmd_ledger)
+
+    bench_ledger_p = sub.add_parser(
+        "bench-ledger",
+        help="cross-key batch verification vs the per-key loop, plus "
+             "the mempool->block commit pipeline")
+    bench_ledger_p.add_argument("--n", type=int, default=256)
+    bench_ledger_p.add_argument("--keys", type=int, default=16,
+                                help="distinct signing keys")
+    bench_ledger_p.add_argument("--records", type=int, default=128)
+    bench_ledger_p.add_argument("--seed", type=int, default=0)
+    bench_ledger_p.add_argument("--block-size", type=int, default=64,
+                                dest="block_size")
+    bench_ledger_p.add_argument("--spine", default="auto",
+                                choices=["auto", "numpy", "scalar"])
+    bench_ledger_p.set_defaults(func=_cmd_bench_ledger)
 
     serve_p = sub.add_parser(
         "bench-serve",

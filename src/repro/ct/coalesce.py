@@ -50,20 +50,24 @@ def _class_messages(label: bytes, count: int, secret: bool) -> list[bytes]:
 
 def round_shape_trace(arrivals: Sequence[tuple[str, str]],
                       messages: Sequence[bytes],
-                      max_batch: int) -> list[float]:
+                      max_batch: int,
+                      coalesce_verify: bool = False) -> list[float]:
     """The round-shape trace for one drained batch.
 
     Runs the actual serving round planner over the arrival metadata
     and returns the measurement dudect compares: one round-size value
-    per planned round, in emission order.  ``messages`` is accepted —
-    and deliberately unused — to mirror what an adversarial
-    implementation *could* see; the planner's signature guarantees it
-    sees none of it.
+    per planned round, in emission order.  ``coalesce_verify``
+    selects the planner's cross-tenant verify-merging mode (the
+    service's default) — merged round shapes are audited exactly like
+    per-tenant ones.  ``messages`` is accepted — and deliberately
+    unused — to mirror what an adversarial implementation *could*
+    see; the planner's signature guarantees it sees none of it.
     """
     from ..falcon.serving import plan_rounds
 
     assert len(arrivals) == len(messages)
-    plans = plan_rounds(arrivals, max_batch)
+    plans = plan_rounds(arrivals, max_batch,
+                        coalesce_verify=coalesce_verify)
     return [float(len(plan.lanes)) for plan in plans]
 
 
@@ -203,8 +207,13 @@ def audit_coalescing(tenants: int = 3, requests: int = 64,
         for start in range(0, requests, max_batch):
             window = arrivals[start:start + max_batch]
             window_messages = messages[start:start + max_batch]
+            # Audit both planning modes: strict per-tenant rounds and
+            # the service's default cross-tenant verify merging.
             trace.extend(round_shape_trace(window, window_messages,
                                            max_batch))
+            trace.extend(round_shape_trace(window, window_messages,
+                                           max_batch,
+                                           coalesce_verify=True))
         round_traces.append(trace)
         frame_traces.append(frame_shape_trace(arrivals, messages, n=n))
         failure_traces.append(failure_frame_shape_trace(arrivals,

@@ -1,0 +1,563 @@
+"""Append-only signed-record ledger: the verify-heavy workload.
+
+# ct: exempt(ct): append-only ledger plane — every value handled here
+# is public protocol data (encoded public keys, messages, signatures,
+# block headers and their hashes); no key material, sampler state or
+# other secret-tainted value ever flows into this module.
+
+The ROADMAP's "signed-ledger scenario" made concrete: records —
+``(public key, message, signature)`` under **arbitrary, mixed keys** —
+arrive into a bounded :class:`Mempool`; a block builder drains it,
+pushes the whole mixed-key batch through the cross-key verification
+engine (:func:`repro.falcon.batchverify.verify_batch_report`) in one
+vectorized NTT pass, commits the verified lanes into a hash-chained
+block and reports the rejected lanes with per-lane reasons — a bad
+record *never* blocks the rest of its batch.
+
+Blocks persist as one JSON line each, appended with flush + fsync, so
+a crash can tear at most the final line; :class:`Ledger` detects the
+torn tail on load, truncates it, and resumes from the last durable
+block (the crash-recovery round-trip tests pin this).
+
+Committed blocks optionally carry each record's recomputed ``s1`` rows
+(``expand=True``, the default) — captured for free during commit
+verification.  A later audit can then take the aggregate-then-verify
+fast path: ``verify_chain(mode="aggregate")`` re-checks each block via
+per-lane shortness plus one random-linear-combination congruence whose
+weights are seeded by the block's own header hash, falling back to the
+full engine pass per block whenever the aggregate check fails — so
+audit verdicts are exact either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from hashlib import sha256
+from pathlib import Path
+from typing import Sequence
+
+from .batchverify import BatchVerifyReport, verify_batch_report
+from .scheme import PublicKey, Signature
+from .serialize import (
+    SerializeError,
+    decode_public_key,
+    decode_signature,
+    encode_public_key,
+    encode_signature,
+)
+
+GENESIS_HASH = "0" * 64
+
+#: Audit modes :meth:`Ledger.verify_chain` understands.
+AUDIT_MODES = ("full", "aggregate")
+
+
+class LedgerError(Exception):
+    """Corruption or protocol violation in the ledger plane."""
+
+
+class MempoolFull(LedgerError):
+    """The bounded mempool refused a record (back-pressure signal)."""
+
+
+class RecordError(LedgerError):
+    """A record's encoded fields failed to decode."""
+
+
+def _record_id(public_key_bytes: bytes, message: bytes,
+               signature_bytes: bytes) -> str:
+    digest = sha256()
+    digest.update(b"falcon-record")
+    for part in (public_key_bytes, message, signature_bytes):
+        digest.update(len(part).to_bytes(4, "big"))
+        digest.update(part)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class SignedRecord:
+    """One ledger entry: a signed message under some public key.
+
+    Fields are the canonical wire encodings (so the record is
+    self-contained on disk and its identity is a pure content hash);
+    :meth:`decode` rebuilds the live objects for verification.
+    """
+
+    public_key_bytes: bytes
+    message: bytes
+    signature_bytes: bytes
+
+    @classmethod
+    def make(cls, public_key: PublicKey, message: bytes,
+             signature: Signature) -> "SignedRecord":
+        return cls(public_key_bytes=encode_public_key(public_key),
+                   message=bytes(message),
+                   signature_bytes=encode_signature(signature,
+                                                    public_key.n))
+
+    @property
+    def record_id(self) -> str:
+        return _record_id(self.public_key_bytes, self.message,
+                          self.signature_bytes)
+
+    def decode(self) -> tuple[PublicKey, Signature, int]:
+        try:
+            public_key = decode_public_key(self.public_key_bytes)
+            signature, n = decode_signature(self.signature_bytes)
+        except SerializeError as error:
+            raise RecordError(str(error)) from error
+        if n != public_key.n:
+            raise RecordError(
+                f"signature degree {n} != public-key degree "
+                f"{public_key.n}")
+        return public_key, signature, n
+
+
+class Mempool:
+    """Bounded FIFO of pending records with content-hash dedup."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("mempool capacity must be positive")
+        self.capacity = capacity
+        self._pending: list[SignedRecord] = []
+        self._ids: set[str] = set()
+        self.dropped_duplicates = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def add(self, record: SignedRecord) -> bool:
+        """Queue a record.  False = duplicate (dropped); raises
+        :class:`MempoolFull` when at capacity — admission control is
+        the *caller's* back-pressure signal, silent drops would turn
+        overload into data loss."""
+        record_id = record.record_id
+        if record_id in self._ids:
+            self.dropped_duplicates += 1
+            return False
+        if len(self._pending) >= self.capacity:
+            raise MempoolFull(
+                f"mempool at capacity ({self.capacity} records)")
+        self._pending.append(record)
+        self._ids.add(record_id)
+        return True
+
+    def drain(self, limit: int | None = None) -> list[SignedRecord]:
+        """Pop up to ``limit`` records in arrival order."""
+        if limit is None or limit >= len(self._pending):
+            drained, self._pending = self._pending, []
+        else:
+            drained = self._pending[:limit]
+            self._pending = self._pending[limit:]
+        for record in drained:
+            self._ids.discard(record.record_id)
+        return drained
+
+
+def _records_root(record_ids: Sequence[str]) -> str:
+    digest = sha256(b"falcon-records")
+    for record_id in record_ids:
+        digest.update(bytes.fromhex(record_id))
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Hash-chained block header (identity = content hash)."""
+
+    index: int
+    prev_hash: str
+    records_root: str
+    count: int
+    timestamp_us: int
+
+    @property
+    def hash(self) -> str:
+        return sha256(
+            b"falcon-block|%d|%s|%s|%d|%d"
+            % (self.index, self.prev_hash.encode("ascii"),
+               self.records_root.encode("ascii"), self.count,
+               self.timestamp_us)).hexdigest()
+
+
+@dataclass(frozen=True)
+class Block:
+    """A committed block: header + verified records (+ optional
+    expansion — the recomputed ``s1`` rows the aggregate audit eats)."""
+
+    header: BlockHeader
+    records: tuple[SignedRecord, ...]
+    s1_rows: tuple[tuple[int, ...], ...] | None = None
+
+    def to_json(self) -> str:
+        payload = {
+            "header": {
+                "index": self.header.index,
+                "prev": self.header.prev_hash,
+                "root": self.header.records_root,
+                "count": self.header.count,
+                "ts_us": self.header.timestamp_us,
+                "hash": self.header.hash,
+            },
+            "records": [
+                {"pk": record.public_key_bytes.hex(),
+                 "msg": record.message.hex(),
+                 "sig": record.signature_bytes.hex()}
+                for record in self.records
+            ],
+            "s1": ([list(row) for row in self.s1_rows]
+                   if self.s1_rows is not None else None),
+        }
+        return json.dumps(payload, separators=(",", ":"),
+                          sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "Block":
+        try:
+            payload = json.loads(line)
+            header = BlockHeader(
+                index=payload["header"]["index"],
+                prev_hash=payload["header"]["prev"],
+                records_root=payload["header"]["root"],
+                count=payload["header"]["count"],
+                timestamp_us=payload["header"]["ts_us"])
+            records = tuple(
+                SignedRecord(public_key_bytes=bytes.fromhex(entry["pk"]),
+                             message=bytes.fromhex(entry["msg"]),
+                             signature_bytes=bytes.fromhex(entry["sig"]))
+                for entry in payload["records"])
+            s1_rows = (tuple(tuple(row) for row in payload["s1"])
+                       if payload.get("s1") is not None else None)
+            stored_hash = payload["header"]["hash"]
+        except (ValueError, KeyError, TypeError) as error:
+            raise LedgerError(f"malformed block line: {error}") \
+                from error
+        if header.hash != stored_hash:
+            raise LedgerError(
+                f"block {header.index}: stored hash does not match "
+                f"header content")
+        if header.count != len(records):
+            raise LedgerError(
+                f"block {header.index}: count {header.count} != "
+                f"{len(records)} records")
+        return cls(header=header, records=records, s1_rows=s1_rows)
+
+
+@dataclass
+class CommitResult:
+    """What one :meth:`Ledger.commit` round did."""
+
+    block: Block | None
+    accepted: list[str]
+    rejected: list[tuple[str, str]]  # (record_id, reason)
+    report: BatchVerifyReport | None = None
+
+
+@dataclass
+class ChainAudit:
+    """Outcome of :meth:`Ledger.verify_chain`."""
+
+    ok: bool
+    mode: str
+    blocks: int
+    records: int
+    failures: list[tuple[int, str | None, str]] = field(
+        default_factory=list)  # (block index, record_id | None, why)
+    aggregate_fastpath: int = 0  # blocks settled by the RLC pre-check
+
+
+class Ledger:
+    """Append-only signed-record ledger over the cross-key engine.
+
+    ``directory=None`` keeps the chain in memory only (tests, bench
+    warm-up); otherwise blocks append to ``<directory>/ledger.jsonl``
+    with flush + fsync per block and torn-tail recovery on load.
+    ``expand=True`` stores each committed record's recomputed ``s1``
+    row so audits can ride the aggregate fast path.
+    """
+
+    FILENAME = "ledger.jsonl"
+
+    def __init__(self, directory: str | Path | None = None, *,
+                 capacity: int = 4096, max_block_records: int = 1024,
+                 expand: bool = True, spine: str = "auto") -> None:
+        if max_block_records < 1:
+            raise ValueError("max_block_records must be positive")
+        self.mempool = Mempool(capacity)
+        self.max_block_records = max_block_records
+        self.expand = expand
+        self.spine = spine
+        self.blocks: list[Block] = []
+        self.path: Path | None = None
+        self.recovered_bytes = 0  # torn tail truncated on load
+        self.rejected_total: dict[str, int] = {}
+        self._committed: set[str] = set()
+        if directory is not None:
+            directory = Path(directory)
+            directory.mkdir(parents=True, exist_ok=True)
+            self.path = directory / self.FILENAME
+            self._load()
+
+    # -- persistence -------------------------------------------------------
+
+    def _load(self) -> None:
+        """Replay the on-disk chain; truncate a torn final line.
+
+        A torn *final* line is the signature of a crash mid-append
+        (each block is written with flush + fsync, so earlier lines
+        are durable); anything malformed before the tail is real
+        corruption and raises :class:`LedgerError` instead.
+        """
+        assert self.path is not None
+        if not self.path.exists():
+            return
+        raw = self.path.read_bytes()
+        offset = 0
+        valid = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:  # no terminator: torn tail
+                break
+            line = raw[offset:newline]
+            try:
+                block = Block.from_json(line.decode("utf-8"))
+            except (LedgerError, UnicodeDecodeError) as error:
+                if newline == len(raw) - 1:
+                    break  # torn tail that happens to end in \n
+                raise LedgerError(
+                    f"corrupt block at byte {offset}: {error}") \
+                    from error
+            self._check_linkage(block)
+            self.blocks.append(block)
+            self._committed.update(record.record_id
+                                   for record in block.records)
+            offset = newline + 1
+            valid = offset
+        if valid < len(raw):
+            self.recovered_bytes = len(raw) - valid
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def _check_linkage(self, block: Block) -> None:
+        expected_prev = self.tip_hash
+        expected_index = len(self.blocks)
+        if block.header.index != expected_index:
+            raise LedgerError(
+                f"block index {block.header.index}, expected "
+                f"{expected_index}")
+        if block.header.prev_hash != expected_prev:
+            raise LedgerError(
+                f"block {block.header.index}: prev_hash does not "
+                f"match chain tip")
+        root = _records_root([record.record_id
+                              for record in block.records])
+        if block.header.records_root != root:
+            raise LedgerError(
+                f"block {block.header.index}: records_root does not "
+                f"match records")
+
+    def _append_to_disk(self, block: Block) -> None:
+        if self.path is None:
+            return
+        line = block.to_json().encode("utf-8") + b"\n"
+        with open(self.path, "ab") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- chain state -------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def tip_hash(self) -> str:
+        return (self.blocks[-1].header.hash if self.blocks
+                else GENESIS_HASH)
+
+    @property
+    def records_committed(self) -> int:
+        return len(self._committed)
+
+    # -- intake ------------------------------------------------------------
+
+    def submit(self, record: SignedRecord) -> bool:
+        """Queue a record for the next block.  False = duplicate of a
+        pending *or already-committed* record; raises
+        :class:`MempoolFull` at capacity."""
+        if record.record_id in self._committed:
+            self.mempool.dropped_duplicates += 1
+            return False
+        return self.mempool.add(record)
+
+    def submit_signed(self, public_key: PublicKey, message: bytes,
+                      signature: Signature) -> SignedRecord:
+        """Encode + queue in one step; returns the record either way
+        (check :attr:`Mempool.dropped_duplicates` for dedup stats)."""
+        record = SignedRecord.make(public_key, message, signature)
+        self.submit(record)
+        return record
+
+    # -- commit ------------------------------------------------------------
+
+    def commit(self, max_records: int | None = None, *,
+               timestamp_us: int = 0) -> CommitResult:
+        """Drain the mempool and commit one batch-verified block.
+
+        The entire drained batch — arbitrary mixed keys and degrees —
+        rides one cross-key engine pass; lanes that fail are returned
+        in ``rejected`` with the engine's per-lane reason and never
+        block their batch.  No block is written when nothing verifies.
+        """
+        limit = self.max_block_records
+        if max_records is not None:
+            limit = min(limit, max_records)
+        drained = self.mempool.drain(limit)
+        rejected: list[tuple[str, str]] = []
+        lanes: list[tuple[SignedRecord, PublicKey, Signature]] = []
+        for record in drained:
+            record_id = record.record_id
+            if record_id in self._committed:
+                rejected.append((record_id, "duplicate"))
+                continue
+            try:
+                public_key, signature, _ = record.decode()
+            except RecordError as error:
+                rejected.append((record_id, f"decode: {error}"))
+                continue
+            lanes.append((record, public_key, signature))
+        report = None
+        accepted: list[SignedRecord] = []
+        s1_rows: list[tuple[int, ...]] = []
+        if lanes:
+            report = verify_batch_report(
+                [(public_key, record.message, signature)
+                 for record, public_key, signature in lanes],
+                spine=self.spine, keep_s1=self.expand)
+            for (record, _, _), verdict, s1 in zip(
+                    lanes, report.lanes,
+                    report.s1_rows or [None] * len(lanes)):
+                if verdict.ok:
+                    accepted.append(record)
+                    if self.expand:
+                        s1_rows.append(tuple(s1))
+                else:
+                    reason = verdict.reason
+                    if verdict.detail:
+                        reason = f"{reason}: {verdict.detail}"
+                    rejected.append((record.record_id, reason))
+        for _, reason in rejected:
+            label = reason.split(":", 1)[0]
+            self.rejected_total[label] = \
+                self.rejected_total.get(label, 0) + 1
+        if not accepted:
+            return CommitResult(block=None, accepted=[],
+                                rejected=rejected, report=report)
+        header = BlockHeader(
+            index=len(self.blocks), prev_hash=self.tip_hash,
+            records_root=_records_root([record.record_id
+                                        for record in accepted]),
+            count=len(accepted), timestamp_us=int(timestamp_us))
+        block = Block(header=header, records=tuple(accepted),
+                      s1_rows=tuple(s1_rows) if self.expand else None)
+        self._append_to_disk(block)
+        self.blocks.append(block)
+        self._committed.update(record.record_id
+                               for record in accepted)
+        return CommitResult(block=block,
+                            accepted=[record.record_id
+                                      for record in accepted],
+                            rejected=rejected, report=report)
+
+    # -- audit -------------------------------------------------------------
+
+    def verify_chain(self, mode: str = "full", *,
+                     rounds: int = 1) -> ChainAudit:
+        """Re-verify the whole chain: linkage, roots, every signature.
+
+        ``mode="full"`` re-runs the cross-key engine over each block.
+        ``mode="aggregate"`` takes the RLC fast path over blocks that
+        carry their ``s1`` expansion — weights seeded by the block's
+        own header hash, so they are fixed by content committed before
+        the audit — and falls back to the full pass per block when the
+        aggregate check fails (or the expansion is missing), keeping
+        verdicts exact.
+        """
+        if mode not in AUDIT_MODES:
+            raise ValueError(f"unknown audit mode {mode!r}; "
+                             f"choose from {AUDIT_MODES}")
+        audit = ChainAudit(ok=True, mode=mode, blocks=len(self.blocks),
+                           records=0)
+        prev_hash = GENESIS_HASH
+        for index, block in enumerate(self.blocks):
+            header = block.header
+            if (header.index != index
+                    or header.prev_hash != prev_hash):
+                audit.failures.append((index, None, "broken chain "
+                                       "linkage"))
+                prev_hash = header.hash
+                continue
+            root = _records_root([record.record_id
+                                  for record in block.records])
+            if header.records_root != root:
+                audit.failures.append((index, None,
+                                       "records_root mismatch"))
+                prev_hash = header.hash
+                continue
+            prev_hash = header.hash
+            lanes = []
+            lane_records = []
+            for record in block.records:
+                try:
+                    public_key, signature, _ = record.decode()
+                except RecordError as error:
+                    audit.failures.append(
+                        (index, record.record_id, f"decode: {error}"))
+                    continue
+                lanes.append((public_key, record.message, signature))
+                lane_records.append(record)
+            audit.records += len(block.records)
+            if not lanes:
+                continue
+            expanded = (mode == "aggregate"
+                        and block.s1_rows is not None
+                        and len(block.s1_rows) == len(lanes))
+            if expanded:
+                report = verify_batch_report(
+                    [lane + (list(s1),) for lane, s1
+                     in zip(lanes, block.s1_rows)],
+                    spine=self.spine, precheck="rlc",
+                    precheck_seed=bytes.fromhex(header.hash),
+                    precheck_rounds=rounds)
+                if report.precheck_passed:
+                    audit.aggregate_fastpath += 1
+            else:
+                report = verify_batch_report(lanes, spine=self.spine)
+            for record, verdict in zip(lane_records, report.lanes):
+                if not verdict.ok:
+                    audit.failures.append(
+                        (index, record.record_id, verdict.reason))
+        audit.ok = not audit.failures
+        return audit
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "height": self.height,
+            "tip_hash": self.tip_hash,
+            "records_committed": self.records_committed,
+            "mempool_pending": len(self.mempool),
+            "mempool_capacity": self.mempool.capacity,
+            "duplicates_dropped": self.mempool.dropped_duplicates,
+            "rejected_total": dict(self.rejected_total),
+            "expand": self.expand,
+            "recovered_bytes": self.recovered_bytes,
+            "path": str(self.path) if self.path else None,
+        }

@@ -240,6 +240,23 @@ def mul_ntt_array(a, b):
     return intt_array(fa * fb % _np.uint64(Q))
 
 
+def mul_ntt_rows_array(rows, ntt_rows):
+    """Rowwise product of coefficient rows with *pre-transformed* rows.
+
+    ``rows`` are ``(..., n)`` coefficient-domain polynomials;
+    ``ntt_rows`` are already in the NTT domain (e.g. each public key's
+    cached ``ntt(h)`` stacked into a ``(batch, n)`` matrix).  The whole
+    batch rides one forward transform, one pointwise multiply, and one
+    inverse transform — this is the kernel the cross-key verification
+    engine leans on, so lanes under *different* keys still share a
+    single vectorized pass.
+    """
+    _require_numpy()
+    fa = ntt_array(rows)
+    return intt_array(fa * _np.asarray(ntt_rows, dtype=_np.uint64)
+                      % _np.uint64(Q))
+
+
 def center_mod_q_array(values):
     """Array form of :func:`center_mod_q` (``int64`` output)."""
     _require_numpy()

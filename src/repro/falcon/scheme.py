@@ -64,7 +64,6 @@ from .ntrugen import NtruKeys, generate_keys
 from .ntt import (
     Q,
     center_mod_q,
-    center_mod_q_array,
     intt,
     intt_array,
     ntt,
@@ -203,13 +202,23 @@ class PublicKey:
             self._h_ntt = ntt(self.h)
         return self._h_ntt
 
+    @property
+    def h_ntt_row(self):
+        """Cached ``uint64`` NumPy mirror of :attr:`h_ntt` — the row
+        the cross-key batch engine stacks into its ``(batch, n)``
+        matrix.  Requires NumPy."""
+        if self._h_ntt_row is None:
+            if _np is None:
+                raise RuntimeError(
+                    "NumPy is required for h_ntt_row; use h_ntt")
+            self._h_ntt_row = _np.array(self.h_ntt, dtype=_np.uint64)
+        return self._h_ntt_row
+
     def _mul_h(self, s2: list[int]) -> list[int]:
         """``s2 * h`` in ``Z_q[x]/(x^n + 1)`` via the cached NTT."""
         if _np is not None:
-            if self._h_ntt_row is None:
-                self._h_ntt_row = _np.array(self.h_ntt, dtype=_np.uint64)
             fa = ntt_array(_np.asarray(s2, dtype=_np.int64))
-            return intt_array(fa * self._h_ntt_row
+            return intt_array(fa * self.h_ntt_row
                               % _np.uint64(Q)).tolist()
         return intt([x * y % Q for x, y in zip(ntt(s2), self.h_ntt)])
 
@@ -235,38 +244,25 @@ class PublicKey:
         :meth:`verify` bit for bit); without NumPy it falls back to a
         plain loop.
         """
+        return self.verify_many_report(messages, signatures).verdicts
+
+    def verify_many_report(self, messages: Sequence[bytes],
+                           signatures: Sequence[Signature]):
+        """:meth:`verify_many` with per-lane failure reasons.
+
+        Delegates to the cross-key engine (one vectorized pass with
+        every lane under this key), so a decompress-failed lane is
+        *reported* — reason ``"decompress"`` plus the decoder's detail
+        — instead of silently dropped.  Returns a
+        :class:`~repro.falcon.batchverify.BatchVerifyReport`; its
+        ``verdicts`` are what :meth:`verify_many` always returned.
+        """
         if len(messages) != len(signatures):
             raise ValueError("messages and signatures differ in length")
-        if _np is None or not messages:
-            return [self.verify(m, s)
-                    for m, s in zip(messages, signatures)]
-        results = [False] * len(messages)
-        lanes: list[int] = []
-        s2_rows: list[list[int]] = []
-        hashed_rows: list[list[int]] = []
-        for i, (message, signature) in enumerate(zip(messages,
-                                                     signatures)):
-            try:
-                s2 = decompress(signature.compressed, self.n)
-            except DecompressError:
-                continue
-            lanes.append(i)
-            s2_rows.append(s2)
-            hashed_rows.append(
-                hash_to_point(message, signature.salt, self.n))
-        if not lanes:
-            return results
-        if self._h_ntt_row is None:
-            self._h_ntt_row = _np.array(self.h_ntt, dtype=_np.uint64)
-        s2_mat = _np.asarray(s2_rows, dtype=_np.int64)
-        s2h = intt_array(ntt_array(s2_mat) * self._h_ntt_row
-                         % _np.uint64(Q)).astype(_np.int64)
-        s1 = center_mod_q_array(
-            _np.asarray(hashed_rows, dtype=_np.int64) - s2h)
-        norms = (s1 * s1).sum(axis=1) + (s2_mat * s2_mat).sum(axis=1)
-        for lane, i in enumerate(lanes):
-            results[i] = bool(norms[lane] <= self.params.sig_bound)
-        return results
+        from .batchverify import verify_batch_report
+        return verify_batch_report(
+            [(self, message, signature)
+             for message, signature in zip(messages, signatures)])
 
 
 class SecretKey:

@@ -49,6 +49,9 @@ from .net import (
 )
 from .sharded import ConsistentHashRing, ShardedKeyStore, derive_shard_seed
 from .service import (
+    KIND_SIGN,
+    KIND_VERIFY,
+    VERIFY_MERGED_TENANT,
     CircuitBreaker,
     RoundPlan,
     ServiceMetrics,
@@ -66,6 +69,8 @@ __all__ = [
     "FaultStats",
     "FrameError",
     "InjectedFault",
+    "KIND_SIGN",
+    "KIND_VERIFY",
     "NetClient",
     "NetServer",
     "RetryPolicy",
@@ -77,6 +82,7 @@ __all__ = [
     "ShardedKeyStore",
     "SigningService",
     "TokenBucket",
+    "VERIFY_MERGED_TENANT",
     "derive_shard_seed",
     "encode_request_frame",
     "frame_shape",

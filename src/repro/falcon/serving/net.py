@@ -787,6 +787,21 @@ class NetClient:
         return await self._request(FRAME_VERIFY, tenant, payload,
                                    deadline)
 
+    async def verify_all(self, items, *,
+                         deadline: float | None = None) -> list[bool]:
+        """Concurrent convenience: verify ``(tenant, message,
+        signature)`` triples, gathered in order.
+
+        The requests go out pipelined on the one connection, so the
+        server's coalescer can merge them — across tenants — into
+        maximal cross-key verify rounds; this is the client shape the
+        ledger workload drives.
+        """
+        return list(await asyncio.gather(
+            *[self.verify(tenant, message, signature,
+                          deadline=deadline)
+              for tenant, message, signature in items]))
+
 
 def _degree_from_signature(signature: Signature) -> int:
     """Infer the ring degree from a signature's padded payload width

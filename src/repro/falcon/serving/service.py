@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..batchverify import verify_batch
 from ..scheme import Signature
 from .errors import DeadlineExceeded, ServingUnavailable
 from .sharded import ShardedKeyStore
@@ -46,6 +47,12 @@ from .sharded import ShardedKeyStore
 #: Request kinds the coalescer schedules.
 KIND_SIGN = "sign"
 KIND_VERIFY = "verify"
+
+#: The ``RoundPlan.tenant`` sentinel for a cross-tenant merged verify
+#: round (verification needs no secret key, so verify lanes from
+#: *different* tenants can share one maximal batch — each lane still
+#: checks against its own tenant's public key).
+VERIFY_MERGED_TENANT = "*"
 
 
 class CircuitBreaker:
@@ -123,7 +130,8 @@ class RoundPlan:
 
 
 def plan_rounds(arrivals: Sequence[tuple[str, str]],
-                max_batch: int) -> list[RoundPlan]:
+                max_batch: int, *,
+                coalesce_verify: bool = False) -> list[RoundPlan]:
     """Partition drained requests into per-``(tenant, kind)`` rounds.
 
     ``arrivals`` is the drained batch's metadata — ``(tenant, kind)``
@@ -133,17 +141,28 @@ def plan_rounds(arrivals: Sequence[tuple[str, str]],
     arrival order — which is what makes coalesced signatures byte-
     identical to a direct ``sign_many`` over the same message order.
 
+    ``coalesce_verify=True`` additionally merges **all** verify lanes
+    — any tenant — into shared rounds under the
+    :data:`VERIFY_MERGED_TENANT` sentinel: a verify round needs no
+    secret key, so nothing ties it to one tenant, and the cross-key
+    engine checks every lane against its own tenant's public key in
+    one vectorized pass.  Sign rounds stay strictly per-tenant.
+
     This function is deliberately *blind*: it receives no message
-    bytes, no signatures, no key material.  Round composition is
-    secret-independent by construction, and the type signature is the
-    contract (checked by :mod:`repro.ct.coalesce`).
+    bytes, no signatures, no key material.  Round composition —
+    merged or not — is secret-independent by construction, and the
+    type signature is the contract (checked by
+    :mod:`repro.ct.coalesce` in both planning modes).
     """
     if max_batch < 1:
         raise ValueError("max_batch must be at least 1")
     groups: dict[tuple[str, str], list[int]] = {}
     order: list[tuple[str, str]] = []
     for lane, (tenant, kind) in enumerate(arrivals):
-        key = (tenant, kind)
+        if coalesce_verify and kind == KIND_VERIFY:
+            key = (VERIFY_MERGED_TENANT, kind)
+        else:
+            key = (tenant, kind)
         if key not in groups:
             groups[key] = []
             order.append(key)
@@ -243,6 +262,12 @@ class SigningService:
     ``directory`` deployment as ``store`` (the store keeps doing the
     tenant→shard routing); the service does not own the pool's
     lifecycle — start it before and stop it after the service.
+
+    ``coalesce_verify=True`` (default) merges verify lanes across
+    tenants into maximal rounds: verification needs no secret key, so
+    verify rounds skip signer checkout entirely (each lane checks
+    against its tenant's cached public key through the cross-key
+    batch engine) and nothing ties a round to one tenant.
     """
 
     def __init__(self, store: ShardedKeyStore, *,
@@ -255,7 +280,8 @@ class SigningService:
                  worker_pool=None,
                  record_rounds: bool = False,
                  breaker_failures: int = 5,
-                 breaker_reset: float = 1.0) -> None:
+                 breaker_reset: float = 1.0,
+                 coalesce_verify: bool = True) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if max_wait < 0:
@@ -270,6 +296,10 @@ class SigningService:
         self.spine = spine
         self.offload = offload
         self.worker_pool = worker_pool
+        # Verify lanes merge across tenants into maximal rounds by
+        # default (they need no secret key; the cross-key engine
+        # checks each lane against its own tenant's public key).
+        self.coalesce_verify = coalesce_verify
         self.metrics = ServiceMetrics()
         self._record_rounds = record_rounds
         # Per-shard circuit breakers (breaker_failures=0 disables
@@ -490,7 +520,8 @@ class SigningService:
         if not batch:
             return
         plans = plan_rounds([(r.tenant, r.kind) for r in batch],
-                            self.max_batch)
+                            self.max_batch,
+                            coalesce_verify=self.coalesce_verify)
         for plan in plans:
             requests = [batch[lane] for lane in plan.lanes]
             self.metrics.rounds += 1
@@ -518,10 +549,28 @@ class SigningService:
             if self.worker_pool is not None:
                 # One IPC round-trip per round: the shard's dedicated
                 # worker process signs/verifies with its warm spines.
+                # A cross-tenant merged verify round ships its per-
+                # lane tenants so each lane checks against its own
+                # tenant's key.
+                tenant_arg = plan.tenant
+                if (plan.kind == KIND_VERIFY
+                        and plan.tenant == VERIFY_MERGED_TENANT):
+                    tenant_arg = [r.tenant for r in requests]
                 return self.worker_pool.run_round(
-                    shard, plan.tenant, plan.kind, self.n, messages,
+                    shard, tenant_arg, plan.kind, self.n, messages,
                     signatures=([r.signature for r in requests]
                                 if plan.kind == KIND_VERIFY else None))
+            if plan.kind == KIND_VERIFY:
+                # Verify rounds never touch the keystore: each lane's
+                # public key comes from the store's verify-plane cache
+                # (no checkout, no cohort fence — sign load cannot be
+                # contended by verify load), and the whole round —
+                # merged tenants included — rides one cross-key
+                # engine pass.
+                return verify_batch(
+                    [(self.store.public_key(r.tenant, self.n),
+                      r.message, r.signature) for r in requests],
+                    spine=self.spine)
             # One worker-thread hop per round: signer checkout
             # (cached after first use) plus the batched kernel
             # call together, so the event loop stays free while
@@ -533,10 +582,7 @@ class SigningService:
             else:
                 signer = self.store.signer_on(shard, plan.tenant,
                                               self.n)
-            if plan.kind == KIND_SIGN:
-                return signer.sign_many(messages, spine=self.spine)
-            return signer.public_key.verify_many(
-                messages, [r.signature for r in requests])
+            return signer.sign_many(messages, spine=self.spine)
 
         breaker = self.breakers[shard] if self.breakers else None
         try:

@@ -22,7 +22,7 @@ from pathlib import Path
 from typing import Sequence
 
 from ..keystore import KeyStore, fenced_signer_checkout
-from ..scheme import SecretKey, Signature
+from ..scheme import PublicKey, SecretKey, Signature
 
 
 def derive_shard_seed(master_seed: int | bytes, shard: int) -> bytes:
@@ -131,6 +131,13 @@ class ShardedKeyStore:
         self._signer_guards: dict[tuple[str, int, int],
                                   threading.Lock] = {}
         self._signer_lock = threading.Lock()
+        # Verify-plane cache: (tenant, n) -> PublicKey.  Shard-
+        # agnostic on purpose — a verify round needs no secret key,
+        # no slot claim and no cohort fence, so once populated it
+        # never touches the keystore again (and verify load can never
+        # contend checkouts with sign load).
+        self._public_keys: dict[tuple[str, int], PublicKey] = {}
+        self._pk_lock = threading.Lock()
 
     @property
     def shards(self) -> int:
@@ -170,6 +177,10 @@ class ShardedKeyStore:
         with self._signer_lock:
             for key in [key for key in self._signers if key[1] == n]:
                 del self._signers[key]
+        with self._pk_lock:
+            for key in [key for key in self._public_keys
+                        if key[1] == n]:
+                del self._public_keys[key]
         return retired
 
     def join_refills(self, timeout: float | None = None) -> None:
@@ -206,10 +217,35 @@ class ShardedKeyStore:
         recovered home shard serves the tenant's original key again.
         """
         key = (_tenant_bytes(tenant).decode("latin-1"), n, shard)
-        return fenced_signer_checkout(self.stores[shard], n,
-                                      lock=self._signer_lock,
-                                      guards=self._signer_guards,
-                                      cache=self._signers, key=key)
+        signer = fenced_signer_checkout(self.stores[shard], n,
+                                        lock=self._signer_lock,
+                                        guards=self._signer_guards,
+                                        cache=self._signers, key=key)
+        if shard == self.shard_for(tenant):
+            # Sign traffic warms the verify plane: the home shard's
+            # key is the tenant's canonical identity, so its public
+            # half feeds the checkout-free verify cache.
+            with self._pk_lock:
+                self._public_keys.setdefault((key[0], n),
+                                             signer.public_key)
+        return signer
+
+    def public_key(self, tenant: str | bytes, n: int) -> PublicKey:
+        """The tenant's verification key, without keystore contention.
+
+        Served from the verify-plane cache when warm (no checkout, no
+        cohort fencing, no slot claim — verify rounds stay off the
+        keystore entirely).  A cold tenant costs exactly one home-
+        shard signer checkout to learn its key pair; every later
+        verify reuses the cached public half and its precomputed
+        ``ntt(h)`` row.
+        """
+        cache_key = (_tenant_bytes(tenant).decode("latin-1"), n)
+        with self._pk_lock:
+            public_key = self._public_keys.get(cache_key)
+        if public_key is not None:
+            return public_key
+        return self.signer(tenant, n).public_key
 
     def sign_many(self, tenant: str | bytes, n: int,
                   messages: Sequence[bytes],
@@ -221,8 +257,9 @@ class ShardedKeyStore:
     def verify_many(self, tenant: str | bytes, n: int,
                     messages: Sequence[bytes],
                     signatures: Sequence[Signature]) -> list[bool]:
-        """Batch-verify against the tenant's public key."""
-        return self.signer(tenant, n).public_key.verify_many(
+        """Batch-verify against the tenant's public key (checkout-free
+        once the verify-plane cache is warm)."""
+        return self.public_key(tenant, n).verify_many(
             messages, signatures)
 
     # -- metrics -----------------------------------------------------------
@@ -240,6 +277,7 @@ class ShardedKeyStore:
             "retired": sum(s.retired for s in per_shard),
             "available": {},
             "tenants_checked_out": len(self._signers),
+            "public_keys_cached": len(self._public_keys),
         }
         for snapshot in per_shard:
             for n, depth in snapshot.available.items():

@@ -84,6 +84,7 @@ def _worker_main(connection, shard: int, config: dict) -> None:
     breaks (parent died).  Per-tenant signers are checked out on first
     use and cached for the lifetime of the process — warm spines.
     """
+    from ..batchverify import verify_batch
     from ..keystore import KeyStore
     from .sharded import derive_shard_seed
 
@@ -126,8 +127,17 @@ def _worker_main(connection, shard: int, config: dict) -> None:
             elif kind == _KIND_VERIFY:
                 rebuilt = [Signature(salt=salt, compressed=compressed)
                            for salt, compressed in signatures]
-                verdicts = signer(tenant, n).public_key.verify_many(
-                    messages, rebuilt)
+                # ``tenant`` is a per-lane list for cross-tenant
+                # merged rounds; each lane verifies against its own
+                # tenant's public key in one cross-key engine pass.
+                lane_tenants = (list(tenant)
+                                if isinstance(tenant, (list, tuple))
+                                else [tenant] * len(messages))
+                verdicts = verify_batch(
+                    [(signer(t, n).public_key, message, signature)
+                     for t, message, signature
+                     in zip(lane_tenants, messages, rebuilt)],
+                    spine=spine)
                 reply = ("ok", list(verdicts))
             else:
                 raise ValueError(f"unknown round kind {kind!r}")
@@ -356,10 +366,14 @@ class ShardWorkerPool:
 
     # -- round execution ---------------------------------------------------
 
-    def run_round(self, shard: int, tenant: str, kind: str, n: int,
+    def run_round(self, shard: int, tenant, kind: str, n: int,
                   messages: Sequence[bytes],
                   signatures: Sequence[Signature] | None = None):
         """Run one coalesced round on ``shard``'s worker process.
+
+        ``tenant`` is one tenant id for sign rounds, or — for a
+        cross-tenant merged verify round — a list of per-lane tenant
+        ids aligned with ``messages``.
 
         Blocking (call from a thread); returns what the in-process
         round would have — a ``Signature`` list for sign rounds, a
@@ -397,9 +411,18 @@ class ShardWorkerPool:
                 self._reap_locked(shard)
                 raise ShardWorkerError(
                     f"shard {shard} worker died mid-round") from error
-            if (tenant, n) not in self._warm_seen[shard]:
-                self._warm_seen[shard].add((tenant, n))
-                self._warm_order[shard].append((tenant, n))
+            # Record first-seen (tenant, n) checkouts in lane order —
+            # merged verify rounds carry a per-lane tenant list, and
+            # the worker checks each lane's tenant out in that order,
+            # so the warm-replay list must match it exactly (checkout
+            # order determines key bytes for memory-only stores).
+            lane_tenants = (list(tenant)
+                            if isinstance(tenant, (list, tuple))
+                            else [tenant])
+            for lane_tenant in lane_tenants:
+                if (lane_tenant, n) not in self._warm_seen[shard]:
+                    self._warm_seen[shard].add((lane_tenant, n))
+                    self._warm_order[shard].append((lane_tenant, n))
         status, result = reply
         if status == "error":
             raise result

@@ -1,0 +1,252 @@
+"""Differential suite for the cross-key batch verification engine.
+
+The engine's contract: ``verify_batch(items)`` over arbitrary mixed
+keys and degrees returns verdicts bit-identical to calling each lane's
+``public_key.verify(message, signature)``, on both spines, with
+per-lane failure reasons instead of silent drops.
+"""
+
+import pytest
+
+from repro.falcon import (
+    HAVE_NUMPY,
+    SecretKey,
+    Signature,
+    verify_batch,
+    verify_batch_report,
+)
+from repro.falcon.batchverify import (
+    REASON_DECOMPRESS,
+    REASON_NORM,
+    REASON_OK,
+    ROWS_DECODE_MIN,
+    rlc_weights,
+)
+
+SPINES = ("scalar",) + (("numpy",) if HAVE_NUMPY else ())
+
+# Session-scope keys: keygen dominates these tests otherwise.
+_KEYS: dict[tuple[int, int], SecretKey] = {}
+
+
+def _secret_key(n: int, seed: int) -> SecretKey:
+    if (n, seed) not in _KEYS:
+        _KEYS[(n, seed)] = SecretKey.generate(n=n, seed=seed)
+    return _KEYS[(n, seed)]
+
+
+def _honest_lane(n: int, seed: int, index: int) -> tuple:
+    sk = _secret_key(n, seed)
+    message = b"batch-%d-%d" % (n, index)
+    return (sk.public_key, message, sk.sign(message))
+
+
+def _mixed_batch() -> list[tuple]:
+    """Mixed degrees, mixed keys, duplicate keys, and three kinds of
+    bad lanes: forged message, corrupted blob, hard-truncated blob."""
+    lanes = [_honest_lane(8, seed, i)
+             for i, seed in enumerate((1, 2, 1, 3))]
+    lanes += [_honest_lane(16, seed, i)
+              for i, seed in enumerate((1, 2, 2))]
+    pk, message, signature = _honest_lane(8, 1, 99)
+    lanes.append((pk, message + b"forged", signature))
+    flipped = bytearray(signature.compressed)
+    flipped[1] ^= 0x41
+    lanes.append((pk, message,
+                  Signature(salt=signature.salt,
+                            compressed=bytes(flipped))))
+    lanes.append((pk, message,
+                  Signature(salt=signature.salt,
+                            compressed=signature.compressed[:3])))
+    return lanes
+
+
+@pytest.mark.parametrize("spine", SPINES)
+def test_cross_key_matches_per_key_verify(spine):
+    lanes = _mixed_batch()
+    verdicts = verify_batch(lanes, spine=spine)
+    assert verdicts == [pk.verify(message, signature)
+                        for pk, message, signature in lanes]
+    assert True in verdicts and False in verdicts
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs both spines")
+def test_spines_bit_identical_including_reasons():
+    lanes = _mixed_batch()
+    numpy_report = verify_batch_report(lanes, spine="numpy")
+    scalar_report = verify_batch_report(lanes, spine="scalar")
+    assert numpy_report.verdicts == scalar_report.verdicts
+    assert [(lane.ok, lane.reason, lane.detail)
+            for lane in numpy_report.lanes] == \
+        [(lane.ok, lane.reason, lane.detail)
+         for lane in scalar_report.lanes]
+
+
+@pytest.mark.parametrize("spine", SPINES)
+def test_empty_batch(spine):
+    assert verify_batch([], spine=spine) == []
+    report = verify_batch_report([], spine=spine, keep_s1=True)
+    assert report.lanes == [] and report.s1_rows == []
+
+
+@pytest.mark.parametrize("spine", SPINES)
+def test_single_lane_batch(spine):
+    lane = _honest_lane(8, 1, 0)
+    assert verify_batch([lane], spine=spine) == [True]
+
+
+@pytest.mark.parametrize("spine", SPINES)
+def test_duplicate_keys_share_a_batch(spine):
+    sk = _secret_key(8, 1)
+    lanes = [(sk.public_key, b"dup-%d" % i, sk.sign(b"dup-%d" % i))
+             for i in range(4)]
+    assert verify_batch(lanes, spine=spine) == [True] * 4
+
+
+@pytest.mark.parametrize("spine", SPINES)
+def test_failure_reasons_reported_not_dropped(spine):
+    lanes = _mixed_batch()
+    report = verify_batch_report(lanes, spine=spine)
+    reasons = [lane.reason for lane in report.lanes]
+    assert reasons[:7] == [REASON_OK] * 7
+    assert reasons[7] == REASON_NORM          # forged message
+    assert reasons[9] == REASON_DECOMPRESS    # truncated blob
+    truncated = report.lanes[9]
+    assert not truncated.ok and truncated.detail  # decoder's message
+    assert report.accepted == sum(report.verdicts)
+    assert report.rejected == len(lanes) - report.accepted
+    histogram = report.reasons()
+    assert histogram[REASON_OK] == report.accepted
+    assert histogram[REASON_DECOMPRESS] >= 1
+
+
+@pytest.mark.skipif(not HAVE_NUMPY,
+                    reason="row decoder needs the numpy spine")
+def test_large_batch_row_decoder_matches_scalar():
+    """A same-degree batch past ROWS_DECODE_MIN rides the vectorized
+    row decoder; verdicts and reasons must not change."""
+    lanes = []
+    for i in range(ROWS_DECODE_MIN + 4):
+        sk = _secret_key(8, 1 + i % 3)
+        message = b"row-%d" % i
+        lanes.append((sk.public_key, message, sk.sign(message)))
+    pk, message, signature = lanes[5]
+    lanes[5] = (pk, message,
+                Signature(salt=signature.salt,
+                          compressed=signature.compressed[:2]))
+    pk, message, signature = lanes[9]
+    lanes[9] = (pk, message + b"!", signature)
+    numpy_report = verify_batch_report(lanes, spine="numpy")
+    scalar_report = verify_batch_report(lanes, spine="scalar")
+    assert numpy_report.verdicts == scalar_report.verdicts
+    assert [(lane.reason, lane.detail)
+            for lane in numpy_report.lanes] == \
+        [(lane.reason, lane.detail) for lane in scalar_report.lanes]
+    assert numpy_report.verdicts == [pk.verify(m, s)
+                                     for pk, m, s in lanes]
+
+
+@pytest.mark.parametrize("spine", SPINES)
+def test_keep_s1_exposes_expansion_rows(spine):
+    lanes = _mixed_batch()
+    report = verify_batch_report(lanes, spine=spine, keep_s1=True)
+    for verdict, s1, (pk, _m, _s) in zip(report.verdicts,
+                                         report.s1_rows, lanes):
+        if verdict:
+            assert isinstance(s1, list) and len(s1) == pk.n
+        else:
+            assert s1 is None
+
+
+@pytest.mark.parametrize("spine", SPINES)
+def test_rlc_precheck_accepts_honest_expansion(spine):
+    lanes = [_honest_lane(8, seed, i)
+             for i, seed in enumerate((1, 2, 3, 1))]
+    expansion = verify_batch_report(lanes, spine=spine, keep_s1=True)
+    expanded = [(pk, m, s, s1) for (pk, m, s), s1
+                in zip(lanes, expansion.s1_rows)]
+    report = verify_batch_report(expanded, spine=spine,
+                                 precheck="rlc",
+                                 precheck_seed=b"test-seed",
+                                 precheck_rounds=2)
+    assert report.precheck_passed
+    assert report.verdicts == expansion.verdicts
+
+
+@pytest.mark.parametrize("spine", SPINES)
+def test_rlc_falls_back_exactly_on_corrupt_expansion(spine):
+    """A tampered claimed s1 must not change any verdict: the
+    aggregate check fails and the engine re-derives exact verdicts
+    through the full pass."""
+    lanes = [_honest_lane(8, seed, i)
+             for i, seed in enumerate((1, 2, 3))]
+    expansion = verify_batch_report(lanes, spine=spine, keep_s1=True)
+    rows = [list(s1) for s1 in expansion.s1_rows]
+    rows[1][0] = (rows[1][0] + 1)  # in-range tamper
+    expanded = [(pk, m, s, s1) for (pk, m, s), s1
+                in zip(lanes, rows)]
+    report = verify_batch_report(expanded, spine=spine,
+                                 precheck="rlc",
+                                 precheck_seed=b"test-seed")
+    assert not report.precheck_passed
+    assert report.verdicts == expansion.verdicts == [True] * 3
+
+
+@pytest.mark.parametrize("spine", SPINES)
+def test_rlc_requires_expanded_lanes(spine):
+    lanes = [_honest_lane(8, 1, 0)]
+    with pytest.raises(ValueError, match="expanded"):
+        verify_batch(lanes, spine=spine, precheck="rlc")
+
+
+def test_precheck_and_spine_validation():
+    with pytest.raises(ValueError, match="unknown precheck"):
+        verify_batch([], precheck="magic")
+    with pytest.raises(ValueError, match="at least 1"):
+        verify_batch([], precheck="rlc", precheck_rounds=0)
+    with pytest.raises(ValueError, match="unknown spine"):
+        verify_batch([], spine="vliw")
+
+
+def test_rlc_weights_deterministic_and_in_range():
+    from repro.falcon import Q
+
+    first = rlc_weights(b"seed", 32, round_index=0)
+    assert first == rlc_weights(b"seed", 32, round_index=0)
+    assert first != rlc_weights(b"seed", 32, round_index=1)
+    assert first != rlc_weights(b"eeds", 32, round_index=0)
+    assert all(1 <= w <= Q - 1 for w in first)
+
+
+# -- verify_many rides the engine -----------------------------------------
+
+def test_verify_many_report_returns_reasons():
+    sk = _secret_key(8, 1)
+    messages = [b"vm-%d" % i for i in range(3)]
+    signatures = [sk.sign(m) for m in messages]
+    broken = Signature(salt=signatures[1].salt,
+                       compressed=signatures[1].compressed[:2])
+    report = sk.public_key.verify_many_report(
+        messages, [signatures[0], broken, signatures[2]])
+    assert report.verdicts == [True, False, True]
+    assert report.lanes[1].reason == REASON_DECOMPRESS
+    assert report.lanes[1].detail
+
+
+def test_verify_many_verdicts_unchanged():
+    sk = _secret_key(8, 2)
+    messages = [b"unchanged-%d" % i for i in range(4)]
+    signatures = [sk.sign(m) for m in messages]
+    verdicts = sk.public_key.verify_many(
+        [messages[0], b"wrong", messages[2], messages[3]], signatures)
+    assert verdicts == [True, False, True, True]
+    assert verdicts == [
+        sk.public_key.verify(m, s) for m, s in
+        zip([messages[0], b"wrong", messages[2], messages[3]],
+            signatures)]
+
+
+def test_verify_many_length_mismatch():
+    sk = _secret_key(8, 1)
+    with pytest.raises(ValueError):
+        sk.public_key.verify_many([b"m"], [])

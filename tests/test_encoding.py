@@ -146,3 +146,91 @@ def test_overlong_unary_rejected():
     with pytest.raises(DecompressError,
                        match="exceeds the coefficient bound"):
         decompress(_bits_to_bytes(bits), n)
+
+
+# -- the batched row decoder ----------------------------------------------
+
+numpy = pytest.importorskip("numpy")
+
+from repro.falcon.encoding import decompress_rows  # noqa: E402
+
+
+def _rows_verdict(blob: bytes, n: int):
+    """(accepted, coefficients-or-None) through the batched decoder."""
+    coefficients, failed = decompress_rows([blob], n)
+    return (not bool(failed[0]),
+            None if failed[0] else coefficients[0].tolist())
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from([4, 8, 16, 64]), st.data())
+def test_rows_match_scalar_on_round_trips(n, data):
+    bound = max_coefficient(n)
+    rows = data.draw(st.lists(
+        st.lists(st.integers(min_value=-bound, max_value=bound),
+                 min_size=n, max_size=n),
+        min_size=1, max_size=6))
+    budget = 16 * n + 256
+    blobs = [compress(coeffs, payload_bits=budget) for coeffs in rows]
+    coefficients, failed = decompress_rows(blobs, n)
+    assert not failed.any()
+    for row, coeffs in zip(coefficients, rows):
+        assert row.tolist() == coeffs
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(min_size=8, max_size=64))
+def test_rows_accept_reject_matches_scalar_on_garbage(blob):
+    """Arbitrary byte blobs: the batched decoder accepts exactly the
+    blobs the scalar decoder accepts, with identical coefficients."""
+    n = 8
+    accepted, row = _rows_verdict(blob, n)
+    try:
+        reference = decompress(blob, n)
+    except DecompressError:
+        assert not accepted
+    else:
+        assert accepted and row == reference
+
+
+def test_rows_reject_each_noncanonical_form():
+    n = 4
+    beyond = ((max_coefficient(n) >> 7) + 1) << 7
+    cases = [
+        _bits_to_bytes(_encode_one(beyond) + _encode_one(0) * (n - 1)),
+        _bits_to_bytes("1" + "0" * 7 + "1" + _encode_one(0) * (n - 1)),
+        _bits_to_bytes(_encode_one(1) * (n - 1) + "0" * 8),
+        compress([400] * n, payload_bits=100)[:2],
+    ]
+    padded = bytearray(compress([1, 2, 3, -4], payload_bits=200))
+    padded[-1] |= 1
+    cases.append(bytes(padded))
+    for blob in cases:
+        accepted, _ = _rows_verdict(blob, n)
+        assert not accepted
+        with pytest.raises(DecompressError):
+            decompress(blob, n)
+
+
+def test_rows_isolate_failures_per_lane():
+    """One bad lane never disturbs its neighbours' coefficients."""
+    n = 8
+    budget = 16 * n + 256
+    good = [compress([i - 4] * n, payload_bits=budget)
+            for i in range(6)]
+    bad = bytearray(good[0])
+    bad[-1] |= 1  # non-zero padding
+    blobs = good[:3] + [bytes(bad)] + good[3:]
+    coefficients, failed = decompress_rows(blobs, n)
+    assert failed.tolist() == [False] * 3 + [True] + [False] * 3
+    for row, blob in zip(coefficients[:3], good[:3]):
+        assert row.tolist() == decompress(blob, n)
+    for row, blob in zip(coefficients[4:], good[3:]):
+        assert row.tolist() == decompress(blob, n)
+
+
+def test_rows_require_equal_widths():
+    blobs = [compress([0] * 4, payload_bits=64),
+             compress([0] * 4, payload_bits=72)]
+    with pytest.raises(ValueError, match="equal-width"):
+        decompress_rows(blobs, 4)

@@ -1,0 +1,287 @@
+"""Ledger tests: mempool bounds, batch-verified commits, hash-chained
+persistence, crash recovery, and the full/aggregate chain audits."""
+
+import json
+
+import pytest
+
+from repro.falcon import (
+    Ledger,
+    LedgerError,
+    Mempool,
+    MempoolFull,
+    RecordError,
+    SecretKey,
+    Signature,
+    SignedRecord,
+)
+from repro.falcon.ledger import GENESIS_HASH
+
+# Session-scope keys: keygen dominates these tests otherwise.
+_KEYS: dict[int, SecretKey] = {}
+
+
+def _secret_key(seed: int, n: int = 8) -> SecretKey:
+    if (n, seed) not in _KEYS:
+        _KEYS[(n, seed)] = SecretKey.generate(n=n, seed=seed)
+    return _KEYS[(n, seed)]
+
+
+def _record(seed: int, index: int) -> tuple:
+    sk = _secret_key(seed)
+    message = b"ledger-%d-%d" % (seed, index)
+    return sk.public_key, message, sk.sign(message)
+
+
+def _fill(ledger: Ledger, count: int, keys: int = 3,
+          start: int = 0) -> list[SignedRecord]:
+    return [ledger.submit_signed(*_record(1 + (start + i) % keys,
+                                          start + i))
+            for i in range(count)]
+
+
+# -- mempool ---------------------------------------------------------------
+
+def test_mempool_dedups_and_bounds():
+    pool = Mempool(capacity=2)
+    pk, message, signature = _record(1, 0)
+    record = SignedRecord.make(pk, message, signature)
+    assert pool.add(record)
+    assert not pool.add(record)          # duplicate
+    assert pool.dropped_duplicates == 1
+    assert len(pool) == 1
+    other = SignedRecord.make(*_record(1, 1))
+    assert pool.add(other)
+    with pytest.raises(MempoolFull):
+        pool.add(SignedRecord.make(*_record(1, 2)))
+    drained = pool.drain(1)
+    assert drained == [record] and len(pool) == 1
+
+
+def test_submit_rejects_already_committed():
+    ledger = Ledger()
+    record = _fill(ledger, 1)[0]
+    ledger.commit()
+    assert not ledger.submit(record)
+    assert ledger.mempool.dropped_duplicates == 1
+    assert len(ledger.mempool) == 0
+
+
+# -- commits ---------------------------------------------------------------
+
+def test_commit_accepts_honest_batch():
+    ledger = Ledger()
+    records = _fill(ledger, 6)
+    result = ledger.commit()
+    assert result.block is not None
+    assert result.accepted == [r.record_id for r in records]
+    assert result.rejected == []
+    assert ledger.height == 1
+    assert ledger.records_committed == 6
+    assert ledger.tip_hash == result.block.header.hash
+    assert ledger.blocks[0].header.prev_hash == GENESIS_HASH
+
+
+def test_rejected_lanes_never_block_the_batch():
+    ledger = Ledger()
+    good = _fill(ledger, 4)
+    pk, message, signature = _record(2, 99)
+    forged = SignedRecord.make(pk, message + b"forged", signature)
+    ledger.submit(forged)
+    truncated = SignedRecord.make(
+        pk, message, Signature(salt=signature.salt,
+                               compressed=signature.compressed[:3]))
+    ledger.submit(truncated)
+    result = ledger.commit()
+    assert sorted(result.accepted) == sorted(r.record_id for r in good)
+    reasons = dict(result.rejected)
+    assert reasons[forged.record_id].startswith("norm-bound")
+    # Wire decoding re-runs decompress, so a truncated blob is caught
+    # at decode time rather than inside the engine.
+    assert reasons[truncated.record_id].startswith("decode")
+    assert ledger.rejected_total["norm-bound"] == 1
+    assert ledger.rejected_total["decode"] == 1
+    # The rejected records are not committed and may not re-enter.
+    assert forged.record_id not in ledger._committed
+
+
+def test_commit_without_valid_records_writes_no_block():
+    ledger = Ledger()
+    pk, message, signature = _record(1, 0)
+    ledger.submit(SignedRecord.make(pk, message + b"x", signature))
+    result = ledger.commit()
+    assert result.block is None and ledger.height == 0
+    assert len(result.rejected) == 1
+
+
+def test_commit_respects_block_size_and_chains_headers():
+    ledger = Ledger(max_block_records=4)
+    _fill(ledger, 10)
+    while len(ledger.mempool):
+        ledger.commit(timestamp_us=1234)
+    assert ledger.height == 3
+    assert [b.header.count for b in ledger.blocks] == [4, 4, 2]
+    for index, block in enumerate(ledger.blocks):
+        assert block.header.index == index
+        prev = (GENESIS_HASH if index == 0
+                else ledger.blocks[index - 1].header.hash)
+        assert block.header.prev_hash == prev
+        assert block.header.timestamp_us == 1234
+
+
+def test_decode_failure_is_rejected_not_fatal():
+    ledger = Ledger()
+    pk, message, signature = _record(1, 0)
+    record = SignedRecord.make(pk, message, signature)
+    broken = SignedRecord(public_key_bytes=b"\x00\x01",
+                          message=message,
+                          signature_bytes=record.signature_bytes)
+    with pytest.raises(RecordError):
+        broken.decode()
+    ledger.submit(broken)
+    _fill(ledger, 2)
+    result = ledger.commit()
+    assert len(result.accepted) == 2
+    assert result.rejected[0][1].startswith("decode")
+
+
+# -- audits ----------------------------------------------------------------
+
+def test_full_and_aggregate_audits_agree():
+    ledger = Ledger(max_block_records=4)
+    _fill(ledger, 8)
+    while len(ledger.mempool):
+        ledger.commit()
+    full = ledger.verify_chain("full")
+    aggregate = ledger.verify_chain("aggregate", rounds=2)
+    assert full.ok and aggregate.ok
+    assert full.records == aggregate.records == 8
+    assert full.aggregate_fastpath == 0
+    assert aggregate.aggregate_fastpath == ledger.height
+
+
+def test_aggregate_audit_falls_back_without_expansion():
+    ledger = Ledger(expand=False)
+    _fill(ledger, 4)
+    ledger.commit()
+    assert ledger.blocks[0].s1_rows is None
+    audit = ledger.verify_chain("aggregate")
+    assert audit.ok and audit.aggregate_fastpath == 0
+
+
+def test_audit_mode_validation():
+    with pytest.raises(ValueError, match="unknown audit mode"):
+        Ledger().verify_chain("quantum")
+
+
+def test_audit_detects_in_memory_tamper():
+    ledger = Ledger()
+    _fill(ledger, 3)
+    ledger.commit()
+    block = ledger.blocks[0]
+    tampered = SignedRecord(
+        public_key_bytes=block.records[0].public_key_bytes,
+        message=block.records[0].message + b"!",
+        signature_bytes=block.records[0].signature_bytes)
+    object.__setattr__(block, "records",
+                       (tampered,) + block.records[1:])
+    audit = ledger.verify_chain("full")
+    assert not audit.ok
+    assert any("records_root" in reason
+               for _, _, reason in audit.failures)
+
+
+# -- persistence and crash recovery ----------------------------------------
+
+def test_persistence_round_trip(tmp_path):
+    ledger = Ledger(tmp_path, max_block_records=3)
+    _fill(ledger, 7)
+    while len(ledger.mempool):
+        ledger.commit(timestamp_us=77)
+    reopened = Ledger(tmp_path)
+    assert reopened.height == ledger.height == 3
+    assert reopened.tip_hash == ledger.tip_hash
+    assert reopened.records_committed == 7
+    assert reopened.recovered_bytes == 0
+    assert reopened.verify_chain("full").ok
+    assert reopened.verify_chain("aggregate").ok
+    # The reopened chain deduplicates against committed history.
+    assert not reopened.submit(ledger.blocks[0].records[0])
+
+
+def test_torn_tail_recovered_on_reload(tmp_path):
+    ledger = Ledger(tmp_path, max_block_records=2)
+    _fill(ledger, 4)
+    while len(ledger.mempool):
+        ledger.commit()
+    path = ledger.path
+    intact = path.read_bytes()
+    torn = intact + b'{"header": {"index": 2, "prev"'
+    path.write_bytes(torn)
+    recovered = Ledger(tmp_path)
+    assert recovered.height == 2
+    assert recovered.recovered_bytes == len(torn) - len(intact)
+    assert path.read_bytes() == intact  # tail truncated away
+    assert recovered.verify_chain("full").ok
+    # Recovery is durable: a third open sees a clean file.
+    assert Ledger(tmp_path).recovered_bytes == 0
+
+
+def test_mid_file_corruption_refuses_to_load(tmp_path):
+    ledger = Ledger(tmp_path, max_block_records=2)
+    _fill(ledger, 4)
+    while len(ledger.mempool):
+        ledger.commit()
+    lines = ledger.path.read_bytes().splitlines(keepends=True)
+    assert len(lines) == 2
+    ledger.path.write_bytes(b"garbage not json\n" + lines[1])
+    with pytest.raises(LedgerError, match="corrupt block"):
+        Ledger(tmp_path)
+
+
+def test_on_disk_record_tamper_refuses_to_load(tmp_path):
+    ledger = Ledger(tmp_path)
+    _fill(ledger, 3)
+    ledger.commit()
+    payload = json.loads(ledger.path.read_text())
+    payload["records"][0]["msg"] = (b"evil").hex()
+    ledger.path.write_text(json.dumps(payload) + "\n")
+    with pytest.raises(LedgerError):
+        Ledger(tmp_path)
+
+
+def test_crash_recovery_round_trip_continues_the_chain(tmp_path):
+    """The satellite scenario end to end: commit, crash mid-append,
+    reopen, keep committing — the chain stays linked and auditable."""
+    ledger = Ledger(tmp_path, max_block_records=3)
+    _fill(ledger, 3)
+    ledger.commit()
+    with open(ledger.path, "ab") as handle:
+        handle.write(b'{"torn')
+    recovered = Ledger(tmp_path, max_block_records=3)
+    assert recovered.height == 1 and recovered.recovered_bytes > 0
+    _fill(recovered, 3, start=100)
+    recovered.commit()
+    assert recovered.height == 2
+    assert recovered.blocks[1].header.prev_hash == \
+        recovered.blocks[0].header.hash
+    final = Ledger(tmp_path)
+    assert final.height == 2
+    assert final.verify_chain("aggregate").ok
+
+
+# -- stats -----------------------------------------------------------------
+
+def test_stats_snapshot():
+    ledger = Ledger()
+    _fill(ledger, 2)
+    pk, message, signature = _record(1, 50)
+    ledger.submit(SignedRecord.make(pk, message + b"x", signature))
+    ledger.commit()
+    stats = ledger.stats()
+    assert stats["height"] == 1
+    assert stats["records_committed"] == 2
+    assert stats["mempool_pending"] == 0
+    assert stats["rejected_total"] == {"norm-bound": 1}
+    assert stats["path"] is None
+    assert stats["tip_hash"] == ledger.tip_hash

@@ -12,6 +12,7 @@ import pytest
 from repro.ct import T_THRESHOLD, audit_coalescing, round_shape_trace
 from repro.falcon import KeyStore
 from repro.falcon.serving import (
+    VERIFY_MERGED_TENANT,
     ConsistentHashRing,
     ShardedKeyStore,
     SigningService,
@@ -134,6 +135,34 @@ def test_sign_and_verify_many_through_store():
         [True, True, True]
 
 
+def test_public_key_cache_skips_signer_checkout():
+    """The verify plane stays off the keystore: a cold tenant costs
+    exactly one checkout to learn its key, and every later
+    ``public_key`` / ``verify_many`` is served from the cache."""
+    store = ShardedKeyStore(shards=2, master_seed=8)
+    cold = store.public_key("tenant-v", 8)
+    assert store.stats()["totals"]["served"] == 1
+    for _ in range(3):
+        assert store.public_key("tenant-v", 8) is cold
+    message = b"cache-check"
+    signature = store.signer("tenant-v", 8).sign(message)
+    assert store.verify_many("tenant-v", 8, [message],
+                             [signature]) == [True]
+    snapshot = store.stats()["totals"]
+    assert snapshot["served"] == 1  # still just the cold checkout
+    assert snapshot["tenants_checked_out"] == 1
+
+
+def test_sign_traffic_warms_the_verify_cache():
+    store = ShardedKeyStore(shards=2, master_seed=9)
+    signer = store.signer("tenant-w", 8)
+    assert store.stats()["totals"]["served"] == 1
+    # The sign checkout's public half feeds the verify plane: no
+    # second checkout for the verify key.
+    assert store.public_key("tenant-w", 8) is signer.public_key
+    assert store.stats()["totals"]["served"] == 1
+
+
 # -- round planning ----------------------------------------------------------
 
 def test_plan_rounds_groups_by_tenant_and_kind_in_arrival_order():
@@ -143,6 +172,35 @@ def test_plan_rounds_groups_by_tenant_and_kind_in_arrival_order():
         ("a", "sign", (0, 2)),
         ("b", "sign", (1, 4)),
         ("a", "verify", (3,)),
+    ]
+
+
+def test_plan_rounds_merges_verify_lanes_across_tenants():
+    """``coalesce_verify=True``: every verify lane — any tenant —
+    shares one merged round under the sentinel tenant, while sign
+    rounds stay strictly per-tenant."""
+    arrivals = [("a", "sign"), ("b", "verify"), ("a", "verify"),
+                ("b", "sign"), ("c", "verify")]
+    plans = plan_rounds(arrivals, 8, coalesce_verify=True)
+    assert [(p.tenant, p.kind, p.lanes) for p in plans] == [
+        ("a", "sign", (0,)),
+        (VERIFY_MERGED_TENANT, "verify", (1, 2, 4)),
+        ("b", "sign", (3,)),
+    ]
+    # Default planning is unchanged: per-tenant verify rounds.
+    default = plan_rounds(arrivals, 8)
+    assert [(p.tenant, p.kind) for p in default] == [
+        ("a", "sign"), ("b", "verify"), ("a", "verify"),
+        ("b", "sign"), ("c", "verify")]
+
+
+def test_plan_rounds_merged_verify_still_chunks_at_max_batch():
+    arrivals = [("t%d" % i, "verify") for i in range(5)]
+    plans = plan_rounds(arrivals, 2, coalesce_verify=True)
+    assert [(p.tenant, p.lanes) for p in plans] == [
+        (VERIFY_MERGED_TENANT, (0, 1)),
+        (VERIFY_MERGED_TENANT, (2, 3)),
+        (VERIFY_MERGED_TENANT, (4,)),
     ]
 
 
@@ -179,6 +237,37 @@ def test_service_sign_verify_round_trip():
         assert service.metrics.signed == 5
         assert service.metrics.verified == 5
         assert service.metrics.rounds >= 2
+    asyncio.run(drive())
+
+
+def test_cross_tenant_merged_verify_keeps_per_tenant_verdicts():
+    """Verify lanes from different tenants share rounds (the default
+    ``coalesce_verify=True``), and each lane still checks against its
+    *own* tenant's key: swapping a signature across tenants fails."""
+    async def drive():
+        # One shard: both tenants drain through the same queue, so
+        # their verify lanes can land in one merged round.
+        store = ShardedKeyStore(shards=1, master_seed=14)
+        async with SigningService(store, n=8, max_batch=16,
+                                  max_wait=0.2,
+                                  record_rounds=True) as service:
+            sig_a = await service.sign("tenant-a", b"from-a")
+            sig_b = await service.sign("tenant-b", b"from-b")
+            verdicts = await asyncio.gather(
+                service.verify("tenant-a", b"from-a", sig_a),
+                service.verify("tenant-b", b"from-b", sig_b),
+                service.verify("tenant-b", b"from-a", sig_a),
+                service.verify("tenant-a", b"from-b", sig_b))
+        assert verdicts == [True, True, False, False]
+        assert service.metrics.verified == 4  # lanes, not verdicts
+        # The concurrent verify burst rode merged rounds: some round
+        # carried lanes from more than one tenant (each tenant only
+        # contributed 2 lanes, so any round bigger than that merged).
+        verify_rounds = [size for _, kind, size
+                         in service.metrics.round_log
+                         if kind == "verify"]
+        assert sum(verify_rounds) == 4
+        assert max(verify_rounds) > 2
     asyncio.run(drive())
 
 

@@ -381,7 +381,18 @@ def test_worker_pool_signatures_byte_identical_to_direct():
         [(s.salt, s.compressed) for s in direct]
 
 
-def test_worker_pool_round_errors_propagate_and_pool_survives():
+def test_worker_pool_runs_merged_cross_tenant_verify_round():
+    """A merged verify round crosses the process boundary with its
+    per-lane tenant list; each lane checks against its own tenant's
+    key inside the worker."""
+    with ShardWorkerPool(shards=1, master_seed=34) as pool:
+        sig_a = pool.run_round(0, "tenant-a", "sign", 8, [b"a"])[0]
+        sig_b = pool.run_round(0, "tenant-b", "sign", 8, [b"b"])[0]
+        verdicts = pool.run_round(
+            0, ["tenant-a", "tenant-b", "tenant-b"], "verify", 8,
+            [b"a", b"b", b"a"],
+            signatures=[sig_a, sig_b, sig_a])
+    assert verdicts == [True, True, False]
     with ShardWorkerPool(shards=1, master_seed=32) as pool:
         with pytest.raises(Exception):
             pool.run_round(0, "tenant-a", "sign", 7, [b"bad-n"])
